@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E1 — Fig. 4: maximum sustainable throughput and p99 latency of the
+ * SNIC processor running every function, normalized to the host CPU.
+ *
+ * Prints one row per workload configuration with the measured
+ * SNIC/host ratios and the paper's published band for each.
+ */
+
+#include <cstdio>
+
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = stats::Table::wantCsv(argc, argv);
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    ExperimentOptions opts;
+    opts.targetSamples = 8000;
+
+    const auto lineup = workloads::fig4Lineup();
+
+    stats::Table sw("Fig. 4 — Software-Only Functions "
+                    "(SNIC CPU / host CPU)");
+    setFig4Header(sw);
+    double tput_lo = 1e9, tput_hi = 0, p99_lo = 1e9, p99_hi = 0;
+    auto track = [&](const NormalizedRow &row) {
+        tput_lo = std::min(tput_lo, row.throughputRatio);
+        tput_hi = std::max(tput_hi, row.throughputRatio);
+        p99_lo = std::min(p99_lo, row.p99Ratio);
+        p99_hi = std::max(p99_hi, row.p99Ratio);
+    };
+    for (const auto &id : lineup.softwareOnly) {
+        const auto row = compareOnPlatforms(id, opts);
+        addFig4Row(sw, row);
+        track(row);
+    }
+    sw.print(csv);
+
+    stats::Table hwt("Fig. 4 — Hardware-Accelerated Functions "
+                     "(SNIC accel / host CPU)");
+    setFig4Header(hwt);
+    for (const auto &id : lineup.hardwareAccelerated) {
+        const auto row = compareOnPlatforms(id, opts);
+        addFig4Row(hwt, row);
+        track(row);
+    }
+    hwt.print(csv);
+
+    std::printf("Measured ranges: throughput %.2fx-%.2fx "
+                "(paper %.1fx-%.1fx), p99 %.2fx-%.2fx "
+                "(paper %.1fx-%.1fx)\n",
+                tput_lo, tput_hi, paper::fig4ThroughputLo,
+                paper::fig4ThroughputHi, p99_lo, p99_hi,
+                paper::fig4P99Lo, paper::fig4P99Hi);
+    return 0;
+}

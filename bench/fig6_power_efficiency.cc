@@ -1,0 +1,67 @@
+/**
+ * @file
+ * E3 — Fig. 6: average power consumption (server and SNIC breakdown)
+ * and normalized energy efficiency at each function's maximum-
+ * throughput point.
+ */
+
+#include <cstdio>
+
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = stats::Table::wantCsv(argc, argv);
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    ExperimentOptions opts;
+    opts.targetSamples = 8000;
+
+    stats::Table t("Fig. 6 — Power and Normalized Energy Efficiency");
+    t.setHeader({"function", "host W", "host SNIC W", "snic-run W",
+                 "snic-run SNIC W", "host active W", "snic active W",
+                 "eff SNIC/host", "paper"});
+
+    // The Fig. 6 x-axis: a representative subset of every family.
+    const std::vector<std::string> functions = {
+        "micro_udp_1024", "micro_rdma_read_1024", "redis_a",
+        "snort_exe", "nat_10k", "bm25_1k", "mica_b32", "fio_read",
+        "fio_write", "crypto_aes", "crypto_rsa", "crypto_sha1",
+        "rem_img", "rem_exe", "comp_app", "comp_txt", "ovs_100",
+    };
+
+    double eff_lo = 1e9, eff_hi = 0.0;
+    for (const auto &id : functions) {
+        const auto row = compareOnPlatforms(id, opts);
+        const auto band = paper::fig6EfficiencyExpectation(id);
+        eff_lo = std::min(eff_lo, row.efficiencyRatio);
+        eff_hi = std::max(eff_hi, row.efficiencyRatio);
+        t.addRow({
+            id,
+            stats::Table::num(row.host.energy.avgServerWatts, 1),
+            stats::Table::num(row.host.energy.avgSnicWatts, 1),
+            stats::Table::num(row.snic.energy.avgServerWatts, 1),
+            stats::Table::num(row.snic.energy.avgSnicWatts, 1),
+            stats::Table::num(row.host.energy.avgServerWatts -
+                                  paper::serverIdleW,
+                              1),
+            stats::Table::num(row.snic.energy.avgServerWatts -
+                                  paper::serverIdleW,
+                              1),
+            stats::Table::ratio(row.efficiencyRatio),
+            bandCheck(row.efficiencyRatio, band),
+        });
+    }
+    t.print(csv);
+
+    std::printf("Idle anchors: server %.0f W, SNIC %.0f W "
+                "(paper: %.0f W / %.0f W). Measured efficiency range "
+                "%.2fx-%.2fx (paper %.1fx-%.1fx).\n",
+                252.0, 29.0, paper::serverIdleW, paper::snicIdleW,
+                eff_lo, eff_hi, paper::fig6EffLo, paper::fig6EffHi);
+    return 0;
+}

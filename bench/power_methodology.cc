@@ -1,0 +1,104 @@
+/**
+ * @file
+ * E10 — Sec. 3.2 methodology: why the paper needed the custom
+ * PCIe-riser + Yocto-Watt rig at all.
+ *
+ * (1) Resolution: a square-wave SNIC load (idle <-> fully active,
+ *     a 5.4 W swing) is sampled by both instruments; the BMC's 1 W /
+ *     1 Hz sensor barely resolves it, the 2 mW / 10 Hz rig does.
+ * (2) Isolation: the with-vs-without-SNIC difference matches the
+ *     rig's direct measurement across operating points.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "hw/server.hh"
+#include "power/isolation.hh"
+#include "power/power_model.hh"
+#include "power/sensors.hh"
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+using namespace snic;
+using namespace snic::power;
+
+int
+main()
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    sim::Simulation s(11);
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+
+    // Square-wave SNIC activity: 10 s period, full swing.
+    auto snic_util_at = [&](sim::Tick t) {
+        return (sim::ticksToSec(t) / 10.0 -
+                std::floor(sim::ticksToSec(t) / 10.0)) < 0.5
+                   ? 1.0
+                   : 0.0;
+    };
+    auto snic_watts = [&] {
+        return power.snicWattsAt(snic_util_at(s.now()),
+                                 snic_util_at(s.now()), 40.0);
+    };
+    auto server_watts = [&] {
+        return power.serverWattsAt(0.0, snic_util_at(s.now()),
+                                   snic_util_at(s.now()), 40.0);
+    };
+
+    auto bmc = makeBmcSensor(s, server_watts);
+    auto yocto12 = makeYoctoWattSensor(s, "yocto_12v", [&] {
+        return snic_watts() * power.specs().snicTwelveVoltShare;
+    });
+    auto yocto33 = makeYoctoWattSensor(s, "yocto_3v3", [&] {
+        return snic_watts() *
+               (1.0 - power.specs().snicTwelveVoltShare);
+    });
+    const sim::Tick horizon = sim::secToTicks(60.0);
+    bmc.start(horizon);
+    yocto12.start(horizon);
+    yocto33.start(horizon);
+    s.runUntil(horizon + sim::secToTicks(1.0));
+
+    const double true_swing =
+        power.snicWattsAt(1.0, 1.0, 40.0) -
+        power.snicWattsAt(0.0, 0.0, 40.0);
+    stats::Table t("Sec. 3.2 — instrument comparison on a 10 s "
+                   "square-wave SNIC load");
+    t.setHeader({"instrument", "samples", "rate Hz", "step W",
+                 "observed swing W"});
+    t.addRow({"BMC/DCMI (server)", std::to_string(bmc.sampleCount()),
+              "1", "1",
+              stats::Table::num(bmc.observedSwing(), 3)});
+    t.addRow({"Yocto-Watt 12V (SNIC)",
+              std::to_string(yocto12.sampleCount()), "10", "0.002",
+              stats::Table::num(yocto12.observedSwing(), 3)});
+    t.addRow({"Yocto-Watt 3.3V (SNIC)",
+              std::to_string(yocto33.sampleCount()), "10", "0.002",
+              stats::Table::num(yocto33.observedSwing(), 3)});
+    t.print();
+    std::printf("true SNIC swing: %.3f W; riser rig resolves it to "
+                "the milliwatt, the BMC sees it through +/-1 W of "
+                "noise and quantization.\n\n",
+                true_swing);
+
+    const auto res = compareSensorResolution();
+    std::printf("Resolution ratio BMC/Yocto = %.0fx, sampling ratio "
+                "= %.0fx (the paper's '500x' and '10x').\n\n",
+                res.resolutionRatio, res.samplingRatio);
+
+    stats::Table iso("Sec. 3.2 — isolation validation "
+                     "(with-SNIC minus without-SNIC vs riser)");
+    iso.setHeader({"snic util", "difference W", "riser W",
+                   "mismatch"});
+    for (double util : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const auto r = validateIsolation(power, 0.0, util, util, 20.0);
+        iso.addRow({stats::Table::num(util, 2),
+                    stats::Table::num(r.differenceWatts, 2),
+                    stats::Table::num(r.riserWatts, 2),
+                    stats::Table::percent(r.mismatchFraction * 100.0)});
+    }
+    iso.print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: measure one datacenter function on both execution
+ * platforms and print the paper-style comparison.
+ *
+ *   ./quickstart [workload_id]
+ *
+ * Workload ids are the Table 3 configurations ("redis_a",
+ * "rem_img", "crypto_sha1", ...); run with an unknown id to get the
+ * full list in the error message of workloads::makeWorkload.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    const std::string id = argc > 1 ? argv[1] : "redis_a";
+
+    std::printf("snicbench quickstart: measuring '%s' on the host "
+                "Xeon and on the BlueField-2 side...\n\n",
+                id.c_str());
+
+    ExperimentOptions opts;
+    opts.targetSamples = 8000;
+    const NormalizedRow row = compareOnPlatforms(id, opts);
+
+    auto show = [](const char *label, const RunResult &r) {
+        std::printf("%-22s %8.2f Gbps  %8.0f req/s  p99 %8.1f us  "
+                    "%6.1f W (server)  %5.2f W (SNIC)\n",
+                    label, r.maxGbps, r.maxRps, r.p99Us,
+                    r.energy.avgServerWatts, r.energy.avgSnicWatts);
+    };
+    show("host CPU:", row.host);
+    show(row.snic.platform == hw::Platform::SnicAccel
+             ? "SNIC accelerator:"
+             : "SNIC CPU:",
+         row.snic);
+
+    std::printf("\nSNIC / host: throughput %.2fx, p99 latency %.2fx, "
+                "energy efficiency %.2fx\n",
+                row.throughputRatio, row.p99Ratio,
+                row.efficiencyRatio);
+
+    const auto expect = paper::fig4Expectation(id);
+    if (expect) {
+        std::printf("paper (Fig. 4) bands: throughput "
+                    "[%.2f, %.2f], p99 [%.2f, %.2f]\n",
+                    expect->throughputRatio.lo,
+                    expect->throughputRatio.hi, expect->p99Ratio.lo,
+                    expect->p99Ratio.hi);
+    }
+    return 0;
+}

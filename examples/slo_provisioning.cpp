@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fleet provisioning under an SLO: the datacenter operator's
+ * question. Given a function, a p99 budget and an aggregate demand,
+ * size a SNIC fleet and a plain-NIC fleet, and compare their 5-year
+ * TCO (the Sec. 5.2 analysis as a reusable tool).
+ *
+ *   ./slo_provisioning [workload_id] [demand_gbps] [p99_us]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.hh"
+#include "core/tco.hh"
+#include "sim/logging.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    const std::string id = argc > 1 ? argv[1] : "comp_app";
+    const double demand_gbps = argc > 2 ? std::atof(argv[2]) : 400.0;
+    const double p99_budget = argc > 3 ? std::atof(argv[3]) : 500.0;
+
+    std::printf("Provisioning '%s' for %.0f Gbps aggregate demand "
+                "under a %.0f us p99 budget\n\n",
+                id.c_str(), demand_gbps, p99_budget);
+
+    ExperimentOptions opts;
+    opts.targetSamples = 8000;
+    const NormalizedRow row = compareOnPlatforms(id, opts);
+
+    const bool snic_meets = row.snic.p99Us <= p99_budget;
+    const bool host_meets = row.host.p99Us <= p99_budget;
+    std::printf("per-server: SNIC side %.2f Gbps at p99 %.1f us "
+                "(%s SLO); host side %.2f Gbps at p99 %.1f us "
+                "(%s SLO)\n\n",
+                row.snic.maxGbps, row.snic.p99Us,
+                snic_meets ? "meets" : "VIOLATES", row.host.maxGbps,
+                row.host.p99Us, host_meets ? "meets" : "VIOLATES");
+
+    if (!snic_meets && !host_meets) {
+        std::printf("Neither platform meets the SLO at full load; "
+                    "relax the budget or shard the demand.\n");
+        return 1;
+    }
+
+    const auto servers_for = [&](double per_server_gbps) {
+        return static_cast<unsigned>(
+            std::ceil(demand_gbps / per_server_gbps));
+    };
+    TcoInputs in;
+    const unsigned snic_servers = servers_for(row.snic.maxGbps);
+    const unsigned nic_servers = servers_for(row.host.maxGbps);
+    const auto snic_col = computeColumn(
+        snic_servers, row.snic.energy.avgServerWatts, true, in);
+    const auto nic_col = computeColumn(
+        nic_servers, row.host.energy.avgServerWatts, false, in);
+
+    std::printf("SNIC fleet: %3u servers x %6.1f W -> 5y TCO "
+                "$%9.0f%s\n",
+                snic_servers, snic_col.powerPerServerW,
+                snic_col.fiveYearTcoUsd,
+                snic_meets ? "" : "  [SLO violation]");
+    std::printf("NIC fleet:  %3u servers x %6.1f W -> 5y TCO "
+                "$%9.0f%s\n",
+                nic_servers, nic_col.powerPerServerW,
+                nic_col.fiveYearTcoUsd,
+                host_meets ? "" : "  [SLO violation]");
+
+    if (snic_meets && host_meets) {
+        const double savings =
+            (nic_col.fiveYearTcoUsd - snic_col.fiveYearTcoUsd) /
+            nic_col.fiveYearTcoUsd;
+        std::printf("\nSNIC saves %.1f%% of the 5-year TCO for this "
+                    "function and SLO.\n", savings * 100.0);
+    } else if (snic_meets) {
+        std::printf("\nOnly the SNIC fleet meets the SLO.\n");
+    } else {
+        std::printf("\nOnly the NIC (host) fleet meets the SLO — "
+                    "the Sec. 5.1 situation where the SNIC's power "
+                    "saving is unusable.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS 197) with ECB block primitives and CTR
+ * mode, implemented with plain table-free S-box arithmetic.
+ *
+ * Work accounting: one cryptoBlocks unit per 16-byte block processed.
+ * On the host platform model this category is priced as if executed
+ * with AES-NI-class ISA extensions; on the SNIC Arm cores it is
+ * priced as scalar software — reproducing the paper's KO2 result that
+ * the host wins AES despite the SNIC's PKA accelerator.
+ */
+
+#ifndef SNIC_ALG_CRYPTO_AES_HH
+#define SNIC_ALG_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alg/workcount.hh"
+
+namespace snic::alg::crypto {
+
+/**
+ * AES-128 cipher context (expanded key schedule).
+ */
+class Aes128
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    /** Expand @p key into the 11-round key schedule. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(Block &block, WorkCounters &work) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(Block &block, WorkCounters &work) const;
+
+    /**
+     * CTR-mode encryption/decryption (same operation) of an
+     * arbitrary-length buffer.
+     *
+     * @param nonce 8-byte nonce occupying the counter block's top.
+     */
+    std::vector<std::uint8_t>
+    ctr(const std::vector<std::uint8_t> &data, std::uint64_t nonce,
+        WorkCounters &work) const;
+
+  private:
+    // 11 round keys of 16 bytes each.
+    std::array<std::array<std::uint8_t, 16>, 11> _roundKeys;
+};
+
+} // namespace snic::alg::crypto
+
+#endif // SNIC_ALG_CRYPTO_AES_HH

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Bignum implementation.
+ */
+
+#include "alg/crypto/bignum.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::crypto {
+
+namespace {
+
+constexpr std::uint64_t limbBase = std::uint64_t(1) << 32;
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+void
+Bignum::trim()
+{
+    while (!_limbs.empty() && _limbs.back() == 0)
+        _limbs.pop_back();
+}
+
+Bignum
+Bignum::fromUint(std::uint64_t v)
+{
+    Bignum b;
+    if (v & 0xffffffffull)
+        b._limbs.push_back(static_cast<std::uint32_t>(v));
+    else if (v)
+        b._limbs.push_back(0);
+    if (v >> 32)
+        b._limbs.push_back(static_cast<std::uint32_t>(v >> 32));
+    b.trim();
+    return b;
+}
+
+Bignum
+Bignum::fromHex(const std::string &hex)
+{
+    Bignum b;
+    std::size_t start = 0;
+    if (hex.size() >= 2 && hex[0] == '0' &&
+        (hex[1] == 'x' || hex[1] == 'X'))
+        start = 2;
+    for (std::size_t i = start; i < hex.size(); ++i) {
+        const int d = hexDigit(hex[i]);
+        if (d < 0)
+            sim::fatal("Bignum::fromHex: bad digit '%c'", hex[i]);
+        // b = b*16 + d, done limb-wise.
+        std::uint64_t carry = static_cast<std::uint64_t>(d);
+        for (auto &limb : b._limbs) {
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(limb) << 4) | carry;
+            limb = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        if (carry)
+            b._limbs.push_back(static_cast<std::uint32_t>(carry));
+    }
+    b.trim();
+    return b;
+}
+
+Bignum
+Bignum::fromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    Bignum b;
+    for (std::uint8_t byte : bytes) {
+        std::uint64_t carry = byte;
+        for (auto &limb : b._limbs) {
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(limb) << 8) | carry;
+            limb = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        if (carry)
+            b._limbs.push_back(static_cast<std::uint32_t>(carry));
+    }
+    b.trim();
+    return b;
+}
+
+std::string
+Bignum::toHex() const
+{
+    if (_limbs.empty())
+        return "0";
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    for (std::size_t i = _limbs.size(); i-- > 0;) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            s.push_back(digits[(_limbs[i] >> shift) & 0xf]);
+    }
+    const std::size_t first = s.find_first_not_of('0');
+    return first == std::string::npos ? "0" : s.substr(first);
+}
+
+std::vector<std::uint8_t>
+Bignum::toBytes(std::size_t size) const
+{
+    std::vector<std::uint8_t> out(size, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+        const std::size_t byte_idx = i;  // from LSB
+        const std::size_t limb = byte_idx / 4;
+        const unsigned shift = (byte_idx % 4) * 8;
+        if (limb < _limbs.size())
+            out[size - 1 - i] =
+                static_cast<std::uint8_t>(_limbs[limb] >> shift);
+    }
+    return out;
+}
+
+std::size_t
+Bignum::bitLength() const
+{
+    if (_limbs.empty())
+        return 0;
+    return _limbs.size() * 32 -
+           static_cast<std::size_t>(std::countl_zero(_limbs.back()));
+}
+
+bool
+Bignum::bit(std::size_t i) const
+{
+    const std::size_t limb = i / 32;
+    if (limb >= _limbs.size())
+        return false;
+    return (_limbs[limb] >> (i % 32)) & 1u;
+}
+
+int
+Bignum::compare(const Bignum &other) const
+{
+    if (_limbs.size() != other._limbs.size())
+        return _limbs.size() < other._limbs.size() ? -1 : 1;
+    for (std::size_t i = _limbs.size(); i-- > 0;) {
+        if (_limbs[i] != other._limbs[i])
+            return _limbs[i] < other._limbs[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+Bignum
+Bignum::add(const Bignum &other) const
+{
+    Bignum r;
+    const std::size_t n = std::max(_limbs.size(), other._limbs.size());
+    r._limbs.resize(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = carry;
+        if (i < _limbs.size())
+            v += _limbs[i];
+        if (i < other._limbs.size())
+            v += other._limbs[i];
+        r._limbs[i] = static_cast<std::uint32_t>(v);
+        carry = v >> 32;
+    }
+    r._limbs[n] = static_cast<std::uint32_t>(carry);
+    r.trim();
+    return r;
+}
+
+Bignum
+Bignum::sub(const Bignum &other) const
+{
+    if (*this < other)
+        sim::fatal("Bignum::sub: negative result");
+    Bignum r;
+    r._limbs.resize(_limbs.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < _limbs.size(); ++i) {
+        std::int64_t v = static_cast<std::int64_t>(_limbs[i]) - borrow;
+        if (i < other._limbs.size())
+            v -= other._limbs[i];
+        if (v < 0) {
+            v += static_cast<std::int64_t>(limbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r._limbs[i] = static_cast<std::uint32_t>(v);
+    }
+    assert(borrow == 0);
+    r.trim();
+    return r;
+}
+
+Bignum
+Bignum::mul(const Bignum &other, WorkCounters &work) const
+{
+    Bignum r;
+    if (isZero() || other.isZero())
+        return r;
+    r._limbs.assign(_limbs.size() + other._limbs.size(), 0);
+    for (std::size_t i = 0; i < _limbs.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < other._limbs.size(); ++j) {
+            std::uint64_t v =
+                static_cast<std::uint64_t>(_limbs[i]) * other._limbs[j] +
+                r._limbs[i + j] + carry;
+            r._limbs[i + j] = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        r._limbs[i + other._limbs.size()] +=
+            static_cast<std::uint32_t>(carry);
+    }
+    work.bigMulOps += _limbs.size() * other._limbs.size();
+    r.trim();
+    return r;
+}
+
+Bignum
+Bignum::shiftLeft(std::size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const std::size_t limb_shift = bits / 32;
+    const unsigned bit_shift = bits % 32;
+    Bignum r;
+    r._limbs.assign(_limbs.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < _limbs.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(_limbs[i])
+                                << bit_shift;
+        r._limbs[i + limb_shift] |= static_cast<std::uint32_t>(v);
+        r._limbs[i + limb_shift + 1] |=
+            static_cast<std::uint32_t>(v >> 32);
+    }
+    r.trim();
+    return r;
+}
+
+Bignum
+Bignum::shiftRight(std::size_t bits) const
+{
+    if (isZero())
+        return *this;
+    const std::size_t limb_shift = bits / 32;
+    const unsigned bit_shift = bits % 32;
+    if (limb_shift >= _limbs.size())
+        return Bignum();
+    Bignum r;
+    r._limbs.assign(_limbs.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < r._limbs.size(); ++i) {
+        std::uint64_t v = _limbs[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < _limbs.size())
+            v |= static_cast<std::uint64_t>(_limbs[i + limb_shift + 1])
+                 << (32 - bit_shift);
+        r._limbs[i] = static_cast<std::uint32_t>(v);
+    }
+    r.trim();
+    return r;
+}
+
+void
+Bignum::divmod(const Bignum &divisor, Bignum &quotient,
+               Bignum &remainder, WorkCounters &work) const
+{
+    if (divisor.isZero())
+        sim::fatal("Bignum::divmod: divide by zero");
+    if (*this < divisor) {
+        quotient = Bignum();
+        remainder = *this;
+        return;
+    }
+    if (divisor._limbs.size() == 1) {
+        // Fast single-limb path.
+        const std::uint64_t d = divisor._limbs[0];
+        Bignum q;
+        q._limbs.assign(_limbs.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = _limbs.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | _limbs[i];
+            q._limbs[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+            work.bigMulOps += 1;
+        }
+        q.trim();
+        quotient = std::move(q);
+        remainder = fromUint(rem);
+        return;
+    }
+
+    // Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+    const unsigned shift =
+        static_cast<unsigned>(std::countl_zero(divisor._limbs.back()));
+    const Bignum u = shiftLeft(shift);
+    const Bignum v = divisor.shiftLeft(shift);
+    const std::size_t n = v._limbs.size();
+    // Working copy of the dividend with one extra high limb.
+    std::vector<std::uint32_t> un(u._limbs);
+    un.push_back(0);
+    const std::size_t m = un.size() - 1 - n;
+
+    Bignum q;
+    q._limbs.assign(m + 1, 0);
+    const std::uint64_t vn1 = v._limbs[n - 1];
+    const std::uint64_t vn2 = v._limbs[n - 2];
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        const std::uint64_t top =
+            (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+        std::uint64_t qhat = top / vn1;
+        std::uint64_t rhat = top % vn1;
+        while (qhat >= limbBase ||
+               qhat * vn2 > ((rhat << 32) | un[j + n - 2])) {
+            --qhat;
+            rhat += vn1;
+            if (rhat >= limbBase)
+                break;
+        }
+        // Multiply-and-subtract qhat * v from un[j .. j+n].
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t p = qhat * v._limbs[i] + carry;
+            carry = p >> 32;
+            std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffull) -
+                             borrow;
+            if (t < 0) {
+                t += static_cast<std::int64_t>(limbBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            un[i + j] = static_cast<std::uint32_t>(t);
+            work.bigMulOps += 1;
+        }
+        std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                         static_cast<std::int64_t>(carry) - borrow;
+        if (t < 0) {
+            // qhat was one too large: add the divisor back.
+            t += static_cast<std::int64_t>(limbBase);
+            --qhat;
+            std::uint64_t c2 = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t s =
+                    static_cast<std::uint64_t>(un[i + j]) + v._limbs[i] +
+                    c2;
+                un[i + j] = static_cast<std::uint32_t>(s);
+                c2 = s >> 32;
+            }
+            t += static_cast<std::int64_t>(c2);
+        }
+        un[j + n] = static_cast<std::uint32_t>(t);
+        q._limbs[j] = static_cast<std::uint32_t>(qhat);
+    }
+
+    q.trim();
+    quotient = std::move(q);
+    Bignum r;
+    r._limbs.assign(un.begin(), un.begin() + static_cast<long>(n));
+    r.trim();
+    remainder = r.shiftRight(shift);
+}
+
+Bignum
+Bignum::mod(const Bignum &divisor, WorkCounters &work) const
+{
+    Bignum q, r;
+    divmod(divisor, q, r, work);
+    return r;
+}
+
+Bignum
+Bignum::modexp(const Bignum &exp, const Bignum &m,
+               WorkCounters &work) const
+{
+    if (m.isZero())
+        sim::fatal("Bignum::modexp: zero modulus");
+    Bignum result = fromUint(1).mod(m, work);
+    Bignum base = mod(m, work);
+    const std::size_t bits = exp.bitLength();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = result.mul(result, work).mod(m, work);
+        if (exp.bit(i))
+            result = result.mul(base, work).mod(m, work);
+    }
+    return result;
+}
+
+} // namespace snic::alg::crypto

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * RSA implementation.
+ */
+
+#include "alg/crypto/rsa.hh"
+
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::crypto {
+
+namespace {
+
+/** Draw a random odd Bignum with exactly @p bits bits. */
+Bignum
+randomOdd(unsigned bits, sim::Random &rng)
+{
+    assert(bits >= 8);
+    std::vector<std::uint8_t> bytes((bits + 7) / 8);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    // Force the top bit (exact size) and the bottom bit (odd).
+    bytes.front() |= 0x80;
+    bytes.back() |= 0x01;
+    // Mask surplus top bits when bits is not a byte multiple.
+    const unsigned surplus = static_cast<unsigned>(bytes.size() * 8 - bits);
+    if (surplus)
+        bytes.front() &= static_cast<std::uint8_t>(0xff >> surplus);
+    bytes.front() |= static_cast<std::uint8_t>(0x80 >> surplus);
+    return Bignum::fromBytes(bytes);
+}
+
+/** Quick trial division by small primes to reject most candidates. */
+bool
+passesTrialDivision(const Bignum &n, WorkCounters &work)
+{
+    static const std::uint32_t small_primes[] = {
+        3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+        61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127,
+        131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+        193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+    for (std::uint32_t p : small_primes) {
+        const Bignum bp = Bignum::fromUint(p);
+        if (n == bp)
+            return true;
+        if (n.mod(bp, work).isZero())
+            return false;
+    }
+    return true;
+}
+
+/** Generate a probable prime of @p bits bits. */
+Bignum
+generatePrime(unsigned bits, sim::Random &rng, WorkCounters &work)
+{
+    const Bignum two = Bignum::fromUint(2);
+    Bignum candidate = randomOdd(bits, rng);
+    while (true) {
+        if (passesTrialDivision(candidate, work) &&
+            Rsa::isProbablePrime(candidate, 12, rng, work)) {
+            return candidate;
+        }
+        candidate = candidate.add(two);
+        // Keep the size fixed: restart if we carried past the top bit.
+        if (candidate.bitLength() != bits)
+            candidate = randomOdd(bits, rng);
+    }
+}
+
+/** Sign-tracked value for the extended Euclid bookkeeping. */
+struct Signed
+{
+    Bignum mag;
+    bool neg = false;
+};
+
+/** a - b on sign-tracked values. */
+Signed
+signedSub(const Signed &a, const Signed &b)
+{
+    if (a.neg == b.neg) {
+        if (a.mag >= b.mag)
+            return Signed{a.mag.sub(b.mag), a.neg};
+        return Signed{b.mag.sub(a.mag), !a.neg};
+    }
+    // a - (-b) = a + b, or (-a) - b = -(a + b).
+    return Signed{a.mag.add(b.mag), a.neg};
+}
+
+} // anonymous namespace
+
+bool
+Rsa::isProbablePrime(const Bignum &n, unsigned rounds, sim::Random &rng,
+                     WorkCounters &work)
+{
+    const Bignum one = Bignum::fromUint(1);
+    const Bignum two = Bignum::fromUint(2);
+    const Bignum three = Bignum::fromUint(3);
+    if (n < two)
+        return false;
+    if (n == two || n == three)
+        return true;
+    if (!n.isOdd())
+        return false;
+
+    // n - 1 = d * 2^r with d odd.
+    const Bignum n_minus_1 = n.sub(one);
+    Bignum d = n_minus_1;
+    unsigned r = 0;
+    while (!d.isOdd()) {
+        d = d.shiftRight(1);
+        ++r;
+    }
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        // Witness a in [2, n-2]; built from random bytes mod (n-3)+2.
+        const std::size_t nbytes = (n.bitLength() + 7) / 8;
+        std::vector<std::uint8_t> raw(nbytes);
+        for (auto &b : raw)
+            b = static_cast<std::uint8_t>(rng.next());
+        Bignum a = Bignum::fromBytes(raw)
+                       .mod(n.sub(three), work)
+                       .add(two);
+
+        Bignum x = a.modexp(d, n, work);
+        if (x == one || x == n_minus_1)
+            continue;
+        bool composite = true;
+        for (unsigned i = 0; i + 1 < r; ++i) {
+            x = x.mul(x, work).mod(n, work);
+            if (x == n_minus_1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+Bignum
+Rsa::modInverse(const Bignum &a, const Bignum &m, WorkCounters &work)
+{
+    // Extended Euclid on (a, m), tracking only the coefficient of a.
+    Bignum old_r = a.mod(m, work);
+    Bignum r = m;
+    Signed old_s{Bignum::fromUint(1), false};
+    Signed s{Bignum(), false};
+
+    while (!r.isZero()) {
+        Bignum q, rem;
+        old_r.divmod(r, q, rem, work);
+        old_r = r;
+        r = rem;
+        const Signed qs{q.mul(s.mag, work), s.neg};
+        Signed next = signedSub(old_s, qs);
+        old_s = s;
+        s = next;
+    }
+    if (old_r != Bignum::fromUint(1))
+        sim::fatal("Rsa::modInverse: not invertible");
+    // Normalise old_s into [0, m).
+    Bignum result = old_s.mag.mod(m, work);
+    if (old_s.neg && !result.isZero())
+        result = m.sub(result);
+    return result;
+}
+
+RsaKey
+Rsa::generate(unsigned bits, sim::Random &rng, WorkCounters &work)
+{
+    assert(bits >= 128 && bits % 2 == 0);
+    const Bignum one = Bignum::fromUint(1);
+    const Bignum e = Bignum::fromUint(65537);
+
+    while (true) {
+        const Bignum p = generatePrime(bits / 2, rng, work);
+        Bignum q = generatePrime(bits / 2, rng, work);
+        if (p == q)
+            continue;
+        const Bignum n = p.mul(q, work);
+        if (n.bitLength() != bits)
+            continue;
+        const Bignum phi = p.sub(one).mul(q.sub(one), work);
+        // e must be coprime with phi; p-1 or q-1 divisible by 65537
+        // is rare but possible.
+        if (phi.mod(e, work).isZero())
+            continue;
+        const Bignum d = modInverse(e, phi, work);
+        return RsaKey{n, e, d, bits};
+    }
+}
+
+Bignum
+Rsa::encrypt(const Bignum &m, const RsaKey &key, WorkCounters &work)
+{
+    if (m >= key.n)
+        sim::fatal("Rsa::encrypt: message >= modulus");
+    return m.modexp(key.e, key.n, work);
+}
+
+Bignum
+Rsa::decrypt(const Bignum &c, const RsaKey &key, WorkCounters &work)
+{
+    return c.modexp(key.d, key.n, work);
+}
+
+} // namespace snic::alg::crypto

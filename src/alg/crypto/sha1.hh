@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SHA-1 message digest (FIPS 180-4).
+ *
+ * Work accounting: one hashBlocks unit per 64-byte block compressed.
+ * The paper's host Xeon (Skylake) lacks SHA ISA extensions, so the
+ * host platform model prices hashBlocks as scalar software while the
+ * SNIC's PKA accelerator executes them in hardware — the mechanism
+ * behind SHA-1 being the one cryptography algorithm the SNIC wins
+ * (KO2).
+ */
+
+#ifndef SNIC_ALG_CRYPTO_SHA1_HH
+#define SNIC_ALG_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alg/workcount.hh"
+
+namespace snic::alg::crypto {
+
+/**
+ * One-shot and streaming SHA-1.
+ */
+class Sha1
+{
+  public:
+    using Digest = std::array<std::uint8_t, 20>;
+
+    Sha1();
+
+    /** Absorb @p data. */
+    void update(const std::uint8_t *data, std::size_t len,
+                WorkCounters &work);
+
+    /** Finish and return the 20-byte digest. */
+    Digest finish(WorkCounters &work);
+
+    /** Convenience one-shot digest. */
+    static Digest digest(const std::vector<std::uint8_t> &data,
+                         WorkCounters &work);
+
+    /** Hex rendering of a digest. */
+    static std::string hex(const Digest &d);
+
+  private:
+    std::array<std::uint32_t, 5> _h;
+    std::array<std::uint8_t, 64> _buf;
+    std::size_t _bufLen = 0;
+    std::uint64_t _totalBits = 0;
+
+    void compress(const std::uint8_t *block, WorkCounters &work);
+};
+
+} // namespace snic::alg::crypto
+
+#endif // SNIC_ALG_CRYPTO_SHA1_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Deflate codec implementation.
+ */
+
+#include "alg/deflate/deflate.hh"
+
+#include <array>
+#include <cassert>
+
+#include "alg/deflate/huffman.hh"
+#include "sim/logging.hh"
+
+namespace snic::alg::deflate {
+
+namespace {
+
+// RFC 1951 length alphabet (codes 257..285 => index 0..28).
+constexpr std::array<std::uint16_t, 29> lengthBase = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<std::uint8_t, 29> lengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// RFC 1951 distance alphabet (codes 0..29).
+constexpr std::array<std::uint16_t, 30> distBase = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+    8193, 12289, 16385, 24577};
+constexpr std::array<std::uint8_t, 30> distExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr std::size_t litLenAlphabet = 286;  // 0..255 lits, 256 EOB
+constexpr std::size_t distAlphabet = 30;
+constexpr std::size_t eobSymbol = 256;
+constexpr unsigned maxCodeLen = 15;
+
+/** Map a match length (3..258) to its length code index (0..28). */
+std::size_t
+lengthCodeFor(unsigned len)
+{
+    assert(len >= minMatch && len <= maxMatch);
+    for (std::size_t i = lengthBase.size(); i-- > 0;) {
+        if (len >= lengthBase[i])
+            return i;
+    }
+    sim::panic("deflate: unreachable length code for %u", len);
+}
+
+/** Map a distance (1..32768) to its distance code index (0..29). */
+std::size_t
+distCodeFor(unsigned dist)
+{
+    assert(dist >= 1 && dist <= windowSize);
+    for (std::size_t i = distBase.size(); i-- > 0;) {
+        if (dist >= distBase[i])
+            return i;
+    }
+    sim::panic("deflate: unreachable distance code for %u", dist);
+}
+
+/** Effort level -> LZ77 hash-chain depth, scaled like zlib. */
+unsigned
+chainForLevel(int level)
+{
+    switch (level) {
+      case 1: return 4;
+      case 2: return 8;
+      case 3: return 16;
+      case 4: return 24;
+      case 5: return 32;
+      case 6: return 64;
+      case 7: return 128;
+      case 8: return 512;
+      default: return 1024;  // level 9
+    }
+}
+
+} // anonymous namespace
+
+Deflate::Deflate(int level)
+    : _level(level < 1 ? 1 : (level > 9 ? 9 : level)),
+      _lz(chainForLevel(_level))
+{
+}
+
+std::vector<std::uint8_t>
+Deflate::compress(const std::vector<std::uint8_t> &input,
+                  WorkCounters &work) const
+{
+    const std::vector<Token> tokens = _lz.tokenize(input, work);
+
+    // Gather symbol frequencies.
+    std::vector<std::uint64_t> lit_freq(litLenAlphabet, 0);
+    std::vector<std::uint64_t> dist_freq(distAlphabet, 0);
+    lit_freq[eobSymbol] = 1;
+    for (const Token &t : tokens) {
+        if (t.isLiteral) {
+            ++lit_freq[t.literal];
+        } else {
+            ++lit_freq[257 + lengthCodeFor(t.length)];
+            ++dist_freq[distCodeFor(t.distance)];
+        }
+    }
+
+    const auto lit_lengths = buildCodeLengths(lit_freq, maxCodeLen);
+    const auto dist_lengths = buildCodeLengths(dist_freq, maxCodeLen);
+    const CanonicalCode lit_code(lit_lengths);
+    const CanonicalCode dist_code(dist_lengths);
+
+    BitWriter out;
+    // Header: 32-bit original size, a 1-bit block type (1 = Huffman,
+    // 0 = stored), then for Huffman blocks both length tables plain,
+    // 4 bits per entry.
+    out.writeBits(static_cast<std::uint32_t>(input.size()), 32);
+    out.writeBits(1, 1);
+    for (std::size_t s = 0; s < litLenAlphabet; ++s)
+        out.writeBits(lit_lengths[s], 4);
+    for (std::size_t s = 0; s < distAlphabet; ++s)
+        out.writeBits(dist_lengths[s], 4);
+
+    // Body: Huffman-coded token stream.
+    for (const Token &t : tokens) {
+        if (t.isLiteral) {
+            lit_code.encode(out, t.literal, work);
+        } else {
+            const std::size_t lc = lengthCodeFor(t.length);
+            lit_code.encode(out, 257 + lc, work);
+            if (lengthExtra[lc] > 0)
+                out.writeBits(t.length - lengthBase[lc],
+                              lengthExtra[lc]);
+            const std::size_t dc = distCodeFor(t.distance);
+            dist_code.encode(out, dc, work);
+            if (distExtra[dc] > 0)
+                out.writeBits(t.distance - distBase[dc],
+                              distExtra[dc]);
+        }
+    }
+    lit_code.encode(out, eobSymbol, work);
+
+    auto bytes = out.finish();
+
+    // Stored-block fallback (RFC 1951's BTYPE=00 idea): when entropy
+    // coding cannot beat the raw input plus a minimal header, ship
+    // the bytes verbatim so incompressible data never expands past
+    // the 5-byte frame.
+    if (bytes.size() > input.size() + 5) {
+        BitWriter stored;
+        stored.writeBits(static_cast<std::uint32_t>(input.size()),
+                         32);
+        stored.writeBits(0, 1);
+        for (std::uint8_t b : input)
+            stored.writeBits(b, 8);
+        bytes = stored.finish();
+    }
+
+    work.streamBytes += bytes.size();
+    work.messages += 1;
+    return bytes;
+}
+
+std::vector<std::uint8_t>
+Deflate::decompress(const std::vector<std::uint8_t> &input,
+                    WorkCounters &work) const
+{
+    BitReader in(input);
+    const std::uint32_t original_size = in.readBits(32);
+
+    if (in.readBits(1) == 0) {
+        // Stored block: the payload follows verbatim.
+        std::vector<std::uint8_t> output(original_size);
+        for (auto &b : output)
+            b = static_cast<std::uint8_t>(in.readBits(8));
+        work.streamBytes += output.size();
+        work.messages += 1;
+        return output;
+    }
+
+    std::vector<std::uint8_t> lit_lengths(litLenAlphabet);
+    for (auto &l : lit_lengths)
+        l = static_cast<std::uint8_t>(in.readBits(4));
+    std::vector<std::uint8_t> dist_lengths(distAlphabet);
+    for (auto &l : dist_lengths)
+        l = static_cast<std::uint8_t>(in.readBits(4));
+
+    const CanonicalCode lit_code(lit_lengths);
+    const CanonicalCode dist_code(dist_lengths);
+
+    std::vector<Token> tokens;
+    while (true) {
+        const std::size_t sym = lit_code.decode(in, work);
+        if (sym == eobSymbol)
+            break;
+        if (sym < 256) {
+            tokens.push_back(
+                Token{true, static_cast<std::uint8_t>(sym), 0, 0});
+        } else {
+            const std::size_t lc = sym - 257;
+            if (lc >= lengthBase.size())
+                sim::fatal("deflate: bad length code %zu", lc);
+            unsigned len = lengthBase[lc];
+            if (lengthExtra[lc] > 0)
+                len += in.readBits(lengthExtra[lc]);
+            const std::size_t dc = dist_code.decode(in, work);
+            if (dc >= distBase.size())
+                sim::fatal("deflate: bad distance code %zu", dc);
+            unsigned dist = distBase[dc];
+            if (distExtra[dc] > 0)
+                dist += in.readBits(distExtra[dc]);
+            tokens.push_back(Token{false, 0,
+                                   static_cast<std::uint16_t>(len),
+                                   static_cast<std::uint16_t>(dist)});
+        }
+    }
+
+    auto output = Lz77::reconstruct(tokens, work);
+    if (output.size() != original_size)
+        sim::fatal("deflate: size mismatch (%zu != %u)",
+                   output.size(), original_size);
+    work.messages += 1;
+    return output;
+}
+
+} // namespace snic::alg::deflate

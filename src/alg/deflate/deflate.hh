@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deflate-style compressor/decompressor.
+ *
+ * Combines the LZ77 tokenizer with dynamic canonical-Huffman coding
+ * using RFC 1951's literal/length and distance alphabets (length
+ * codes 257..285 and distance codes 0..29 with the standard extra-bit
+ * tables). The container framing is simplified relative to RFC 1951
+ * (single dynamic block, 4-bit plain-coded length tables, MSB-first
+ * bits) — a documented substitution that keeps the work profile and
+ * compression behaviour of Deflate level 9 without byte-level zlib
+ * interop, which nothing in the study requires.
+ */
+
+#ifndef SNIC_ALG_DEFLATE_DEFLATE_HH
+#define SNIC_ALG_DEFLATE_DEFLATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alg/deflate/lz77.hh"
+#include "alg/workcount.hh"
+
+namespace snic::alg::deflate {
+
+/**
+ * A Deflate codec at a given effort level.
+ */
+class Deflate
+{
+  public:
+    /**
+     * @param level 1..9, mapped to the LZ77 hash-chain search depth
+     *        the way zlib levels scale effort. The paper evaluates
+     *        level 9 ("best compression ratio", Sec. 3.4).
+     */
+    explicit Deflate(int level = 9);
+
+    /** Compress @p input, accounting work into @p work. */
+    std::vector<std::uint8_t>
+    compress(const std::vector<std::uint8_t> &input,
+             WorkCounters &work) const;
+
+    /** Decompress a buffer produced by compress(). */
+    std::vector<std::uint8_t>
+    decompress(const std::vector<std::uint8_t> &input,
+               WorkCounters &work) const;
+
+    /** Compression ratio (original / compressed; higher is better). */
+    static double
+    ratio(std::size_t original, std::size_t compressed)
+    {
+        return compressed == 0
+                   ? 0.0
+                   : static_cast<double>(original) /
+                         static_cast<double>(compressed);
+    }
+
+    int level() const { return _level; }
+
+  private:
+    int _level;
+    Lz77 _lz;
+};
+
+} // namespace snic::alg::deflate
+
+#endif // SNIC_ALG_DEFLATE_DEFLATE_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Canonical Huffman implementation.
+ */
+
+#include "alg/deflate/huffman.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::deflate {
+
+void
+BitWriter::writeBits(std::uint32_t bits, unsigned n)
+{
+    assert(n <= 32);
+    _bitCount += n;
+    while (n > 0) {
+        const unsigned take = std::min(n, 8u - _accBits);
+        const std::uint32_t chunk =
+            (bits >> (n - take)) & ((1u << take) - 1u);
+        _acc = (_acc << take) | chunk;
+        _accBits += take;
+        n -= take;
+        if (_accBits == 8) {
+            _bytes.push_back(static_cast<std::uint8_t>(_acc));
+            _acc = 0;
+            _accBits = 0;
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+BitWriter::finish()
+{
+    if (_accBits > 0) {
+        _acc <<= (8 - _accBits);
+        _bytes.push_back(static_cast<std::uint8_t>(_acc));
+        _acc = 0;
+        _accBits = 0;
+    }
+    return std::move(_bytes);
+}
+
+BitReader::BitReader(const std::vector<std::uint8_t> &bytes)
+    : _bytes(bytes)
+{
+}
+
+std::uint32_t
+BitReader::readBits(unsigned n)
+{
+    assert(n <= 32);
+    if (exhausted(n))
+        sim::fatal("BitReader: underrun reading %u bits", n);
+    std::uint32_t out = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t bit_idx = _bitsRead + i;
+        const std::uint8_t byte = _bytes[bit_idx >> 3];
+        const unsigned shift = 7 - (bit_idx & 7);
+        out = (out << 1) | ((byte >> shift) & 1u);
+    }
+    _bitsRead += n;
+    return out;
+}
+
+bool
+BitReader::exhausted(unsigned n) const
+{
+    return _bitsRead + n > _bytes.size() * 8ull;
+}
+
+std::vector<std::uint8_t>
+buildCodeLengths(const std::vector<std::uint64_t> &freqs,
+                 unsigned max_len)
+{
+    const std::size_t n = freqs.size();
+    std::vector<std::uint8_t> lengths(n, 0);
+
+    // Collect active symbols.
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (freqs[i] > 0)
+            active.push_back(i);
+    }
+    if (active.empty())
+        return lengths;
+    if (active.size() == 1) {
+        // A single symbol still needs one bit on the wire.
+        lengths[active[0]] = 1;
+        return lengths;
+    }
+    if ((std::size_t(1) << max_len) < active.size())
+        sim::fatal("huffman: %zu symbols cannot fit in %u-bit codes",
+                   active.size(), max_len);
+
+    // Package-merge. Items carry the set of leaf symbols they cover;
+    // each time a leaf appears in a chosen package its code length
+    // grows by one.
+    struct Item
+    {
+        std::uint64_t weight;
+        std::vector<std::size_t> leaves;
+    };
+
+    std::vector<Item> leaves;
+    leaves.reserve(active.size());
+    for (std::size_t s : active)
+        leaves.push_back(Item{freqs[s], {s}});
+    std::sort(leaves.begin(), leaves.end(),
+              [](const Item &a, const Item &b) {
+                  return a.weight < b.weight;
+              });
+
+    std::vector<Item> prev;  // packages carried from the deeper level
+    for (unsigned level = 0; level < max_len; ++level) {
+        // Merge leaves with carried packages, keep sorted by weight.
+        std::vector<Item> merged;
+        merged.reserve(leaves.size() + prev.size());
+        std::size_t i = 0, j = 0;
+        while (i < leaves.size() || j < prev.size()) {
+            const bool take_leaf =
+                j >= prev.size() ||
+                (i < leaves.size() && leaves[i].weight <= prev[j].weight);
+            if (take_leaf)
+                merged.push_back(leaves[i++]);
+            else
+                merged.push_back(std::move(prev[j++]));
+        }
+        if (level + 1 == max_len) {
+            // Final level: the first 2(n-1) items define the code.
+            const std::size_t need = 2 * (active.size() - 1);
+            assert(merged.size() >= need);
+            for (std::size_t k = 0; k < need; ++k) {
+                for (std::size_t s : merged[k].leaves)
+                    ++lengths[s];
+            }
+            break;
+        }
+        // Pair adjacent items into packages for the next level.
+        prev.clear();
+        for (std::size_t k = 0; k + 1 < merged.size(); k += 2) {
+            Item pkg;
+            pkg.weight = merged[k].weight + merged[k + 1].weight;
+            pkg.leaves = std::move(merged[k].leaves);
+            pkg.leaves.insert(pkg.leaves.end(),
+                              merged[k + 1].leaves.begin(),
+                              merged[k + 1].leaves.end());
+            prev.push_back(std::move(pkg));
+        }
+    }
+    return lengths;
+}
+
+CanonicalCode::CanonicalCode(const std::vector<std::uint8_t> &lengths)
+    : _lengths(lengths)
+{
+    for (std::uint8_t l : _lengths)
+        _maxLen = std::max<unsigned>(_maxLen, l);
+    _countByLen.assign(_maxLen + 1, 0);
+    for (std::uint8_t l : _lengths) {
+        if (l > 0)
+            ++_countByLen[l];
+    }
+
+    // Canonical code assignment: shorter codes first, then by symbol.
+    _firstCode.assign(_maxLen + 2, 0);
+    _firstIndex.assign(_maxLen + 2, 0);
+    std::uint32_t code = 0;
+    std::uint32_t index = 0;
+    for (unsigned len = 1; len <= _maxLen; ++len) {
+        code = (code + (len > 1 ? _countByLen[len - 1] : 0)) << 1;
+        _firstCode[len] = code;
+        _firstIndex[len] = index;
+        index += _countByLen[len];
+    }
+
+    _symbolsByCode.reserve(index);
+    for (unsigned len = 1; len <= _maxLen; ++len) {
+        for (std::size_t s = 0; s < _lengths.size(); ++s) {
+            if (_lengths[s] == len)
+                _symbolsByCode.push_back(
+                    static_cast<std::uint32_t>(s));
+        }
+    }
+
+    _codes.assign(_lengths.size(), 0);
+    std::vector<std::uint32_t> next(_maxLen + 1);
+    for (unsigned len = 1; len <= _maxLen; ++len)
+        next[len] = _firstCode[len];
+    for (std::size_t s = 0; s < _lengths.size(); ++s) {
+        if (_lengths[s] > 0)
+            _codes[s] = next[_lengths[s]]++;
+    }
+
+    // Validate the Kraft sum does not overflow the code space.
+    std::uint64_t kraft = 0;
+    for (std::uint8_t l : _lengths) {
+        if (l > 0)
+            kraft += std::uint64_t(1) << (_maxLen - l);
+    }
+    if (_maxLen > 0 && kraft > (std::uint64_t(1) << _maxLen))
+        sim::fatal("huffman: over-subscribed code (kraft=%llu)",
+                   static_cast<unsigned long long>(kraft));
+}
+
+void
+CanonicalCode::encode(BitWriter &out, std::size_t symbol,
+                      WorkCounters &work) const
+{
+    assert(symbol < _lengths.size());
+    const unsigned len = _lengths[symbol];
+    if (len == 0)
+        sim::fatal("huffman: encoding absent symbol %zu", symbol);
+    out.writeBits(_codes[symbol], len);
+    work.arithOps += 1;
+}
+
+std::size_t
+CanonicalCode::decode(BitReader &in, WorkCounters &work) const
+{
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= _maxLen; ++len) {
+        code = (code << 1) | in.readBit();
+        work.branchyOps += 1;
+        const std::uint32_t count = _countByLen[len];
+        if (count > 0 && code >= _firstCode[len] &&
+            code < _firstCode[len] + count) {
+            return _symbolsByCode[_firstIndex[len] +
+                                  (code - _firstCode[len])];
+        }
+    }
+    sim::fatal("huffman: invalid code in stream");
+}
+
+} // namespace snic::alg::deflate

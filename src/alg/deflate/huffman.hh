@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Canonical Huffman coding and bit I/O (the Deflate back end).
+ *
+ * Code lengths are produced by the package-merge algorithm, which
+ * yields optimal length-limited prefix codes; codes are assigned
+ * canonically so the decoder only needs the length array.
+ *
+ * Bit packing is MSB-first. (RFC 1951 packs LSB-first with
+ * bit-reversed codes; since both ends of this library are our own the
+ * simpler, equivalent-entropy MSB-first convention is used. This is a
+ * documented deviation in DESIGN.md terms: compression ratio and work
+ * are unaffected.)
+ */
+
+#ifndef SNIC_ALG_DEFLATE_HUFFMAN_HH
+#define SNIC_ALG_DEFLATE_HUFFMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alg/workcount.hh"
+
+namespace snic::alg::deflate {
+
+/** MSB-first bit stream writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p n bits of @p bits (n <= 32). */
+    void writeBits(std::uint32_t bits, unsigned n);
+
+    /** Number of bits written so far. */
+    std::uint64_t bitCount() const { return _bitCount; }
+
+    /** Pad to a byte boundary and return the buffer. */
+    std::vector<std::uint8_t> finish();
+
+  private:
+    std::vector<std::uint8_t> _bytes;
+    std::uint32_t _acc = 0;
+    unsigned _accBits = 0;
+    std::uint64_t _bitCount = 0;
+};
+
+/** MSB-first bit stream reader. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes);
+
+    /** Read @p n bits (n <= 32); fatal on underrun. */
+    std::uint32_t readBits(unsigned n);
+
+    /** Read a single bit. */
+    unsigned readBit() { return readBits(1); }
+
+    /** Bits consumed so far. */
+    std::uint64_t bitsRead() const { return _bitsRead; }
+
+    /** True when fewer than @p n bits remain. */
+    bool exhausted(unsigned n = 1) const;
+
+  private:
+    const std::vector<std::uint8_t> &_bytes;
+    std::uint64_t _bitsRead = 0;
+};
+
+/**
+ * Compute optimal length-limited code lengths (package-merge).
+ *
+ * @param freqs   symbol frequencies; zero-frequency symbols get
+ *                length 0 (absent from the code).
+ * @param max_len maximum code length (15 for Deflate).
+ * @return per-symbol code lengths.
+ */
+std::vector<std::uint8_t>
+buildCodeLengths(const std::vector<std::uint64_t> &freqs,
+                 unsigned max_len);
+
+/**
+ * Canonical Huffman code built from a length array; supports both
+ * encoding and decoding.
+ */
+class CanonicalCode
+{
+  public:
+    /** @param lengths per-symbol code lengths (0 = unused symbol). */
+    explicit CanonicalCode(const std::vector<std::uint8_t> &lengths);
+
+    /** Emit the code for @p symbol. */
+    void encode(BitWriter &out, std::size_t symbol,
+                WorkCounters &work) const;
+
+    /** Read one symbol. */
+    std::size_t decode(BitReader &in, WorkCounters &work) const;
+
+    /** Number of symbols in the alphabet (incl. unused). */
+    std::size_t alphabetSize() const { return _lengths.size(); }
+
+    /** Code length of @p symbol (0 = unused). */
+    unsigned lengthOf(std::size_t symbol) const
+    {
+        return _lengths[symbol];
+    }
+
+  private:
+    std::vector<std::uint8_t> _lengths;
+    std::vector<std::uint32_t> _codes;
+
+    // Canonical decoding tables: for each length, the first code
+    // value and the index of the first symbol of that length in
+    // _symbolsByCode.
+    std::vector<std::uint32_t> _firstCode;
+    std::vector<std::uint32_t> _firstIndex;
+    std::vector<std::uint32_t> _countByLen;
+    std::vector<std::uint32_t> _symbolsByCode;
+    unsigned _maxLen = 0;
+};
+
+} // namespace snic::alg::deflate
+
+#endif // SNIC_ALG_DEFLATE_HUFFMAN_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * LZ77 implementation: hash-head + chain arrays, greedy matching with
+ * one-step lazy evaluation (as zlib does at high levels).
+ */
+
+#include "alg/deflate/lz77.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::deflate {
+
+namespace {
+
+constexpr std::size_t hashBits = 15;
+constexpr std::size_t hashSize = std::size_t(1) << hashBits;
+
+/** Hash of the 3 bytes starting at p (Fibonacci-style mix). */
+inline std::uint32_t
+hash3(const std::uint8_t *p)
+{
+    const std::uint32_t v = (std::uint32_t(p[0]) << 16) |
+                            (std::uint32_t(p[1]) << 8) | p[2];
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+/** Length of common prefix of a and b, capped at limit. */
+inline std::size_t
+matchLength(const std::uint8_t *a, const std::uint8_t *b,
+            std::size_t limit)
+{
+    std::size_t n = 0;
+    while (n < limit && a[n] == b[n])
+        ++n;
+    return n;
+}
+
+} // anonymous namespace
+
+Lz77::Lz77(unsigned max_chain)
+    : _maxChain(max_chain)
+{
+    assert(max_chain >= 1);
+}
+
+std::vector<Token>
+Lz77::tokenize(const std::vector<std::uint8_t> &data,
+               WorkCounters &work) const
+{
+    std::vector<Token> tokens;
+    const std::size_t n = data.size();
+    tokens.reserve(n / 3);
+    work.streamBytes += n;
+
+    if (n < minMatch) {
+        for (std::uint8_t b : data) {
+            tokens.push_back(Token{true, b, 0, 0});
+            work.arithOps += 1;
+        }
+        return tokens;
+    }
+
+    // head[h]: most recent position with hash h; chain[i % window]:
+    // previous position with the same hash as position i.
+    std::vector<std::int64_t> head(hashSize, -1);
+    std::vector<std::int64_t> chain(windowSize, -1);
+
+    auto insert = [&](std::size_t pos) {
+        const std::uint32_t h = hash3(&data[pos]);
+        chain[pos % windowSize] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+    };
+
+    auto findMatch = [&](std::size_t pos, std::size_t &best_len,
+                         std::size_t &best_dist) {
+        best_len = 0;
+        best_dist = 0;
+        const std::size_t limit = std::min(maxMatch, n - pos);
+        if (limit < minMatch)
+            return;
+        std::int64_t cand = head[hash3(&data[pos])];
+        unsigned chain_left = _maxChain;
+        while (cand >= 0 && chain_left-- > 0) {
+            const auto cpos = static_cast<std::size_t>(cand);
+            if (pos - cpos > windowSize)
+                break;
+            work.branchyOps += 1;   // one chain probe
+            work.randomTouches += 1;
+            const std::size_t len =
+                matchLength(&data[cpos], &data[pos], limit);
+            work.streamBytes += len;
+            if (len > best_len) {
+                best_len = len;
+                best_dist = pos - cpos;
+                if (len == limit)
+                    break;
+            }
+            cand = chain[cpos % windowSize];
+        }
+    };
+
+    std::size_t pos = 0;
+    while (pos < n) {
+        if (pos + minMatch > n) {
+            tokens.push_back(Token{true, data[pos], 0, 0});
+            work.arithOps += 1;
+            ++pos;
+            continue;
+        }
+        std::size_t len, dist;
+        findMatch(pos, len, dist);
+
+        // One-step lazy match: if the next position matches longer,
+        // emit a literal here and take the later match instead.
+        bool pos_inserted = false;
+        if (len >= minMatch && pos + 1 + minMatch <= n) {
+            insert(pos);
+            pos_inserted = true;
+            std::size_t len2, dist2;
+            findMatch(pos + 1, len2, dist2);
+            if (len2 > len) {
+                tokens.push_back(Token{true, data[pos], 0, 0});
+                work.arithOps += 1;
+                ++pos;
+                len = len2;
+                dist = dist2;
+                pos_inserted = false;
+            }
+        }
+
+        if (len >= minMatch) {
+            tokens.push_back(Token{false, 0,
+                                   static_cast<std::uint16_t>(len),
+                                   static_cast<std::uint16_t>(dist)});
+            work.arithOps += 1;
+            // Index every covered position so later matches can
+            // reference inside this run.
+            const std::size_t end = std::min(pos + len, n - minMatch + 1);
+            for (std::size_t i = pos + (pos_inserted ? 1 : 0); i < end; ++i)
+                insert(i);
+            pos += len;
+            continue;
+        }
+
+        if (!pos_inserted)
+            insert(pos);
+        tokens.push_back(Token{true, data[pos], 0, 0});
+        work.arithOps += 1;
+        ++pos;
+    }
+    return tokens;
+}
+
+std::vector<std::uint8_t>
+Lz77::reconstruct(const std::vector<Token> &tokens, WorkCounters &work)
+{
+    std::vector<std::uint8_t> out;
+    for (const Token &t : tokens) {
+        if (t.isLiteral) {
+            out.push_back(t.literal);
+            work.streamBytes += 1;
+        } else {
+            if (t.distance == 0 || t.distance > out.size())
+                sim::fatal("lz77: corrupt token stream (dist=%u size=%zu)",
+                           t.distance, out.size());
+            std::size_t src = out.size() - t.distance;
+            for (std::uint16_t i = 0; i < t.length; ++i)
+                out.push_back(out[src + i]);
+            work.streamBytes += t.length;
+            work.randomTouches += 1;
+        }
+        work.arithOps += 1;
+    }
+    return out;
+}
+
+} // namespace snic::alg::deflate

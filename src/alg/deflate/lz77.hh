@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LZ77 match finder with hash chains (the Deflate front end).
+ *
+ * Produces a token stream of literals and (length, distance) back
+ * references over a 32 KiB sliding window, with Deflate's 3..258 byte
+ * match lengths. The match-search effort (hash-chain steps) is the
+ * dominant, input-dependent cost of compression and is reported via
+ * WorkCounters so platform models price it.
+ */
+
+#ifndef SNIC_ALG_DEFLATE_LZ77_HH
+#define SNIC_ALG_DEFLATE_LZ77_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alg/workcount.hh"
+
+namespace snic::alg::deflate {
+
+/** Sliding-window size (Deflate standard). */
+constexpr std::size_t windowSize = 32 * 1024;
+
+/** Minimum and maximum back-reference lengths. */
+constexpr std::size_t minMatch = 3;
+constexpr std::size_t maxMatch = 258;
+
+/** One LZ77 token: a literal byte or a back reference. */
+struct Token
+{
+    bool isLiteral;
+    std::uint8_t literal;   // valid when isLiteral
+    std::uint16_t length;   // valid when !isLiteral, in [3, 258]
+    std::uint16_t distance; // valid when !isLiteral, in [1, 32768]
+};
+
+/**
+ * Hash-chain LZ77 tokenizer.
+ */
+class Lz77
+{
+  public:
+    /**
+     * @param max_chain maximum hash-chain positions probed per match
+     *        attempt; higher = better ratio, more work (this is what
+     *        Deflate "compression level 9" cranks up).
+     */
+    explicit Lz77(unsigned max_chain = 128);
+
+    /**
+     * Tokenize @p data, appending work performed to @p work.
+     */
+    std::vector<Token> tokenize(const std::vector<std::uint8_t> &data,
+                                WorkCounters &work) const;
+
+    /**
+     * Reconstruct the original bytes from tokens (the LZ77 half of
+     * inflate).
+     */
+    static std::vector<std::uint8_t>
+    reconstruct(const std::vector<Token> &tokens, WorkCounters &work);
+
+    unsigned maxChain() const { return _maxChain; }
+
+  private:
+    unsigned _maxChain;
+};
+
+} // namespace snic::alg::deflate
+
+#endif // SNIC_ALG_DEFLATE_LZ77_HH

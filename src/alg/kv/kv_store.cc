@@ -1,0 +1,71 @@
+/**
+ * @file
+ * KvStore implementation.
+ */
+
+#include "alg/kv/kv_store.hh"
+
+namespace snic::alg::kv {
+
+KvStore::KvStore(std::size_t initial_buckets)
+    : _table(initial_buckets)
+{
+}
+
+std::string
+KvStore::keyFor(std::uint64_t i)
+{
+    return "user" + std::to_string(i);
+}
+
+OpResult
+KvStore::execute(const Op &op, WorkCounters &work)
+{
+    OpResult result{false, {}};
+    switch (op.type) {
+      case OpType::Get: {
+        const auto *v = _table.get(op.key, work);
+        if (v) {
+            result.hit = true;
+            result.value = *v;
+            ++_hits;
+        } else {
+            ++_misses;
+        }
+        break;
+      }
+      case OpType::Put:
+        _table.put(op.key, op.value, work);
+        result.hit = true;
+        break;
+      case OpType::Delete:
+        result.hit = _table.erase(op.key, work);
+        break;
+    }
+    work.messages += 1;
+    return result;
+}
+
+std::vector<OpResult>
+KvStore::executeBatch(const std::vector<Op> &ops, WorkCounters &work)
+{
+    std::vector<OpResult> results;
+    results.reserve(ops.size());
+    for (const Op &op : ops)
+        results.push_back(execute(op, work));
+    return results;
+}
+
+void
+KvStore::load(std::size_t records, std::size_t value_size,
+              sim::Random &rng, WorkCounters &work)
+{
+    for (std::size_t i = 0; i < records; ++i) {
+        std::vector<std::uint8_t> value(value_size);
+        for (auto &b : value)
+            b = static_cast<std::uint8_t>(rng.next());
+        _table.put(keyFor(i), std::move(value), work);
+    }
+}
+
+} // namespace snic::alg::kv

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * NatTable implementation.
+ */
+
+#include "alg/nat/nat_table.hh"
+
+namespace snic::alg::nat {
+
+namespace {
+
+/** Round up to the next power of two. */
+std::size_t
+nextPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+NatTable::hashEndpoint(const Endpoint &e)
+{
+    std::uint64_t h = (static_cast<std::uint64_t>(e.ip) << 16) | e.port;
+    // splitmix-style finalizer.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+NatTable::NatTable(std::size_t bucket_hint)
+    : _outBuckets(nextPow2(bucket_hint == 0 ? 1 : bucket_hint), -1),
+      _inBuckets(_outBuckets.size(), -1)
+{
+}
+
+void
+NatTable::insert(const Translation &t, WorkCounters &work)
+{
+    const auto idx = static_cast<std::int32_t>(_nodes.size());
+    Node node{t, -1, -1};
+    const std::size_t mask = _outBuckets.size() - 1;
+    const std::size_t ob = hashEndpoint(t.internal) & mask;
+    const std::size_t ib = hashEndpoint(t.external) & mask;
+    node.nextOut = _outBuckets[ob];
+    node.nextIn = _inBuckets[ib];
+    _nodes.push_back(node);
+    _outBuckets[ob] = idx;
+    _inBuckets[ib] = idx;
+    ++_size;
+    work.randomTouches += 2;
+    work.arithOps += 2;
+}
+
+std::optional<Endpoint>
+NatTable::translateOut(const Endpoint &internal,
+                       WorkCounters &work) const
+{
+    work.arithOps += 2;  // hashing
+    const std::size_t mask = _outBuckets.size() - 1;
+    for (std::int32_t i = _outBuckets[hashEndpoint(internal) & mask];
+         i >= 0; i = _nodes[static_cast<std::size_t>(i)].nextOut) {
+        work.randomTouches += 1;
+        const Node &n = _nodes[static_cast<std::size_t>(i)];
+        if (n.entry.internal == internal)
+            return n.entry.external;
+    }
+    return std::nullopt;
+}
+
+std::optional<Endpoint>
+NatTable::translateIn(const Endpoint &external,
+                      WorkCounters &work) const
+{
+    work.arithOps += 2;
+    const std::size_t mask = _inBuckets.size() - 1;
+    for (std::int32_t i = _inBuckets[hashEndpoint(external) & mask];
+         i >= 0; i = _nodes[static_cast<std::size_t>(i)].nextIn) {
+        work.randomTouches += 1;
+        const Node &n = _nodes[static_cast<std::size_t>(i)];
+        if (n.entry.external == external)
+            return n.entry.internal;
+    }
+    return std::nullopt;
+}
+
+std::uint16_t
+NatTable::adjustChecksum(std::uint16_t checksum, std::uint32_t old_v,
+                         std::uint32_t new_v, WorkCounters &work)
+{
+    // RFC 1624: HC' = ~(~HC + ~m + m'), folded 16-bit one's
+    // complement arithmetic over the two 16-bit halves of the value.
+    std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+    sum += static_cast<std::uint16_t>(~(old_v >> 16));
+    sum += static_cast<std::uint16_t>(~(old_v & 0xffff));
+    sum += static_cast<std::uint16_t>(new_v >> 16);
+    sum += static_cast<std::uint16_t>(new_v & 0xffff);
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    work.arithOps += 6;
+    return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<Endpoint>
+NatTable::populate(std::size_t entries, sim::Random &rng,
+                   WorkCounters &work)
+{
+    std::vector<Endpoint> internals;
+    internals.reserve(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+        // Internal space 10.0.0.0/8; external space 203.0.113.0/24
+        // with ascending ports (a realistic port-NAT layout).
+        Endpoint in{0x0a000000u |
+                        static_cast<std::uint32_t>(rng.uniformInt(
+                            1, 0x00fffffe)),
+                    static_cast<std::uint16_t>(
+                        rng.uniformInt(1024, 65535))};
+        Endpoint out{0xcb007100u | static_cast<std::uint32_t>(i & 0xff),
+                     static_cast<std::uint16_t>(
+                         1024 + (i % 64000))};
+        insert(Translation{in, out}, work);
+        internals.push_back(in);
+    }
+    return internals;
+}
+
+} // namespace snic::alg::nat

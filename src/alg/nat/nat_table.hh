@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Network address translation table (RFC 1631 style) — the paper's
+ * NAT function, run with 10 K and 1 M randomly generated entries.
+ *
+ * Models a port-restricted cone NAT: a translation entry maps an
+ * internal (ip, port) pair to an external one; per-packet processing
+ * is a hash lookup plus the incremental IP/UDP checksum adjustment
+ * (RFC 1624) a real translator performs.
+ */
+
+#ifndef SNIC_ALG_NAT_NAT_TABLE_HH
+#define SNIC_ALG_NAT_NAT_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alg/workcount.hh"
+#include "sim/random.hh"
+
+namespace snic::alg::nat {
+
+/** An IPv4 endpoint. */
+struct Endpoint
+{
+    std::uint32_t ip;
+    std::uint16_t port;
+
+    bool
+    operator==(const Endpoint &o) const
+    {
+        return ip == o.ip && port == o.port;
+    }
+};
+
+/** One translation entry. */
+struct Translation
+{
+    Endpoint internal;
+    Endpoint external;
+};
+
+/**
+ * The translation table.
+ */
+class NatTable
+{
+  public:
+    explicit NatTable(std::size_t bucket_hint = 4096);
+
+    /** Install a translation (internal -> external). */
+    void insert(const Translation &t, WorkCounters &work);
+
+    /**
+     * Translate an outbound packet's source endpoint.
+     *
+     * @return the external endpoint, or nullopt when no entry exists
+     *         (a real NAT would allocate; the study's fixed-entry
+     *         setup treats it as a drop).
+     */
+    std::optional<Endpoint> translateOut(const Endpoint &internal,
+                                         WorkCounters &work) const;
+
+    /** Translate an inbound packet's destination endpoint. */
+    std::optional<Endpoint> translateIn(const Endpoint &external,
+                                        WorkCounters &work) const;
+
+    /**
+     * RFC 1624 incremental checksum update for rewriting @p old_v to
+     * @p new_v inside a checksummed header.
+     */
+    static std::uint16_t adjustChecksum(std::uint16_t checksum,
+                                        std::uint32_t old_v,
+                                        std::uint32_t new_v,
+                                        WorkCounters &work);
+
+    std::size_t size() const { return _size; }
+
+    /**
+     * Populate with @p entries random translations (the paper's
+     * randomly-generated 10 K / 1 M entry tables) and return the
+     * internal endpoints so a traffic generator can hit them.
+     */
+    std::vector<Endpoint> populate(std::size_t entries,
+                                   sim::Random &rng,
+                                   WorkCounters &work);
+
+  private:
+    struct Node
+    {
+        Translation entry;
+        std::int32_t nextOut;  // chain by internal endpoint
+        std::int32_t nextIn;   // chain by external endpoint
+    };
+
+    std::vector<Node> _nodes;
+    std::vector<std::int32_t> _outBuckets;  // keyed by internal
+    std::vector<std::int32_t> _inBuckets;   // keyed by external
+    std::size_t _size = 0;
+
+    static std::uint64_t hashEndpoint(const Endpoint &e);
+};
+
+} // namespace snic::alg::nat
+
+#endif // SNIC_ALG_NAT_NAT_TABLE_HH

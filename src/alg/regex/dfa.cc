@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Subset construction and DFA scanning.
+ */
+
+#include "alg/regex/dfa.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::regex {
+
+void
+Dfa::computeByteClasses(const Nfa &nfa)
+{
+    // Two bytes are equivalent iff every arc's CharSet treats them
+    // identically. Build a signature per byte from arc membership.
+    std::vector<std::vector<bool>> sig(256);
+    std::size_t arc_count = 0;
+    for (const auto &state : nfa.states())
+        arc_count += state.arcs.size();
+    for (int b = 0; b < 256; ++b)
+        sig[b].reserve(arc_count);
+    for (const auto &state : nfa.states()) {
+        for (const auto &[set, target] : state.arcs) {
+            (void)target;
+            for (int b = 0; b < 256; ++b)
+                sig[b].push_back(set.test(static_cast<unsigned>(b)));
+        }
+    }
+    std::map<std::vector<bool>, std::uint16_t> classes;
+    _classOf.assign(256, 0);
+    for (int b = 0; b < 256; ++b) {
+        auto [it, inserted] = classes.try_emplace(
+            sig[b], static_cast<std::uint16_t>(classes.size()));
+        _classOf[b] = it->second;
+    }
+    _numClasses = classes.size();
+}
+
+Dfa::Dfa(const Nfa &nfa, std::size_t max_states)
+{
+    _numPatterns = nfa.numPatterns();
+    computeByteClasses(nfa);
+
+    // Representative byte per class.
+    std::vector<unsigned char> rep(_numClasses, 0);
+    for (int b = 255; b >= 0; --b)
+        rep[_classOf[b]] = static_cast<unsigned char>(b);
+
+    // Every subset keeps the start closure (unanchored semantics).
+    std::vector<std::uint32_t> start_set{nfa.start()};
+    nfa.closure(start_set);
+
+    std::map<std::vector<std::uint32_t>, std::uint32_t> ids;
+    std::queue<std::vector<std::uint32_t>> worklist;
+
+    auto intern = [&](std::vector<std::uint32_t> set) {
+        auto [it, inserted] =
+            ids.try_emplace(std::move(set),
+                            static_cast<std::uint32_t>(ids.size()));
+        if (inserted) {
+            if (ids.size() > max_states)
+                sim::fatal("Dfa: subset construction exceeded %zu states",
+                           max_states);
+            worklist.push(it->first);
+        }
+        return it->second;
+    };
+
+    _startState = intern(start_set);
+
+    while (!worklist.empty()) {
+        const std::vector<std::uint32_t> subset =
+            std::move(worklist.front());
+        worklist.pop();
+        const std::uint32_t id = ids.at(subset);
+
+        // Record accepts.
+        if (_accepts.size() <= id)
+            _accepts.resize(id + 1);
+        std::vector<int> tags;
+        for (std::uint32_t s : subset) {
+            const int tag = nfa.states()[s].acceptTag;
+            if (tag >= 0)
+                tags.push_back(tag);
+        }
+        std::sort(tags.begin(), tags.end());
+        tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+        _accepts[id] = std::move(tags);
+
+        if (_table.size() < (id + 1) * _numClasses)
+            _table.resize((id + 1) * _numClasses, 0);
+
+        for (std::size_t cls = 0; cls < _numClasses; ++cls) {
+            const unsigned char c = rep[cls];
+            std::vector<std::uint32_t> next;
+            for (std::uint32_t s : subset) {
+                for (const auto &[set, target] : nfa.states()[s].arcs) {
+                    if (set.test(c))
+                        next.push_back(target);
+                }
+            }
+            // Unanchored: a new match attempt can start at any byte.
+            next.push_back(nfa.start());
+            nfa.closure(next);
+            const std::uint32_t nid = intern(std::move(next));
+            if (_table.size() < (id + 1) * _numClasses)
+                _table.resize((id + 1) * _numClasses, 0);
+            _table[id * _numClasses + cls] = nid;
+        }
+    }
+
+    // Final sizing (intern may have grown ids past the last resize).
+    _accepts.resize(ids.size());
+    _table.resize(ids.size() * _numClasses, 0);
+}
+
+std::set<int>
+Dfa::scan(const std::uint8_t *data, std::size_t len,
+          WorkCounters &work) const
+{
+    std::set<int> found;
+    std::uint32_t state = _startState;
+    for (int tag : _accepts[state])
+        found.insert(tag);
+    for (std::size_t i = 0; i < len; ++i) {
+        state = _table[state * _numClasses + _classOf[data[i]]];
+        work.randomTouches += 1;
+        work.branchyOps += 1;
+        const auto &tags = _accepts[state];
+        for (int tag : tags)
+            found.insert(tag);
+        // Early exit once every pattern has been seen.
+        if (found.size() == _numPatterns)
+            break;
+    }
+    work.streamBytes += len;
+    return found;
+}
+
+bool
+Dfa::matchesAny(const std::uint8_t *data, std::size_t len,
+                WorkCounters &work) const
+{
+    std::uint32_t state = _startState;
+    if (!_accepts[state].empty())
+        return true;
+    for (std::size_t i = 0; i < len; ++i) {
+        state = _table[state * _numClasses + _classOf[data[i]]];
+        work.randomTouches += 1;
+        work.branchyOps += 1;
+        if (!_accepts[state].empty()) {
+            work.streamBytes += i + 1;
+            return true;
+        }
+    }
+    work.streamBytes += len;
+    return false;
+}
+
+} // namespace snic::alg::regex

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DFA scanner built from the NFA by subset construction.
+ *
+ * This is the production matcher: unanchored multi-pattern scan at
+ * one table lookup per input byte, with byte-equivalence-class
+ * compression of the transition table (the same structure Hyperscan
+ * and hardware REM engines use). The unanchored semantics are baked
+ * in by keeping the start closure inside every subset, so the DFA
+ * never needs restarting.
+ */
+
+#ifndef SNIC_ALG_REGEX_DFA_HH
+#define SNIC_ALG_REGEX_DFA_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "alg/regex/nfa.hh"
+#include "alg/workcount.hh"
+
+namespace snic::alg::regex {
+
+/**
+ * Deterministic multi-pattern scanner.
+ */
+class Dfa
+{
+  public:
+    /**
+     * Build from a compiled NFA.
+     *
+     * @param max_states safety cap on subset construction; compiling
+     *        fails (fatal) beyond it. Rule sets in this study compile
+     *        to well under the default.
+     */
+    explicit Dfa(const Nfa &nfa, std::size_t max_states = 65536);
+
+    /**
+     * Scan @p data (unanchored), returning all pattern tags found.
+     */
+    std::set<int> scan(const std::uint8_t *data, std::size_t len,
+                       WorkCounters &work) const;
+
+    /**
+     * Scan and report only whether any pattern matches (IDS
+     * drop-decision fast path).
+     */
+    bool matchesAny(const std::uint8_t *data, std::size_t len,
+                    WorkCounters &work) const;
+
+    std::size_t numStates() const { return _accepts.size(); }
+    std::size_t numByteClasses() const { return _numClasses; }
+    std::size_t numPatterns() const { return _numPatterns; }
+
+  private:
+    // _table[state * _numClasses + class] = next state.
+    std::vector<std::uint32_t> _table;
+    // Accept tags per state (sorted).
+    std::vector<std::vector<int>> _accepts;
+    std::vector<std::uint16_t> _classOf;  // byte -> class
+    std::size_t _numClasses = 0;
+    std::size_t _numPatterns = 0;
+    std::uint32_t _startState = 0;
+
+    void computeByteClasses(const Nfa &nfa);
+};
+
+} // namespace snic::alg::regex
+
+#endif // SNIC_ALG_REGEX_DFA_HH

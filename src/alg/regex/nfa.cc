@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Thompson construction and NFA simulation.
+ */
+
+#include "alg/regex/nfa.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::regex {
+
+std::uint32_t
+Nfa::addState()
+{
+    _states.emplace_back();
+    return static_cast<std::uint32_t>(_states.size() - 1);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+Nfa::build(const Node &node)
+{
+    switch (node.kind) {
+      case NodeKind::Empty: {
+        const std::uint32_t s = addState();
+        const std::uint32_t e = addState();
+        _states[s].eps.push_back(e);
+        return {s, e};
+      }
+      case NodeKind::Chars: {
+        const std::uint32_t s = addState();
+        const std::uint32_t e = addState();
+        _states[s].arcs.emplace_back(node.chars, e);
+        return {s, e};
+      }
+      case NodeKind::Concat: {
+        assert(!node.children.empty());
+        auto [entry, cur] = build(*node.children.front());
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+            auto [s, e] = build(*node.children[i]);
+            _states[cur].eps.push_back(s);
+            cur = e;
+        }
+        return {entry, cur};
+      }
+      case NodeKind::Alt: {
+        const std::uint32_t s = addState();
+        const std::uint32_t e = addState();
+        for (const auto &child : node.children) {
+            auto [cs, ce] = build(*child);
+            _states[s].eps.push_back(cs);
+            _states[ce].eps.push_back(e);
+        }
+        return {s, e};
+      }
+      case NodeKind::Repeat: {
+        assert(node.children.size() == 1);
+        const Node &child = *node.children.front();
+        const std::uint32_t entry = addState();
+        std::uint32_t cur = entry;
+        // Mandatory copies.
+        for (int i = 0; i < node.minCount; ++i) {
+            auto [s, e] = build(child);
+            _states[cur].eps.push_back(s);
+            cur = e;
+        }
+        if (node.maxCount == repeatUnbounded) {
+            // Kleene star tail: loop state.
+            const std::uint32_t loop = addState();
+            const std::uint32_t exit = addState();
+            _states[cur].eps.push_back(loop);
+            auto [s, e] = build(child);
+            _states[loop].eps.push_back(s);
+            _states[loop].eps.push_back(exit);
+            _states[e].eps.push_back(loop);
+            return {entry, exit};
+        }
+        // Bounded optional copies.
+        const std::uint32_t exit = addState();
+        for (int i = node.minCount; i < node.maxCount; ++i) {
+            _states[cur].eps.push_back(exit);
+            auto [s, e] = build(child);
+            _states[cur].eps.push_back(s);
+            cur = e;
+        }
+        _states[cur].eps.push_back(exit);
+        return {entry, exit};
+      }
+    }
+    sim::panic("Nfa::build: unknown node kind");
+}
+
+Nfa
+Nfa::compile(const std::string &pattern)
+{
+    return compileMany({pattern});
+}
+
+Nfa
+Nfa::compileMany(const std::vector<std::string> &patterns)
+{
+    Nfa nfa;
+    nfa._numPatterns = patterns.size();
+    nfa._start = nfa.addState();
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        NodePtr ast = Parser::parse(patterns[i]);
+        auto [s, e] = nfa.build(*ast);
+        nfa._states[nfa._start].eps.push_back(s);
+        nfa._states[e].acceptTag = static_cast<int>(i);
+    }
+    return nfa;
+}
+
+void
+Nfa::closure(std::vector<std::uint32_t> &states_inout) const
+{
+    std::vector<bool> seen(_states.size(), false);
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t s : states_inout) {
+        if (!seen[s]) {
+            seen[s] = true;
+            stack.push_back(s);
+        }
+    }
+    states_inout.clear();
+    while (!stack.empty()) {
+        const std::uint32_t s = stack.back();
+        stack.pop_back();
+        states_inout.push_back(s);
+        for (std::uint32_t t : _states[s].eps) {
+            if (!seen[t]) {
+                seen[t] = true;
+                stack.push_back(t);
+            }
+        }
+    }
+    std::sort(states_inout.begin(), states_inout.end());
+}
+
+std::set<int>
+Nfa::scan(const std::uint8_t *data, std::size_t len,
+          WorkCounters &work) const
+{
+    std::set<int> found;
+    std::vector<std::uint32_t> current{_start};
+    closure(current);
+    auto harvest = [&](const std::vector<std::uint32_t> &set) {
+        for (std::uint32_t s : set) {
+            if (_states[s].acceptTag >= 0)
+                found.insert(_states[s].acceptTag);
+        }
+    };
+    harvest(current);
+
+    std::vector<std::uint32_t> next;
+    for (std::size_t i = 0; i < len; ++i) {
+        const unsigned char c = data[i];
+        next.clear();
+        for (std::uint32_t s : current) {
+            for (const auto &[set, target] : _states[s].arcs) {
+                work.branchyOps += 1;
+                if (set.test(c))
+                    next.push_back(target);
+            }
+        }
+        // Unanchored search: candidate matches may also start here.
+        next.push_back(_start);
+        closure(next);
+        harvest(next);
+        current.swap(next);
+        work.randomTouches += 1;
+    }
+    work.streamBytes += len;
+    return found;
+}
+
+} // namespace snic::alg::regex

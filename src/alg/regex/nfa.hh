@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Thompson NFA construction and reference simulation.
+ *
+ * The NFA is the compilation intermediate for the DFA-based scanner
+ * (dfa.hh) and doubles as the reference matcher the tests use to
+ * validate the DFA. Multiple patterns compile into one automaton with
+ * per-pattern accept tags — the shape a multi-pattern IDS/REM engine
+ * (Snort, Hyperscan, the BlueField-2 RXP) works with.
+ */
+
+#ifndef SNIC_ALG_REGEX_NFA_HH
+#define SNIC_ALG_REGEX_NFA_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alg/regex/parser.hh"
+#include "alg/workcount.hh"
+
+namespace snic::alg::regex {
+
+/** One NFA state. */
+struct NfaState
+{
+    /** Byte-class transitions: (set, target). */
+    std::vector<std::pair<CharSet, std::uint32_t>> arcs;
+    /** Epsilon transitions. */
+    std::vector<std::uint32_t> eps;
+    /** Pattern tag accepted in this state, or -1. */
+    int acceptTag = -1;
+};
+
+/**
+ * A tagged multi-pattern NFA.
+ */
+class Nfa
+{
+  public:
+    /** Compile one pattern (accept tag 0). */
+    static Nfa compile(const std::string &pattern);
+
+    /** Compile many patterns; pattern i accepts with tag i. */
+    static Nfa compileMany(const std::vector<std::string> &patterns);
+
+    std::uint32_t start() const { return _start; }
+    const std::vector<NfaState> &states() const { return _states; }
+    std::size_t numPatterns() const { return _numPatterns; }
+
+    /**
+     * Reference scan: unanchored search of @p data for all patterns.
+     *
+     * @return the set of pattern tags found anywhere in the input.
+     */
+    std::set<int> scan(const std::uint8_t *data, std::size_t len,
+                       WorkCounters &work) const;
+
+    /** Epsilon closure of a state set (exposed for the DFA builder). */
+    void closure(std::vector<std::uint32_t> &states_inout) const;
+
+  private:
+    std::vector<NfaState> _states;
+    std::uint32_t _start = 0;
+    std::size_t _numPatterns = 0;
+
+    std::uint32_t addState();
+
+    /** Build a fragment for @p node; returns (entry, exit). */
+    std::pair<std::uint32_t, std::uint32_t> build(const Node &node);
+};
+
+} // namespace snic::alg::regex
+
+#endif // SNIC_ALG_REGEX_NFA_HH

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Recursive-descent regex parser.
+ */
+
+#include "alg/regex/parser.hh"
+
+#include <cctype>
+
+namespace snic::alg::regex {
+
+namespace {
+
+NodePtr
+makeNode(NodeKind kind)
+{
+    auto n = std::make_unique<Node>();
+    n->kind = kind;
+    return n;
+}
+
+NodePtr
+makeChars(const CharSet &set)
+{
+    auto n = makeNode(NodeKind::Chars);
+    n->chars = set;
+    return n;
+}
+
+CharSet
+digitSet()
+{
+    CharSet s;
+    for (char c = '0'; c <= '9'; ++c)
+        s.set(static_cast<unsigned char>(c));
+    return s;
+}
+
+CharSet
+wordSet()
+{
+    CharSet s = digitSet();
+    for (char c = 'a'; c <= 'z'; ++c)
+        s.set(static_cast<unsigned char>(c));
+    for (char c = 'A'; c <= 'Z'; ++c)
+        s.set(static_cast<unsigned char>(c));
+    s.set(static_cast<unsigned char>('_'));
+    return s;
+}
+
+CharSet
+spaceSet()
+{
+    CharSet s;
+    for (char c : {' ', '\t', '\n', '\r', '\f', '\v'})
+        s.set(static_cast<unsigned char>(c));
+    return s;
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+Parser::Parser(const std::string &pattern)
+    : _pattern(pattern)
+{
+}
+
+NodePtr
+Parser::parse(const std::string &pattern)
+{
+    Parser p(pattern);
+    NodePtr root = p.parseAlternation();
+    if (!p.atEnd())
+        p.error("unexpected trailing input");
+    return root;
+}
+
+void
+Parser::error(const std::string &msg) const
+{
+    throw ParseError{msg, _pos};
+}
+
+char
+Parser::peek() const
+{
+    return atEnd() ? '\0' : _pattern[_pos];
+}
+
+char
+Parser::take()
+{
+    if (atEnd())
+        error("unexpected end of pattern");
+    return _pattern[_pos++];
+}
+
+NodePtr
+Parser::parseAlternation()
+{
+    NodePtr first = parseConcat();
+    if (peek() != '|')
+        return first;
+    auto alt = makeNode(NodeKind::Alt);
+    alt->children.push_back(std::move(first));
+    while (peek() == '|') {
+        take();
+        alt->children.push_back(parseConcat());
+    }
+    return alt;
+}
+
+NodePtr
+Parser::parseConcat()
+{
+    auto cat = makeNode(NodeKind::Concat);
+    while (!atEnd() && peek() != '|' && peek() != ')')
+        cat->children.push_back(parseRepeat());
+    if (cat->children.empty())
+        return makeNode(NodeKind::Empty);
+    if (cat->children.size() == 1)
+        return std::move(cat->children.front());
+    return cat;
+}
+
+NodePtr
+Parser::parseRepeat()
+{
+    NodePtr atom = parseAtom();
+    while (!atEnd()) {
+        const char c = peek();
+        int min_c, max_c;
+        if (c == '*') {
+            take();
+            min_c = 0;
+            max_c = repeatUnbounded;
+        } else if (c == '+') {
+            take();
+            min_c = 1;
+            max_c = repeatUnbounded;
+        } else if (c == '?') {
+            take();
+            min_c = 0;
+            max_c = 1;
+        } else if (c == '{') {
+            take();
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                error("expected digit in {m,n}");
+            min_c = 0;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                min_c = min_c * 10 + (take() - '0');
+            if (peek() == ',') {
+                take();
+                if (peek() == '}') {
+                    max_c = repeatUnbounded;
+                } else {
+                    max_c = 0;
+                    while (std::isdigit(
+                               static_cast<unsigned char>(peek())))
+                        max_c = max_c * 10 + (take() - '0');
+                    if (max_c < min_c)
+                        error("repeat bounds out of order");
+                }
+            } else {
+                max_c = min_c;
+            }
+            if (take() != '}')
+                error("expected '}'");
+            if (min_c > 255 || max_c > 255)
+                error("repeat bound too large");
+        } else {
+            break;
+        }
+        auto rep = makeNode(NodeKind::Repeat);
+        rep->minCount = min_c;
+        rep->maxCount = max_c;
+        rep->children.push_back(std::move(atom));
+        atom = std::move(rep);
+    }
+    return atom;
+}
+
+NodePtr
+Parser::parseAtom()
+{
+    const char c = take();
+    switch (c) {
+      case '(': {
+        NodePtr inner = parseAlternation();
+        if (atEnd() || take() != ')')
+            error("expected ')'");
+        return inner;
+      }
+      case '[':
+        return makeChars(parseClass());
+      case '.': {
+        CharSet all;
+        all.set();  // '.' matches any byte (binary payloads)
+        return makeChars(all);
+      }
+      case '\\':
+        return makeChars(parseEscape());
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+      case ')':
+      case '|':
+        error("misplaced metacharacter");
+      default: {
+        CharSet s;
+        s.set(static_cast<unsigned char>(c));
+        return makeChars(s);
+      }
+    }
+}
+
+CharSet
+Parser::parseEscape()
+{
+    const char c = take();
+    switch (c) {
+      case 'd':
+        return digitSet();
+      case 'D':
+        return ~digitSet();
+      case 'w':
+        return wordSet();
+      case 'W':
+        return ~wordSet();
+      case 's':
+        return spaceSet();
+      case 'S':
+        return ~spaceSet();
+      case 'n': {
+        CharSet s;
+        s.set('\n');
+        return s;
+      }
+      case 'r': {
+        CharSet s;
+        s.set('\r');
+        return s;
+      }
+      case 't': {
+        CharSet s;
+        s.set('\t');
+        return s;
+      }
+      case '0': {
+        CharSet s;
+        s.set(0);
+        return s;
+      }
+      case 'x': {
+        const int hi = hexVal(take());
+        const int lo = hexVal(take());
+        if (hi < 0 || lo < 0)
+            error("bad \\xHH escape");
+        CharSet s;
+        s.set(static_cast<unsigned>(hi * 16 + lo));
+        return s;
+      }
+      default: {
+        // Escaped literal (metacharacters, backslash, etc.).
+        CharSet s;
+        s.set(static_cast<unsigned char>(c));
+        return s;
+      }
+    }
+}
+
+CharSet
+Parser::parseClass()
+{
+    CharSet s;
+    bool negate = false;
+    if (peek() == '^') {
+        take();
+        negate = true;
+    }
+    bool first = true;
+    while (true) {
+        if (atEnd())
+            error("unterminated character class");
+        char c = peek();
+        if (c == ']' && !first) {
+            take();
+            break;
+        }
+        first = false;
+        take();
+        CharSet item;
+        if (c == '\\') {
+            --_pos;  // re-read through the escape parser
+            take();
+            item = parseEscape();
+        } else {
+            item.set(static_cast<unsigned char>(c));
+        }
+        // Range "a-z": only when the item is a single literal and '-'
+        // is not the class terminator.
+        if (item.count() == 1 && peek() == '-' && _pos + 1 < _pattern.size()
+            && _pattern[_pos + 1] != ']') {
+            take();  // '-'
+            char hi_c = take();
+            CharSet hi_set;
+            if (hi_c == '\\') {
+                hi_set = parseEscape();
+                if (hi_set.count() != 1)
+                    error("bad range endpoint");
+            } else {
+                hi_set.set(static_cast<unsigned char>(hi_c));
+            }
+            unsigned lo = 0, hi = 0;
+            for (unsigned i = 0; i < 256; ++i) {
+                if (item.test(i))
+                    lo = i;
+                if (hi_set.test(i))
+                    hi = i;
+            }
+            if (hi < lo)
+                error("range endpoints out of order");
+            for (unsigned i = lo; i <= hi; ++i)
+                s.set(i);
+        } else {
+            s |= item;
+        }
+    }
+    return negate ? ~s : s;
+}
+
+} // namespace snic::alg::regex

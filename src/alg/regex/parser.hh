@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regular-expression parser producing an AST.
+ *
+ * Supported syntax (the subset Snort/Hyperscan-style payload rules
+ * use): literals, '.', character classes with ranges and negation,
+ * escapes (\d \w \s \n \r \t \xHH and escaped metacharacters),
+ * alternation '|', groups '(...)', and quantifiers '*', '+', '?',
+ * '{m}', '{m,n}'.
+ */
+
+#ifndef SNIC_ALG_REGEX_PARSER_HH
+#define SNIC_ALG_REGEX_PARSER_HH
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snic::alg::regex {
+
+/** A set of bytes a single-character node matches. */
+using CharSet = std::bitset<256>;
+
+/** AST node kinds. */
+enum class NodeKind
+{
+    Empty,   ///< matches the empty string
+    Chars,   ///< matches one byte from a CharSet
+    Concat,  ///< children in sequence
+    Alt,     ///< any one child
+    Repeat,  ///< child repeated minCount..maxCount times
+};
+
+/** Unbounded repeat upper bound. */
+constexpr int repeatUnbounded = -1;
+
+/**
+ * One AST node; children are owned.
+ */
+struct Node
+{
+    NodeKind kind;
+    CharSet chars;                               // Chars
+    std::vector<std::unique_ptr<Node>> children; // Concat/Alt/Repeat
+    int minCount = 0;                            // Repeat
+    int maxCount = 0;                            // Repeat (-1 = inf)
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/**
+ * Parse @p pattern; throws ParseError on malformed input.
+ */
+class Parser
+{
+  public:
+    /** Error raised on malformed patterns. */
+    struct ParseError
+    {
+        std::string message;
+        std::size_t position;
+    };
+
+    /** Parse a pattern into an AST. */
+    static NodePtr parse(const std::string &pattern);
+
+  private:
+    explicit Parser(const std::string &pattern);
+
+    NodePtr parseAlternation();
+    NodePtr parseConcat();
+    NodePtr parseRepeat();
+    NodePtr parseAtom();
+    CharSet parseClass();
+    CharSet parseEscape();
+
+    [[noreturn]] void error(const std::string &msg) const;
+    bool atEnd() const { return _pos >= _pattern.size(); }
+    char peek() const;
+    char take();
+
+    const std::string &_pattern;
+    std::size_t _pos = 0;
+};
+
+} // namespace snic::alg::regex
+
+#endif // SNIC_ALG_REGEX_PARSER_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Rule-set definitions and payload synthesis.
+ */
+
+#include "alg/regex/ruleset.hh"
+
+#include <string_view>
+
+#include "sim/logging.hh"
+
+namespace snic::alg::regex {
+
+namespace {
+
+using namespace std::literals::string_view_literals;
+
+/** A pattern plus a literal example that matches it.
+ *
+ *  Seeds are string_views built with the ""sv literal so embedded
+ *  NUL bytes (common in binary magic numbers) keep their length.
+ */
+struct Rule
+{
+    const char *pattern;
+    std::string_view seed;
+};
+
+// file_image: image-container signatures. Deliberately the most
+// complex set: wide classes and bounded-gap patterns compile to a
+// large DFA, the property that makes software REM slow on this set
+// in the paper (Fig. 5 p99 knee at ~40 Gbps).
+const Rule imageRules[] = {
+    {"\\x89PNG\\r\\n\\x1a\\n", "\x89PNG\r\n\x1a\n"sv},
+    {"\\xff\\xd8\\xff[\\xe0-\\xef][\\x00-\\x20]{0,4}JFIF",
+     "\xff\xd8\xff\xe0\x00\x10JFIF"sv},
+    {"\\xff\\xd8\\xff[\\xe0-\\xef][\\x00-\\x20]{0,4}Exif",
+     "\xff\xd8\xff\xe1\x00\x18""Exif"sv},
+    {"GIF8[79]a", "GIF89a"sv},
+    {"BM[\\x00-\\xff]{2}\\x00\\x00\\x00\\x00", "BMxy\x00\x00\x00\x00"sv},
+    {"IHDR[\\x00-\\x10]{0,4}[\\x00-\\xff][\\x00-\\x04]",
+     "IHDR\x00\x01\x00\x01"sv},
+    {"(IDAT|IEND|PLTE|tRNS)", "IDAT"sv},
+    {"RIFF[\\x00-\\xff]{4}WEBPVP8[ LX]", "RIFFabcdWEBPVP8 "sv},
+    {"II\\x2a\\x00[\\x08-\\x20]\\x00\\x00\\x00", "II\x2a\x00\x08\x00\x00\x00"sv},
+    {"MM\\x00\\x2a\\x00\\x00[\\x00-\\x20][\\x08-\\xff]",
+     "MM\x00\x2a\x00\x00\x00\x08"sv},
+    {"\\x00\\x00\\x01\\x00[\\x01-\\x10]\\x00[\\x10-\\xff][\\x10-\\xff]",
+     "\x00\x00\x01\x00\x02\x00\x20\x20"sv},
+    {"(image/(png|jpeg|gif|webp|bmp))", "image/jpeg"sv},
+    {"ftypavif", "ftypavif"sv},
+    {"8BPS\\x00\\x01", "8BPS\x00\x01"sv},
+};
+
+// file_flash: SWF container markers. Small, literal-heavy set.
+const Rule flashRules[] = {
+    {"FWS[\\x01-\\x20]", "FWS\x09"sv},
+    {"CWS[\\x01-\\x20]", "CWS\x0a"sv},
+    {"ZWS[\\x01-\\x20]", "ZWS\x0d"sv},
+    {"application/x-shockwave-flash", "application/x-shockwave-flash"sv},
+    {"\\.swf", ".swf"sv},
+    {"ActionScript[23]?", "ActionScript3"sv},
+    {"(DoABC|DefineSprite|PlaceObject2)", "DoABC"sv},
+    {"getURL2?", "getURL"sv},
+    {"loadMovie(Num)?", "loadMovieNum"sv},
+    {"ExternalInterface\\.call", "ExternalInterface.call"sv},
+};
+
+// file_executable: PE/ELF/script signatures. Literal-heavy and
+// therefore cheap for software (the host reaches 78 Gbps, Fig. 5).
+const Rule executableRules[] = {
+    {"MZ[\\x90\\x00]", "MZ\x90"sv},
+    {"PE\\x00\\x00", "PE\x00\x00"sv},
+    {"\\x7fELF[\\x01\\x02][\\x01\\x02]", "\x7f""ELF\x01\x01"sv},
+    {"This program cannot be run in DOS mode",
+     "This program cannot be run in DOS mode"sv},
+    {"#!/bin/(ba)?sh", "#!/bin/bash"sv},
+    {"#!/usr/bin/env", "#!/usr/bin/env"sv},
+    {"powershell( -[a-z]+)?", "powershell -enc"sv},
+    {"(kernel32|ntdll|user32)\\.dll", "kernel32.dll"sv},
+    {"(VirtualAlloc|CreateRemoteThread|WriteProcessMemory)",
+     "VirtualAlloc"sv},
+    {"\\.(exe|dll|scr|cpl)", ".exe"sv},
+    {"(UPX[!0-9])", "UPX!"sv},
+    {"__libc_start_main", "__libc_start_main"sv},
+};
+
+struct RuleSpan
+{
+    const Rule *rules;
+    std::size_t count;
+};
+
+RuleSpan
+rulesFor(RuleSetId id)
+{
+    switch (id) {
+      case RuleSetId::FileImage:
+        return {imageRules, std::size(imageRules)};
+      case RuleSetId::FileFlash:
+        return {flashRules, std::size(flashRules)};
+      case RuleSetId::FileExecutable:
+        return {executableRules, std::size(executableRules)};
+    }
+    sim::panic("rulesFor: bad rule set id");
+}
+
+} // anonymous namespace
+
+const char *
+ruleSetName(RuleSetId id)
+{
+    switch (id) {
+      case RuleSetId::FileImage:
+        return "file_image";
+      case RuleSetId::FileFlash:
+        return "file_flash";
+      case RuleSetId::FileExecutable:
+        return "file_executable";
+    }
+    sim::panic("ruleSetName: bad rule set id");
+}
+
+RuleSet
+makeRuleSet(RuleSetId id)
+{
+    RuleSet set;
+    set.id = id;
+    set.name = ruleSetName(id);
+    const RuleSpan span = rulesFor(id);
+    for (std::size_t i = 0; i < span.count; ++i)
+        set.patterns.emplace_back(span.rules[i].pattern);
+    return set;
+}
+
+CompiledRuleSet::CompiledRuleSet(const RuleSet &rules)
+    : _name(rules.name),
+      _dfa(std::make_unique<Dfa>(Nfa::compileMany(rules.patterns),
+                                 250000)),
+      _numPatterns(rules.patterns.size())
+{
+}
+
+std::size_t
+CompiledRuleSet::tableBytes() const
+{
+    return _dfa->numStates() * _dfa->numByteClasses() *
+           sizeof(std::uint32_t);
+}
+
+std::vector<std::uint8_t>
+synthesizePayload(const RuleSet &rules, std::size_t size,
+                  double match_probability, sim::Random &rng)
+{
+    std::vector<std::uint8_t> payload(size);
+    // Printable-ish filler resembling mixed traffic; avoid 0xff/0x89
+    // so false activations of magic-byte rules stay rare.
+    for (auto &b : payload)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0x20, 0x7e));
+
+    if (rng.chance(match_probability) && size >= 8) {
+        const RuleSpan span = rulesFor(rules.id);
+        const std::size_t which =
+            static_cast<std::size_t>(rng.uniformInt(0, span.count - 1));
+        const std::string_view seed = span.rules[which].seed;
+        if (seed.size() <= size) {
+            const std::size_t off = static_cast<std::size_t>(
+                rng.uniformInt(0, size - seed.size()));
+            for (std::size_t i = 0; i < seed.size(); ++i)
+                payload[off + i] = static_cast<std::uint8_t>(seed[i]);
+        }
+    }
+    return payload;
+}
+
+} // namespace snic::alg::regex

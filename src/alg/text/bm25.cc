@@ -1,0 +1,121 @@
+/**
+ * @file
+ * BM25 implementation.
+ */
+
+#include "alg/text/bm25.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace snic::alg::text {
+
+Bm25Index::Bm25Index(double k1, double b)
+    : _k1(k1), _b(b)
+{
+}
+
+std::uint32_t
+Bm25Index::addDocument(const std::vector<std::string> &tokens,
+                       WorkCounters &work)
+{
+    const auto doc_id = static_cast<std::uint32_t>(_docLengths.size());
+    std::map<std::string, std::uint32_t> tf;
+    for (const auto &t : tokens) {
+        ++tf[t];
+        work.arithOps += t.size();
+        work.randomTouches += 1;
+    }
+    for (const auto &[term, freq] : tf) {
+        _postings[term].push_back(Posting{doc_id, freq});
+        work.randomTouches += 1;
+    }
+    _docLengths.push_back(static_cast<std::uint32_t>(tokens.size()));
+    _totalLength += static_cast<double>(tokens.size());
+    return doc_id;
+}
+
+std::vector<ScoredDoc>
+Bm25Index::query(const std::vector<std::string> &terms,
+                 std::size_t top_k, WorkCounters &work) const
+{
+    const double n_docs = static_cast<double>(_docLengths.size());
+    if (n_docs == 0.0)
+        return {};
+    const double avg_len = _totalLength / n_docs;
+
+    std::unordered_map<std::uint32_t, double> scores;
+    for (const auto &term : terms) {
+        work.arithOps += term.size();  // term hashing
+        const auto it = _postings.find(term);
+        work.randomTouches += 1;
+        if (it == _postings.end())
+            continue;
+        const auto &plist = it->second;
+        const double df = static_cast<double>(plist.size());
+        // BM25 idf with the standard +1 to keep it positive.
+        const double idf =
+            std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+        for (const Posting &p : plist) {
+            const double tf = static_cast<double>(p.termFreq);
+            const double len_norm =
+                1.0 - _b +
+                _b * static_cast<double>(_docLengths[p.docId]) / avg_len;
+            const double contrib =
+                idf * (tf * (_k1 + 1.0)) / (tf + _k1 * len_norm);
+            scores[p.docId] += contrib;
+            work.arithOps += 8;     // the scoring expression
+            work.randomTouches += 1;
+        }
+    }
+
+    std::vector<ScoredDoc> ranked;
+    ranked.reserve(scores.size());
+    for (const auto &[doc, score] : scores)
+        ranked.push_back(ScoredDoc{doc, score});
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ScoredDoc &a, const ScoredDoc &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.docId < b.docId;
+              });
+    work.branchyOps += ranked.size();
+    if (ranked.size() > top_k)
+        ranked.resize(top_k);
+    work.messages += 1;
+    return ranked;
+}
+
+Bm25Index
+Bm25Index::synthesize(std::size_t docs, std::size_t words_per_doc,
+                      std::size_t vocabulary, sim::Random &rng,
+                      WorkCounters &work)
+{
+    Bm25Index index;
+    sim::ZipfSampler zipf(vocabulary, 0.8);
+    for (std::size_t d = 0; d < docs; ++d) {
+        std::vector<std::string> tokens;
+        // Vary length a little around the mean.
+        const std::size_t len = std::max<std::size_t>(
+            1, words_per_doc +
+                   static_cast<std::size_t>(rng.uniformInt(0, 4)) - 2);
+        for (std::size_t w = 0; w < len; ++w)
+            tokens.push_back("w" + std::to_string(zipf.sample(rng)));
+        index.addDocument(tokens, work);
+    }
+    return index;
+}
+
+std::vector<std::string>
+Bm25Index::randomQuery(std::size_t terms, std::size_t vocabulary,
+                       sim::Random &rng)
+{
+    sim::ZipfSampler zipf(vocabulary, 0.8);
+    std::vector<std::string> q;
+    for (std::size_t i = 0; i < terms; ++i)
+        q.push_back("w" + std::to_string(zipf.sample(rng)));
+    return q;
+}
+
+} // namespace snic::alg::text

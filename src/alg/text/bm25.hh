@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BM25 ranking (Robertson & Zaragoza) over an inverted index — the
+ * search-engine scoring function the paper runs as a UDP service
+ * with 100- and 1000-document corpora.
+ */
+
+#ifndef SNIC_ALG_TEXT_BM25_HH
+#define SNIC_ALG_TEXT_BM25_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alg/workcount.hh"
+#include "sim/random.hh"
+
+namespace snic::alg::text {
+
+/** One scored document. */
+struct ScoredDoc
+{
+    std::uint32_t docId;
+    double score;
+};
+
+/**
+ * BM25 index and scorer.
+ */
+class Bm25Index
+{
+  public:
+    /**
+     * @param k1 term-frequency saturation (default 1.2).
+     * @param b  length normalization (default 0.75).
+     */
+    Bm25Index(double k1 = 1.2, double b = 0.75);
+
+    /** Add one document (token list); returns its docId. */
+    std::uint32_t addDocument(const std::vector<std::string> &tokens,
+                              WorkCounters &work);
+
+    /**
+     * Score @p query terms against the corpus; returns up to
+     * @p top_k documents, highest score first.
+     */
+    std::vector<ScoredDoc> query(const std::vector<std::string> &terms,
+                                 std::size_t top_k,
+                                 WorkCounters &work) const;
+
+    std::size_t numDocuments() const { return _docLengths.size(); }
+    std::size_t vocabularySize() const { return _postings.size(); }
+
+    /**
+     * Build a synthetic corpus: @p docs documents of about
+     * @p words_per_doc Zipf-distributed words over @p vocabulary
+     * distinct terms (the paper: randomly generated documents of ~10
+     * words each).
+     */
+    static Bm25Index synthesize(std::size_t docs,
+                                std::size_t words_per_doc,
+                                std::size_t vocabulary,
+                                sim::Random &rng, WorkCounters &work);
+
+    /** Draw a random query of @p terms terms over the same vocab. */
+    static std::vector<std::string>
+    randomQuery(std::size_t terms, std::size_t vocabulary,
+                sim::Random &rng);
+
+  private:
+    struct Posting
+    {
+        std::uint32_t docId;
+        std::uint32_t termFreq;
+    };
+
+    double _k1;
+    double _b;
+    std::unordered_map<std::string, std::vector<Posting>> _postings;
+    std::vector<std::uint32_t> _docLengths;
+    double _totalLength = 0.0;
+};
+
+} // namespace snic::alg::text
+
+#endif // SNIC_ALG_TEXT_BM25_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * WorkCounters implementation.
+ */
+
+#include "alg/workcount.hh"
+
+#include <sstream>
+
+namespace snic::alg {
+
+WorkCounters &
+WorkCounters::operator+=(const WorkCounters &other)
+{
+    streamBytes += other.streamBytes;
+    randomTouches += other.randomTouches;
+    branchyOps += other.branchyOps;
+    arithOps += other.arithOps;
+    cryptoBlocks += other.cryptoBlocks;
+    hashBlocks += other.hashBlocks;
+    bigMulOps += other.bigMulOps;
+    kernelOps += other.kernelOps;
+    messages += other.messages;
+    return *this;
+}
+
+WorkCounters
+WorkCounters::operator-(const WorkCounters &other) const
+{
+    WorkCounters r;
+    r.streamBytes = streamBytes - other.streamBytes;
+    r.randomTouches = randomTouches - other.randomTouches;
+    r.branchyOps = branchyOps - other.branchyOps;
+    r.arithOps = arithOps - other.arithOps;
+    r.cryptoBlocks = cryptoBlocks - other.cryptoBlocks;
+    r.hashBlocks = hashBlocks - other.hashBlocks;
+    r.bigMulOps = bigMulOps - other.bigMulOps;
+    r.kernelOps = kernelOps - other.kernelOps;
+    r.messages = messages - other.messages;
+    return r;
+}
+
+bool
+WorkCounters::empty() const
+{
+    return streamBytes == 0 && randomTouches == 0 && branchyOps == 0 &&
+           arithOps == 0 && cryptoBlocks == 0 && hashBlocks == 0 &&
+           bigMulOps == 0 && kernelOps == 0 &&
+           messages == 0;
+}
+
+std::string
+WorkCounters::toString() const
+{
+    std::ostringstream os;
+    os << "stream=" << streamBytes
+       << " random=" << randomTouches
+       << " branchy=" << branchyOps
+       << " arith=" << arithOps
+       << " crypto=" << cryptoBlocks
+       << " hash=" << hashBlocks
+       << " bigmul=" << bigMulOps
+       << " kernel=" << kernelOps
+       << " msgs=" << messages;
+    return os.str();
+}
+
+} // namespace snic::alg

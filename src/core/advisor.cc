@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Offload advisor implementation.
+ *
+ * Predictions are analytic: plans are sampled and priced on each
+ * platform's cost model; waiting time comes from an M/M/c (Erlang-C)
+ * approximation at 90 % load; power from the calibrated power model
+ * at the matching utilization. No simulation is run, which is the
+ * point — Strategy 2 asks for an a-priori decision procedure.
+ */
+
+#include "core/advisor.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "hw/specs.hh"
+
+namespace snic::core {
+
+namespace {
+
+/** Erlang-C probability of queueing for c servers at load rho. */
+double
+erlangC(unsigned c, double rho)
+{
+    // rho is per-system utilization in [0,1); a = offered erlangs.
+    const double a = rho * c;
+    double sum = 0.0;
+    double term = 1.0;
+    for (unsigned k = 0; k < c; ++k) {
+        if (k > 0)
+            term *= a / k;
+        sum += term;
+    }
+    const double top = term * a / c / (1.0 - rho);
+    return top / (sum + top);
+}
+
+/** Approximate p99 sojourn for M/M/c with mean service s at rho. */
+double
+p99SojournUs(double service_us, unsigned servers, double rho,
+             double fixed_us)
+{
+    if (rho >= 0.999)
+        return 1e9;
+    const double pw = erlangC(servers, rho);
+    const double wq_mean =
+        pw * service_us / (servers * (1.0 - rho));
+    // Exponential-tail approximation: p99 of (wait + service).
+    const double mean_sojourn = wq_mean + service_us;
+    return fixed_us + mean_sojourn * std::log(100.0);
+}
+
+} // anonymous namespace
+
+Advice
+adviseOffload(const std::string &workload_id, const SloConstraint &slo,
+              std::uint64_t seed)
+{
+    Advice advice;
+    advice.workloadId = workload_id;
+
+    const hw::Platform all[] = {hw::Platform::HostCpu,
+                                hw::Platform::SnicCpu,
+                                hw::Platform::SnicAccel};
+
+    double best_score = -1.0;
+    double best_any_capacity = -1.0;
+    hw::Platform best_any = hw::Platform::HostCpu;
+
+    for (hw::Platform p : all) {
+        PlatformPrediction pred;
+        pred.platform = p;
+
+        // Probe support without constructing an invalid testbed.
+        {
+            auto probe = workloads::makeWorkload(workload_id);
+            pred.supported = probe->supports(p);
+        }
+        if (!pred.supported) {
+            advice.predictions.push_back(pred);
+            continue;
+        }
+
+        TestbedConfig config;
+        config.workloadId = workload_id;
+        config.platform = p;
+        config.seed = seed;
+        Testbed testbed(config);
+
+        pred.capacityRps = testbed.estimateCapacityRps();
+        const double mean_bytes =
+            testbed.workload().spec().sizes.meanBytes();
+        pred.capacityGbps =
+            pred.capacityRps * mean_bytes * 8.0 / 1e9;
+
+        const auto &spec = testbed.workload().spec();
+        const unsigned servers =
+            p == hw::Platform::SnicAccel
+                ? testbed.server().accel(spec.accel).numWorkers()
+                : testbed.server().cpuFor(p).numWorkers();
+        const double service_us =
+            pred.capacityRps > 0.0
+                ? servers * 1e6 / pred.capacityRps
+                : 0.0;
+        // Fixed path latency from the stack model.
+        auto stack = stack::makeStack(spec.stack);
+        const double fixed_us =
+            sim::ticksToUs(stack->fixedLatency(p)) + 2.0;  // + wire
+        pred.p99UsAtLoad =
+            p99SojournUs(service_us, servers, 0.90, fixed_us);
+
+        // Power at 90 % load.
+        const double util = 0.90;
+        const bool host_active = p == hw::Platform::HostCpu;
+        pred.serverWatts = testbed.power().serverWattsAt(
+            host_active ? util : 0.0,
+            host_active ? 0.0 : util,
+            p == hw::Platform::SnicAccel ? util : 0.0,
+            pred.capacityGbps * 0.9);
+        pred.rpsPerJoule =
+            pred.capacityRps * 0.9 / pred.serverWatts;
+
+        pred.meetsSlo =
+            (slo.p99UsMax <= 0.0 || pred.p99UsAtLoad <= slo.p99UsMax) &&
+            (slo.minGbps <= 0.0 ||
+             pred.capacityGbps * 0.9 >= slo.minGbps);
+
+        if (pred.capacityGbps > best_any_capacity) {
+            best_any_capacity = pred.capacityGbps;
+            best_any = p;
+        }
+        if (pred.meetsSlo && pred.rpsPerJoule > best_score) {
+            best_score = pred.rpsPerJoule;
+            advice.recommended = p;
+            advice.sloFeasible = true;
+        }
+        advice.predictions.push_back(pred);
+    }
+
+    std::ostringstream why;
+    if (advice.sloFeasible) {
+        why << "most energy-efficient platform meeting the SLO: "
+            << hw::platformName(advice.recommended);
+    } else {
+        advice.recommended = best_any;
+        why << "no platform meets the SLO; highest-capacity fallback: "
+            << hw::platformName(best_any);
+    }
+    advice.rationale = why.str();
+    return advice;
+}
+
+} // namespace snic::core

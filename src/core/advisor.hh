@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Offload advisor (Strategy 2, Sec. 5.3): predict, per workload
+ * configuration, which execution platform meets an SLO at the best
+ * energy efficiency — the Clara-style what-if tool the paper calls
+ * for, built on the same cost models the testbed measures.
+ */
+
+#ifndef SNIC_CORE_ADVISOR_HH
+#define SNIC_CORE_ADVISOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.hh"
+
+namespace snic::core {
+
+/** The SLO the advisor must satisfy. */
+struct SloConstraint
+{
+    /** p99 latency bound in microseconds (<= 0: unconstrained). */
+    double p99UsMax = 0.0;
+    /** Minimum throughput in Gbps (<= 0: unconstrained). */
+    double minGbps = 0.0;
+};
+
+/** Analytic prediction for one platform. */
+struct PlatformPrediction
+{
+    hw::Platform platform = hw::Platform::HostCpu;
+    bool supported = false;
+    double capacityGbps = 0.0;
+    double capacityRps = 0.0;
+    double p99UsAtLoad = 0.0;       ///< at 90 % load (queueing est.)
+    double serverWatts = 0.0;       ///< at that operating point
+    double rpsPerJoule = 0.0;
+    bool meetsSlo = false;
+};
+
+/** The advisor's verdict. */
+struct Advice
+{
+    std::string workloadId;
+    hw::Platform recommended = hw::Platform::HostCpu;
+    bool sloFeasible = false;
+    std::string rationale;
+    std::vector<PlatformPrediction> predictions;
+};
+
+/**
+ * Advise on where to run @p workload_id under @p slo.
+ */
+Advice adviseOffload(const std::string &workload_id,
+                     const SloConstraint &slo,
+                     std::uint64_t seed = 1);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_ADVISOR_HH

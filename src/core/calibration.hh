@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's published numbers, used to annotate benchmark output
+ * (paper-vs-measured) and to sanity-check calibration in tests.
+ *
+ * Values are normalized SNIC-processor / host-CPU ratios read off
+ * Fig. 4 and Fig. 6 plus the scalar anchors of Sec. 4 / Tables 4-5.
+ * Where the paper gives only a family-level range, the per-config
+ * expectation is the range itself (lo/hi); EXPERIMENTS.md documents
+ * the mapping.
+ */
+
+#ifndef SNIC_CORE_CALIBRATION_HH
+#define SNIC_CORE_CALIBRATION_HH
+
+#include <optional>
+#include <string>
+
+namespace snic::core::paper {
+
+/** A published expectation, as a [lo, hi] band. */
+struct Band
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool
+    contains(double v) const
+    {
+        return v >= lo && v <= hi;
+    }
+    double mid() const { return (lo + hi) / 2.0; }
+};
+
+/** Fig. 4 expectations for one workload configuration. */
+struct Fig4Expectation
+{
+    Band throughputRatio;  ///< SNIC / host max throughput
+    Band p99Ratio;         ///< SNIC / host p99 latency
+};
+
+/**
+ * Published Fig. 4 band for @p workload_id, when the paper pins one
+ * down (family ranges otherwise).
+ */
+std::optional<Fig4Expectation>
+fig4Expectation(const std::string &workload_id);
+
+/** Fig. 6 normalized energy-efficiency band, when published. */
+std::optional<Band>
+fig6EfficiencyExpectation(const std::string &workload_id);
+
+// --- Scalar anchors ---
+
+/** Fig. 4 global ranges. */
+constexpr double fig4ThroughputLo = 0.1, fig4ThroughputHi = 3.5;
+constexpr double fig4P99Lo = 0.1, fig4P99Hi = 13.8;
+
+/** Fig. 6 / Sec. 4 power anchors. */
+constexpr double serverIdleW = 252.0;
+constexpr double snicIdleW = 29.0;
+constexpr double serverActiveMaxW = 150.6;
+constexpr double snicActiveMaxW = 5.4;
+constexpr double fig6EffLo = 0.2, fig6EffHi = 3.8;
+
+/** Fig. 5 anchors. */
+constexpr double remAccelCapGbps = 50.0;
+constexpr double remHostExeGbps = 78.0;
+constexpr double remHostImgKneeGbps = 40.0;
+constexpr double remHostP99UsAtMax = 5.1;
+constexpr double remAccelP99UsAtMax = 25.1;
+
+/** Table 4 (hyperscaler trace). */
+constexpr double table4ThroughputGbps = 0.76;
+constexpr double table4HostP99Us = 5.07;
+constexpr double table4SnicP99Us = 17.43;
+constexpr double table4HostPowerW = 278.30;
+constexpr double table4SnicPowerW = 254.50;
+
+/** Table 5 savings (positive = SNIC cheaper). */
+constexpr double table5FioSavings = 0.027;
+constexpr double table5OvsSavings = 0.017;
+constexpr double table5RemSavings = -0.025;
+constexpr double table5CompressSavings = 0.707;
+
+} // namespace snic::core::paper
+
+#endif // SNIC_CORE_CALIBRATION_HH

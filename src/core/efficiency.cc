@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Efficiency metric implementation.
+ */
+
+#include "core/efficiency.hh"
+
+namespace snic::core {
+
+double
+efficiencyRpsPerJoule(const RunResult &r)
+{
+    if (r.energy.avgServerWatts <= 0.0)
+        return 0.0;
+    // rps / watts == requests per joule.
+    return r.maxRps / r.energy.avgServerWatts;
+}
+
+double
+efficiencyGbpsPerWatt(const RunResult &r)
+{
+    if (r.energy.avgServerWatts <= 0.0)
+        return 0.0;
+    return r.maxGbps / r.energy.avgServerWatts;
+}
+
+double
+normalizedEfficiency(const RunResult &snic_run,
+                     const RunResult &host_run)
+{
+    const double host = efficiencyRpsPerJoule(host_run);
+    if (host <= 0.0)
+        return 0.0;
+    return efficiencyRpsPerJoule(snic_run) / host;
+}
+
+} // namespace snic::core

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Energy-efficiency metrics (Fig. 6): throughput divided by
+ * system-wide energy consumption.
+ */
+
+#ifndef SNIC_CORE_EFFICIENCY_HH
+#define SNIC_CORE_EFFICIENCY_HH
+
+#include "core/experiment.hh"
+
+namespace snic::core {
+
+struct RunResult;
+
+/** Requests per joule of whole-server energy at the load point. */
+double efficiencyRpsPerJoule(const RunResult &r);
+
+/** Gb per joule (== Gbps per watt) of whole-server energy. */
+double efficiencyGbpsPerWatt(const RunResult &r);
+
+/**
+ * Fig. 6's normalized energy efficiency: SNIC-processor run over
+ * host-CPU run of the same function.
+ */
+double normalizedEfficiency(const RunResult &snic_run,
+                            const RunResult &host_run);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_EFFICIENCY_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "core/efficiency.hh"
+#include "core/throughput_search.hh"
+#include "workloads/fio.hh"
+
+namespace snic::core {
+
+namespace {
+
+/** fio runs closed-loop at its iodepth; everything else open-loop. */
+bool
+isClosedLoop(const workloads::Workload &w)
+{
+    return w.spec().family == "fio";
+}
+
+} // anonymous namespace
+
+RunResult
+runExperiment(const std::string &workload_id, hw::Platform platform,
+              const ExperimentOptions &opts)
+{
+    RunResult r;
+    r.workloadId = workload_id;
+    r.platform = platform;
+
+    TestbedConfig config;
+    config.workloadId = workload_id;
+    config.platform = platform;
+    config.seed = opts.seed;
+    config.hostCoresOverride = opts.hostCoresOverride;
+    Testbed testbed(config);
+
+    if (isClosedLoop(testbed.workload())) {
+        // Closed loop: capacity and latency come from one run.
+        const sim::Tick window = windowFor(
+            testbed.estimateCapacityRps(), opts);
+        const Measurement m = testbed.measureClosedLoop(
+            workloads::Fio::ioDepth, opts.warmup, window);
+        r.maxGbps = m.goodputGbps;
+        r.maxRps = m.achievedRps;
+        r.p99Us = m.p99Us();
+        r.p50Us = m.p50Us();
+        r.meanUs = m.meanUs();
+        r.energy = m.energy;
+    } else {
+        const Capacity cap = findCapacity(testbed, opts);
+        r.maxRps = cap.rps;
+
+        // Latency/power point near (but below) saturation; offered
+        // rate is request-based, matching the capacity units. A
+        // workload may pin its own operating point (OvS's 10%/100%
+        // traffic-load configurations).
+        const double spec_lf =
+            testbed.workload().spec().operatingLoadFactor;
+        const double rate =
+            cap.requestGbps * (spec_lf > 0.0 ? spec_lf
+                                             : opts.loadFactor);
+        const sim::Tick window = windowFor(cap.rps, opts);
+        const Measurement m =
+            testbed.measure(rate, opts.warmup, window);
+        r.maxGbps = cap.gbps;
+        r.p99Us = m.p99Us();
+        r.p50Us = m.p50Us();
+        r.meanUs = m.meanUs();
+        r.energy = m.energy;
+    }
+
+    r.efficiencyRpsPerJoule = efficiencyRpsPerJoule(r);
+    r.efficiencyGbpsPerWatt = efficiencyGbpsPerWatt(r);
+    return r;
+}
+
+Measurement
+measureAtRate(const std::string &workload_id, hw::Platform platform,
+              double gbps, const ExperimentOptions &opts)
+{
+    TestbedConfig config;
+    config.workloadId = workload_id;
+    config.platform = platform;
+    config.seed = opts.seed;
+    config.hostCoresOverride = opts.hostCoresOverride;
+    Testbed testbed(config);
+
+    // Window sized by the *offered* rate.
+    const double mean_bytes =
+        testbed.workload().spec().sizes.meanBytes();
+    const double rps = net::gbpsToBytesPerSec(gbps) / mean_bytes;
+    return testbed.measure(gbps, opts.warmup, windowFor(rps, opts));
+}
+
+} // namespace snic::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment harness: the paper's measurement procedure (Sec. 4) —
+ * find maximum sustainable throughput, then measure p99 latency and
+ * system-wide power at that operating point.
+ */
+
+#ifndef SNIC_CORE_EXPERIMENT_HH
+#define SNIC_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/testbed.hh"
+
+namespace snic::core {
+
+/** Harness knobs. */
+struct ExperimentOptions
+{
+    std::uint64_t seed = 1;
+    /** Fraction of measured capacity at which the latency/power point
+     *  is taken ("maximum sustainable": high load, stable queues). */
+    double loadFactor = 0.75;
+    /** Host core count override (0 = workload default). */
+    unsigned hostCoresOverride = 0;
+    /** Samples targeted per measurement window. */
+    std::uint64_t targetSamples = 20000;
+    sim::Tick warmup = sim::msToTicks(2.0);
+    sim::Tick minWindow = sim::msToTicks(10.0);
+    sim::Tick maxWindow = sim::secToTicks(5.0);
+};
+
+/** The headline numbers of one (workload, platform) cell. */
+struct RunResult
+{
+    std::string workloadId;
+    hw::Platform platform = hw::Platform::HostCpu;
+
+    double maxGbps = 0.0;  ///< maximum sustainable throughput
+    double maxRps = 0.0;
+
+    double p99Us = 0.0;    ///< at the load point
+    double p50Us = 0.0;
+    double meanUs = 0.0;
+
+    power::EnergyReading energy;       ///< at the load point
+    double efficiencyRpsPerJoule = 0.0;
+    double efficiencyGbpsPerWatt = 0.0;
+};
+
+/**
+ * Run the full procedure for one cell.
+ */
+RunResult runExperiment(const std::string &workload_id,
+                        hw::Platform platform,
+                        const ExperimentOptions &opts = {});
+
+/**
+ * Single fixed-rate measurement (Fig. 5 sweeps, Fig. 7 points).
+ * Builds a fresh testbed each call for run independence.
+ */
+Measurement measureAtRate(const std::string &workload_id,
+                          hw::Platform platform, double gbps,
+                          const ExperimentOptions &opts = {});
+
+/** Size a measurement window for ~targetSamples at @p rps. */
+sim::Tick windowFor(double rps, const ExperimentOptions &opts);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_EXPERIMENT_HH

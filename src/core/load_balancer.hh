@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SNIC <-> host load balancer (Strategy 3, Sec. 5.3).
+ *
+ * The paper argues future SNICs need a fast mechanism that keeps
+ * traffic on the energy-efficient SNIC path at low rates and spills
+ * to the host before the accelerator saturates — and reports that a
+ * software balancer on the BlueField-2 burns most of the SNIC CPU
+ * just monitoring. This module implements the policies so the
+ * ablation bench (E7) can quantify exactly that trade-off on the REM
+ * function.
+ */
+
+#ifndef SNIC_CORE_LOAD_BALANCER_HH
+#define SNIC_CORE_LOAD_BALANCER_HH
+
+#include <string>
+#include <vector>
+
+#include "alg/regex/ruleset.hh"
+#include "core/testbed.hh"
+
+namespace snic::core {
+
+/** Balancing policies. */
+enum class BalancePolicy
+{
+    SnicOnly,      ///< everything to the accelerator
+    HostOnly,      ///< everything to the host CPU
+    StaticSplit,   ///< fixed fraction to the host
+    Threshold,     ///< software monitor redirects when accel lags
+    /** The future SNIC the paper asks for (Sec. 5.3): an eSwitch-
+     *  resident balancer that observes engine occupancy directly —
+     *  zero SNIC-CPU monitoring cost, per-packet reaction. */
+    HwThreshold,
+};
+
+/** Display name. */
+const char *balancePolicyName(BalancePolicy p);
+
+/** Balancer run configuration. */
+struct BalancerConfig
+{
+    BalancePolicy policy = BalancePolicy::Threshold;
+    alg::regex::RuleSetId ruleset =
+        alg::regex::RuleSetId::FileExecutable;
+    /** Offered rate schedule (Gbps) and window per entry. */
+    std::vector<double> ratesGbps;
+    sim::Tick binTicks = sim::msToTicks(2.0);
+    /** StaticSplit: fraction of packets sent to the host. */
+    double hostFraction = 0.5;
+    /** Threshold: redirect when the accel path's recent latency
+     *  exceeds this many microseconds. */
+    double thresholdUs = 40.0;
+    /** Software monitoring cost per packet on the SNIC CPU
+     *  (branchy ops) — the paper's "consumes most of the SNIC CPU
+     *  cycles simply to monitor packets". */
+    std::uint64_t monitorOpsPerPacket = 120;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one balancer run. */
+struct BalancerResult
+{
+    BalancePolicy policy;
+    double offeredMeanGbps = 0.0;
+    double achievedGbps = 0.0;
+    double p99Us = 0.0;
+    double meanUs = 0.0;
+    double avgServerWatts = 0.0;
+    double snicCpuUtil = 0.0;   ///< includes monitoring burn
+    double hostShare = 0.0;     ///< fraction of packets on the host
+    std::uint64_t completed = 0;
+};
+
+/**
+ * Run the REM function under a balancing policy.
+ */
+BalancerResult runBalancer(const BalancerConfig &config);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_LOAD_BALANCER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reporting helpers implementation.
+ */
+
+#include "core/report.hh"
+
+#include "core/efficiency.hh"
+
+namespace snic::core {
+
+NormalizedRow
+compareOnPlatforms(const std::string &workload_id,
+                   const ExperimentOptions &opts)
+{
+    NormalizedRow row;
+    row.workloadId = workload_id;
+
+    const auto probe = workloads::makeWorkload(workload_id);
+    const hw::Platform snic_side =
+        probe->supports(hw::Platform::SnicAccel)
+            ? hw::Platform::SnicAccel
+            : hw::Platform::SnicCpu;
+
+    row.host = runExperiment(workload_id, hw::Platform::HostCpu, opts);
+    row.snic = runExperiment(workload_id, snic_side, opts);
+
+    if (row.host.maxGbps > 0.0)
+        row.throughputRatio = row.snic.maxGbps / row.host.maxGbps;
+    if (row.host.p99Us > 0.0)
+        row.p99Ratio = row.snic.p99Us / row.host.p99Us;
+    row.efficiencyRatio = normalizedEfficiency(row.snic, row.host);
+    return row;
+}
+
+std::string
+bandCheck(double value, const std::optional<paper::Band> &band)
+{
+    if (!band)
+        return "-";
+    if (band->contains(value))
+        return "in band";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "OUT [%.2f-%.2f]", band->lo,
+                  band->hi);
+    return buf;
+}
+
+void
+setFig4Header(stats::Table &table)
+{
+    table.setHeader({"function", "tput SNIC/host", "paper",
+                     "p99 SNIC/host", "paper", "host Gbps",
+                     "snic Gbps", "host p99us", "snic p99us"});
+}
+
+void
+addFig4Row(stats::Table &table, const NormalizedRow &row)
+{
+    const auto expect = paper::fig4Expectation(row.workloadId);
+    std::optional<paper::Band> tput_band, p99_band;
+    if (expect) {
+        tput_band = expect->throughputRatio;
+        p99_band = expect->p99Ratio;
+    }
+    table.addRow({
+        row.workloadId,
+        stats::Table::ratio(row.throughputRatio),
+        bandCheck(row.throughputRatio, tput_band),
+        stats::Table::ratio(row.p99Ratio),
+        bandCheck(row.p99Ratio, p99_band),
+        stats::Table::num(row.host.maxGbps, 2),
+        stats::Table::num(row.snic.maxGbps, 2),
+        stats::Table::num(row.host.p99Us, 1),
+        stats::Table::num(row.snic.p99Us, 1),
+    });
+}
+
+} // namespace snic::core

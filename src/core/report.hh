@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reporting helpers shared by the bench binaries: paper-vs-measured
+ * formatting for RunResults and ratio rows.
+ */
+
+#ifndef SNIC_CORE_REPORT_HH
+#define SNIC_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/calibration.hh"
+#include "core/experiment.hh"
+#include "stats/summary.hh"
+
+namespace snic::core {
+
+/** A Fig. 4-style normalized comparison of one workload. */
+struct NormalizedRow
+{
+    std::string workloadId;
+    double throughputRatio = 0.0;  ///< SNIC / host
+    double p99Ratio = 0.0;
+    double efficiencyRatio = 0.0;
+    RunResult host;
+    RunResult snic;
+};
+
+/**
+ * Run both sides of one Fig. 4 bar group and form the ratios. The
+ * SNIC side uses the accelerator when Table 3 marks SA, else the
+ * SNIC CPU.
+ */
+NormalizedRow compareOnPlatforms(const std::string &workload_id,
+                                 const ExperimentOptions &opts = {});
+
+/** Append @p row to a Fig. 4-style table with paper bands. */
+void addFig4Row(stats::Table &table, const NormalizedRow &row);
+
+/** Header matching addFig4Row. */
+void setFig4Header(stats::Table &table);
+
+/** "in band" / "OUT (lo-hi)" annotation against a paper band. */
+std::string bandCheck(double value,
+                      const std::optional<paper::Band> &band);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_REPORT_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * TCO model implementation.
+ */
+
+#include "core/tco.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace snic::core {
+
+TcoColumn
+computeColumn(unsigned servers, double power_w, bool with_snic,
+              const TcoInputs &in)
+{
+    TcoColumn c;
+    c.servers = servers;
+    c.powerPerServerW = power_w;
+    const double hours = in.years * 365.0 * 24.0;
+    c.kwhPerServer = power_w * hours / 1000.0;
+    c.powerCostPerServerUsd = c.kwhPerServer * in.usdPerKwh;
+    const double server_cost =
+        in.serverBaseUsd + (with_snic ? in.snicUsd : in.nicUsd);
+    c.fiveYearTcoUsd =
+        servers * (server_cost + c.powerCostPerServerUsd);
+    return c;
+}
+
+TcoRow
+computeRow(const std::string &application, double snic_power_w,
+           double nic_power_w, double snic_tput, double nic_tput,
+           const TcoInputs &in)
+{
+    if (snic_tput <= 0.0 || nic_tput <= 0.0)
+        sim::fatal("computeRow: non-positive throughput");
+    TcoRow row;
+    row.application = application;
+    // Fixed demand: the SNIC fleet is the baseline; the NIC fleet
+    // scales by the throughput ratio.
+    const double demand =
+        static_cast<double>(in.baselineServers) * snic_tput;
+    const auto nic_servers = static_cast<unsigned>(
+        std::ceil(demand / nic_tput - 1e-9));
+    row.snic = computeColumn(in.baselineServers, snic_power_w, true,
+                             in);
+    row.nic = computeColumn(nic_servers, nic_power_w, false, in);
+    row.savingsFraction =
+        (row.nic.fiveYearTcoUsd - row.snic.fiveYearTcoUsd) /
+        row.nic.fiveYearTcoUsd;
+    return row;
+}
+
+} // namespace snic::core

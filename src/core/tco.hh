@@ -1,0 +1,72 @@
+/**
+ * @file
+ * 5-year total-cost-of-ownership model (Table 5, Sec. 5.2).
+ *
+ * Costs come from the paper: server without NIC $6,287; BlueField-2
+ * (MBF2M516A-CEEOT) $1,817; ConnectX-6 Dx (MCX623106AC-CDAT) $1,478;
+ * electricity $0.162/kWh; 5-year lifetime; 10 SNIC-equipped servers
+ * as the fixed demand baseline.
+ */
+
+#ifndef SNIC_CORE_TCO_HH
+#define SNIC_CORE_TCO_HH
+
+#include <string>
+
+namespace snic::core {
+
+/** Cost constants (Sec. 5.2). */
+struct TcoInputs
+{
+    double serverBaseUsd = 6287.0;
+    double snicUsd = 1817.0;
+    double nicUsd = 1478.0;
+    double years = 5.0;
+    double usdPerKwh = 0.162;
+    unsigned baselineServers = 10;
+};
+
+/** One fleet variant (the SNIC or NIC column of Table 5). */
+struct TcoColumn
+{
+    unsigned servers = 0;
+    double powerPerServerW = 0.0;
+    double kwhPerServer = 0.0;      ///< over the lifetime
+    double powerCostPerServerUsd = 0.0;
+    double fiveYearTcoUsd = 0.0;
+};
+
+/** One Table 5 application row. */
+struct TcoRow
+{
+    std::string application;
+    TcoColumn snic;
+    TcoColumn nic;
+    double savingsFraction = 0.0;  ///< positive = SNIC cheaper
+};
+
+/**
+ * Compute one fleet column.
+ *
+ * @param servers        fleet size for the fixed demand.
+ * @param power_w        measured per-server power.
+ * @param with_snic      equip with the SNIC (else the plain NIC).
+ */
+TcoColumn computeColumn(unsigned servers, double power_w,
+                        bool with_snic, const TcoInputs &in = {});
+
+/**
+ * Compute a full row.
+ *
+ * @param snic_power_w / nic_power_w measured per-server powers.
+ * @param snic_tput / nic_tput       per-server throughputs; the NIC
+ *        fleet is scaled up so both fleets serve the same demand
+ *        (this is what makes Compress need 35 NIC servers).
+ */
+TcoRow computeRow(const std::string &application, double snic_power_w,
+                  double nic_power_w, double snic_tput,
+                  double nic_tput, const TcoInputs &in = {});
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_TCO_HH

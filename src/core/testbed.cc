@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Testbed implementation.
+ */
+
+#include "core/testbed.hh"
+
+#include <algorithm>
+
+#include "hw/specs.hh"
+#include "sim/logging.hh"
+
+namespace snic::core {
+
+Testbed::Testbed(const TestbedConfig &config)
+    : _config(config)
+{
+    _sim = std::make_unique<sim::Simulation>(config.seed);
+    _workload = workloads::makeWorkload(config.workloadId);
+    const workloads::Spec &spec = _workload->spec();
+
+    if (!_workload->supports(config.platform)) {
+        sim::fatal("Testbed: workload %s does not run on %s (Table 3)",
+                   config.workloadId.c_str(),
+                   hw::platformName(config.platform));
+    }
+
+    const unsigned host_cores = config.hostCoresOverride
+                                    ? config.hostCoresOverride
+                                    : spec.hostCores;
+    _server = std::make_unique<hw::ServerModel>(*_sim, host_cores,
+                                                spec.snicCores);
+    _power = std::make_unique<power::ServerPowerModel>(*_server);
+    _stack = stack::makeStack(spec.stack, spec.rdmaOneSided);
+
+    // DPDK PMD threads busy-poll the NIC.
+    if (_stack->busyPolling() && !spec.dataPlaneOffload)
+        servingCpu().setBusyPolling(true);
+
+    _upLink = std::make_unique<net::Link>(
+        *_sim, "uplink", hw::specs::lineRateGbps, sim::usToTicks(1.0));
+    _downLink = std::make_unique<net::Link>(
+        *_sim, "downlink", hw::specs::lineRateGbps,
+        sim::usToTicks(1.0));
+
+    // Wire: uplink -> eSwitch -> serving CPU sink.
+    _server->eswitch().setClassifier(
+        [platform = config.platform](const net::Packet &) {
+            return platform == hw::Platform::HostCpu
+                       ? hw::SteerTarget::HostCpu
+                       : hw::SteerTarget::SnicCpu;
+        });
+    auto sink = [this](const net::Packet &pkt) { handleRequest(pkt); };
+    _server->eswitch().connectHostCpu(sink);
+    _server->eswitch().connectSnicCpu(sink);
+    _upLink->connect([this](const net::Packet &pkt) {
+        _server->eswitch().ingress(pkt);
+    });
+
+    // Response delivery closes the latency measurement.
+    _downLink->connect([this](const net::Packet &pkt) {
+        if (pkt.createdAt < _epochStart)
+            return;
+        const sim::Tick rtt =
+            _sim->now() - pkt.createdAt +
+            sim::nsToTicks(pkt.extraNs);
+        if (_recording) {
+            _latency.record(rtt);
+            ++_completed;
+        }
+        if (_closedLoopActive) {
+            --_inFlight;
+            issueClosedLoopJob();
+        }
+    });
+
+    if (spec.drive == workloads::Drive::Network) {
+        net::Proto proto = net::Proto::Udp;
+        switch (spec.stack) {
+          case stack::StackKind::Udp:
+            proto = net::Proto::Udp;
+            break;
+          case stack::StackKind::Tcp:
+            proto = net::Proto::Tcp;
+            break;
+          case stack::StackKind::Dpdk:
+            proto = net::Proto::Dpdk;
+            break;
+          case stack::StackKind::Rdma:
+            proto = net::Proto::Rdma;
+            break;
+        }
+        _gen = std::make_unique<net::TrafficGen>(
+            *_sim, "client", *_upLink, spec.sizes, proto);
+    }
+
+    _workload->setup(_sim->rng());
+}
+
+Testbed::~Testbed() = default;
+
+hw::ExecutionPlatform &
+Testbed::servingCpu()
+{
+    return _server->cpuFor(_config.platform);
+}
+
+void
+Testbed::resetDatapath()
+{
+    servingCpu().drainAndReset();
+    _server->accel(_workload->spec().accel).drainAndReset();
+    _server->pcie().reset();
+    _upLink->reset();
+    _downLink->reset();
+}
+
+void
+Testbed::handleRequest(const net::Packet &pkt)
+{
+    if (pkt.createdAt < _epochStart)
+        return;  // stale leftover from a previous window
+    const workloads::Spec &spec = _workload->spec();
+    workloads::RequestPlan plan =
+        _workload->plan(pkt.sizeBytes, _config.platform, _sim->rng());
+
+    alg::WorkCounters cpu_work = plan.cpuWork;
+    const bool network = spec.drive == workloads::Drive::Network;
+    if (network && !spec.dataPlaneOffload) {
+        cpu_work += _stack->rxWork(pkt.sizeBytes);
+        if (plan.responseBytes > 0)
+            cpu_work += _stack->txWork(plan.responseBytes);
+    }
+
+    if (spec.dataPlaneOffload && cpu_work.empty()) {
+        // eSwitch-forwarded packet: the CPU never runs; respond
+        // straight off the data plane.
+        finishRequest(pkt, plan);
+        return;
+    }
+
+    const hw::AccelKind accel_kind = spec.accel;
+    servingCpu().submit(
+        cpu_work, pkt.flowHash,
+        [this, pkt, accel_kind, plan = std::move(plan)]() mutable {
+            if (pkt.createdAt < _epochStart) {
+                // Stale leftover: do not occupy the accelerator in
+                // the new measurement window.
+                finishRequest(pkt, plan);
+                return;
+            }
+            if (!plan.accelWork.empty()) {
+                _server->accel(accel_kind).submit(
+                    plan.accelWork, pkt.flowHash,
+                    [this, pkt, plan]() { finishRequest(pkt, plan); });
+            } else {
+                finishRequest(pkt, plan);
+            }
+        });
+}
+
+void
+Testbed::finishRequest(const net::Packet &pkt,
+                       const workloads::RequestPlan &plan)
+{
+    if (pkt.createdAt < _epochStart) {
+        if (_closedLoopActive && _inFlight > 0)
+            --_inFlight;
+        return;
+    }
+    const workloads::Spec &spec = _workload->spec();
+    if (_recording) {
+        _bytesServed += pkt.sizeBytes;
+        _goodputBytes += std::max<double>(pkt.sizeBytes,
+                                          plan.responseBytes);
+        _wireBytes += static_cast<double>(pkt.sizeBytes) +
+                      plan.responseBytes;
+        ++_generatedInWindow;
+        if (_servedSeries)
+            _servedSeries->add(_sim->now(), pkt.sizeBytes);
+    }
+
+    double extra_ns = plan.extraLatencyNs;
+    const bool network = spec.drive == workloads::Drive::Network;
+    if (network && !spec.dataPlaneOffload) {
+        extra_ns += sim::ticksToNs(
+            _stack->fixedLatency(_config.platform));
+    }
+
+    if (plan.responseBytes > 0) {
+        net::Packet response;
+        response.id = pkt.id;
+        response.sizeBytes = plan.responseBytes;
+        response.proto = pkt.proto;
+        response.createdAt = pkt.createdAt;
+        response.flowHash = pkt.flowHash;
+        response.extraNs = extra_ns;
+        _downLink->send(response);
+        return;
+    }
+
+    // No response traffic (IDS sinks, local crypto): latency is the
+    // processing completion itself.
+    const sim::Tick lat = _sim->now() - pkt.createdAt +
+                          sim::nsToTicks(extra_ns);
+    if (_recording) {
+        _latency.record(lat);
+        ++_completed;
+    }
+    if (_closedLoopActive) {
+        --_inFlight;
+        issueClosedLoopJob();
+    }
+}
+
+void
+Testbed::issueClosedLoopJob()
+{
+    if (!_closedLoopActive || _inFlight >= _targetDepth)
+        return;
+    ++_inFlight;
+    net::Packet job;
+    job.id = ++_jobSeq;
+    job.sizeBytes = _workload->spec().sizes.sample(_sim->rng());
+    job.createdAt = _sim->now();
+    job.flowHash = _sim->rng().next();
+    handleRequest(job);
+}
+
+Measurement
+Testbed::collect(sim::Tick warmup, sim::Tick window,
+                 double offered_gbps)
+{
+    (void)warmup;
+    Measurement m;
+    m.offeredGbps = offered_gbps;
+    m.latency = _latency;
+    m.completed = _completed;
+    m.generated = _generatedInWindow;
+    const double secs = sim::ticksToSec(window);
+    m.achievedGbps = _bytesServed * 8.0 / secs / 1e9;
+    m.goodputGbps = _goodputBytes * 8.0 / secs / 1e9;
+    m.achievedRps = static_cast<double>(_completed) / secs;
+    return m;
+}
+
+Measurement
+Testbed::measure(double gbps, sim::Tick warmup, sim::Tick window)
+{
+    const workloads::Spec &spec = _workload->spec();
+    _epochStart = _sim->now();
+    _recording = false;
+    _latency.reset();
+    _completed = 0;
+    _generatedInWindow = 0;
+    _bytesServed = 0.0;
+    _goodputBytes = 0.0;
+    _wireBytes = 0.0;
+    _closedLoopActive = false;
+    resetDatapath();
+
+    const sim::Tick start = _sim->now();
+    const sim::Tick window_start = start + warmup;
+    const sim::Tick window_end = window_start + window;
+
+    if (spec.drive == workloads::Drive::Network) {
+        _gen->startAtRate(gbps, window_end);
+    } else {
+        // Local open-loop job generator (Cryptography).
+        startLocalGenerator(gbps, window_end);
+    }
+
+    _sim->runUntil(window_start);
+    _recording = true;
+    power::EnergyMeter meter(*_server, *_power);
+    meter.begin();
+    _sim->runUntil(window_end);
+    _recording = false;
+    if (_gen)
+        _gen->stop();
+
+    Measurement m = collect(warmup, window, gbps);
+    m.energy = meter.end(_wireBytes / 2.0);
+    return m;
+}
+
+Measurement
+Testbed::measureClosedLoop(unsigned depth, sim::Tick warmup,
+                           sim::Tick window)
+{
+    _epochStart = _sim->now();
+    _recording = false;
+    _latency.reset();
+    _completed = 0;
+    _generatedInWindow = 0;
+    _bytesServed = 0.0;
+    _goodputBytes = 0.0;
+    _wireBytes = 0.0;
+    resetDatapath();
+
+    _closedLoopActive = true;
+    _targetDepth = depth;
+    _inFlight = 0;
+    for (unsigned i = 0; i < depth; ++i)
+        issueClosedLoopJob();
+
+    const sim::Tick window_start = _sim->now() + warmup;
+    const sim::Tick window_end = window_start + window;
+    _sim->runUntil(window_start);
+    _recording = true;
+    power::EnergyMeter meter(*_server, *_power);
+    meter.begin();
+    _sim->runUntil(window_end);
+    _recording = false;
+    _closedLoopActive = false;
+
+    Measurement m = collect(warmup, window, 0.0);
+    m.energy = meter.end(_wireBytes / 2.0);
+    return m;
+}
+
+Measurement
+Testbed::replaySchedule(const std::vector<double> &rates_gbps,
+                        sim::Tick bin)
+{
+    if (_workload->spec().drive != workloads::Drive::Network)
+        sim::fatal("Testbed::replaySchedule requires a network drive");
+    _epochStart = _sim->now();
+    _recording = false;
+    _latency.reset();
+    _completed = 0;
+    _generatedInWindow = 0;
+    _bytesServed = 0.0;
+    _goodputBytes = 0.0;
+    _wireBytes = 0.0;
+    resetDatapath();
+    _servedSeries = std::make_unique<stats::TimeSeries>(bin);
+
+    const sim::Tick start = _sim->now();
+    const sim::Tick end = start + bin * rates_gbps.size();
+    _gen->startSchedule(rates_gbps, bin);
+    _recording = true;
+    power::EnergyMeter meter(*_server, *_power);
+    meter.begin();
+    // Run a little past the end so in-flight requests drain.
+    _sim->runUntil(end);
+    _recording = false;
+    _sim->runUntil(end + sim::msToTicks(2.0));
+
+    double mean_rate = 0.0;
+    for (double r : rates_gbps)
+        mean_rate += r;
+    mean_rate /= static_cast<double>(rates_gbps.size());
+
+    Measurement m = collect(0, end - start, mean_rate);
+    m.energy = meter.end(_wireBytes / 2.0);
+    const std::size_t first_bin =
+        static_cast<std::size_t>(start / bin);
+    for (std::size_t i = first_bin;
+         i < first_bin + rates_gbps.size(); ++i) {
+        m.servedGbpsSeries.push_back(_servedSeries->rate(i) * 8.0 /
+                                     1e9);
+    }
+    _servedSeries.reset();
+    return m;
+}
+
+void
+Testbed::startLocalGenerator(double gbps, sim::Tick until)
+{
+    const double mean_bytes = _workload->spec().sizes.meanBytes();
+    const double jobs_per_sec =
+        net::gbpsToBytesPerSec(gbps) / mean_bytes;
+    scheduleLocalJob(jobs_per_sec, until);
+}
+
+void
+Testbed::scheduleLocalJob(double jobs_per_sec, sim::Tick until)
+{
+    if (_sim->now() >= until)
+        return;
+    net::Packet job;
+    job.id = ++_jobSeq;
+    job.sizeBytes = _workload->spec().sizes.sample(_sim->rng());
+    job.createdAt = _sim->now();
+    job.flowHash = _sim->rng().next();
+    handleRequest(job);
+
+    const double gap_sec =
+        _sim->rng().exponential(1.0 / jobs_per_sec);
+    const auto gap =
+        std::max<sim::Tick>(static_cast<sim::Tick>(gap_sec * 1e12), 1);
+    _sim->after(gap, [this, jobs_per_sec, until] {
+        scheduleLocalJob(jobs_per_sec, until);
+    });
+}
+
+double
+Testbed::estimateCapacityRps(int samples)
+{
+    const workloads::Spec &spec = _workload->spec();
+    sim::Random rng(_config.seed + 7777);
+    double cpu_total = 0.0, accel_total = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const auto bytes = spec.sizes.sample(rng);
+        auto plan = _workload->plan(bytes, _config.platform, rng);
+        alg::WorkCounters cpu_work = plan.cpuWork;
+        if (spec.drive == workloads::Drive::Network &&
+            !spec.dataPlaneOffload) {
+            cpu_work += _stack->rxWork(bytes);
+            if (plan.responseBytes > 0)
+                cpu_work += _stack->txWork(plan.responseBytes);
+        }
+        cpu_total += servingCpu().serviceNs(cpu_work);
+        if (!plan.accelWork.empty()) {
+            accel_total +=
+                _server->accel(spec.accel).serviceNs(plan.accelWork);
+        }
+    }
+    const double n = static_cast<double>(samples);
+    const double cpu_ns = cpu_total / n;
+    const double accel_ns = accel_total / n;
+    double capacity = 1e18;  // effectively unbounded
+    if (cpu_ns > 0.0) {
+        capacity = std::min(
+            capacity, servingCpu().numWorkers() * 1e9 / cpu_ns);
+    }
+    if (accel_ns > 0.0) {
+        capacity = std::min(
+            capacity, _server->accel(spec.accel).numWorkers() * 1e9 /
+                          accel_ns);
+    }
+    // The wire bounds network drives.
+    if (spec.drive == workloads::Drive::Network) {
+        capacity = std::min(
+            capacity, net::gbpsToBytesPerSec(hw::specs::lineRateGbps) /
+                          spec.sizes.meanBytes());
+    }
+    return capacity;
+}
+
+} // namespace snic::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The testbed: one simulated client + server pair running one
+ * workload configuration on one execution platform — the unit of
+ * measurement behind every figure and table in the study.
+ *
+ * Request path (network drives):
+ *   TrafficGen -> 100 GbE Link -> eSwitch -> [PCIe if host] ->
+ *   stack RX work + app work on the serving CPU ->
+ *   [accelerator job] -> response serialization on the down Link ->
+ *   latency sample.
+ *
+ * Local drives (Cryptography, fio) replace the ingress path with a
+ * local job generator (open loop) or an iodepth-style closed loop.
+ */
+
+#ifndef SNIC_CORE_TESTBED_HH
+#define SNIC_CORE_TESTBED_HH
+
+#include <memory>
+#include <string>
+
+#include "hw/server.hh"
+#include "net/link.hh"
+#include "net/traffic_gen.hh"
+#include "power/energy.hh"
+#include "power/power_model.hh"
+#include "stats/histogram.hh"
+#include "stats/timeseries.hh"
+#include "workloads/registry.hh"
+
+namespace snic::core {
+
+/** Testbed construction options. */
+struct TestbedConfig
+{
+    std::string workloadId;
+    hw::Platform platform = hw::Platform::HostCpu;
+    std::uint64_t seed = 1;
+    /** Override the host core count (0 = workload default). */
+    unsigned hostCoresOverride = 0;
+};
+
+/** One measurement window's outcome. */
+struct Measurement
+{
+    double offeredGbps = 0.0;
+    /** Served throughput in *request* bytes — same basis as
+     *  offeredGbps, used by the capacity search. */
+    double achievedGbps = 0.0;
+    /** Served throughput counting max(request, response) bytes per
+     *  request — the function-level number reported in figures. */
+    double goodputGbps = 0.0;
+    double achievedRps = 0.0;    ///< requests per second
+    std::uint64_t completed = 0;
+    std::uint64_t generated = 0;
+    stats::Histogram latency;    ///< end-to-end, in ticks
+    power::EnergyReading energy;
+    /** Served bytes per bin during replaySchedule (Fig. 7's measured
+     *  rate-over-time series); empty for plain measurements. */
+    std::vector<double> servedGbpsSeries;
+
+    double p99Us() const { return sim::ticksToUs(latency.p99()); }
+    double p50Us() const { return sim::ticksToUs(latency.p50()); }
+    double meanUs() const { return sim::ticksToUs(latency.mean()); }
+};
+
+/**
+ * The assembled testbed.
+ */
+class Testbed
+{
+  public:
+    explicit Testbed(const TestbedConfig &config);
+    ~Testbed();
+
+    /**
+     * Open-loop measurement: offer @p gbps of traffic (or jobs) for
+     * @p window after @p warmup; collect stats from the window only.
+     */
+    Measurement measure(double gbps, sim::Tick warmup,
+                        sim::Tick window);
+
+    /**
+     * Closed-loop measurement with @p depth outstanding requests
+     * (fio's iodepth). Offered rate is whatever the loop sustains.
+     */
+    Measurement measureClosedLoop(unsigned depth, sim::Tick warmup,
+                                  sim::Tick window);
+
+    /**
+     * Replay a rate schedule (Fig. 7): @p rates_gbps windows of
+     * @p bin ticks each; returns the whole-trace measurement.
+     */
+    Measurement replaySchedule(const std::vector<double> &rates_gbps,
+                               sim::Tick bin);
+
+    /**
+     * Analytic capacity estimate in requests/s: samples plans, prices
+     * them on the serving platforms, and takes the bottleneck stage.
+     * Used to size the load sweeps (not a measurement).
+     */
+    double estimateCapacityRps(int samples = 64);
+
+    const workloads::Workload &workload() const { return *_workload; }
+    hw::ServerModel &server() { return *_server; }
+    hw::Platform platform() const { return _config.platform; }
+    sim::Simulation &sim() { return *_sim; }
+    const power::ServerPowerModel &power() const { return *_power; }
+
+  private:
+    TestbedConfig _config;
+    std::unique_ptr<sim::Simulation> _sim;
+    std::unique_ptr<hw::ServerModel> _server;
+    std::unique_ptr<power::ServerPowerModel> _power;
+    std::unique_ptr<net::Link> _upLink;    ///< client -> server
+    std::unique_ptr<net::Link> _downLink;  ///< server -> client
+    std::unique_ptr<net::TrafficGen> _gen;
+    std::unique_ptr<workloads::Workload> _workload;
+    std::unique_ptr<stack::StackModel> _stack;
+
+    // Live measurement state. _epochStart guards against requests
+    // left in flight by a previous measurement window: anything
+    // created before it is dropped unrecorded.
+    sim::Tick _epochStart = 0;
+    bool _recording = false;
+    stats::Histogram _latency;
+    std::uint64_t _completed = 0;
+    std::uint64_t _generatedInWindow = 0;
+    double _bytesServed = 0.0;   ///< request bytes
+    double _goodputBytes = 0.0;  ///< max(request, response) bytes
+    double _wireBytes = 0.0;     ///< request + response bytes
+    /** Per-bin served-byte series, active during replaySchedule. */
+    std::unique_ptr<stats::TimeSeries> _servedSeries;
+
+    // Closed-loop driver state.
+    unsigned _inFlight = 0;
+    unsigned _targetDepth = 0;
+    bool _closedLoopActive = false;
+    std::uint64_t _jobSeq = 0;
+
+    void handleRequest(const net::Packet &pkt);
+    void finishRequest(const net::Packet &pkt,
+                       const workloads::RequestPlan &plan);
+    void issueClosedLoopJob();
+    void startLocalGenerator(double gbps, sim::Tick until);
+    void scheduleLocalJob(double jobs_per_sec, sim::Tick until);
+    Measurement collect(sim::Tick warmup, sim::Tick window,
+                        double offered_gbps);
+
+    /** The CPU platform that serves this config. */
+    hw::ExecutionPlatform &servingCpu();
+
+    /** Drain queues and clear link/PCIe backlog between windows. */
+    void resetDatapath();
+};
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_TESTBED_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Capacity search implementation.
+ */
+
+#include "core/throughput_search.hh"
+
+#include <algorithm>
+
+#include "hw/specs.hh"
+
+namespace snic::core {
+
+sim::Tick
+windowFor(double rps, const ExperimentOptions &opts)
+{
+    if (rps <= 0.0)
+        return opts.minWindow;
+    const double secs =
+        static_cast<double>(opts.targetSamples) / rps;
+    const auto window = sim::secToTicks(secs);
+    return std::clamp(window, opts.minWindow, opts.maxWindow);
+}
+
+Capacity
+findCapacity(Testbed &testbed, const ExperimentOptions &opts)
+{
+    const auto &spec = testbed.workload().spec();
+    const double mean_bytes = spec.sizes.meanBytes();
+    const double est_rps = testbed.estimateCapacityRps();
+    const double est_gbps = est_rps * mean_bytes * 8.0 / 1e9;
+
+    double offered =
+        std::min(est_gbps * 1.35, hw::specs::lineRateGbps);
+    Capacity best;
+
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        const sim::Tick window = windowFor(est_rps, opts);
+        const Measurement m =
+            testbed.measure(offered, opts.warmup, window);
+        best.gbps = std::max(best.gbps, m.goodputGbps);
+        best.requestGbps = std::max(best.requestGbps, m.achievedGbps);
+        best.rps = std::max(best.rps, m.achievedRps);
+        // Saturated (offered clearly exceeds achieved) or the wire
+        // itself is the limit: done.
+        if (m.achievedGbps < 0.93 * offered ||
+            offered >= hw::specs::lineRateGbps * 0.999) {
+            break;
+        }
+        offered = std::min(offered * 1.7, hw::specs::lineRateGbps);
+    }
+    return best;
+}
+
+} // namespace snic::core

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Maximum-sustainable-throughput search.
+ *
+ * The paper "sets the packet rate at which we get the maximum
+ * throughput" (Sec. 4). Open-loop queues are work-conserving, so
+ * offering well beyond the analytic capacity estimate and measuring
+ * what completes gives the capacity directly; the search only has to
+ * confirm saturation (achieved << offered) and escalate otherwise.
+ */
+
+#ifndef SNIC_CORE_THROUGHPUT_SEARCH_HH
+#define SNIC_CORE_THROUGHPUT_SEARCH_HH
+
+#include "core/experiment.hh"
+
+namespace snic::core {
+
+/** Capacity of one testbed configuration. */
+struct Capacity
+{
+    double gbps = 0.0;         ///< goodput units (figures)
+    double requestGbps = 0.0;  ///< request-byte units (search/load)
+    double rps = 0.0;
+};
+
+/**
+ * Measure the capacity of @p testbed.
+ */
+Capacity findCapacity(Testbed &testbed, const ExperimentOptions &opts);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_THROUGHPUT_SEARCH_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CPU platform factories.
+ */
+
+#include "hw/cpu_platform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/specs.hh"
+
+namespace snic::hw {
+
+CostModel
+hostCostModel()
+{
+    CostModel m;
+    m.perStreamByte = specs::host::perStreamByte;
+    m.perRandomTouch = specs::host::perRandomTouch;
+    m.perBranchyOp = specs::host::perBranchyOp;
+    m.perArithOp = specs::host::perArithOp;
+    m.perCryptoBlock = specs::host::perCryptoBlock;
+    m.perHashBlock = specs::host::perHashBlock;
+    m.perBigMulOp = specs::host::perBigMulOp;
+    m.perKernelOp = specs::host::perKernelOp;
+    m.perMessage = specs::host::perMessage;
+    return m;
+}
+
+CostModel
+snicCpuCostModel()
+{
+    CostModel m;
+    m.perStreamByte = specs::snic_cpu::perStreamByte;
+    m.perRandomTouch = specs::snic_cpu::perRandomTouch;
+    m.perBranchyOp = specs::snic_cpu::perBranchyOp;
+    m.perArithOp = specs::snic_cpu::perArithOp;
+    m.perCryptoBlock = specs::snic_cpu::perCryptoBlock;
+    m.perHashBlock = specs::snic_cpu::perHashBlock;
+    m.perBigMulOp = specs::snic_cpu::perBigMulOp;
+    m.perKernelOp = specs::snic_cpu::perKernelOp;
+    m.perMessage = specs::snic_cpu::perMessage;
+    return m;
+}
+
+std::unique_ptr<ExecutionPlatform>
+makeHostCpu(sim::Simulation &sim, unsigned cores)
+{
+    return std::make_unique<ExecutionPlatform>(sim, "host_cpu", cores,
+                                               hostCostModel());
+}
+
+std::unique_ptr<ExecutionPlatform>
+makeSnicCpu(sim::Simulation &sim, unsigned cores)
+{
+    return std::make_unique<ExecutionPlatform>(sim, "snic_cpu", cores,
+                                               snicCpuCostModel());
+}
+
+double
+cachePressure(double bytes, double cache_bytes)
+{
+    if (bytes <= 0.0 || cache_bytes <= 0.0)
+        return 1.0;
+    const double ratio = bytes / cache_bytes;
+    if (ratio <= 0.5)
+        return 1.0;  // fits comfortably
+    // Smooth ramp: full-cache working set costs ~1.6x, a 4x spill
+    // costs ~3.4x. Saturates: beyond ~8x everything misses anyway.
+    const double pressure = 1.0 + 1.2 * std::log2(1.0 + ratio);
+    return std::min(pressure, 5.0);
+}
+
+} // namespace snic::hw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CPU platform factories: the host Xeon and the SNIC Arm complex.
+ */
+
+#ifndef SNIC_HW_CPU_PLATFORM_HH
+#define SNIC_HW_CPU_PLATFORM_HH
+
+#include <memory>
+
+#include "hw/platform.hh"
+
+namespace snic::hw {
+
+/** Cost model of the host Xeon Gold 6140 at 2.1 GHz (specs.hh). */
+CostModel hostCostModel();
+
+/** Cost model of the BlueField-2 Cortex-A72 complex at 2.0 GHz. */
+CostModel snicCpuCostModel();
+
+/**
+ * Create the host CPU platform.
+ *
+ * @param cores number of cores dedicated to the function (the study
+ *        uses 8 to match the SNIC, 10 in the KO3 scaling argument).
+ */
+std::unique_ptr<ExecutionPlatform>
+makeHostCpu(sim::Simulation &sim, unsigned cores = 8);
+
+/** Create the SNIC CPU platform (8 A72 cores). */
+std::unique_ptr<ExecutionPlatform>
+makeSnicCpu(sim::Simulation &sim, unsigned cores = 8);
+
+/**
+ * Cache-pressure multiplier for table-walking workloads: scales the
+ * effective cost of random touches when the working set @p bytes
+ * exceeds the platform cache @p cache_bytes. This is the mechanism
+ * that differentiates the REM rule sets on the host (Fig. 5): the
+ * file_image DFA spills the cache, file_executable's does not.
+ */
+double cachePressure(double bytes, double cache_bytes);
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_CPU_PLATFORM_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ESwitch implementation.
+ */
+
+#include "hw/eswitch.hh"
+
+#include "hw/pcie.hh"
+#include "hw/specs.hh"
+#include "sim/logging.hh"
+
+namespace snic::hw {
+
+ESwitch::ESwitch(sim::Simulation &sim, std::string name, PcieLink &pcie)
+    : Component(sim, std::move(name)),
+      _pcie(pcie),
+      _classifier([](const net::Packet &) { return SteerTarget::HostCpu; })
+{
+}
+
+void
+ESwitch::ingress(const net::Packet &pkt)
+{
+    const SteerTarget target = _classifier(pkt);
+    // Off-path skips the on-path match-action pipeline: plain L2
+    // forwarding at roughly a third of the latency.
+    const sim::Tick switch_delay = sim::nsToTicks(
+        _mode == OperationMode::OnPath ? specs::eswitchLatencyNs
+                                       : specs::eswitchLatencyNs / 3.0);
+    _bytes.add(pkt.sizeBytes);
+
+    switch (target) {
+      case SteerTarget::Drop:
+        _drops.inc();
+        return;
+      case SteerTarget::SnicCpu: {
+        if (!_toSnic)
+            sim::panic("ESwitch: no SNIC CPU sink");
+        _snicPkts.inc();
+        net::Packet copy = pkt;
+        sim().after(switch_delay, [this, copy] { _toSnic(copy); });
+        return;
+      }
+      case SteerTarget::HostCpu: {
+        if (!_toHost)
+            sim::panic("ESwitch: no host CPU sink");
+        _hostPkts.inc();
+        const sim::Tick dma = _pcie.transferDelay(pkt.sizeBytes);
+        net::Packet copy = pkt;
+        sim().after(switch_delay + dma, [this, copy] { _toHost(copy); });
+        return;
+      }
+    }
+}
+
+} // namespace snic::hw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The embedded switch (ConnectX-6 Dx eSwitch) inside the SNIC.
+ *
+ * In the paper's on-path mode (M1, Sec. 2.3) every ingress packet
+ * traverses the eSwitch, which steers it to the SNIC CPU complex, to
+ * the host CPU over PCIe, or into an accelerator staging path,
+ * according to rules the SNIC CPU (OvS control plane) programs. The
+ * eSwitch itself forwards at line rate with sub-µs latency — it is
+ * the bump-in-the-wire data plane the OvS workload offloads to.
+ */
+
+#ifndef SNIC_HW_ESWITCH_HH
+#define SNIC_HW_ESWITCH_HH
+
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/simulation.hh"
+#include "stats/counter.hh"
+
+namespace snic::hw {
+
+class PcieLink;
+
+/** Where the eSwitch can deliver a packet. */
+enum class SteerTarget
+{
+    SnicCpu,   ///< local Arm complex (on-chip, cheap)
+    HostCpu,   ///< over PCIe to host memory + IRQ/poll
+    Drop,      ///< matched a drop rule
+};
+
+/**
+ * BlueField-2 operation modes (Sec. 2.3). The paper evaluates only
+ * on-path (M1), where the SNIC CPU owns the switching rules and
+ * every packet crosses the full eSwitch pipeline. Off-path (M2) —
+ * deprecated by NVIDIA but modelled here for completeness — forwards
+ * by destination address with a shorter pipeline and no SNIC-CPU
+ * rule involvement.
+ */
+enum class OperationMode
+{
+    OnPath,   ///< M1: SNIC CPU programs the rules; full pipeline
+    OffPath,  ///< M2: L2 forwarding by address; shorter pipeline
+};
+
+/**
+ * The eSwitch.
+ */
+class ESwitch : public sim::Component
+{
+  public:
+    using Classifier = std::function<SteerTarget(const net::Packet &)>;
+    using Sink = std::function<void(const net::Packet &)>;
+
+    /**
+     * @param pcie the host-bound DMA path (adds latency + occupancy).
+     */
+    ESwitch(sim::Simulation &sim, std::string name, PcieLink &pcie);
+
+    /** Install the steering rule (default: everything to host). */
+    void setClassifier(Classifier c) { _classifier = std::move(c); }
+
+    /** Select the operation mode (default: OnPath, as the paper). */
+    void setMode(OperationMode m) { _mode = m; }
+    OperationMode mode() const { return _mode; }
+
+    void connectSnicCpu(Sink s) { _toSnic = std::move(s); }
+    void connectHostCpu(Sink s) { _toHost = std::move(s); }
+
+    /** Ingress entry point (connect the NIC-facing Link here). */
+    void ingress(const net::Packet &pkt);
+
+    std::uint64_t toHostCount() const { return _hostPkts.value(); }
+    std::uint64_t toSnicCount() const { return _snicPkts.value(); }
+    std::uint64_t droppedCount() const { return _drops.value(); }
+    std::uint64_t bytesForwarded() const
+    {
+        return static_cast<std::uint64_t>(_bytes.value());
+    }
+
+  private:
+    PcieLink &_pcie;
+    OperationMode _mode = OperationMode::OnPath;
+    Classifier _classifier;
+    Sink _toSnic;
+    Sink _toHost;
+    stats::Counter _hostPkts;
+    stats::Counter _snicPkts;
+    stats::Counter _drops;
+    stats::Accumulator _bytes;
+};
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_ESWITCH_HH

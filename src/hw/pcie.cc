@@ -1,0 +1,31 @@
+/**
+ * @file
+ * PcieLink implementation.
+ */
+
+#include "hw/pcie.hh"
+
+#include <algorithm>
+
+namespace snic::hw {
+
+PcieLink::PcieLink(sim::Simulation &sim, std::string name,
+                   double gbyte_per_sec, double latency_ns)
+    : Component(sim, std::move(name)),
+      _bytesPerSec(gbyte_per_sec * 1e9),
+      _latency(sim::nsToTicks(latency_ns))
+{
+}
+
+sim::Tick
+PcieLink::transferDelay(std::uint32_t bytes)
+{
+    const double ser_sec = static_cast<double>(bytes) / _bytesPerSec;
+    const auto ser = static_cast<sim::Tick>(ser_sec * 1e12 + 0.5);
+    const sim::Tick start = std::max(_nextFree, now());
+    _nextFree = start + ser;
+    _bytesMoved += bytes;
+    return (_nextFree - now()) + _latency;
+}
+
+} // namespace snic::hw

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PCIe interconnect model: the Gen4 x16 link between the SNIC and the
+ * host (Table 1), crossed by every packet the host CPU processes and
+ * by every host-initiated accelerator job.
+ */
+
+#ifndef SNIC_HW_PCIE_HH
+#define SNIC_HW_PCIE_HH
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace snic::hw {
+
+/**
+ * A PCIe link with posted latency and finite bandwidth.
+ */
+class PcieLink : public sim::Component
+{
+  public:
+    /**
+     * @param gbyte_per_sec usable payload bandwidth.
+     * @param latency_ns    one-way posted-transaction latency.
+     */
+    PcieLink(sim::Simulation &sim, std::string name,
+             double gbyte_per_sec, double latency_ns);
+
+    /**
+     * Time for a DMA of @p bytes to traverse the link, including
+     * serialization behind earlier transfers.
+     */
+    sim::Tick transferDelay(std::uint32_t bytes);
+
+    /** Bytes moved so far (power-model input: DMA activity). */
+    std::uint64_t bytesMoved() const { return _bytesMoved; }
+
+    /** Clear serialization backlog (between measurement windows). */
+    void reset() { _nextFree = 0; }
+
+  private:
+    double _bytesPerSec;
+    sim::Tick _latency;
+    sim::Tick _nextFree = 0;
+    std::uint64_t _bytesMoved = 0;
+};
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_PCIE_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ExecutionPlatform implementation.
+ */
+
+#include "hw/platform.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::hw {
+
+double
+CostModel::serviceNs(const alg::WorkCounters &work) const
+{
+    return perStreamByte * static_cast<double>(work.streamBytes) +
+           perRandomTouch * static_cast<double>(work.randomTouches) +
+           perBranchyOp * static_cast<double>(work.branchyOps) +
+           perArithOp * static_cast<double>(work.arithOps) +
+           perCryptoBlock * static_cast<double>(work.cryptoBlocks) +
+           perHashBlock * static_cast<double>(work.hashBlocks) +
+           perBigMulOp * static_cast<double>(work.bigMulOps) +
+           perKernelOp * static_cast<double>(work.kernelOps) +
+           perMessage * static_cast<double>(work.messages);
+}
+
+ExecutionPlatform::ExecutionPlatform(sim::Simulation &sim,
+                                     std::string name, unsigned workers,
+                                     CostModel costs, double setup_ns,
+                                     double pipeline_ns)
+    : Component(sim, std::move(name)),
+      _costs(costs),
+      _setupNs(setup_ns),
+      _pipelineNs(pipeline_ns),
+      _busyUntil(workers, 0)
+{
+    assert(workers >= 1);
+    _busyTracker.start(now(), 0.0);
+}
+
+unsigned
+ExecutionPlatform::busyWorkers() const
+{
+    const sim::Tick t = now();
+    unsigned busy = 0;
+    for (sim::Tick until : _busyUntil)
+        busy += (until > t);
+    return busy;
+}
+
+void
+ExecutionPlatform::trackBusy()
+{
+    _busyTracker.set(now(), static_cast<double>(busyWorkers()));
+}
+
+double
+ExecutionPlatform::busyIntegral() const
+{
+    return _busyTracker.integral(now());
+}
+
+double
+ExecutionPlatform::utilizationSince(double integral_then,
+                                    sim::Tick then) const
+{
+    const sim::Tick t = now();
+    if (t <= then)
+        return 0.0;
+    const double span = sim::ticksToSec(t - then);
+    const double busy = busyIntegral() - integral_then;
+    return busy / (span * static_cast<double>(numWorkers()));
+}
+
+void
+ExecutionPlatform::submit(const alg::WorkCounters &work,
+                          std::uint64_t flowHash, Completion done)
+{
+    const double ns = (_costs.serviceNs(work) + _setupNs) / _speed;
+    const auto service = static_cast<sim::Tick>(ns * 1e3 + 0.5);
+    const auto pipeline =
+        static_cast<sim::Tick>(_pipelineNs * 1e3 + 0.5);
+
+    // Pick a worker.
+    std::size_t w = 0;
+    if (_dispatch == Dispatch::FlowHash) {
+        w = static_cast<std::size_t>(flowHash % _busyUntil.size());
+    } else {
+        for (std::size_t i = 1; i < _busyUntil.size(); ++i) {
+            if (_busyUntil[i] < _busyUntil[w])
+                w = i;
+        }
+    }
+
+    const sim::Tick start = std::max(now(), _busyUntil[w]);
+    const sim::Tick busy_done = start + service;
+    _busyUntil[w] = busy_done;
+    trackBusy();
+
+    // Keep the busy-time integral exact: the worker frees at
+    // busy_done even though the request completes after the pipeline.
+    if (pipeline > 0)
+        sim().at(busy_done, [this] { trackBusy(); });
+
+    const sim::Tick complete_at = busy_done + pipeline;
+    sim().at(complete_at, [this, done = std::move(done)] {
+        _completed.inc();
+        trackBusy();
+        if (done)
+            done();
+    });
+}
+
+void
+ExecutionPlatform::drainAndReset()
+{
+    std::fill(_busyUntil.begin(), _busyUntil.end(), 0);
+    trackBusy();
+}
+
+} // namespace snic::hw

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Execution platforms: the queueing servers that turn WorkCounters
+ * into service time.
+ *
+ * A platform is a set of workers (CPU cores or accelerator lanes)
+ * with a cost model. Requests are dispatched to workers, occupy them
+ * for the priced service time, and complete via callback. Tail
+ * latency emerges from this queueing — the p99 knees of Fig. 5 are
+ * exactly the saturation behaviour of these queues.
+ */
+
+#ifndef SNIC_HW_PLATFORM_HH
+#define SNIC_HW_PLATFORM_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "alg/workcount.hh"
+#include "sim/simulation.hh"
+#include "stats/counter.hh"
+
+namespace snic::hw {
+
+/**
+ * Per-category service costs, in nanoseconds per work unit.
+ */
+struct CostModel
+{
+    double perStreamByte = 0.0;
+    double perRandomTouch = 0.0;
+    double perBranchyOp = 0.0;
+    double perArithOp = 0.0;
+    double perCryptoBlock = 0.0;
+    double perHashBlock = 0.0;
+    double perBigMulOp = 0.0;
+    double perKernelOp = 0.0;
+    double perMessage = 0.0;
+
+    /** Price @p work in nanoseconds. */
+    double serviceNs(const alg::WorkCounters &work) const;
+};
+
+/** Worker-selection policies. */
+enum class Dispatch
+{
+    LeastLoaded,  ///< ideal steering (good RSS + work stealing)
+    FlowHash,     ///< static RSS: flowHash % workers
+};
+
+/**
+ * A multi-worker execution platform.
+ */
+class ExecutionPlatform : public sim::Component
+{
+  public:
+    /** Completion callback; receives the completion tick. */
+    using Completion = std::function<void()>;
+
+    /**
+     * @param workers   cores or accelerator lanes.
+     * @param costs     how this platform prices work.
+     * @param setup_ns  fixed per-request time that occupies a worker
+     *                  (job submission, context switching).
+     * @param pipeline_ns fixed per-request latency that does NOT
+     *                  occupy the worker (DMA pipelines, PCIe hops).
+     */
+    ExecutionPlatform(sim::Simulation &sim, std::string name,
+                      unsigned workers, CostModel costs,
+                      double setup_ns = 0.0, double pipeline_ns = 0.0);
+
+    /**
+     * Submit one request.
+     *
+     * @param work     the priced work.
+     * @param flowHash steering key (used by Dispatch::FlowHash).
+     * @param done     invoked when service completes.
+     */
+    void submit(const alg::WorkCounters &work, std::uint64_t flowHash,
+                Completion done);
+
+    /** Compute the service time (ns) this platform would charge. */
+    double
+    serviceNs(const alg::WorkCounters &work) const
+    {
+        return (_costs.serviceNs(work) + _setupNs) / _speed;
+    }
+
+    void setDispatch(Dispatch d) { _dispatch = d; }
+
+    /**
+     * Frequency / DVFS scale: 1.0 = nominal. Values below 1 stretch
+     * every service time (the ondemand-governor energy runs).
+     */
+    void setSpeed(double speed) { _speed = speed; }
+
+    /**
+     * Busy-polling platforms (DPDK PMD threads) burn their workers
+     * at 100 % regardless of load; the power model reads this.
+     */
+    void setBusyPolling(bool on) { _busyPolling = on; }
+    bool busyPolling() const { return _busyPolling; }
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(_busyUntil.size());
+    }
+
+    /** Number of workers busy at the current instant. */
+    unsigned busyWorkers() const;
+
+    /** Integral of busy workers over time (worker-seconds). */
+    double busyIntegral() const;
+
+    /** Mean utilization over [t0, t1] given integrals at both. */
+    double utilizationSince(double integral_then, sim::Tick then) const;
+
+    std::uint64_t completedCount() const { return _completed.value(); }
+
+    /** Drop all queue state (between measurement runs). */
+    void drainAndReset();
+
+    const CostModel &costs() const { return _costs; }
+
+  private:
+    CostModel _costs;
+    double _setupNs;
+    double _pipelineNs;
+    double _speed = 1.0;
+    Dispatch _dispatch = Dispatch::LeastLoaded;
+    bool _busyPolling = false;
+
+    std::vector<sim::Tick> _busyUntil;
+    stats::Counter _completed;
+    mutable stats::TimeWeighted _busyTracker;
+
+    void trackBusy();
+};
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_PLATFORM_HH

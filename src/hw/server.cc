@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ServerModel implementation.
+ */
+
+#include "hw/server.hh"
+
+#include "hw/specs.hh"
+#include "sim/logging.hh"
+
+namespace snic::hw {
+
+const char *
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::HostCpu:
+        return "host";
+      case Platform::SnicCpu:
+        return "snic_cpu";
+      case Platform::SnicAccel:
+        return "snic_accel";
+    }
+    sim::panic("platformName: bad platform");
+}
+
+ServerModel::ServerModel(sim::Simulation &sim, unsigned host_cores,
+                         unsigned snic_cores)
+    : _sim(sim),
+      _pcie(std::make_unique<PcieLink>(sim, "pcie", specs::pcieGBps,
+                                       specs::pcieLatencyNs)),
+      _hostCpu(makeHostCpu(sim, host_cores)),
+      _snicCpu(makeSnicCpu(sim, snic_cores)),
+      _remAccel(makeAccelerator(sim, AccelKind::Rem)),
+      _pkaAccel(makeAccelerator(sim, AccelKind::Pka)),
+      _compAccel(makeAccelerator(sim, AccelKind::Compression)),
+      _eswitch(std::make_unique<ESwitch>(sim, "eswitch", *_pcie))
+{
+}
+
+ExecutionPlatform &
+ServerModel::accel(AccelKind kind)
+{
+    switch (kind) {
+      case AccelKind::Rem:
+        return *_remAccel;
+      case AccelKind::Pka:
+        return *_pkaAccel;
+      case AccelKind::Compression:
+        return *_compAccel;
+    }
+    sim::panic("ServerModel::accel: bad kind");
+}
+
+const ExecutionPlatform &
+ServerModel::accel(AccelKind kind) const
+{
+    return const_cast<ServerModel *>(this)->accel(kind);
+}
+
+ExecutionPlatform &
+ServerModel::cpuFor(Platform p)
+{
+    switch (p) {
+      case Platform::HostCpu:
+        return *_hostCpu;
+      case Platform::SnicCpu:
+      case Platform::SnicAccel:
+        return *_snicCpu;
+    }
+    sim::panic("ServerModel::cpuFor: bad platform");
+}
+
+} // namespace snic::hw

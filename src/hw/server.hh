@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The full server: host CPU + BlueField-2 SNIC (CPU complex, three
+ * accelerators, eSwitch) wired together — the device under test of
+ * the whole study.
+ */
+
+#ifndef SNIC_HW_SERVER_HH
+#define SNIC_HW_SERVER_HH
+
+#include <memory>
+
+#include "hw/accelerator.hh"
+#include "hw/cpu_platform.hh"
+#include "hw/eswitch.hh"
+#include "hw/pcie.hh"
+#include "sim/simulation.hh"
+
+namespace snic::hw {
+
+/** Which platform executes the function (Table 3's HC/SC/SA). */
+enum class Platform
+{
+    HostCpu,    ///< HC
+    SnicCpu,    ///< SC
+    SnicAccel,  ///< SA
+};
+
+/** Display name ("host", "snic_cpu", "snic_accel"). */
+const char *platformName(Platform p);
+
+/**
+ * The composed server model.
+ */
+class ServerModel
+{
+  public:
+    /**
+     * @param host_cores cores the host platform exposes (8 default,
+     *        10 for the KO3 scaling experiment).
+     * @param snic_cores SNIC CPU cores available to the function
+     *        (8 default; 1-2 for staging-only configurations).
+     */
+    explicit ServerModel(sim::Simulation &sim, unsigned host_cores = 8,
+                         unsigned snic_cores = 8);
+
+    ExecutionPlatform &hostCpu() { return *_hostCpu; }
+    ExecutionPlatform &snicCpu() { return *_snicCpu; }
+    ExecutionPlatform &accel(AccelKind kind);
+    ESwitch &eswitch() { return *_eswitch; }
+    PcieLink &pcie() { return *_pcie; }
+
+    const ExecutionPlatform &hostCpu() const { return *_hostCpu; }
+    const ExecutionPlatform &snicCpu() const { return *_snicCpu; }
+    const ExecutionPlatform &accel(AccelKind kind) const;
+
+    /** The CPU platform for @p p (SnicAccel staging uses SNIC CPU). */
+    ExecutionPlatform &cpuFor(Platform p);
+
+    sim::Simulation &sim() { return _sim; }
+
+  private:
+    sim::Simulation &_sim;
+    std::unique_ptr<PcieLink> _pcie;
+    std::unique_ptr<ExecutionPlatform> _hostCpu;
+    std::unique_ptr<ExecutionPlatform> _snicCpu;
+    std::unique_ptr<ExecutionPlatform> _remAccel;
+    std::unique_ptr<ExecutionPlatform> _pkaAccel;
+    std::unique_ptr<ExecutionPlatform> _compAccel;
+    std::unique_ptr<ESwitch> _eswitch;
+};
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_SERVER_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hardware specifications and calibrated cost coefficients.
+ *
+ * Structural numbers come straight from the paper (Table 1: the
+ * BlueField-2; Table 2: the client/server systems). The per-category
+ * cost coefficients are calibrated so the testbed reproduces the
+ * paper's measured ratios (Fig. 4-6); each is annotated with its
+ * anchor. Absolute values are plausible microarchitectural costs, but
+ * only the *ratios between platforms* carry reproduction weight.
+ */
+
+#ifndef SNIC_HW_SPECS_HH
+#define SNIC_HW_SPECS_HH
+
+namespace snic::hw::specs {
+
+// --- Structural (Table 1 / Table 2 / Sec. 3.1) ---
+
+/** Host: Intel Xeon Gold 6140, userspace governor at 2.1 GHz. */
+constexpr double hostFreqGhz = 2.1;
+constexpr unsigned hostCoresUsed = 8;   ///< matched to the SNIC's 8
+constexpr unsigned hostCoresTotal = 18;
+constexpr double hostLlcBytes = 24.75e6;
+
+/** SNIC: BlueField-2, 8x Cortex-A72 at 2.0 GHz. */
+constexpr double snicFreqGhz = 2.0;
+constexpr unsigned snicCores = 8;
+constexpr double snicL3Bytes = 6e6;
+constexpr double snicDramBytes = 16e9;
+
+/** Network: dual-port 100 Gbps ConnectX-6 Dx. */
+constexpr double lineRateGbps = 100.0;
+
+/** PCIe Gen4 x16 between host and SNIC. */
+constexpr double pcieGBps = 32.0;        ///< raw x16 Gen4
+constexpr double pcieLatencyNs = 700.0;  ///< one-way posted latency
+
+// --- CPU cost coefficients (ns per work unit) ---
+//
+// Host anchors: Skylake-class wide OoO core at 2.1 GHz with AES-NI
+// and AVX; SNIC anchors: 2-wide A72 at 2.0 GHz, no crypto/vector
+// extensions exploited by the study's software stack.
+
+namespace host {
+constexpr double perStreamByte = 0.050;   ///< ~20 GB/s/core streaming
+constexpr double perRandomTouch = 28.0;   ///< LLC/DRAM dependent load
+constexpr double perBranchyOp = 1.1;      ///< regex/LZ control step
+constexpr double perArithOp = 0.38;       ///< scalar ALU op
+constexpr double perCryptoBlock = 7.0;    ///< AES-NI, ~0.9 cpb
+constexpr double perHashBlock = 240.0;    ///< SHA-1 scalar (no ISA ext)
+constexpr double perBigMulOp = 1.0;       ///< 32x32 mul + carry chain
+constexpr double perKernelOp = 1.0;       ///< kernel net-stack step
+constexpr double perMessage = 95.0;       ///< request dispatch
+} // namespace host
+
+namespace snic_cpu {
+constexpr double perStreamByte = 0.16;    ///< single-channel DDR4
+constexpr double perRandomTouch = 52.0;   ///< small caches
+constexpr double perBranchyOp = 3.3;      ///< ~3x host (KO1 anchor)
+constexpr double perArithOp = 1.15;
+constexpr double perCryptoBlock = 165.0;  ///< scalar AES, ~20 cpb
+constexpr double perHashBlock = 1350.0;
+constexpr double perBigMulOp = 3.1;
+/** KO1 anchor: the A72 kernel path is ~6x the host's (UDP micro:
+ *  76.5-85.7% lower throughput). */
+constexpr double perKernelOp = 6.0;
+constexpr double perMessage = 260.0;
+} // namespace snic_cpu
+
+// --- Accelerator engines (Sec. 2.2, calibrated to KO2/KO3) ---
+
+namespace rem_accel {
+/** Raw engine scan rate; per-job overheads bring the sustained rate
+ *  down to the ~50 Gbps ceiling of Fig. 5 / KO3. */
+constexpr double scanGbps = 60.0;
+/** Per-packet engine overhead. The DOCA driver batches ~32 packets
+ *  per RXP job; this is the per-job setup amortized per packet. */
+constexpr double jobSetupNs = 90.0;
+/** Pipeline latency not occupying the engine: batch assembly on the
+ *  staging cores, PCIe hops, result DMA — the ~25 us latency floor
+ *  of Fig. 5. */
+constexpr double pipelineNs = 14000.0;
+/** Parallel engine lanes. */
+constexpr unsigned lanes = 2;
+} // namespace rem_accel
+
+namespace pka_accel {
+// Per-unit engine times are per *lane*; the engine has 2 lanes while
+// the host uses 8 cores, so the KO2 whole-platform ratios are:
+//   host AES throughput  = 1.385x the engine's,
+//   host RSA throughput  = 1.912x the engine's,
+//   engine SHA-1         = 1.894x the host's.
+/** RSA: 2 lanes at this rate = host-8-core rate / 1.912. */
+constexpr double perBigMulOp = 0.478;
+/** AES: 2 lanes at this rate = host-8-core rate / 1.385. */
+constexpr double perCryptoBlock = 2.60;
+/** SHA-1: 2 lanes at this rate = host-8-core rate x 1.894. */
+constexpr double perHashBlock = 28.6;
+constexpr double jobSetupNs = 900.0;
+constexpr double pipelineNs = 2500.0;
+constexpr unsigned lanes = 2;
+} // namespace pka_accel
+
+namespace comp_accel {
+/** Deflate engine: up to ~50 Gbps input, ~3.5x host (KO2). */
+constexpr double inputGbps = 50.0;
+constexpr double jobSetupNs = 3500.0;
+constexpr double pipelineNs = 11000.0;
+constexpr unsigned lanes = 2;
+} // namespace comp_accel
+
+/** DPDK poll-mode deployments keep this many PMD cores spinning even
+ *  when idle (l3fwd-power-style adaptive polling parks the rest). */
+constexpr unsigned dpdkPollCores = 2;
+
+// --- eSwitch / ConnectX bump-in-the-wire functions ---
+
+constexpr double eswitchLatencyNs = 350.0;
+/** OvS data plane offloaded to the eSwitch forwards at line rate. */
+constexpr double eswitchGbps = 100.0;
+
+} // namespace snic::hw::specs
+
+#endif // SNIC_HW_SPECS_HH

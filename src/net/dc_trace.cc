@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic datacenter trace generation.
+ */
+
+#include "net/dc_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snic::net {
+
+std::vector<double>
+makeDcTrace(const DcTraceParams &params, sim::Random &rng)
+{
+    std::vector<double> rates(params.bins);
+    const double n = static_cast<double>(params.bins);
+    for (std::size_t i = 0; i < params.bins; ++i) {
+        const double phase = 2.0 * M_PI * static_cast<double>(i) / n;
+        // Diurnal base: raised sine.
+        double r = 1.0 + params.diurnalSwing * std::sin(phase);
+        // Multiplicative noise.
+        r *= std::exp(rng.normal(0.0, 0.25));
+        // Microbursts.
+        if (rng.chance(params.burstProbability))
+            r *= params.burstMultiplier;
+        rates[i] = r;
+    }
+    // Normalize to the requested mean, then clamp bursts to the peak.
+    double mean = traceMean(rates);
+    for (auto &r : rates)
+        r = std::min(r * params.meanGbps / mean, params.peakGbps);
+    // Clamping shifts the mean slightly; renormalize the non-peak
+    // bins once more for an exact mean.
+    mean = traceMean(rates);
+    if (mean > 0.0) {
+        const double scale = params.meanGbps / mean;
+        for (auto &r : rates)
+            r = std::min(r * scale, params.peakGbps);
+    }
+    return rates;
+}
+
+double
+traceMean(const std::vector<double> &rates)
+{
+    if (rates.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double r : rates)
+        sum += r;
+    return sum / static_cast<double>(rates.size());
+}
+
+double
+tracePeak(const std::vector<double> &rates)
+{
+    double peak = 0.0;
+    for (double r : rates)
+        peak = std::max(peak, r);
+    return peak;
+}
+
+} // namespace snic::net

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic hyperscaler network trace (the Fig. 7 substitute).
+ *
+ * The paper replays a proprietary datacenter trace whose packet rate
+ * is low on average (0.76 Gbps) with pronounced diurnal swing and
+ * microbursts — properties it shares with published traffic studies
+ * [13, 83]. This generator reproduces those properties: a diurnal
+ * base curve, lognormal-ish noise, and Poisson-arriving microbursts,
+ * normalized to a requested mean rate.
+ */
+
+#ifndef SNIC_NET_DC_TRACE_HH
+#define SNIC_NET_DC_TRACE_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace snic::net {
+
+/** Parameters of the synthetic trace. */
+struct DcTraceParams
+{
+    double meanGbps = 0.76;      ///< Table 4 average
+    double diurnalSwing = 0.6;   ///< peak-to-mean swing fraction
+    double burstProbability = 0.05;  ///< per-bin microburst chance
+    double burstMultiplier = 8.0;    ///< burst rate over the base
+    double peakGbps = 12.0;      ///< clamp (Fig. 7's y-axis scale)
+    std::size_t bins = 300;      ///< number of rate windows
+};
+
+/**
+ * Generate the per-bin rate series (Gbps).
+ *
+ * The series is renormalized so its mean equals meanGbps exactly.
+ */
+std::vector<double> makeDcTrace(const DcTraceParams &params,
+                                sim::Random &rng);
+
+/** Mean of a rate series. */
+double traceMean(const std::vector<double> &rates);
+
+/** Peak of a rate series. */
+double tracePeak(const std::vector<double> &rates);
+
+} // namespace snic::net
+
+#endif // SNIC_NET_DC_TRACE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Link implementation.
+ */
+
+#include "net/link.hh"
+
+#include "sim/logging.hh"
+
+namespace snic::net {
+
+Link::Link(sim::Simulation &sim, std::string name, double gbps,
+           sim::Tick latency, sim::Tick drop_horizon)
+    : Component(sim, std::move(name)),
+      _gbps(gbps),
+      _latency(latency),
+      _dropHorizon(drop_horizon)
+{
+}
+
+sim::Tick
+Link::backlog() const
+{
+    const sim::Tick t = now();
+    return _nextFree > t ? _nextFree - t : 0;
+}
+
+bool
+Link::send(const Packet &pkt)
+{
+    if (!_sink)
+        sim::panic("Link %s: no sink connected", name().c_str());
+
+    const sim::Tick t = now();
+    if (backlog() > _dropHorizon) {
+        _dropped.inc();
+        return false;
+    }
+
+    const double ser_sec =
+        static_cast<double>(pkt.sizeBytes) / gbpsToBytesPerSec(_gbps);
+    const auto ser = static_cast<sim::Tick>(ser_sec * 1e12 + 0.5);
+    const sim::Tick start = std::max(_nextFree, t);
+    _nextFree = start + ser;
+
+    const sim::Tick deliver_at = _nextFree + _latency;
+    Packet copy = pkt;
+    sim().at(deliver_at, [this, copy] {
+        _delivered.inc();
+        _bytes.add(copy.sizeBytes);
+        _sink(copy);
+    });
+    return true;
+}
+
+} // namespace snic::net

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Point-to-point link with serialization delay and store-and-forward
+ * queueing — the 100 Gbps cable between the client and the server.
+ */
+
+#ifndef SNIC_NET_LINK_HH
+#define SNIC_NET_LINK_HH
+
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/simulation.hh"
+#include "stats/counter.hh"
+
+namespace snic::net {
+
+/** Callback receiving delivered packets. */
+using PacketSink = std::function<void(const Packet &)>;
+
+/**
+ * A unidirectional link.
+ *
+ * Serialization time is size/bandwidth; packets queue behind each
+ * other (the link keeps a next-free timestamp rather than an explicit
+ * queue, which is equivalent for FIFO service). Queue growth beyond
+ * a drop horizon models a full switch buffer.
+ */
+class Link : public sim::Component
+{
+  public:
+    /**
+     * @param gbps       line rate (100 for the study's testbed).
+     * @param latency    propagation + PHY latency.
+     * @param drop_horizon if the serialization backlog exceeds this,
+     *        arriving packets are dropped (tail-drop buffer).
+     */
+    Link(sim::Simulation &sim, std::string name, double gbps,
+         sim::Tick latency = sim::usToTicks(1.0),
+         sim::Tick drop_horizon = sim::msToTicks(10.0));
+
+    /** Attach the receiving side. */
+    void connect(PacketSink sink) { _sink = std::move(sink); }
+
+    /**
+     * Transmit a packet; delivery is scheduled unless dropped.
+     *
+     * @return false when tail-dropped.
+     */
+    bool send(const Packet &pkt);
+
+    double gbps() const { return _gbps; }
+    std::uint64_t delivered() const { return _delivered.value(); }
+    std::uint64_t dropped() const { return _dropped.value(); }
+    std::uint64_t bytesDelivered() const
+    {
+        return static_cast<std::uint64_t>(_bytes.value());
+    }
+
+    /** Current backlog (time until the link drains), for tests. */
+    sim::Tick backlog() const;
+
+    /** Clear serialization backlog (between measurement windows). */
+    void reset() { _nextFree = 0; }
+
+  private:
+    double _gbps;
+    sim::Tick _latency;
+    sim::Tick _dropHorizon;
+    sim::Tick _nextFree = 0;
+    PacketSink _sink;
+    stats::Counter _delivered;
+    stats::Counter _dropped;
+    stats::Accumulator _bytes;
+};
+
+} // namespace snic::net
+
+#endif // SNIC_NET_LINK_HH

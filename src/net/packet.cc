@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Packet helpers (header-only module; this file anchors the TU).
+ */
+
+#include "net/packet.hh"
+
+namespace snic::net {
+
+// Intentionally empty: Packet is a plain aggregate.
+
+} // namespace snic::net

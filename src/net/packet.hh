@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Network packet representation.
+ *
+ * Packets are lightweight descriptors: workloads attach semantic
+ * meaning (which key, which payload, match/no-match) through the id
+ * and flowHash fields rather than carrying byte buffers through the
+ * simulator, keeping event processing cheap at 100 Gbps rates.
+ */
+
+#ifndef SNIC_NET_PACKET_HH
+#define SNIC_NET_PACKET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace snic::net {
+
+/** Protocol family a packet belongs to. */
+enum class Proto
+{
+    Udp,
+    Tcp,
+    Dpdk,   ///< raw Ethernet consumed by a poll-mode driver
+    Rdma,   ///< RoCE verbs
+};
+
+/** Standard sizes used throughout the study. */
+constexpr std::uint32_t smallPacketBytes = 64;
+constexpr std::uint32_t kbPacketBytes = 1024;
+constexpr std::uint32_t mtuBytes = 1500;
+
+/** One packet on the wire. */
+struct Packet
+{
+    std::uint64_t id = 0;         ///< generator-assigned sequence
+    std::uint32_t sizeBytes = 0;  ///< wire size including headers
+    Proto proto = Proto::Udp;
+    sim::Tick createdAt = 0;      ///< client-side send timestamp
+    std::uint64_t flowHash = 0;   ///< RSS-style steering hash
+    /** Extra fixed latency (ns) the response path owes beyond
+     *  queueing and wire time (filled by the testbed). */
+    double extraNs = 0.0;
+};
+
+/** Convert a data rate in Gbps to bytes per second. */
+constexpr double
+gbpsToBytesPerSec(double gbps)
+{
+    return gbps * 1e9 / 8.0;
+}
+
+/** Convert bytes transferred over seconds to Gbps. */
+constexpr double
+bytesToGbps(double bytes, double seconds)
+{
+    return seconds <= 0.0 ? 0.0 : bytes * 8.0 / seconds / 1e9;
+}
+
+} // namespace snic::net
+
+#endif // SNIC_NET_PACKET_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SizeDist implementation.
+ */
+
+#include "net/size_dist.hh"
+
+#include "net/packet.hh"
+
+namespace snic::net {
+
+SizeDist
+SizeDist::fixed(std::uint32_t bytes)
+{
+    SizeDist d;
+    d._modes.push_back({bytes, 1.0});
+    d._weights.push_back(1.0);
+    return d;
+}
+
+SizeDist
+SizeDist::datacenterMix(double small_fraction)
+{
+    SizeDist d;
+    d._modes.push_back({smallPacketBytes, small_fraction});
+    d._modes.push_back({mtuBytes, 1.0 - small_fraction});
+    for (const auto &m : d._modes)
+        d._weights.push_back(m.weight);
+    return d;
+}
+
+SizeDist
+SizeDist::pcapMix()
+{
+    SizeDist d;
+    d._modes.push_back({64, 0.40});
+    d._modes.push_back({576, 0.15});
+    d._modes.push_back({1024, 0.15});
+    d._modes.push_back({1500, 0.30});
+    for (const auto &m : d._modes)
+        d._weights.push_back(m.weight);
+    return d;
+}
+
+std::uint32_t
+SizeDist::sample(sim::Random &rng) const
+{
+    if (_modes.size() == 1)
+        return _modes.front().bytes;
+    return _modes[rng.discrete(_weights)].bytes;
+}
+
+double
+SizeDist::meanBytes() const
+{
+    double total_w = 0.0, total = 0.0;
+    for (const auto &m : _modes) {
+        total_w += m.weight;
+        total += m.weight * m.bytes;
+    }
+    return total_w > 0.0 ? total / total_w : 0.0;
+}
+
+} // namespace snic::net

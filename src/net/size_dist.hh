@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Packet-size distributions used by the traffic generators.
+ *
+ * The study uses: fixed 64 B and 1 KB packets (microbenchmarks and
+ * most functions), fixed MTU (OvS, Fig. 5 REM sweep), and a mixed
+ * PCAP trace (Fig. 4 REM). The mixed distribution here substitutes
+ * for the Stratosphere CTU-Mixed-Capture-5 trace with the canonical
+ * bimodal datacenter mix (Benson et al. [13]): mostly small control
+ * packets and near-MTU data segments.
+ */
+
+#ifndef SNIC_NET_SIZE_DIST_HH
+#define SNIC_NET_SIZE_DIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace snic::net {
+
+/**
+ * A sampler of packet sizes.
+ */
+class SizeDist
+{
+  public:
+    /** Always @p bytes. */
+    static SizeDist fixed(std::uint32_t bytes);
+
+    /**
+     * Bimodal datacenter mix: @p small_fraction of packets at 64 B,
+     * the rest near the MTU.
+     */
+    static SizeDist datacenterMix(double small_fraction = 0.55);
+
+    /**
+     * PCAP-trace substitute: 64..1500 B with mass at 64, 576, 1024
+     * and 1500 B (the shape of mixed captures).
+     */
+    static SizeDist pcapMix();
+
+    /** Draw a size. */
+    std::uint32_t sample(sim::Random &rng) const;
+
+    /** Expected value (exact, from the mixture weights). */
+    double meanBytes() const;
+
+  private:
+    struct Mode
+    {
+        std::uint32_t bytes;
+        double weight;
+    };
+
+    std::vector<Mode> _modes;
+    std::vector<double> _weights;  // cached for Random::discrete
+};
+
+} // namespace snic::net
+
+#endif // SNIC_NET_SIZE_DIST_HH

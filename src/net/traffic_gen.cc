@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TrafficGen implementation.
+ */
+
+#include "net/traffic_gen.hh"
+
+#include "sim/logging.hh"
+
+namespace snic::net {
+
+TrafficGen::TrafficGen(sim::Simulation &sim, std::string name,
+                       Link &link, SizeDist sizes, Proto proto)
+    : Component(sim, std::move(name)),
+      _link(link),
+      _sizes(std::move(sizes)),
+      _proto(proto)
+{
+}
+
+void
+TrafficGen::startAtRate(double gbps, sim::Tick until)
+{
+    _rateGbps = gbps;
+    _until = until;
+    _schedule.clear();
+    _running = true;
+    emitNext(++_chain);
+}
+
+void
+TrafficGen::startSchedule(const std::vector<double> &rates_gbps,
+                          sim::Tick window)
+{
+    if (rates_gbps.empty())
+        sim::fatal("TrafficGen: empty rate schedule");
+    _schedule = rates_gbps;
+    _window = window;
+    _scheduleStart = now();
+    _until = now() + window * rates_gbps.size();
+    _running = true;
+    emitNext(++_chain);
+}
+
+double
+TrafficGen::currentRate() const
+{
+    if (_schedule.empty())
+        return _rateGbps;
+    const std::size_t idx = static_cast<std::size_t>(
+        (now() - _scheduleStart) / _window);
+    return idx < _schedule.size() ? _schedule[idx] : 0.0;
+}
+
+void
+TrafficGen::emitNext(std::uint64_t chain)
+{
+    if (chain != _chain || !_running || now() >= _until)
+        return;
+
+    const double rate = currentRate();
+    if (rate <= 0.0) {
+        // Idle window: re-check at the next schedule boundary.
+        const sim::Tick next_window =
+            _scheduleStart +
+            ((now() - _scheduleStart) / _window + 1) * _window;
+        sim().at(std::min(next_window, _until),
+                 [this, chain] { emitNext(chain); });
+        return;
+    }
+
+    Packet pkt;
+    pkt.id = ++_sent;
+    pkt.sizeBytes = _sizes.sample(sim().rng());
+    pkt.proto = _proto;
+    pkt.createdAt = now();
+    pkt.flowHash = sim().rng().next();
+    _link.send(pkt);
+
+    // Mean interarrival keyed to the *mean* packet size so the byte
+    // rate matches the requested Gbps.
+    const double pkts_per_sec =
+        gbpsToBytesPerSec(rate) / _sizes.meanBytes();
+    const double gap_sec = _arrival == Arrival::Poisson
+                               ? sim().rng().exponential(1.0 / pkts_per_sec)
+                               : 1.0 / pkts_per_sec;
+    const auto gap = static_cast<sim::Tick>(gap_sec * 1e12 + 0.5);
+    sim().after(std::max<sim::Tick>(gap, 1),
+                [this, chain] { emitNext(chain); });
+}
+
+} // namespace snic::net

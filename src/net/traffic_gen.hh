@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Open-loop traffic generators — the simulated DPDK-Pktgen / iperf
+ * client of the testbed.
+ */
+
+#ifndef SNIC_NET_TRAFFIC_GEN_HH
+#define SNIC_NET_TRAFFIC_GEN_HH
+
+#include <functional>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/packet.hh"
+#include "net/size_dist.hh"
+#include "sim/simulation.hh"
+
+namespace snic::net {
+
+/** Arrival process shapes. */
+enum class Arrival
+{
+    Deterministic,  ///< evenly spaced (Pktgen's paced mode)
+    Poisson,        ///< exponential interarrivals
+};
+
+/**
+ * Generates packets at a configured data rate onto a Link.
+ */
+class TrafficGen : public sim::Component
+{
+  public:
+    /**
+     * @param link  the link to transmit on.
+     * @param sizes packet-size distribution.
+     * @param proto protocol tag stamped on packets.
+     */
+    TrafficGen(sim::Simulation &sim, std::string name, Link &link,
+               SizeDist sizes, Proto proto);
+
+    /** Set the arrival process (default Poisson). */
+    void setArrival(Arrival a) { _arrival = a; }
+
+    /**
+     * Run at a fixed offered load.
+     *
+     * @param gbps offered data rate.
+     * @param until stop generating at this absolute tick.
+     */
+    void startAtRate(double gbps, sim::Tick until);
+
+    /**
+     * Run a rate schedule: rate @p rates_gbps[i] during the i-th
+     * window of @p window ticks (Fig. 7 trace replay).
+     */
+    void startSchedule(const std::vector<double> &rates_gbps,
+                       sim::Tick window);
+
+    /** Stop generating. */
+    void stop() { _running = false; }
+
+    std::uint64_t sent() const { return _sent; }
+
+  private:
+    Link &_link;
+    SizeDist _sizes;
+    Proto _proto;
+    Arrival _arrival = Arrival::Poisson;
+    bool _running = false;
+    std::uint64_t _sent = 0;
+    /** Generation counter: each start() begins a new emit chain and
+     *  orphans any event left over from the previous one. */
+    std::uint64_t _chain = 0;
+    double _rateGbps = 0.0;
+    sim::Tick _until = 0;
+
+    std::vector<double> _schedule;
+    sim::Tick _window = 0;
+    sim::Tick _scheduleStart = 0;
+
+    void emitNext(std::uint64_t chain);
+    double currentRate() const;
+};
+
+} // namespace snic::net
+
+#endif // SNIC_NET_TRAFFIC_GEN_HH

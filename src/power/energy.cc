@@ -1,0 +1,81 @@
+/**
+ * @file
+ * EnergyMeter implementation.
+ */
+
+#include "power/energy.hh"
+
+#include <algorithm>
+
+#include "hw/specs.hh"
+
+namespace snic::power {
+
+EnergyMeter::EnergyMeter(const hw::ServerModel &server,
+                         const ServerPowerModel &power)
+    : _server(server), _power(power)
+{
+}
+
+void
+EnergyMeter::begin()
+{
+    _t0 = _server.hostCpu().now();
+    _hostBusy0 = _server.hostCpu().busyIntegral();
+    _snicBusy0 = _server.snicCpu().busyIntegral();
+    _remBusy0 = _server.accel(hw::AccelKind::Rem).busyIntegral();
+    _pkaBusy0 = _server.accel(hw::AccelKind::Pka).busyIntegral();
+    _compBusy0 =
+        _server.accel(hw::AccelKind::Compression).busyIntegral();
+}
+
+double
+EnergyMeter::utilOver(const hw::ExecutionPlatform &p, double busy0,
+                      double seconds)
+{
+    if (seconds <= 0.0)
+        return 0.0;
+    const double busy = p.busyIntegral() - busy0;
+    double util = std::clamp(
+        busy / (seconds * static_cast<double>(p.numWorkers())), 0.0,
+        1.0);
+    if (p.busyPolling()) {
+        const double floor =
+            std::min<double>(hw::specs::dpdkPollCores,
+                             p.numWorkers()) /
+            static_cast<double>(p.numWorkers());
+        util = std::max(util, floor);
+    }
+    return util;
+}
+
+EnergyReading
+EnergyMeter::end(double bytes_delivered) const
+{
+    EnergyReading r;
+    const sim::Tick t1 = _server.hostCpu().now();
+    r.seconds = sim::ticksToSec(t1 - _t0);
+    if (r.seconds <= 0.0)
+        return r;
+
+    r.hostUtil = utilOver(_server.hostCpu(), _hostBusy0, r.seconds);
+    r.snicCpuUtil = utilOver(_server.snicCpu(), _snicBusy0, r.seconds);
+    const double rem = utilOver(_server.accel(hw::AccelKind::Rem),
+                                _remBusy0, r.seconds);
+    const double pka = utilOver(_server.accel(hw::AccelKind::Pka),
+                                _pkaBusy0, r.seconds);
+    const double comp =
+        utilOver(_server.accel(hw::AccelKind::Compression), _compBusy0,
+                 r.seconds);
+    r.accelUtil = (rem + pka + comp) / 3.0;
+
+    r.nicGbps = bytes_delivered * 8.0 / r.seconds / 1e9;
+    r.avgServerWatts = _power.serverWattsAt(r.hostUtil, r.snicCpuUtil,
+                                            r.accelUtil, r.nicGbps);
+    r.avgSnicWatts =
+        _power.snicWattsAt(r.snicCpuUtil, r.accelUtil, r.nicGbps);
+    r.serverJoules = r.avgServerWatts * r.seconds;
+    return r;
+}
+
+} // namespace snic::power

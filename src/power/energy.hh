@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exact (integral-based) energy accounting over a measurement window.
+ *
+ * Where the sensor models reproduce the measurement *instruments*,
+ * the EnergyMeter reproduces the measurement *quantity* exactly: it
+ * snapshots the platforms' busy-time integrals and the datapath byte
+ * counters at window start, and at window end converts average
+ * utilizations into average power via the power model. Energy
+ * efficiency is throughput divided by system-wide energy (Fig. 6).
+ */
+
+#ifndef SNIC_POWER_ENERGY_HH
+#define SNIC_POWER_ENERGY_HH
+
+#include "power/power_model.hh"
+
+namespace snic::power {
+
+/** Result of one metered window. */
+struct EnergyReading
+{
+    double seconds = 0.0;
+    double hostUtil = 0.0;
+    double snicCpuUtil = 0.0;
+    double accelUtil = 0.0;
+    double nicGbps = 0.0;
+    double avgServerWatts = 0.0;
+    double avgSnicWatts = 0.0;
+    double serverJoules = 0.0;
+
+    /** Active power above the idle floor. */
+    double activeServerWatts(const PowerSpecs &specs) const
+    {
+        return avgServerWatts - specs.serverIdleWatts;
+    }
+    double activeSnicWatts(const PowerSpecs &specs) const
+    {
+        return avgSnicWatts - specs.snicIdleWatts;
+    }
+};
+
+/**
+ * Meters one window of server activity.
+ */
+class EnergyMeter
+{
+  public:
+    EnergyMeter(const hw::ServerModel &server,
+                const ServerPowerModel &power);
+
+    /** Snapshot the window start (call when measurement begins). */
+    void begin();
+
+    /**
+     * Close the window.
+     *
+     * @param bytes_delivered application-level bytes moved during the
+     *        window (defines nicGbps; take it from the Link/eSwitch
+     *        counters or the workload's response accounting).
+     */
+    EnergyReading end(double bytes_delivered) const;
+
+  private:
+    const hw::ServerModel &_server;
+    const ServerPowerModel &_power;
+
+    sim::Tick _t0 = 0;
+    double _hostBusy0 = 0.0;
+    double _snicBusy0 = 0.0;
+    double _remBusy0 = 0.0;
+    double _pkaBusy0 = 0.0;
+    double _compBusy0 = 0.0;
+
+    /** Busy-polling-aware average utilization over the window. */
+    static double utilOver(const hw::ExecutionPlatform &p,
+                           double busy0, double seconds);
+};
+
+} // namespace snic::power
+
+#endif // SNIC_POWER_ENERGY_HH

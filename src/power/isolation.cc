@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Isolation validation implementation.
+ */
+
+#include "power/isolation.hh"
+
+#include <cmath>
+
+namespace snic::power {
+
+IsolationResult
+validateIsolation(const ServerPowerModel &power, double host_util,
+                  double snic_cpu_util, double accel_util,
+                  double nic_gbps)
+{
+    IsolationResult r;
+    r.serverWithSnicWatts = power.serverWattsAt(
+        host_util, snic_cpu_util, accel_util, nic_gbps);
+
+    // Without the SNIC: subtract everything the SNIC contributes
+    // (idle floor + its active parts). The host-side remainder is
+    // unchanged — pulling the card does not change host behaviour in
+    // the validation experiment, which runs the host idle.
+    const double snic_total =
+        power.snicWattsAt(snic_cpu_util, accel_util, nic_gbps);
+    r.serverWithoutSnicWatts = r.serverWithSnicWatts - snic_total;
+
+    r.differenceWatts = r.serverWithSnicWatts - r.serverWithoutSnicWatts;
+    r.riserWatts = power.snicWattsAt(snic_cpu_util, accel_util,
+                                     nic_gbps);
+    r.mismatchWatts = std::abs(r.differenceWatts - r.riserWatts);
+    r.mismatchFraction =
+        r.riserWatts > 0.0 ? r.mismatchWatts / r.riserWatts : 0.0;
+    return r;
+}
+
+SensorResolution
+compareSensorResolution()
+{
+    SensorResolution r;
+    r.bmcWatts = 1.0;       // 1 W step (DCMI)
+    r.yoctoWatts = 0.002;   // 2 mW step (Yocto-Watt)
+    r.resolutionRatio = r.bmcWatts / r.yoctoWatts;
+    r.samplingRatio = 10.0 / 1.0;
+    return r;
+}
+
+} // namespace snic::power

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Sec. 3.2 isolation-validation procedure.
+ *
+ * The paper validates the Yocto-Watt rig by checking that
+ * (server-with-SNIC) - (server-without-SNIC) matches the rig's
+ * direct SNIC measurement. This module reproduces that procedure
+ * over the power model and quantifies how well each instrument
+ * resolves the SNIC's contribution.
+ */
+
+#ifndef SNIC_POWER_ISOLATION_HH
+#define SNIC_POWER_ISOLATION_HH
+
+#include "power/power_model.hh"
+#include "power/sensors.hh"
+
+namespace snic::power {
+
+/** Outcome of the validation. */
+struct IsolationResult
+{
+    double serverWithSnicWatts = 0.0;
+    double serverWithoutSnicWatts = 0.0;
+    double differenceWatts = 0.0;   ///< the indirect SNIC estimate
+    double riserWatts = 0.0;        ///< 12 V + 3.3 V taps, direct
+    double mismatchWatts = 0.0;     ///< |difference - riser|
+    double mismatchFraction = 0.0;  ///< relative to riser
+};
+
+/**
+ * Run the validation at a given operating point.
+ *
+ * @param power the model under test.
+ * @param host_util / snic_cpu_util / accel_util / nic_gbps the
+ *        operating point to validate at.
+ */
+IsolationResult validateIsolation(const ServerPowerModel &power,
+                                  double host_util,
+                                  double snic_cpu_util,
+                                  double accel_util, double nic_gbps);
+
+/**
+ * Sampling-resolution comparison (the 10x / 500x claim): returns the
+ * smallest power swing each instrument can resolve, i.e. its
+ * quantization step plus noise floor.
+ */
+struct SensorResolution
+{
+    double bmcWatts;
+    double yoctoWatts;
+    double resolutionRatio;  ///< bmc / yocto (the paper's "500x")
+    double samplingRatio;    ///< 10 Hz / 1 Hz (the paper's "10x")
+};
+
+SensorResolution compareSensorResolution();
+
+} // namespace snic::power
+
+#endif // SNIC_POWER_ISOLATION_HH

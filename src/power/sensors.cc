@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Power sensor implementation.
+ */
+
+#include "power/sensors.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snic::power {
+
+PowerSensor::PowerSensor(sim::Simulation &sim, std::string name,
+                         PowerSource source, sim::Tick interval,
+                         double resolution_w, double noise_w)
+    : Component(sim, std::move(name)),
+      _source(std::move(source)),
+      _interval(interval),
+      _resolution(resolution_w),
+      _noise(noise_w)
+{
+}
+
+void
+PowerSensor::start(sim::Tick until)
+{
+    _until = until;
+    takeSample();
+}
+
+void
+PowerSensor::takeSample()
+{
+    if (now() > _until)
+        return;
+    double watts = _source();
+    // Additive instrument noise, then quantization to the ADC step.
+    watts += sim().rng().uniform(-_noise, _noise);
+    watts = std::round(watts / _resolution) * _resolution;
+    _samples.emplace_back(now(), watts);
+    sim().after(_interval, [this] { takeSample(); });
+}
+
+double
+PowerSensor::meanWatts() const
+{
+    if (_samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[t, w] : _samples)
+        sum += w;
+    return sum / static_cast<double>(_samples.size());
+}
+
+double
+PowerSensor::observedSwing() const
+{
+    if (_samples.empty())
+        return 0.0;
+    double lo = _samples.front().second, hi = lo;
+    for (const auto &[t, w] : _samples) {
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
+    }
+    return hi - lo;
+}
+
+PowerSensor
+makeBmcSensor(sim::Simulation &sim, PowerSource source)
+{
+    // DCMI via ipmitool: 1 Hz, +/-1 W (Sec. 3.2).
+    return PowerSensor(sim, "bmc", std::move(source),
+                       sim::secToTicks(1.0), 1.0, 1.0);
+}
+
+PowerSensor
+makeYoctoWattSensor(sim::Simulation &sim, std::string name,
+                    PowerSource source)
+{
+    // Yocto-Watt: 10 Hz, +/-2 mW (Sec. 3.2).
+    return PowerSensor(sim, std::move(name), std::move(source),
+                       sim::msToTicks(100.0), 0.002, 0.002);
+}
+
+} // namespace snic::power

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Power-sensor models: the BMC/DCMI motherboard sensor and the
+ * Yocto-Watt PCIe-riser rig (Sec. 3.2, Fig. 3).
+ *
+ * The paper's methodological point is that the stock BMC sensor
+ * (1 Hz, +/-1 W) cannot resolve the SNIC's <=5.4 W active swing — the
+ * custom rig samples 10x faster with 500x finer resolution. These
+ * models reproduce both instruments' sampling, quantization and noise
+ * so that claim is itself testable (bench E10).
+ */
+
+#ifndef SNIC_POWER_SENSORS_HH
+#define SNIC_POWER_SENSORS_HH
+
+#include <functional>
+
+#include "sim/simulation.hh"
+#include "stats/timeseries.hh"
+
+namespace snic::power {
+
+/** A callback returning the true instantaneous power in watts. */
+using PowerSource = std::function<double()>;
+
+/**
+ * A sampling power sensor with quantization and noise.
+ */
+class PowerSensor : public sim::Component
+{
+  public:
+    /**
+     * @param source        true power to observe.
+     * @param interval      sampling period.
+     * @param resolution_w  quantization step (1 W BMC, 2 mW Yocto).
+     * @param noise_w       +/- uniform noise amplitude.
+     */
+    PowerSensor(sim::Simulation &sim, std::string name,
+                PowerSource source, sim::Tick interval,
+                double resolution_w, double noise_w);
+
+    /** Begin sampling until @p until. */
+    void start(sim::Tick until);
+
+    /** Samples taken so far. */
+    std::size_t sampleCount() const { return _samples.size(); }
+
+    /** The i-th (time, watts) sample. */
+    std::pair<sim::Tick, double> sample(std::size_t i) const
+    {
+        return _samples[i];
+    }
+
+    /** Mean of all samples (the paper's reported average power). */
+    double meanWatts() const;
+
+    /** Max - min across samples (swing resolvability check). */
+    double observedSwing() const;
+
+    sim::Tick interval() const { return _interval; }
+    double resolution() const { return _resolution; }
+
+  private:
+    PowerSource _source;
+    sim::Tick _interval;
+    double _resolution;
+    double _noise;
+    sim::Tick _until = 0;
+    std::vector<std::pair<sim::Tick, double>> _samples;
+
+    void takeSample();
+};
+
+/** The motherboard BMC/DCMI sensor: 1 Hz, 1 W resolution, +/-1 W. */
+PowerSensor makeBmcSensor(sim::Simulation &sim, PowerSource source);
+
+/** One Yocto-Watt tap: 10 Hz, 2 mW resolution, +/-2 mW. */
+PowerSensor makeYoctoWattSensor(sim::Simulation &sim, std::string name,
+                                PowerSource source);
+
+} // namespace snic::power
+
+#endif // SNIC_POWER_SENSORS_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * EventQueue implementation: lazy-deletion binary heap.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace snic::sim {
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
+{
+    while (!_heap.empty()) {
+        Record *rec = _heap.top();
+        _heap.pop();
+        delete rec;
+    }
+}
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < _curTick) {
+        panic("EventQueue: scheduling into the past (when=%llu cur=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    auto *rec = new Record{when, _nextSeq, _nextSeq, false, std::move(fn)};
+    ++_nextSeq;
+    _heap.push(rec);
+    _pending[rec->id] = rec;
+    ++_numPending;
+    return rec->id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = _pending.find(id);
+    if (it == _pending.end())
+        return false;
+    it->second->cancelled = true;
+    _pending.erase(it);
+    assert(_numPending > 0);
+    --_numPending;
+    return true;
+}
+
+EventQueue::Record *
+EventQueue::popLive()
+{
+    while (!_heap.empty()) {
+        Record *rec = _heap.top();
+        _heap.pop();
+        if (rec->cancelled) {
+            delete rec;
+            continue;
+        }
+        return rec;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::runNext()
+{
+    Record *rec = popLive();
+    if (!rec)
+        return false;
+    assert(rec->when >= _curTick);
+    _curTick = rec->when;
+    _pending.erase(rec->id);
+    --_numPending;
+    ++_numFired;
+    // Move the closure out so the callback may freely reschedule.
+    auto fn = std::move(rec->fn);
+    delete rec;
+    fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t fired = 0;
+    while (true) {
+        Record *rec = popLive();
+        if (!rec) {
+            _curTick = std::max(_curTick, limit);
+            return fired;
+        }
+        if (rec->when > limit) {
+            // Not yet due: put it back and stop at the limit.
+            _heap.push(rec);
+            _curTick = limit;
+            return fired;
+        }
+        _curTick = rec->when;
+        _pending.erase(rec->id);
+        --_numPending;
+        ++_numFired;
+        ++fired;
+        auto fn = std::move(rec->fn);
+        delete rec;
+        fn();
+    }
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t fired = 0;
+    while (runNext())
+        ++fired;
+    return fired;
+}
+
+} // namespace snic::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the testbed simulator.
+ *
+ * Events are closures scheduled at absolute ticks. Ties are broken by
+ * insertion order so runs are fully deterministic. Events may be
+ * descheduled (cancelled) before they fire; cancellation is O(1) and
+ * the heap slot is lazily reclaimed when it reaches the top.
+ */
+
+#ifndef SNIC_SIM_EVENT_QUEUE_HH
+#define SNIC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snic::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Handle value that never names a live event. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * A time-ordered queue of callback events.
+ *
+ * The queue is single-threaded by design: the whole testbed runs in
+ * one simulated timeline, mirroring the single physical server of the
+ * paper's setup.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when absolute tick; must be >= curTick().
+     * @param fn   callback executed when the event fires.
+     * @return a handle usable with deschedule().
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        return schedule(_curTick + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @return true if the event was pending and is now cancelled,
+     *         false if it already fired or was already cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t numPending() const { return _numPending; }
+
+    /** True when no live events remain. */
+    bool empty() const { return _numPending == 0; }
+
+    /**
+     * Fire the next event, advancing the clock to its time.
+     *
+     * @return false when the queue is empty.
+     */
+    bool runNext();
+
+    /**
+     * Run events until the clock would pass @p limit.
+     *
+     * The clock is left at exactly @p limit if the queue drains or the
+     * next event lies beyond the limit.
+     *
+     * @return number of events fired.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until no events remain. @return number of events fired. */
+    std::uint64_t runAll();
+
+    /** Total number of events ever fired. */
+    std::uint64_t numFired() const { return _numFired; }
+
+  private:
+    /** One scheduled event. Owned by the heap until it fires. */
+    struct Record
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        bool cancelled = false;
+        std::function<void()> fn;
+    };
+
+    /** Min-order on (when, seq); priority_queue is a max-heap. */
+    struct Compare
+    {
+        bool
+        operator()(const Record *a, const Record *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 1;
+    std::size_t _numPending = 0;
+    std::uint64_t _numFired = 0;
+
+    std::priority_queue<Record *, std::vector<Record *>, Compare> _heap;
+
+    /** Pending-event registry for O(1) deschedule, keyed by EventId. */
+    std::unordered_map<EventId, Record *> _pending;
+
+    Record *popLive();
+};
+
+} // namespace snic::sim
+
+#endif // SNIC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Logging implementation.
+ */
+
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snic::sim {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Normal;
+
+void
+vreport(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (globalLevel != LogLevel::Verbose)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("debug: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace snic::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic()  — simulator bug; prints and aborts.
+ * fatal()  — user/configuration error; prints and exits(1).
+ * warn()   — suspicious but continuable condition.
+ * inform() — plain status output.
+ *
+ * All take printf-style format strings.
+ */
+
+#ifndef SNIC_SIM_LOGGING_HH
+#define SNIC_SIM_LOGGING_HH
+
+#include <cstdarg>
+
+namespace snic::sim {
+
+/** Verbosity threshold for inform(); warnings always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global verbosity (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Report an internal simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a continuable suspicious condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report status (suppressed at LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report detail (printed only at LogLevel::Verbose). */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace snic::sim
+
+#endif // SNIC_SIM_LOGGING_HH

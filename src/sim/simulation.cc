@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Simulation implementation.
+ */
+
+#include "sim/simulation.hh"
+
+namespace snic::sim {
+
+Simulation::Simulation(std::uint64_t seed)
+    : _rng(seed)
+{
+}
+
+} // namespace snic::sim

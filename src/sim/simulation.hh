@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulation context: one timeline, one RNG, shared by all components.
+ */
+
+#ifndef SNIC_SIM_SIMULATION_HH
+#define SNIC_SIM_SIMULATION_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace snic::sim {
+
+/**
+ * Owns the event queue and the root RNG for one experiment run.
+ *
+ * Components hold a reference to the Simulation they belong to and
+ * schedule their work through it. Constructing a fresh Simulation
+ * (with a fresh seed) gives an independent, reproducible run.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1);
+
+    EventQueue &events() { return _events; }
+    Random &rng() { return _rng; }
+
+    /** Current simulated time. */
+    Tick now() const { return _events.curTick(); }
+
+    /** Schedule @p fn at absolute tick @p when. */
+    EventId
+    at(Tick when, std::function<void()> fn)
+    {
+        return _events.schedule(when, std::move(fn));
+    }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId
+    after(Tick delay, std::function<void()> fn)
+    {
+        return _events.scheduleIn(delay, std::move(fn));
+    }
+
+    /** Cancel a pending event. */
+    bool cancel(EventId id) { return _events.deschedule(id); }
+
+    /** Advance simulated time to @p limit, firing due events. */
+    std::uint64_t runUntil(Tick limit) { return _events.runUntil(limit); }
+
+    /** Run until the event queue drains. */
+    std::uint64_t runAll() { return _events.runAll(); }
+
+  private:
+    EventQueue _events;
+    Random _rng;
+};
+
+/**
+ * Convenience base for named simulation components.
+ */
+class Component
+{
+  public:
+    Component(Simulation &sim, std::string name)
+        : _sim(sim), _name(std::move(name))
+    {}
+
+    virtual ~Component() = default;
+
+    Simulation &sim() { return _sim; }
+    const Simulation &sim() const { return _sim; }
+    const std::string &name() const { return _name; }
+
+    /** Current simulated time, for convenience. */
+    Tick now() const { return _sim.now(); }
+
+  private:
+    Simulation &_sim;
+    std::string _name;
+};
+
+} // namespace snic::sim
+
+#endif // SNIC_SIM_SIMULATION_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental simulation types and time-unit helpers.
+ *
+ * The simulator counts time in integer ticks at 1 ps resolution
+ * (1 THz tick rate), which keeps every latency in the study — from
+ * sub-nanosecond PCIe flit times up to multi-second power traces —
+ * exactly representable in a 64-bit counter.
+ */
+
+#ifndef SNIC_SIM_TYPES_HH
+#define SNIC_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace snic::sim {
+
+/** Simulated time, in ticks (1 tick = 1 ps). */
+using Tick = std::uint64_t;
+
+/** Number of ticks per simulated second (1 THz). */
+constexpr Tick ticksPerSec = 1'000'000'000'000ULL;
+
+/** Sentinel for "no deadline". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @return ticks corresponding to @p ns nanoseconds. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1e3 + 0.5);
+}
+
+/** @return ticks corresponding to @p us microseconds. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * 1e6 + 0.5);
+}
+
+/** @return ticks corresponding to @p ms milliseconds. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * 1e9 + 0.5);
+}
+
+/** @return ticks corresponding to @p s seconds. */
+constexpr Tick
+secToTicks(double s)
+{
+    return static_cast<Tick>(s * 1e12 + 0.5);
+}
+
+/** @return @p t expressed in nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** @return @p t expressed in microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** @return @p t expressed in seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+} // namespace snic::sim
+
+#endif // SNIC_SIM_TYPES_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DpdkStack implementation. Anchors: ~13 ns/packet RX on the host,
+ * ~38 ns on the A72 — both far enough under the 82 ns/packet budget
+ * of 1 KB packets at 100 Gbps that one core of either platform
+ * reaches line rate for 1 KB including echo TX and app work
+ * (Sec. 3.3), while neither sustains 64 B line rate (5.1 ns budget).
+ */
+
+#include "stack/dpdk_stack.hh"
+
+namespace snic::stack {
+
+alg::WorkCounters
+DpdkStack::rxWork(std::uint32_t bytes) const
+{
+    (void)bytes;  // zero-copy: cost is size-independent
+    alg::WorkCounters w;
+    w.branchyOps = 8;    // rx burst loop, descriptor parse
+    w.arithOps = 10;     // prefetch math, mbuf bookkeeping
+    return w;
+}
+
+alg::WorkCounters
+DpdkStack::txWork(std::uint32_t bytes) const
+{
+    (void)bytes;
+    alg::WorkCounters w;
+    w.branchyOps = 3;
+    w.arithOps = 4;
+    return w;
+}
+
+sim::Tick
+DpdkStack::fixedLatency(hw::Platform p) const
+{
+    // Pure NIC + doorbell latency; polling removes IRQ delays.
+    switch (p) {
+      case hw::Platform::HostCpu:
+        return sim::nsToTicks(600.0);
+      default:
+        return sim::nsToTicks(450.0);
+    }
+}
+
+} // namespace snic::stack

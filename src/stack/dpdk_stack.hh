@@ -1,0 +1,31 @@
+/**
+ * @file
+ * DPDK poll-mode stack cost model.
+ */
+
+#ifndef SNIC_STACK_DPDK_STACK_HH
+#define SNIC_STACK_DPDK_STACK_HH
+
+#include "stack/stack_model.hh"
+
+namespace snic::stack {
+
+/**
+ * DPDK PMD: user-space polling, zero-copy mbufs, no syscalls or
+ * interrupts. Per-packet cost is tens of nanoseconds — one host OR
+ * one SNIC core sustains the 100 Gbps line rate for 1 KB packets
+ * (Sec. 3.3) — but the polling core burns full power at any load.
+ */
+class DpdkStack : public StackModel
+{
+  public:
+    const char *name() const override { return "dpdk"; }
+    alg::WorkCounters rxWork(std::uint32_t bytes) const override;
+    alg::WorkCounters txWork(std::uint32_t bytes) const override;
+    sim::Tick fixedLatency(hw::Platform p) const override;
+    bool busyPolling() const override { return true; }
+};
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_DPDK_STACK_HH

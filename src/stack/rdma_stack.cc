@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RdmaStack implementation.
+ */
+
+#include "stack/rdma_stack.hh"
+
+namespace snic::stack {
+
+alg::WorkCounters
+RdmaStack::rxWork(std::uint32_t bytes) const
+{
+    alg::WorkCounters w;
+    if (_op == RdmaOp::OneSided) {
+        // NIC DMA directly into registered memory; the CPU never
+        // sees the packet.
+        return w;
+    }
+    (void)bytes;
+    w.branchyOps = 55;   // CQ poll, WC parse
+    w.arithOps = 30;     // recv-buffer repost
+    w.randomTouches = 1; // QP state
+    return w;
+}
+
+alg::WorkCounters
+RdmaStack::txWork(std::uint32_t bytes) const
+{
+    (void)bytes;
+    alg::WorkCounters w;
+    if (_op == RdmaOp::OneSided)
+        return w;
+    w.branchyOps = 35;   // post_send, doorbell
+    w.arithOps = 20;
+    return w;
+}
+
+sim::Tick
+RdmaStack::fixedLatency(hw::Platform p) const
+{
+    // The verbs hardware path: the host crosses PCIe both ways; the
+    // SNIC CPU sits next to the NIC (Wei et al. [76]).
+    switch (p) {
+      case hw::Platform::HostCpu:
+        return sim::nsToTicks(1650.0);
+      default:
+        return sim::nsToTicks(1300.0);
+    }
+}
+
+} // namespace snic::stack

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * RDMA (RoCEv2 verbs) stack cost model.
+ */
+
+#ifndef SNIC_STACK_RDMA_STACK_HH
+#define SNIC_STACK_RDMA_STACK_HH
+
+#include "stack/stack_model.hh"
+
+namespace snic::stack {
+
+/** RDMA operation classes. */
+enum class RdmaOp
+{
+    OneSided,  ///< READ/WRITE: the server CPU is not involved
+    TwoSided,  ///< SEND/RECV: receive-side completion handling
+};
+
+/**
+ * RDMA over the ConnectX-6: the transport runs in NIC hardware.
+ * One-sided verbs cost the serving CPU nothing; two-sided verbs cost
+ * a completion-queue poll and a receive-buffer repost. The host's
+ * verbs path crosses PCIe to reach the NIC, the SNIC CPU's does not
+ * — hence the SNIC's 14.6-24.3 % lower p99 (Sec. 4, KO1 discussion).
+ */
+class RdmaStack : public StackModel
+{
+  public:
+    explicit RdmaStack(RdmaOp op = RdmaOp::TwoSided) : _op(op) {}
+
+    const char *name() const override { return "rdma"; }
+    alg::WorkCounters rxWork(std::uint32_t bytes) const override;
+    alg::WorkCounters txWork(std::uint32_t bytes) const override;
+    sim::Tick fixedLatency(hw::Platform p) const override;
+
+    RdmaOp op() const { return _op; }
+
+  private:
+    RdmaOp _op;
+};
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_RDMA_STACK_HH

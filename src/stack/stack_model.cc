@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Stack factory.
+ */
+
+#include "stack/stack_model.hh"
+
+#include "sim/logging.hh"
+#include "stack/dpdk_stack.hh"
+#include "stack/rdma_stack.hh"
+#include "stack/tcp_stack.hh"
+#include "stack/udp_stack.hh"
+
+namespace snic::stack {
+
+const char *
+stackName(StackKind kind)
+{
+    switch (kind) {
+      case StackKind::Udp:
+        return "udp";
+      case StackKind::Tcp:
+        return "tcp";
+      case StackKind::Dpdk:
+        return "dpdk";
+      case StackKind::Rdma:
+        return "rdma";
+    }
+    sim::panic("stackName: bad kind");
+}
+
+std::unique_ptr<StackModel>
+makeStack(StackKind kind, bool rdma_one_sided)
+{
+    switch (kind) {
+      case StackKind::Udp:
+        return std::make_unique<UdpStack>();
+      case StackKind::Tcp:
+        return std::make_unique<TcpStack>();
+      case StackKind::Dpdk:
+        return std::make_unique<DpdkStack>();
+      case StackKind::Rdma:
+        return std::make_unique<RdmaStack>(rdma_one_sided
+                                               ? RdmaOp::OneSided
+                                               : RdmaOp::TwoSided);
+    }
+    sim::panic("makeStack: bad kind");
+}
+
+} // namespace snic::stack

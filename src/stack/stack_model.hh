@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Networking-stack cost models: TCP, UDP, DPDK and RDMA.
+ *
+ * A stack model answers: how much CPU work does one received or
+ * transmitted packet cost *before* the application function runs, and
+ * what fixed latency does the path add? The same counters are priced
+ * by whichever platform serves the packet, which is how the paper's
+ * KO1 (the SNIC CPU drowns in the TCP/UDP stack) emerges without any
+ * per-platform special-casing in the stacks themselves.
+ */
+
+#ifndef SNIC_STACK_STACK_MODEL_HH
+#define SNIC_STACK_STACK_MODEL_HH
+
+#include <memory>
+
+#include "alg/workcount.hh"
+#include "hw/server.hh"
+#include "sim/types.hh"
+
+namespace snic::stack {
+
+/** The four stacks of the study (Table 3). */
+enum class StackKind
+{
+    Udp,
+    Tcp,
+    Dpdk,
+    Rdma,
+};
+
+/**
+ * Abstract stack cost model.
+ */
+class StackModel
+{
+  public:
+    virtual ~StackModel() = default;
+
+    virtual const char *name() const = 0;
+
+    /** CPU work to receive one @p bytes packet up to the app. */
+    virtual alg::WorkCounters rxWork(std::uint32_t bytes) const = 0;
+
+    /** CPU work to transmit one @p bytes packet from the app. */
+    virtual alg::WorkCounters txWork(std::uint32_t bytes) const = 0;
+
+    /**
+     * Fixed one-way path latency (NIC processing, IRQ coalescing,
+     * doorbells) that is not CPU time, for packets served on @p p.
+     * RDMA's host path is longer than the SNIC CPU's (the paper's
+     * "longer communication path" [76] explaining the SNIC's lower
+     * RDMA p99).
+     */
+    virtual sim::Tick fixedLatency(hw::Platform p) const = 0;
+
+    /**
+     * True when the stack dedicates busy-polling cores (DPDK PMD):
+     * those cores draw full power regardless of load.
+     */
+    virtual bool busyPolling() const { return false; }
+};
+
+/** Factory. @p rdma_one_sided selects READ/WRITE verb costs. */
+std::unique_ptr<StackModel> makeStack(StackKind kind,
+                                      bool rdma_one_sided = false);
+
+/** Display name. */
+const char *stackName(StackKind kind);
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_STACK_MODEL_HH

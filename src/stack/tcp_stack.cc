@@ -1,0 +1,60 @@
+/**
+ * @file
+ * TcpStack implementation. Anchor: ~2.5 us/packet RX on the host.
+ */
+
+#include "stack/tcp_stack.hh"
+
+namespace snic::stack {
+
+alg::WorkCounters
+TcpStack::rxWork(std::uint32_t bytes) const
+{
+    alg::WorkCounters w;
+    w.kernelOps = 2100;      // tcp_v4_rcv, state machine, ack tx
+    w.randomTouches = 7;     // tcb, socket, timer wheel
+    w.streamBytes = bytes;
+    return w;
+}
+
+alg::WorkCounters
+TcpStack::txWork(std::uint32_t bytes) const
+{
+    alg::WorkCounters w;
+    w.kernelOps = 1400;      // tcp_sendmsg, segmentation, qdisc
+    w.randomTouches = 4;
+    w.streamBytes = bytes;
+    return w;
+}
+
+alg::WorkCounters
+TcpStack::connectionSetupWork()
+{
+    alg::WorkCounters w;
+    w.kernelOps = 7500;      // SYN/SYN-ACK processing, accept(), tcb
+    w.randomTouches = 40;    // socket + hash-table allocation
+    w.streamBytes = 512;     // tcb/socket initialization
+    return w;
+}
+
+alg::WorkCounters
+TcpStack::connectionTeardownWork()
+{
+    alg::WorkCounters w;
+    w.kernelOps = 4200;      // FIN handshake, timewait scheduling
+    w.randomTouches = 20;
+    return w;
+}
+
+sim::Tick
+TcpStack::fixedLatency(hw::Platform p) const
+{
+    switch (p) {
+      case hw::Platform::HostCpu:
+        return sim::usToTicks(22.0);
+      default:
+        return sim::usToTicks(28.0);
+    }
+}
+
+} // namespace snic::stack

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel TCP stack cost model.
+ */
+
+#ifndef SNIC_STACK_TCP_STACK_HH
+#define SNIC_STACK_TCP_STACK_HH
+
+#include "stack/stack_model.hh"
+
+namespace snic::stack {
+
+/**
+ * Linux kernel TCP: everything UDP pays plus connection-state
+ * processing (sequence/ack bookkeeping, congestion control, timer
+ * management) and ack generation.
+ */
+class TcpStack : public StackModel
+{
+  public:
+    const char *name() const override { return "tcp"; }
+    alg::WorkCounters rxWork(std::uint32_t bytes) const override;
+    alg::WorkCounters txWork(std::uint32_t bytes) const override;
+    sim::Tick fixedLatency(hw::Platform p) const override;
+
+    /**
+     * Connection establishment cost (SYN handling, accept, socket
+     * allocation) — what AccelTCP offloads entirely to the NIC.
+     */
+    static alg::WorkCounters connectionSetupWork();
+
+    /** Connection teardown (FIN/timewait bookkeeping). */
+    static alg::WorkCounters connectionTeardownWork();
+};
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_TCP_STACK_HH

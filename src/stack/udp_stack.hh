@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Kernel UDP stack cost model.
+ */
+
+#ifndef SNIC_STACK_UDP_STACK_HH
+#define SNIC_STACK_UDP_STACK_HH
+
+#include "stack/stack_model.hh"
+
+namespace snic::stack {
+
+/**
+ * Linux kernel UDP: per-packet softirq + socket demux + one copy to
+ * user space. Connectionless, so no per-flow state walks beyond the
+ * socket hash.
+ */
+class UdpStack : public StackModel
+{
+  public:
+    const char *name() const override { return "udp"; }
+    alg::WorkCounters rxWork(std::uint32_t bytes) const override;
+    alg::WorkCounters txWork(std::uint32_t bytes) const override;
+    sim::Tick fixedLatency(hw::Platform p) const override;
+};
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_UDP_STACK_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * AsciiPlot implementation.
+ */
+
+#include "stats/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace snic::stats {
+
+AsciiPlot::AsciiPlot(std::string title, unsigned width,
+                     unsigned height)
+    : _title(std::move(title)),
+      _width(std::max(16u, width)),
+      _height(std::max(6u, height))
+{
+}
+
+void
+AsciiPlot::addSeries(char glyph, const std::vector<double> &xs,
+                     const std::vector<double> &ys, std::string label)
+{
+    Series s;
+    s.glyph = glyph;
+    const std::size_t n = std::min(xs.size(), ys.size());
+    s.xs.assign(xs.begin(), xs.begin() + static_cast<long>(n));
+    s.ys.assign(ys.begin(), ys.begin() + static_cast<long>(n));
+    s.label = std::move(label);
+    _series.push_back(std::move(s));
+}
+
+void
+AsciiPlot::setYLimit(double y_max)
+{
+    _yLimit = y_max;
+}
+
+std::string
+AsciiPlot::render() const
+{
+    // Bounds across all series.
+    double x_lo = 0.0, x_hi = 1.0, y_hi = 1.0;
+    bool first = true;
+    for (const Series &s : _series) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            if (first) {
+                x_lo = x_hi = s.xs[i];
+                y_hi = s.ys[i];
+                first = false;
+            }
+            x_lo = std::min(x_lo, s.xs[i]);
+            x_hi = std::max(x_hi, s.xs[i]);
+            y_hi = std::max(y_hi, s.ys[i]);
+        }
+    }
+    if (_yLimit > 0.0)
+        y_hi = _yLimit;
+    if (x_hi <= x_lo)
+        x_hi = x_lo + 1.0;
+    if (y_hi <= 0.0)
+        y_hi = 1.0;
+
+    std::vector<std::string> grid(_height, std::string(_width, ' '));
+    auto place = [&](double x, double y, char glyph) {
+        const double fx = (x - x_lo) / (x_hi - x_lo);
+        const double fy = std::min(y / y_hi, 1.0);
+        const auto col = static_cast<unsigned>(
+            std::lround(fx * (_width - 1)));
+        const auto row = static_cast<unsigned>(
+            std::lround((1.0 - fy) * (_height - 1)));
+        grid[row][col] = glyph;
+    };
+    // Draw with simple linear interpolation between sample points.
+    for (const Series &s : _series) {
+        for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+            const int steps = 12;
+            for (int k = 0; k <= steps; ++k) {
+                const double t = static_cast<double>(k) / steps;
+                place(s.xs[i] + t * (s.xs[i + 1] - s.xs[i]),
+                      s.ys[i] + t * (s.ys[i + 1] - s.ys[i]),
+                      s.glyph);
+            }
+        }
+        if (s.xs.size() == 1)
+            place(s.xs[0], s.ys[0], s.glyph);
+    }
+
+    std::ostringstream os;
+    os << "-- " << _title << " --\n";
+    char label[32];
+    for (unsigned r = 0; r < _height; ++r) {
+        if (r == 0) {
+            std::snprintf(label, sizeof(label), "%8.1f |", y_hi);
+        } else if (r == _height - 1) {
+            std::snprintf(label, sizeof(label), "%8.1f |", 0.0);
+        } else {
+            std::snprintf(label, sizeof(label), "%8s |", "");
+        }
+        os << label << grid[r] << "\n";
+    }
+    os << std::string(9, ' ') << '+' << std::string(_width, '-')
+       << "\n";
+    std::snprintf(label, sizeof(label), "%8s  %-10.1f", "", x_lo);
+    os << label;
+    std::snprintf(label, sizeof(label), "%*.1f", _width - 12, x_hi);
+    os << label << "\n";
+    for (const Series &s : _series) {
+        if (!s.label.empty())
+            os << "          " << s.glyph << " = " << s.label << "\n";
+    }
+    return os.str();
+}
+
+void
+AsciiPlot::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace snic::stats

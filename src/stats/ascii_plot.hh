@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Terminal line plots for the figure benches.
+ *
+ * Renders one or more (x, y) series on a shared character grid with
+ * axis labels — enough to eyeball the Fig. 5 knees and the Fig. 7
+ * trace without leaving the terminal. Use the --csv output for real
+ * plotting.
+ */
+
+#ifndef SNIC_STATS_ASCII_PLOT_HH
+#define SNIC_STATS_ASCII_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace snic::stats {
+
+/**
+ * A character-grid plot.
+ */
+class AsciiPlot
+{
+  public:
+    /**
+     * @param width / height grid size in characters (excl. labels).
+     */
+    AsciiPlot(std::string title, unsigned width = 64,
+              unsigned height = 16);
+
+    /**
+     * Add a series drawn with @p glyph.
+     *
+     * @param xs / ys same-length coordinate vectors.
+     */
+    void addSeries(char glyph, const std::vector<double> &xs,
+                   const std::vector<double> &ys,
+                   std::string label = "");
+
+    /** Clamp the y-axis (e.g. to keep exploding tails on-screen). */
+    void setYLimit(double y_max);
+
+    /** Render the grid, axes and legend. */
+    std::string render() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+  private:
+    struct Series
+    {
+        char glyph;
+        std::vector<double> xs;
+        std::vector<double> ys;
+        std::string label;
+    };
+
+    std::string _title;
+    unsigned _width;
+    unsigned _height;
+    double _yLimit = 0.0;  // 0 = auto
+    std::vector<Series> _series;
+};
+
+} // namespace snic::stats
+
+#endif // SNIC_STATS_ASCII_PLOT_HH

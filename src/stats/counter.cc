@@ -1,0 +1,44 @@
+/**
+ * @file
+ * StatRegistry implementation.
+ */
+
+#include "stats/counter.hh"
+
+#include <sstream>
+
+namespace snic::stats {
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return _counters[name];
+}
+
+Accumulator &
+StatRegistry::accumulator(const std::string &name)
+{
+    return _accumulators[name];
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, ctr] : _counters)
+        os << name << " " << ctr.value() << "\n";
+    for (const auto &[name, acc] : _accumulators)
+        os << name << " " << acc.value() << "\n";
+    return os.str();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, ctr] : _counters)
+        ctr.reset();
+    for (auto &[name, acc] : _accumulators)
+        acc.reset();
+}
+
+} // namespace snic::stats

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Named scalar statistics: counters, gauges, and rate helpers.
+ */
+
+#ifndef SNIC_STATS_COUNTER_HH
+#define SNIC_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace snic::stats {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { _value += by; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Accumulator of a double-valued quantity (e.g. bytes, joules). */
+class Accumulator
+{
+  public:
+    void add(double by) { _value += by; ++_samples; }
+    double value() const { return _value; }
+    std::uint64_t samples() const { return _samples; }
+    double mean() const
+    {
+        return _samples ? _value / static_cast<double>(_samples) : 0.0;
+    }
+    void reset() { _value = 0.0; _samples = 0; }
+
+  private:
+    double _value = 0.0;
+    std::uint64_t _samples = 0;
+};
+
+/**
+ * Tracks the time-weighted average of a piecewise-constant quantity
+ * (e.g. instantaneous power, queue depth, core utilization).
+ *
+ * Call set() whenever the quantity changes; the integral is updated
+ * lazily using the simulated clock values the caller provides.
+ */
+class TimeWeighted
+{
+  public:
+    /** Begin tracking at @p now with value @p initial. */
+    void
+    start(sim::Tick now, double initial)
+    {
+        _last = now;
+        _cur = initial;
+        _integral = 0.0;
+        _began = now;
+        _running = true;
+    }
+
+    /** Change the tracked value at time @p now. */
+    void
+    set(sim::Tick now, double value)
+    {
+        if (!_running) {
+            start(now, value);
+            return;
+        }
+        _integral += _cur * sim::ticksToSec(now - _last);
+        _last = now;
+        _cur = value;
+    }
+
+    /** Current instantaneous value. */
+    double current() const { return _cur; }
+
+    /** Time integral (value x seconds) up to @p now. */
+    double
+    integral(sim::Tick now) const
+    {
+        if (!_running)
+            return 0.0;
+        return _integral + _cur * sim::ticksToSec(now - _last);
+    }
+
+    /** Time-weighted mean over [start, now]. */
+    double
+    average(sim::Tick now) const
+    {
+        if (!_running || now <= _began)
+            return _cur;
+        return integral(now) / sim::ticksToSec(now - _began);
+    }
+
+  private:
+    sim::Tick _last = 0;
+    sim::Tick _began = 0;
+    double _cur = 0.0;
+    double _integral = 0.0;
+    bool _running = false;
+};
+
+/**
+ * A registry of named counters, for dumping experiment-wide stats.
+ */
+class StatRegistry
+{
+  public:
+    /** Fetch-or-create a named counter. */
+    Counter &counter(const std::string &name);
+
+    /** Fetch-or-create a named accumulator. */
+    Accumulator &accumulator(const std::string &name);
+
+    /** Render all stats, one "name value" line each, sorted by name. */
+    std::string dump() const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Accumulator> _accumulators;
+};
+
+} // namespace snic::stats
+
+#endif // SNIC_STATS_COUNTER_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "stats/histogram.hh"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace snic::stats {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : _subBits(sub_bucket_bits),
+      _subCount(std::uint64_t(1) << sub_bucket_bits),
+      _subMask(_subCount - 1)
+{
+    assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+    // 64 magnitudes x sub-buckets covers the full uint64 range.
+    _buckets.assign((64 - _subBits + 1) * _subCount, 0);
+}
+
+std::size_t
+Histogram::indexFor(std::uint64_t value) const
+{
+    // Values below _subCount land in magnitude 0 with exact
+    // (linear) resolution; above that, each magnitude m holds
+    // values [2^(m+subBits-1), 2^(m+subBits)) in _subCount/2
+    // distinct sub-buckets.
+    if (value < _subCount)
+        return static_cast<std::size_t>(value);
+    const unsigned msb = 63 - std::countl_zero(value);
+    const unsigned magnitude = msb - _subBits + 1;
+    const std::uint64_t sub = (value >> magnitude) & _subMask;
+    return static_cast<std::size_t>(magnitude * _subCount + sub +
+                                    _subCount);
+}
+
+std::uint64_t
+Histogram::valueFor(std::size_t index) const
+{
+    if (index < _subCount)
+        return static_cast<std::uint64_t>(index);
+    const std::size_t adj = index - _subCount;
+    const unsigned magnitude = static_cast<unsigned>(adj / _subCount);
+    const std::uint64_t sub = adj % _subCount;
+    // The sub-index keeps its top bit (it lies in
+    // [subCount/2, subCount)), so the bucket floor is simply the
+    // sub-index shifted back up; report the bucket midpoint to
+    // minimise bias.
+    const std::uint64_t lo = sub << magnitude;
+    const std::uint64_t width = std::uint64_t(1) << magnitude;
+    return lo + width / 2;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    const std::size_t idx = indexFor(value);
+    assert(idx < _buckets.size());
+    _buckets[idx] += count;
+    _count += count;
+    if (value < _min)
+        _min = value;
+    if (value > _max)
+        _max = value;
+    const double v = static_cast<double>(value);
+    const double c = static_cast<double>(count);
+    _sum += v * c;
+    _sumSq += v * v * c;
+}
+
+double
+Histogram::mean() const
+{
+    if (_count == 0)
+        return 0.0;
+    return _sum / static_cast<double>(_count);
+}
+
+double
+Histogram::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    const double n = static_cast<double>(_count);
+    const double var = (_sumSq - _sum * _sum / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0;
+    if (q <= 0.0)
+        return _min;
+    if (q >= 1.0)
+        return _max;
+    const double target_f = q * static_cast<double>(_count);
+    auto target = static_cast<std::uint64_t>(std::ceil(target_f));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return valueFor(i);
+    }
+    return _max;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    assert(other._subBits == _subBits);
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    _count += other._count;
+    if (other._count) {
+        if (other._min < _min)
+            _min = other._min;
+        if (other._max > _max)
+            _max = other._max;
+    }
+    _sum += other._sum;
+    _sumSq += other._sumSq;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _count = 0;
+    _min = ~std::uint64_t(0);
+    _max = 0;
+    _sum = 0.0;
+    _sumSq = 0.0;
+}
+
+} // namespace snic::stats

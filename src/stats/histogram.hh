@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Log-linear latency histogram with percentile queries.
+ *
+ * The layout follows HdrHistogram: values are bucketed by magnitude
+ * (power-of-two buckets) with a fixed number of linear sub-buckets per
+ * magnitude, giving a bounded relative error across many decades —
+ * exactly what is needed to report p99 latencies spanning sub-µs DPDK
+ * round trips to multi-ms TCP tails in one structure.
+ */
+
+#ifndef SNIC_STATS_HISTOGRAM_HH
+#define SNIC_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace snic::stats {
+
+/**
+ * Fixed-precision histogram of non-negative 64-bit samples.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits linear sub-buckets per magnitude are
+     *        2^sub_bucket_bits; 7 gives <1 % relative error.
+     */
+    explicit Histogram(unsigned sub_bucket_bits = 7);
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Record @p count identical samples. */
+    void record(std::uint64_t value, std::uint64_t count);
+
+    /** Total number of recorded samples. */
+    std::uint64_t count() const { return _count; }
+
+    /** Smallest recorded sample (0 if empty). */
+    std::uint64_t min() const { return _count ? _min : 0; }
+
+    /** Largest recorded sample (0 if empty). */
+    std::uint64_t max() const { return _max; }
+
+    /** Arithmetic mean of samples (0 if empty). */
+    double mean() const;
+
+    /** Sample standard deviation (0 if fewer than 2 samples). */
+    double stddev() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]; e.g. 0.99 for p99.
+     *
+     * Returns the representative (midpoint) value of the bucket that
+     * contains the q-th sample; 0 when empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Shorthand for percentile(0.50). */
+    std::uint64_t p50() const { return percentile(0.50); }
+
+    /** Shorthand for percentile(0.99). */
+    std::uint64_t p99() const { return percentile(0.99); }
+
+    /** Merge another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    unsigned _subBits;
+    std::uint64_t _subCount;    // 2^_subBits
+    std::uint64_t _subMask;
+
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    std::uint64_t _min = ~std::uint64_t(0);
+    std::uint64_t _max = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+
+    std::size_t indexFor(std::uint64_t value) const;
+    std::uint64_t valueFor(std::size_t index) const;
+};
+
+} // namespace snic::stats
+
+#endif // SNIC_STATS_HISTOGRAM_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Table implementation.
+ */
+
+#include "stats/summary.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "sim/logging.hh"
+
+namespace snic::stats {
+
+Table::Table(std::string title)
+    : _title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    _header = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (!_header.empty() && cells.size() != _header.size()) {
+        sim::panic("Table '%s': row width %zu != header width %zu",
+                   _title.c_str(), cells.size(), _header.size());
+    }
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::ratio(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+    return buf;
+}
+
+std::string
+Table::percent(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths across header + rows.
+    std::size_t cols = _header.size();
+    for (const auto &row : _rows)
+        cols = std::max(cols, row.size());
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(_header);
+    for (const auto &row : _rows)
+        widen(row);
+
+    std::ostringstream os;
+    os << "== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size()) {
+                os << std::string(width[i] - row[i].size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(bool csv) const
+{
+    std::fputs(csv ? renderCsv().c_str() : render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+bool
+Table::wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--csv")
+            return true;
+    }
+    return false;
+}
+
+} // namespace snic::stats

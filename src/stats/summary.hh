@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table formatting for benchmark output.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; Table gives them a uniform, aligned, greppable format with
+ * an optional CSV dump for plotting.
+ */
+
+#ifndef SNIC_STATS_SUMMARY_HH
+#define SNIC_STATS_SUMMARY_HH
+
+#include <string>
+#include <vector>
+
+namespace snic::stats {
+
+/**
+ * Simple column-aligned text table.
+ */
+class Table
+{
+  public:
+    /** @param title heading printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the column headers (fixes the column count). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a ratio like "1.83x". */
+    static std::string ratio(double v, int digits = 2);
+
+    /** Format "12.3 %". */
+    static std::string percent(double v, int digits = 1);
+
+    /** Render aligned text. */
+    std::string render() const;
+
+    /** Render comma-separated values (header + rows). */
+    std::string renderCsv() const;
+
+    /** Print render() to stdout; CSV instead when @p csv is true. */
+    void print(bool csv = false) const;
+
+    /** True when argv contains "--csv" (bench convenience). */
+    static bool wantCsv(int argc, char **argv);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace snic::stats
+
+#endif // SNIC_STATS_SUMMARY_HH

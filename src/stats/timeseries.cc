@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TimeSeries implementation.
+ */
+
+#include "stats/timeseries.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace snic::stats {
+
+TimeSeries::TimeSeries(sim::Tick bin_width)
+    : _binWidth(bin_width)
+{
+    assert(bin_width > 0);
+}
+
+std::size_t
+TimeSeries::binFor(sim::Tick t)
+{
+    const std::size_t idx = static_cast<std::size_t>(t / _binWidth);
+    if (idx >= _sums.size()) {
+        _sums.resize(idx + 1, 0.0);
+        _counts.resize(idx + 1, 0);
+    }
+    return idx;
+}
+
+void
+TimeSeries::add(sim::Tick t, double value)
+{
+    _sums[binFor(t)] += value;
+}
+
+void
+TimeSeries::observe(sim::Tick t, double value)
+{
+    const std::size_t idx = binFor(t);
+    _sums[idx] += value;
+    _counts[idx] += 1;
+}
+
+double
+TimeSeries::sum(std::size_t i) const
+{
+    return i < _sums.size() ? _sums[i] : 0.0;
+}
+
+double
+TimeSeries::mean(std::size_t i) const
+{
+    if (i >= _sums.size() || _counts[i] == 0)
+        return 0.0;
+    return _sums[i] / static_cast<double>(_counts[i]);
+}
+
+double
+TimeSeries::rate(std::size_t i) const
+{
+    return sum(i) / sim::ticksToSec(_binWidth);
+}
+
+std::string
+TimeSeries::dumpRates() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < _sums.size(); ++i)
+        os << sim::ticksToSec(binStart(i)) << "," << rate(i) << "\n";
+    return os.str();
+}
+
+} // namespace snic::stats

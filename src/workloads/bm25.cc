@@ -1,0 +1,56 @@
+/**
+ * @file
+ * BM25 workload implementation.
+ */
+
+#include "workloads/bm25.hh"
+
+namespace snic::workloads {
+
+namespace {
+
+Spec
+bm25Spec(std::size_t docs)
+{
+    Spec s;
+    s.id = docs >= 1000 ? "bm25_1k" : "bm25_100";
+    s.family = "bm25";
+    s.configLabel = std::to_string(docs) + " documents";
+    s.stack = stack::StackKind::Udp;
+    s.sizes = net::SizeDist::fixed(256);  // query packets are small
+    return s;
+}
+
+} // anonymous namespace
+
+Bm25::Bm25(std::size_t docs)
+    : Workload(bm25Spec(docs)), _docs(docs)
+{
+}
+
+void
+Bm25::setup(sim::Random &rng)
+{
+    alg::WorkCounters build_work;
+    _index = std::make_unique<alg::text::Bm25Index>(
+        alg::text::Bm25Index::synthesize(_docs, wordsPerDoc, vocabulary,
+                                         rng, build_work));
+}
+
+RequestPlan
+Bm25::plan(std::uint32_t request_bytes, hw::Platform platform,
+           sim::Random &rng)
+{
+    (void)request_bytes;
+    (void)platform;
+    RequestPlan p;
+    const auto query =
+        alg::text::Bm25Index::randomQuery(queryTerms, vocabulary, rng);
+    const auto top = _index->query(query, topK, p.cpuWork);
+    // Result serialization: one (docId, score) pair per hit.
+    p.responseBytes =
+        static_cast<std::uint32_t>(16 + 12 * top.size());
+    return p;
+}
+
+} // namespace snic::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * BM25 workload: UDP search-engine ranking over 100- or 1000-document
+ * corpora of ~10 random words each (Sec. 3.4); one query per packet.
+ */
+
+#ifndef SNIC_WORKLOADS_BM25_HH
+#define SNIC_WORKLOADS_BM25_HH
+
+#include <memory>
+
+#include "alg/text/bm25.hh"
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class Bm25 : public Workload
+{
+  public:
+    /** @param docs 100 or 1000. */
+    explicit Bm25(std::size_t docs);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    static constexpr std::size_t wordsPerDoc = 10;
+    static constexpr std::size_t vocabulary = 400;
+    static constexpr std::size_t queryTerms = 3;
+    static constexpr std::size_t topK = 10;
+
+  private:
+    std::size_t _docs;
+    std::unique_ptr<alg::text::Bm25Index> _index;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_BM25_HH

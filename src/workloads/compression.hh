@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Compression workload: Deflate level 9 over "Application" and "Text"
+ * style inputs (Sec. 3.4: compressionratings.com Application3/Text1;
+ * dpdk-test-compress-perf against the SNIC engine, ISA-L/TurboBench
+ * on the host).
+ */
+
+#ifndef SNIC_WORKLOADS_COMPRESSION_HH
+#define SNIC_WORKLOADS_COMPRESSION_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+/** Input corpus flavours. */
+enum class CompInput
+{
+    App,  ///< binary application image (motif-repetitive)
+    Txt,  ///< natural-language text
+};
+
+/** Direction: the engine serves both (Sec. 2.2 (A3)). */
+enum class CompDir
+{
+    Compress,
+    Decompress,
+};
+
+class Compression : public Workload
+{
+  public:
+    explicit Compression(CompInput input,
+                         CompDir dir = CompDir::Compress);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    /** Per-job input block size (DPDK compress-perf style). */
+    static constexpr std::size_t blockBytes = 65536;
+
+    /** Measured compression ratio of the corpus (sanity output). */
+    double measuredRatio() const { return _ratio; }
+
+  private:
+    CompInput _input;
+    CompDir _dir;
+    /** Pre-measured per-block work, sampled over corpus blocks. */
+    std::vector<alg::WorkCounters> _blockWork;
+    std::vector<std::uint32_t> _compressedSizes;
+    double _ratio = 0.0;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_COMPRESSION_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * fio workload: remote storage access through NVMe-oF over RDMA
+ * (Sec. 3.4: 64 KB block I/O, iodepth 4, RAM-disk target, NVMe-oF
+ * offload engine in the (S)NIC).
+ */
+
+#ifndef SNIC_WORKLOADS_FIO_HH
+#define SNIC_WORKLOADS_FIO_HH
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+/** I/O direction. */
+enum class FioOp
+{
+    Read,
+    Write,
+};
+
+class Fio : public Workload
+{
+  public:
+    explicit Fio(FioOp op);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    static constexpr std::size_t blockBytes = 65536;
+    static constexpr unsigned ioDepth = 4;
+
+    FioOp op() const { return _op; }
+
+  private:
+    FioOp _op;
+};
+
+/** Display name. */
+const char *fioOpName(FioOp op);
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_FIO_HH

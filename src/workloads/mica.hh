@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MICA workload: kernel-bypass KVS over RDMA with request batching
+ * (Sec. 3.4: 100 % GET, batch sizes 4 and 32).
+ */
+
+#ifndef SNIC_WORKLOADS_MICA_HH
+#define SNIC_WORKLOADS_MICA_HH
+
+#include <memory>
+
+#include "alg/kv/kv_store.hh"
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class Mica : public Workload
+{
+  public:
+    /** @param batch 4 or 32 (the paper's two configurations). */
+    explicit Mica(unsigned batch);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    static constexpr std::size_t records = 100000;
+    static constexpr std::size_t valueBytes = 64;
+
+    unsigned batch() const { return _batch; }
+
+  private:
+    unsigned _batch;
+    std::unique_ptr<alg::kv::KvStore> _store;
+    std::unique_ptr<sim::ZipfSampler> _keys;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_MICA_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MicroDpdk implementation.
+ */
+
+#include "workloads/micro_dpdk.hh"
+
+namespace snic::workloads {
+
+namespace {
+
+Spec
+dpdkSpec(std::uint32_t bytes)
+{
+    Spec s;
+    s.id = "micro_dpdk_" + std::to_string(bytes);
+    s.family = "micro_dpdk";
+    s.configLabel = std::to_string(bytes) + "B";
+    s.stack = stack::StackKind::Dpdk;
+    s.sizes = net::SizeDist::fixed(bytes);
+    // Sec. 3.3: "we run ... on one host or SNIC CPU core".
+    s.hostCores = 1;
+    s.snicCores = 1;
+    return s;
+}
+
+} // anonymous namespace
+
+MicroDpdk::MicroDpdk(std::uint32_t packet_bytes)
+    : Workload(dpdkSpec(packet_bytes)), _packetBytes(packet_bytes)
+{
+}
+
+void
+MicroDpdk::setup(sim::Random &rng)
+{
+    (void)rng;
+}
+
+RequestPlan
+MicroDpdk::plan(std::uint32_t request_bytes, hw::Platform platform,
+                sim::Random &rng)
+{
+    (void)platform;
+    (void)rng;
+    RequestPlan p;
+    // Ping-pong: swap MACs and bounce the mbuf; zero-copy, no
+    // dispatch layer.
+    p.cpuWork.arithOps = 4;
+    p.responseBytes = request_bytes;
+    return p;
+}
+
+} // namespace snic::workloads

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * DPDK microbenchmark (Sec. 3.3): ping-pong / Pktgen on ONE core.
+ */
+
+#ifndef SNIC_WORKLOADS_MICRO_DPDK_HH
+#define SNIC_WORKLOADS_MICRO_DPDK_HH
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class MicroDpdk : public Workload
+{
+  public:
+    explicit MicroDpdk(std::uint32_t packet_bytes);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+  private:
+    std::uint32_t _packetBytes;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_MICRO_DPDK_HH

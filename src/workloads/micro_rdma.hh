@@ -1,0 +1,44 @@
+/**
+ * @file
+ * RDMA microbenchmark (Sec. 3.3): perftest-style one-sided
+ * (READ/WRITE) and two-sided (SEND/RECV) verbs on one core, RC
+ * transport.
+ */
+
+#ifndef SNIC_WORKLOADS_MICRO_RDMA_HH
+#define SNIC_WORKLOADS_MICRO_RDMA_HH
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+/** perftest operation variants. */
+enum class RdmaVerb
+{
+    Read,   ///< one-sided
+    Write,  ///< one-sided
+    Send,   ///< two-sided
+};
+
+class MicroRdma : public Workload
+{
+  public:
+    MicroRdma(RdmaVerb verb, std::uint32_t packet_bytes);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    RdmaVerb verb() const { return _verb; }
+
+  private:
+    RdmaVerb _verb;
+    std::uint32_t _packetBytes;
+};
+
+/** Verb display name. */
+const char *rdmaVerbName(RdmaVerb v);
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_MICRO_RDMA_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MicroUdp implementation.
+ */
+
+#include "workloads/micro_udp.hh"
+
+namespace snic::workloads {
+
+namespace {
+
+Spec
+udpSpec(std::uint32_t bytes)
+{
+    Spec s;
+    s.id = "micro_udp_" + std::to_string(bytes);
+    s.family = "micro_udp";
+    s.configLabel = std::to_string(bytes) + "B";
+    s.stack = stack::StackKind::Udp;
+    s.sizes = net::SizeDist::fixed(bytes);
+    s.supportsAccel = false;
+    return s;
+}
+
+} // anonymous namespace
+
+MicroUdp::MicroUdp(std::uint32_t packet_bytes)
+    : Workload(udpSpec(packet_bytes)), _packetBytes(packet_bytes)
+{
+}
+
+void
+MicroUdp::setup(sim::Random &rng)
+{
+    (void)rng;  // stateless
+}
+
+RequestPlan
+MicroUdp::plan(std::uint32_t request_bytes, hw::Platform platform,
+               sim::Random &rng)
+{
+    (void)platform;
+    (void)rng;
+    RequestPlan p;
+    // Echo: touch the payload once and reply in kind.
+    p.cpuWork.streamBytes = request_bytes;
+    p.cpuWork.arithOps = 20;
+    p.cpuWork.messages = 1;
+    p.responseBytes = request_bytes;
+    return p;
+}
+
+} // namespace snic::workloads

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * UDP microbenchmark (Sec. 3.3): an echo client/server on eight
+ * cores; the app does nothing, so the measurement isolates the
+ * kernel UDP stack itself.
+ */
+
+#ifndef SNIC_WORKLOADS_MICRO_UDP_HH
+#define SNIC_WORKLOADS_MICRO_UDP_HH
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class MicroUdp : public Workload
+{
+  public:
+    /** @param packet_bytes 64 or 1024 (the study's two sizes). */
+    explicit MicroUdp(std::uint32_t packet_bytes);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+  private:
+    std::uint32_t _packetBytes;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_MICRO_UDP_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * NAT workload: UDP network address translation with 10 K or 1 M
+ * randomly generated entries (Sec. 3.4).
+ */
+
+#ifndef SNIC_WORKLOADS_NAT_HH
+#define SNIC_WORKLOADS_NAT_HH
+
+#include <memory>
+#include <vector>
+
+#include "alg/nat/nat_table.hh"
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class Nat : public Workload
+{
+  public:
+    /** @param entries 10'000 or 1'000'000. */
+    explicit Nat(std::size_t entries);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    std::size_t entries() const { return _entries; }
+
+  private:
+    std::size_t _entries;
+    std::unique_ptr<alg::nat::NatTable> _table;
+    std::vector<alg::nat::Endpoint> _internals;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_NAT_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload registry: construct any Table 3 configuration by id and
+ * enumerate the Fig. 4 line-up.
+ */
+
+#ifndef SNIC_WORKLOADS_REGISTRY_HH
+#define SNIC_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+/**
+ * Create a workload by configuration id (e.g. "redis_a", "rem_img",
+ * "crypto_sha1", "micro_udp_64"). Fatal on unknown ids.
+ */
+WorkloadPtr makeWorkload(const std::string &id);
+
+/** All configuration ids, grouped as in Fig. 4. */
+struct Fig4Lineup
+{
+    /** Software-only functions (SNIC CPU vs host CPU). */
+    std::vector<std::string> softwareOnly;
+    /** Hardware-accelerated functions (SNIC accel vs host CPU). */
+    std::vector<std::string> hardwareAccelerated;
+};
+
+/** The Fig. 4 x-axis. */
+Fig4Lineup fig4Lineup();
+
+/** Every known configuration id. */
+std::vector<std::string> allWorkloadIds();
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Workload base (anchor TU).
+ */
+
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+// Base class is fully inline; nothing to define here.
+
+} // namespace snic::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the terminal plot utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/ascii_plot.hh"
+
+using snic::stats::AsciiPlot;
+
+TEST(AsciiPlot, RendersTitleAxesAndLegend)
+{
+    AsciiPlot plot("Demo", 32, 8);
+    plot.addSeries('x', {0.0, 1.0, 2.0}, {0.0, 5.0, 10.0}, "ramp");
+    const std::string out = plot.render();
+    EXPECT_NE(out.find("-- Demo --"), std::string::npos);
+    EXPECT_NE(out.find("x = ramp"), std::string::npos);
+    EXPECT_NE(out.find('x'), std::string::npos);
+    EXPECT_NE(out.find("10.0"), std::string::npos);  // y max label
+}
+
+TEST(AsciiPlot, MonotoneSeriesRisesAcrossRows)
+{
+    AsciiPlot plot("Rise", 40, 10);
+    plot.addSeries('*', {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4});
+    const std::string out = plot.render();
+    // First grid row (max y) must contain the glyph near the right;
+    // the bottom row near the left.
+    std::vector<std::string> lines;
+    std::string line;
+    for (char c : out) {
+        if (c == '\n') {
+            lines.push_back(line);
+            line.clear();
+        } else {
+            line.push_back(c);
+        }
+    }
+    const auto top = lines[1].rfind('*');
+    const auto bottom = lines[10].find('*');
+    ASSERT_NE(top, std::string::npos);
+    ASSERT_NE(bottom, std::string::npos);
+    EXPECT_GT(top, bottom);
+}
+
+TEST(AsciiPlot, YLimitClampsSpikes)
+{
+    AsciiPlot plot("Clamp", 32, 8);
+    plot.setYLimit(10.0);
+    plot.addSeries('s', {0, 1}, {1.0, 1e6});
+    const std::string out = plot.render();
+    // The label shows the clamped max, not the spike.
+    EXPECT_NE(out.find("10.0"), std::string::npos);
+    EXPECT_EQ(out.find("1000000"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyAndSinglePoint)
+{
+    AsciiPlot empty("Empty", 20, 6);
+    EXPECT_FALSE(empty.render().empty());
+    AsciiPlot single("One", 20, 6);
+    single.addSeries('o', {5.0}, {5.0});
+    EXPECT_NE(single.render().find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesCoexist)
+{
+    AsciiPlot plot("Two", 32, 8);
+    plot.addSeries('a', {0, 1}, {1, 1}, "flat");
+    plot.addSeries('b', {0, 1}, {0, 2}, "ramp");
+    const std::string out = plot.render();
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find('b'), std::string::npos);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the BM25 index and the NAT table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alg/nat/nat_table.hh"
+#include "alg/text/bm25.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::text;
+using namespace snic::alg::nat;
+using snic::sim::Random;
+
+TEST(Bm25, RanksExactMatchFirst)
+{
+    Bm25Index index;
+    WorkCounters work;
+    index.addDocument({"fast", "network", "cards"}, work);
+    index.addDocument({"slow", "disk", "drives"}, work);
+    index.addDocument({"fast", "cars", "racing"}, work);
+    auto top = index.query({"network", "cards"}, 3, work);
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top[0].docId, 0u);
+}
+
+TEST(Bm25, RareTermsScoreHigher)
+{
+    Bm25Index index;
+    WorkCounters work;
+    // "common" appears in every doc, "rare" in one.
+    for (int i = 0; i < 10; ++i)
+        index.addDocument({"common", "filler"}, work);
+    index.addDocument({"common", "rare"}, work);
+    auto by_rare = index.query({"rare"}, 1, work);
+    auto by_common = index.query({"common"}, 1, work);
+    ASSERT_FALSE(by_rare.empty());
+    ASSERT_FALSE(by_common.empty());
+    EXPECT_GT(by_rare[0].score, by_common[0].score);
+}
+
+TEST(Bm25, MissingTermsYieldNoDocs)
+{
+    Bm25Index index;
+    WorkCounters work;
+    index.addDocument({"alpha"}, work);
+    EXPECT_TRUE(index.query({"zeta"}, 5, work).empty());
+}
+
+TEST(Bm25, QueryWorkScalesWithCorpus)
+{
+    // The paper's BM25 runs with 100 and 1 K documents; the bigger
+    // corpus must cost more per query (the KO4 input sensitivity).
+    Random rng(7);
+    WorkCounters build;
+    auto small_idx = Bm25Index::synthesize(100, 10, 500, rng, build);
+    auto large_idx = Bm25Index::synthesize(1000, 10, 500, rng, build);
+    auto query = Bm25Index::randomQuery(3, 500, rng);
+    WorkCounters ws, wl;
+    small_idx.query(query, 10, ws);
+    large_idx.query(query, 10, wl);
+    EXPECT_GT(wl.randomTouches + wl.arithOps,
+              ws.randomTouches + ws.arithOps);
+}
+
+TEST(Bm25, TopKLimitsResults)
+{
+    Random rng(9);
+    WorkCounters work;
+    auto index = Bm25Index::synthesize(200, 10, 50, rng, work);
+    auto query = Bm25Index::randomQuery(3, 50, rng);
+    auto top = index.query(query, 5, work);
+    EXPECT_LE(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].score, top[i].score);
+}
+
+TEST(Nat, InsertAndTranslateBothWays)
+{
+    NatTable nat(16);
+    WorkCounters work;
+    const Translation t{{0x0a000001, 5555}, {0xcb007101, 2222}};
+    nat.insert(t, work);
+    auto out = nat.translateOut({0x0a000001, 5555}, work);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->ip, 0xcb007101u);
+    EXPECT_EQ(out->port, 2222);
+    auto in = nat.translateIn({0xcb007101, 2222}, work);
+    ASSERT_TRUE(in.has_value());
+    EXPECT_EQ(in->ip, 0x0a000001u);
+    auto miss = nat.translateOut({0x0a0000ff, 1}, work);
+    EXPECT_FALSE(miss.has_value());
+}
+
+TEST(Nat, PopulateScalesAndAllEntriesResolve)
+{
+    NatTable nat(1024);
+    WorkCounters work;
+    Random rng(11);
+    auto internals = nat.populate(10000, rng, work);
+    EXPECT_EQ(nat.size(), 10000u);
+    WorkCounters w;
+    int resolved = 0;
+    for (std::size_t i = 0; i < internals.size(); i += 97)
+        resolved += nat.translateOut(internals[i], w).has_value();
+    EXPECT_EQ(resolved, static_cast<int>((internals.size() + 96) / 97));
+}
+
+TEST(Nat, LookupWorkGrowsWithTableSize)
+{
+    // The paper's 10 K vs 1 M entry configurations: the larger table
+    // must cost more random touches per lookup on average (longer
+    // chains with the same bucket count), the KO4 sensitivity.
+    Random rng(13);
+    WorkCounters work;
+    NatTable small_t(4096), big_t(4096);
+    auto si = small_t.populate(10000, rng, work);
+    auto bi = big_t.populate(1000000, rng, work);
+    WorkCounters ws, wb;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        small_t.translateOut(si[i * (si.size() / 1000)], ws);
+        big_t.translateOut(bi[i * (bi.size() / 1000)], wb);
+    }
+    EXPECT_GT(wb.randomTouches, ws.randomTouches * 5);
+}
+
+TEST(Nat, ChecksumAdjustmentMatchesFullRecompute)
+{
+    // Verify RFC 1624 incremental update against a direct one's
+    // complement sum over a toy header.
+    WorkCounters work;
+    auto ones_sum = [](const std::vector<std::uint16_t> &words) {
+        std::uint32_t sum = 0;
+        for (auto w : words)
+            sum += w;
+        while (sum >> 16)
+            sum = (sum & 0xffff) + (sum >> 16);
+        return static_cast<std::uint16_t>(~sum);
+    };
+    std::vector<std::uint16_t> header{0x4500, 0x0054, 0x0a00, 0x0001,
+                                      0xcb00, 0x7101};
+    const std::uint16_t before = ones_sum(header);
+    // Rewrite the source IP 0x0a000001 -> 0xcb007105.
+    const std::uint32_t old_ip = 0x0a000001, new_ip = 0xcb007105;
+    header[2] = 0xcb00;
+    header[3] = 0x7105;
+    const std::uint16_t after = ones_sum(header);
+    EXPECT_EQ(NatTable::adjustChecksum(before, old_ip, new_ip, work),
+              after);
+}

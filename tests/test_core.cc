@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the experiment harness, TCO model, offload advisor and
+ * load balancer — the paper-level library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hh"
+#include "core/calibration.hh"
+#include "core/efficiency.hh"
+#include "core/experiment.hh"
+#include "core/load_balancer.hh"
+#include "core/report.hh"
+#include "core/tco.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+ExperimentOptions
+quickOpts()
+{
+    ExperimentOptions o;
+    o.targetSamples = 4000;
+    return o;
+}
+
+} // anonymous namespace
+
+TEST(Experiment, UdpMicroReproducesKo1)
+{
+    const auto row = compareOnPlatforms("micro_udp_1024", quickOpts());
+    // 76.5-85.7 % lower SNIC throughput.
+    EXPECT_GE(row.throughputRatio, 0.13);
+    EXPECT_LE(row.throughputRatio, 0.25);
+    // Higher SNIC p99.
+    EXPECT_GT(row.p99Ratio, 1.05);
+}
+
+TEST(Experiment, RdmaMicroFavorsSnic)
+{
+    const auto row =
+        compareOnPlatforms("micro_rdma_read_1024", quickOpts());
+    EXPECT_GT(row.throughputRatio, 1.2);  // up to 1.4x
+    EXPECT_LT(row.p99Ratio, 0.95);        // lower SNIC p99
+}
+
+TEST(Experiment, RemRulesetsSplitKo4)
+{
+    const auto img = compareOnPlatforms("rem_img", quickOpts());
+    const auto exe = compareOnPlatforms("rem_exe", quickOpts());
+    EXPECT_GT(img.throughputRatio, 1.3);  // accel wins on img
+    EXPECT_LT(exe.throughputRatio, 0.8);  // host wins on exe
+}
+
+TEST(Experiment, ResultsLandInPaperBands)
+{
+    // Spot-check a few cells against the published Fig. 4 bands.
+    for (const char *id :
+         {"micro_udp_1024", "redis_a", "mica_b32", "crypto_sha1"}) {
+        const auto row = compareOnPlatforms(id, quickOpts());
+        const auto expect = paper::fig4Expectation(id);
+        ASSERT_TRUE(expect.has_value()) << id;
+        EXPECT_TRUE(expect->throughputRatio.contains(
+            row.throughputRatio))
+            << id << " tput " << row.throughputRatio;
+        EXPECT_TRUE(expect->p99Ratio.contains(row.p99Ratio))
+            << id << " p99 " << row.p99Ratio;
+    }
+}
+
+TEST(Tco, ReproducesTable5FromPaperInputs)
+{
+    // Feed the paper's measured power/throughput numbers: the model
+    // must return the published rows.
+    TcoInputs in;
+    // fio: 10 vs 10 servers, 257 W vs 343 W -> +2.7 % savings.
+    const auto fio = computeRow("fio", 257.0, 343.0, 1.0, 1.0, in);
+    EXPECT_EQ(fio.nic.servers, 10u);
+    EXPECT_NEAR(fio.savingsFraction, 0.027, 0.004);
+    // OvS: 255 W vs 328 W -> +1.7 %.
+    const auto ovs = computeRow("ovs", 255.0, 328.0, 1.0, 1.0, in);
+    EXPECT_NEAR(ovs.savingsFraction, 0.017, 0.004);
+    // REM: 255 W vs 268 W -> -2.5 % (the SNIC costs more).
+    const auto rem = computeRow("rem", 255.0, 268.0, 1.0, 1.0, in);
+    EXPECT_NEAR(rem.savingsFraction, -0.025, 0.004);
+    // Compress: 3.5x throughput -> 35 NIC servers -> +70.7 %.
+    const auto comp =
+        computeRow("compress", 255.0, 269.0, 3.5, 1.0, in);
+    EXPECT_EQ(comp.nic.servers, 35u);
+    EXPECT_NEAR(comp.savingsFraction, 0.707, 0.01);
+}
+
+TEST(Tco, ColumnArithmetic)
+{
+    const auto col = computeColumn(10, 255.0, true, TcoInputs{});
+    // 255 W for 5 years = 11169 kWh (Table 5's SNIC column).
+    EXPECT_NEAR(col.kwhPerServer, 11169.0, 15.0);
+    EXPECT_NEAR(col.powerCostPerServerUsd, 1809.0, 5.0);
+    EXPECT_NEAR(col.fiveYearTcoUsd, 99134.0, 200.0);
+}
+
+TEST(Advisor, RecommendsAccelForCompression)
+{
+    const auto advice = adviseOffload("comp_app", SloConstraint{});
+    EXPECT_TRUE(advice.sloFeasible);
+    EXPECT_EQ(advice.recommended, hw::Platform::SnicAccel);
+}
+
+TEST(Advisor, RecommendsHostForRsa)
+{
+    SloConstraint slo;
+    slo.minGbps = 1.5;  // beyond the PKA engine's RSA capacity
+    const auto advice = adviseOffload("crypto_rsa", slo);
+    EXPECT_EQ(advice.recommended, hw::Platform::HostCpu);
+}
+
+TEST(Advisor, TightSloForcesHostOnUdp)
+{
+    SloConstraint slo;
+    slo.p99UsMax = 40.0;
+    const auto advice = adviseOffload("micro_udp_1024", slo);
+    // Only the host meets a tight p99 bound at load (KO1).
+    if (advice.sloFeasible) {
+        EXPECT_EQ(advice.recommended, hw::Platform::HostCpu);
+    }
+    for (const auto &pred : advice.predictions) {
+        if (pred.platform == hw::Platform::SnicCpu && pred.supported) {
+            EXPECT_GT(pred.p99UsAtLoad, 30.0);
+        }
+    }
+}
+
+TEST(Advisor, PredictionsCoverSupportedPlatforms)
+{
+    const auto advice = adviseOffload("rem_exe", SloConstraint{});
+    int supported = 0;
+    for (const auto &pred : advice.predictions)
+        supported += pred.supported;
+    EXPECT_EQ(supported, 2);  // Table 3: REM on HC and SA only
+}
+
+TEST(LoadBalancer, PoliciesBehaveAsStrategy3Describes)
+{
+    BalancerConfig base;
+    base.ruleset = alg::regex::RuleSetId::FileExecutable;
+    base.ratesGbps = {5.0, 20.0, 45.0, 20.0, 5.0};
+    base.binTicks = sim::msToTicks(2.0);
+
+    base.policy = BalancePolicy::SnicOnly;
+    const auto snic_only = runBalancer(base);
+    base.policy = BalancePolicy::HostOnly;
+    const auto host_only = runBalancer(base);
+    base.policy = BalancePolicy::Threshold;
+    const auto threshold = runBalancer(base);
+
+    // All policies complete the (sub-capacity) trace.
+    EXPECT_NEAR(snic_only.achievedGbps, snic_only.offeredMeanGbps,
+                2.5);
+    EXPECT_NEAR(host_only.achievedGbps, host_only.offeredMeanGbps,
+                2.5);
+    // SNIC-only is the cheapest, host-only the most power hungry.
+    EXPECT_LT(snic_only.avgServerWatts, host_only.avgServerWatts);
+    // The threshold balancer keeps most traffic on the SNIC at these
+    // rates and burns SNIC CPU on monitoring (the paper's finding).
+    EXPECT_LT(threshold.hostShare, 0.5);
+    EXPECT_GT(threshold.snicCpuUtil, snic_only.snicCpuUtil);
+}
+
+TEST(Calibration, BandsSaneAndAnchorsPresent)
+{
+    const paper::Band b{1.0, 2.0};
+    EXPECT_TRUE(b.contains(1.5));
+    EXPECT_FALSE(b.contains(2.5));
+    EXPECT_DOUBLE_EQ(b.mid(), 1.5);
+    EXPECT_TRUE(paper::fig4Expectation("redis_a").has_value());
+    EXPECT_FALSE(paper::fig4Expectation("nonexistent").has_value());
+    EXPECT_TRUE(paper::fig6EfficiencyExpectation("comp_app")
+                    .has_value());
+    EXPECT_DOUBLE_EQ(paper::table4ThroughputGbps, 0.76);
+}
+
+TEST(Report, BandCheckFormats)
+{
+    EXPECT_EQ(bandCheck(1.0, std::nullopt), "-");
+    EXPECT_EQ(bandCheck(1.5, paper::Band{1.0, 2.0}), "in band");
+    EXPECT_NE(bandCheck(3.0, paper::Band{1.0, 2.0}).find("OUT"),
+              std::string::npos);
+}

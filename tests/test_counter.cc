@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for counters, accumulators and time-weighted averages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+#include "stats/counter.hh"
+
+using namespace snic;
+using namespace snic::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksSumAndMean)
+{
+    Accumulator a;
+    a.add(2.0);
+    a.add(4.0);
+    EXPECT_DOUBLE_EQ(a.value(), 6.0);
+    EXPECT_EQ(a.samples(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(TimeWeighted, ConstantValueAveragesToItself)
+{
+    TimeWeighted tw;
+    tw.start(0, 250.0);
+    EXPECT_DOUBLE_EQ(tw.average(sim::secToTicks(5.0)), 250.0);
+}
+
+TEST(TimeWeighted, StepChangeWeightsByDuration)
+{
+    TimeWeighted tw;
+    tw.start(0, 100.0);
+    tw.set(sim::secToTicks(1.0), 300.0);
+    // 1 s at 100 plus 3 s at 300 -> average 250 over 4 s.
+    EXPECT_NEAR(tw.average(sim::secToTicks(4.0)), 250.0, 1e-9);
+    // Integral is 100*1 + 300*3 = 1000 value-seconds.
+    EXPECT_NEAR(tw.integral(sim::secToTicks(4.0)), 1000.0, 1e-9);
+}
+
+TEST(TimeWeighted, SetBeforeStartActsAsStart)
+{
+    TimeWeighted tw;
+    tw.set(sim::secToTicks(2.0), 50.0);
+    EXPECT_DOUBLE_EQ(tw.current(), 50.0);
+    EXPECT_NEAR(tw.average(sim::secToTicks(4.0)), 50.0, 1e-9);
+}
+
+TEST(StatRegistry, NamedStatsPersistAndDump)
+{
+    StatRegistry reg;
+    reg.counter("packets.rx").inc(5);
+    reg.counter("packets.rx").inc(5);
+    reg.accumulator("bytes").add(100.0);
+    EXPECT_EQ(reg.counter("packets.rx").value(), 10u);
+    std::string dump = reg.dump();
+    EXPECT_NE(dump.find("packets.rx 10"), std::string::npos);
+    EXPECT_NE(dump.find("bytes 100"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetAllZeroesEverything)
+{
+    StatRegistry reg;
+    reg.counter("a").inc(3);
+    reg.accumulator("b").add(7.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("a").value(), 0u);
+    EXPECT_DOUBLE_EQ(reg.accumulator("b").value(), 0.0);
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for AES-128, SHA-1, Bignum and RSA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alg/crypto/aes.hh"
+#include "alg/crypto/bignum.hh"
+#include "alg/crypto/rsa.hh"
+#include "alg/crypto/sha1.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::crypto;
+using snic::sim::Random;
+
+TEST(Aes128, Fips197Vector)
+{
+    // FIPS 197 Appendix C.1.
+    Aes128::Key key{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                    0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+    Aes128::Block block{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                        0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+    const Aes128::Block expect{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                               0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                               0x70, 0xb4, 0xc5, 0x5a};
+    Aes128 aes(key);
+    WorkCounters work;
+    aes.encryptBlock(block, work);
+    EXPECT_EQ(block, expect);
+    EXPECT_EQ(work.cryptoBlocks, 1u);
+}
+
+TEST(Aes128, EncryptDecryptInverse)
+{
+    Random rng(11);
+    Aes128::Key key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next());
+    Aes128 aes(key);
+    for (int i = 0; i < 20; ++i) {
+        Aes128::Block block, orig;
+        for (auto &b : block)
+            b = static_cast<std::uint8_t>(rng.next());
+        orig = block;
+        WorkCounters work;
+        aes.encryptBlock(block, work);
+        EXPECT_NE(block, orig);
+        aes.decryptBlock(block, work);
+        EXPECT_EQ(block, orig);
+    }
+}
+
+TEST(Aes128, CtrRoundTripAndWorkCount)
+{
+    Random rng(13);
+    Aes128::Key key{};
+    Aes128 aes(key);
+    std::vector<std::uint8_t> data(1000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    WorkCounters w1;
+    auto ct = aes.ctr(data, 42, w1);
+    EXPECT_EQ(w1.cryptoBlocks, 63u);  // ceil(1000/16)
+    WorkCounters w2;
+    auto pt = aes.ctr(ct, 42, w2);
+    EXPECT_EQ(pt, data);
+    // Different nonce decrypts to garbage.
+    WorkCounters w3;
+    EXPECT_NE(aes.ctr(ct, 43, w3), data);
+}
+
+TEST(Sha1, KnownVectors)
+{
+    WorkCounters work;
+    // "abc"
+    auto d1 = Sha1::digest({'a', 'b', 'c'}, work);
+    EXPECT_EQ(Sha1::hex(d1), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    // Empty string.
+    auto d2 = Sha1::digest({}, work);
+    EXPECT_EQ(Sha1::hex(d2), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    // Two-block message.
+    std::string msg =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    auto d3 = Sha1::digest(
+        std::vector<std::uint8_t>(msg.begin(), msg.end()), work);
+    EXPECT_EQ(Sha1::hex(d3), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, StreamingMatchesOneShot)
+{
+    Random rng(17);
+    std::vector<std::uint8_t> data(10000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    WorkCounters w1, w2;
+    auto one_shot = Sha1::digest(data, w1);
+    Sha1 ctx;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(rng.uniformInt(1, 300),
+                                  data.size() - off);
+        ctx.update(&data[off], chunk, w2);
+        off += chunk;
+    }
+    EXPECT_EQ(ctx.finish(w2), one_shot);
+    EXPECT_EQ(w1.hashBlocks, w2.hashBlocks);
+}
+
+TEST(Sha1, CountsBlocks)
+{
+    WorkCounters work;
+    std::vector<std::uint8_t> data(640);  // 10 blocks + padding block
+    Sha1::digest(data, work);
+    EXPECT_EQ(work.hashBlocks, 11u);
+}
+
+TEST(Bignum, HexRoundTrip)
+{
+    const std::string hex = "deadbeefcafebabe0123456789abcdef";
+    auto b = Bignum::fromHex(hex);
+    EXPECT_EQ(b.toHex(), hex);
+    EXPECT_EQ(Bignum().toHex(), "0");
+    EXPECT_EQ(Bignum::fromUint(255).toHex(), "ff");
+}
+
+TEST(Bignum, ArithmeticAgainstUint64)
+{
+    Random rng(19);
+    WorkCounters work;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.next() >> 16;
+        const std::uint64_t b = (rng.next() >> 16) | 1;
+        const auto ba = Bignum::fromUint(a);
+        const auto bb = Bignum::fromUint(b);
+        EXPECT_EQ(ba.add(bb), Bignum::fromUint(a + b));
+        if (a >= b)
+            EXPECT_EQ(ba.sub(bb), Bignum::fromUint(a - b));
+        const unsigned __int128 prod =
+            static_cast<unsigned __int128>(a) * b;
+        const auto bp = ba.mul(bb, work);
+        EXPECT_EQ(bp.shiftRight(64),
+                  Bignum::fromUint(static_cast<std::uint64_t>(prod >> 64)));
+        Bignum q, r;
+        ba.divmod(bb, q, r, work);
+        EXPECT_EQ(q, Bignum::fromUint(a / b));
+        EXPECT_EQ(r, Bignum::fromUint(a % b));
+    }
+}
+
+TEST(Bignum, MultiLimbDivmodReconstructs)
+{
+    Random rng(23);
+    WorkCounters work;
+    for (int i = 0; i < 50; ++i) {
+        // Random 256-bit dividend, 128-bit divisor.
+        std::vector<std::uint8_t> ab(32), bb(16);
+        for (auto &x : ab)
+            x = static_cast<std::uint8_t>(rng.next());
+        for (auto &x : bb)
+            x = static_cast<std::uint8_t>(rng.next());
+        bb[0] |= 0x80;
+        const auto a = Bignum::fromBytes(ab);
+        const auto b = Bignum::fromBytes(bb);
+        Bignum q, r;
+        a.divmod(b, q, r, work);
+        EXPECT_TRUE(r < b);
+        EXPECT_EQ(q.mul(b, work).add(r), a);
+    }
+}
+
+TEST(Bignum, ShiftsAndBits)
+{
+    auto b = Bignum::fromHex("1f");
+    EXPECT_EQ(b.bitLength(), 5u);
+    EXPECT_TRUE(b.bit(0));
+    EXPECT_TRUE(b.bit(4));
+    EXPECT_FALSE(b.bit(5));
+    EXPECT_EQ(b.shiftLeft(36).toHex(), "1f000000000");
+    EXPECT_EQ(b.shiftLeft(36).shiftRight(36), b);
+    EXPECT_EQ(b.shiftRight(10).toHex(), "0");
+}
+
+TEST(Bignum, ModexpSmallCases)
+{
+    WorkCounters work;
+    // 3^7 mod 10 = 7 (2187 mod 10).
+    EXPECT_EQ(Bignum::fromUint(3)
+                  .modexp(Bignum::fromUint(7), Bignum::fromUint(10),
+                          work),
+              Bignum::fromUint(7));
+    // Fermat: a^(p-1) mod p == 1 for prime p.
+    const std::uint64_t p = 1000000007ull;
+    EXPECT_EQ(Bignum::fromUint(123456789)
+                  .modexp(Bignum::fromUint(p - 1), Bignum::fromUint(p),
+                          work),
+              Bignum::fromUint(1));
+}
+
+TEST(Rsa, MillerRabinClassifiesKnownNumbers)
+{
+    Random rng(29);
+    WorkCounters work;
+    EXPECT_TRUE(Rsa::isProbablePrime(Bignum::fromUint(2), 8, rng, work));
+    EXPECT_TRUE(
+        Rsa::isProbablePrime(Bignum::fromUint(65537), 8, rng, work));
+    EXPECT_TRUE(Rsa::isProbablePrime(
+        Bignum::fromUint(1000000007ull), 8, rng, work));
+    EXPECT_FALSE(
+        Rsa::isProbablePrime(Bignum::fromUint(65536), 8, rng, work));
+    EXPECT_FALSE(Rsa::isProbablePrime(
+        Bignum::fromUint(3215031751ull), 8, rng, work));  // Carmichael
+    EXPECT_FALSE(Rsa::isProbablePrime(
+        Bignum::fromUint(1000000007ull * 3), 8, rng, work));
+}
+
+TEST(Rsa, ModInverse)
+{
+    WorkCounters work;
+    // 3 * 7 = 21 == 1 mod 10.
+    EXPECT_EQ(Rsa::modInverse(Bignum::fromUint(3),
+                              Bignum::fromUint(10), work),
+              Bignum::fromUint(7));
+    // Inverse of 65537 mod a big prime, verified by multiplication.
+    const auto m = Bignum::fromUint(1000000007ull);
+    const auto e = Bignum::fromUint(65537);
+    const auto inv = Rsa::modInverse(e, m, work);
+    EXPECT_EQ(e.mul(inv, work).mod(m, work), Bignum::fromUint(1));
+}
+
+TEST(Rsa, KeygenEncryptDecryptRoundTrip)
+{
+    Random rng(31);
+    WorkCounters work;
+    const RsaKey key = Rsa::generate(256, rng, work);
+    EXPECT_EQ(key.n.bitLength(), 256u);
+    for (int i = 0; i < 5; ++i) {
+        const auto m = Bignum::fromUint(rng.next() >> 1);
+        const auto c = Rsa::encrypt(m, key, work);
+        EXPECT_NE(c, m);
+        EXPECT_EQ(Rsa::decrypt(c, key, work), m);
+    }
+    EXPECT_GT(work.bigMulOps, 0u);
+}

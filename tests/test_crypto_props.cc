@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Algebraic property tests for the bignum and cipher substrates on
+ * randomized operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alg/crypto/aes.hh"
+#include "alg/crypto/bignum.hh"
+#include "alg/crypto/rsa.hh"
+#include "alg/crypto/sha1.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::crypto;
+using snic::sim::Random;
+
+namespace {
+
+Bignum
+randomBignum(Random &rng, std::size_t max_bytes)
+{
+    std::vector<std::uint8_t> bytes(rng.uniformInt(1, max_bytes));
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    return Bignum::fromBytes(bytes);
+}
+
+} // anonymous namespace
+
+TEST(BignumProps, Distributivity)
+{
+    Random rng(3001);
+    WorkCounters w;
+    for (int i = 0; i < 100; ++i) {
+        const auto a = randomBignum(rng, 24);
+        const auto b = randomBignum(rng, 24);
+        const auto c = randomBignum(rng, 24);
+        EXPECT_EQ(a.add(b).mul(c, w), a.mul(c, w).add(b.mul(c, w)));
+    }
+}
+
+TEST(BignumProps, AddSubRoundTrip)
+{
+    Random rng(3002);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = randomBignum(rng, 32);
+        const auto b = randomBignum(rng, 32);
+        EXPECT_EQ(a.add(b).sub(b), a);
+        EXPECT_EQ(a.add(b).sub(a), b);
+    }
+}
+
+TEST(BignumProps, DivmodInvariantRandomWidths)
+{
+    Random rng(3003);
+    WorkCounters w;
+    for (int i = 0; i < 200; ++i) {
+        const auto a = randomBignum(rng, 48);
+        auto b = randomBignum(rng, 24);
+        if (b.isZero())
+            b = Bignum::fromUint(1);
+        Bignum q, r;
+        a.divmod(b, q, r, w);
+        EXPECT_TRUE(r < b) << i;
+        EXPECT_EQ(q.mul(b, w).add(r), a) << i;
+    }
+}
+
+TEST(BignumProps, ShiftsAreMultiplication)
+{
+    Random rng(3004);
+    WorkCounters w;
+    for (int i = 0; i < 100; ++i) {
+        const auto a = randomBignum(rng, 16);
+        const auto k = rng.uniformInt(0, 60);
+        Bignum pow2 = Bignum::fromUint(1).shiftLeft(k);
+        EXPECT_EQ(a.shiftLeft(k), a.mul(pow2, w));
+    }
+}
+
+TEST(BignumProps, ModexpMultiplicativity)
+{
+    // (a*b)^e mod m == (a^e mod m)(b^e mod m) mod m.
+    Random rng(3005);
+    WorkCounters w;
+    for (int i = 0; i < 20; ++i) {
+        const auto a = randomBignum(rng, 8);
+        const auto b = randomBignum(rng, 8);
+        const auto e = Bignum::fromUint(rng.uniformInt(1, 64));
+        auto m = randomBignum(rng, 8);
+        if (m.isZero() || m == Bignum::fromUint(1))
+            m = Bignum::fromUint(1000003);
+        const auto lhs = a.mul(b, w).modexp(e, m, w);
+        const auto rhs =
+            a.modexp(e, m, w).mul(b.modexp(e, m, w), w).mod(m, w);
+        EXPECT_EQ(lhs, rhs) << i;
+    }
+}
+
+TEST(BignumProps, ByteRoundTrip)
+{
+    Random rng(3006);
+    for (int i = 0; i < 100; ++i) {
+        const auto a = randomBignum(rng, 40);
+        const auto bytes = a.toBytes(48);
+        EXPECT_EQ(Bignum::fromBytes(bytes), a);
+    }
+}
+
+TEST(AesProps, CtrIsAnInvolutionForAnyLength)
+{
+    Random rng(3007);
+    Aes128::Key key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next());
+    const Aes128 aes(key);
+    WorkCounters w;
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 255u, 1000u}) {
+        std::vector<std::uint8_t> data(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        const auto ct = aes.ctr(data, 7, w);
+        EXPECT_EQ(aes.ctr(ct, 7, w), data) << len;
+        if (len > 0)
+            EXPECT_NE(ct, data) << len;
+    }
+}
+
+TEST(AesProps, DistinctKeysDisagree)
+{
+    Random rng(3008);
+    Aes128::Key k1{}, k2{};
+    k2[0] = 1;
+    const Aes128 a1(k1), a2(k2);
+    WorkCounters w;
+    Aes128::Block block{};
+    auto b1 = block, b2 = block;
+    a1.encryptBlock(b1, w);
+    a2.encryptBlock(b2, w);
+    EXPECT_NE(b1, b2);
+}
+
+TEST(Sha1Props, AvalancheOnSingleBitFlip)
+{
+    Random rng(3009);
+    WorkCounters w;
+    for (int i = 0; i < 20; ++i) {
+        std::vector<std::uint8_t> data(rng.uniformInt(1, 300));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        auto flipped = data;
+        const std::size_t byte = rng.uniformInt(0, data.size() - 1);
+        flipped[byte] ^= static_cast<std::uint8_t>(
+            1u << rng.uniformInt(0, 7));
+        const auto d1 = Sha1::digest(data, w);
+        const auto d2 = Sha1::digest(flipped, w);
+        int differing_bits = 0;
+        for (std::size_t j = 0; j < d1.size(); ++j)
+            differing_bits +=
+                __builtin_popcount(static_cast<unsigned>(
+                    d1[j] ^ d2[j]));
+        // ~80 of 160 bits expected; anything above 40 is clearly
+        // avalanching.
+        EXPECT_GT(differing_bits, 40) << i;
+    }
+}
+
+TEST(RsaProps, SignVerifyStyleRoundTripManyMessages)
+{
+    Random rng(3010);
+    WorkCounters w;
+    const RsaKey key = Rsa::generate(192, rng, w);
+    for (int i = 0; i < 10; ++i) {
+        const auto m =
+            Bignum::fromUint(rng.next() % 1000000007ull);
+        // "Sign" with d, "verify" with e (textbook RSA symmetry).
+        const auto sig = Rsa::decrypt(m, key, w);
+        EXPECT_EQ(sig.modexp(key.e, key.n, w), m) << i;
+    }
+}

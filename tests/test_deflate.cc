@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit and property tests for the Deflate substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "alg/deflate/deflate.hh"
+#include "alg/deflate/huffman.hh"
+#include "alg/deflate/lz77.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::deflate;
+using snic::sim::Random;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+/** Repetitive "application binary"-like data. */
+std::vector<std::uint8_t>
+syntheticApp(std::size_t size, Random &rng)
+{
+    std::vector<std::uint8_t> data;
+    const std::vector<std::uint8_t> motifs[] = {
+        bytesOf("\x55\x48\x89\xe5\x48\x83\xec"),
+        bytesOf("\x48\x8b\x45\xf8\xc9\xc3"),
+        bytesOf("GLIBC_2.17"),
+        bytesOf("\x00\x00\x00\x00"),
+    };
+    while (data.size() < size) {
+        const auto &m = motifs[rng.uniformInt(0, 3)];
+        data.insert(data.end(), m.begin(), m.end());
+        if (rng.chance(0.2))
+            data.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    data.resize(size);
+    return data;
+}
+
+} // anonymous namespace
+
+TEST(BitIo, RoundTripsMixedWidths)
+{
+    BitWriter w;
+    w.writeBits(0b101, 3);
+    w.writeBits(0xdead, 16);
+    w.writeBits(1, 1);
+    w.writeBits(0x12345678, 32);
+    auto bytes = w.finish();
+    BitReader r(bytes);
+    EXPECT_EQ(r.readBits(3), 0b101u);
+    EXPECT_EQ(r.readBits(16), 0xdeadu);
+    EXPECT_EQ(r.readBits(1), 1u);
+    EXPECT_EQ(r.readBits(32), 0x12345678u);
+}
+
+TEST(BitIo, BitCountTracksWrites)
+{
+    BitWriter w;
+    w.writeBits(0, 5);
+    w.writeBits(0, 11);
+    EXPECT_EQ(w.bitCount(), 16u);
+}
+
+TEST(Huffman, LengthsSatisfyKraft)
+{
+    std::vector<std::uint64_t> freqs{50, 30, 10, 5, 3, 1, 1};
+    auto lengths = buildCodeLengths(freqs, 15);
+    double kraft = 0.0;
+    for (auto l : lengths) {
+        ASSERT_GT(l, 0u);
+        kraft += 1.0 / static_cast<double>(1ull << l);
+    }
+    EXPECT_NEAR(kraft, 1.0, 1e-12);
+}
+
+TEST(Huffman, RespectsLengthLimit)
+{
+    // Exponential frequencies force long codes without a limit.
+    std::vector<std::uint64_t> freqs;
+    std::uint64_t f = 1;
+    for (int i = 0; i < 20; ++i) {
+        freqs.push_back(f);
+        f *= 3;
+    }
+    auto lengths = buildCodeLengths(freqs, 8);
+    for (auto l : lengths)
+        EXPECT_LE(l, 8u);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes)
+{
+    std::vector<std::uint64_t> freqs{1000, 10, 10, 10};
+    auto lengths = buildCodeLengths(freqs, 15);
+    EXPECT_LT(lengths[0], lengths[1]);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit)
+{
+    std::vector<std::uint64_t> freqs{0, 42, 0};
+    auto lengths = buildCodeLengths(freqs, 15);
+    EXPECT_EQ(lengths[0], 0u);
+    EXPECT_EQ(lengths[1], 1u);
+    EXPECT_EQ(lengths[2], 0u);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip)
+{
+    std::vector<std::uint64_t> freqs{7, 1, 3, 9, 2};
+    CanonicalCode code(buildCodeLengths(freqs, 15));
+    WorkCounters work;
+    BitWriter w;
+    const std::vector<std::size_t> symbols{0, 3, 3, 2, 4, 1, 0, 3};
+    for (auto s : symbols)
+        code.encode(w, s, work);
+    auto bytes = w.finish();
+    BitReader r(bytes);
+    for (auto s : symbols)
+        EXPECT_EQ(code.decode(r, work), s);
+}
+
+TEST(Lz77, TokenizeReconstructRoundTrip)
+{
+    Random rng(99);
+    WorkCounters work;
+    Lz77 lz(64);
+    auto data = bytesOf(
+        "the quick brown fox jumps over the lazy dog. "
+        "the quick brown fox jumps over the lazy dog again!");
+    auto tokens = lz.tokenize(data, work);
+    WorkCounters w2;
+    auto back = Lz77::reconstruct(tokens, w2);
+    EXPECT_EQ(back, data);
+    // Repetition must produce back references.
+    bool any_match = false;
+    for (const auto &t : tokens)
+        any_match |= !t.isLiteral;
+    EXPECT_TRUE(any_match);
+}
+
+TEST(Lz77, CountsSearchWork)
+{
+    WorkCounters work;
+    Lz77 lz(64);
+    Random rng(3);
+    auto data = syntheticApp(4096, rng);
+    lz.tokenize(data, work);
+    EXPECT_GT(work.branchyOps, 0u);
+    EXPECT_GE(work.streamBytes, 4096u);
+}
+
+TEST(Deflate, RoundTripText)
+{
+    Deflate codec(9);
+    WorkCounters work;
+    auto data = bytesOf(std::string(
+        "It is a truth universally acknowledged, that a single man in "
+        "possession of a good fortune, must be in want of a wife. ") +
+        std::string("However little known the feelings or views of such "
+        "a man may be on his first entering a neighbourhood, this truth "
+        "is so well fixed in the minds of the surrounding families."));
+    auto compressed = codec.compress(data, work);
+    WorkCounters w2;
+    auto back = codec.decompress(compressed, w2);
+    EXPECT_EQ(back, data);
+}
+
+TEST(Deflate, CompressesRepetitiveData)
+{
+    Deflate codec(9);
+    WorkCounters work;
+    std::vector<std::uint8_t> data(8192, 'a');
+    auto compressed = codec.compress(data, work);
+    EXPECT_LT(compressed.size(), data.size() / 8);
+    WorkCounters w2;
+    EXPECT_EQ(codec.decompress(compressed, w2), data);
+}
+
+TEST(Deflate, HandlesEmptyAndTinyInputs)
+{
+    Deflate codec(9);
+    for (std::size_t n : {0u, 1u, 2u, 3u}) {
+        WorkCounters work;
+        std::vector<std::uint8_t> data(n, 'x');
+        auto compressed = codec.compress(data, work);
+        WorkCounters w2;
+        EXPECT_EQ(codec.decompress(compressed, w2), data) << n;
+    }
+}
+
+TEST(Deflate, IncompressibleDataSurvives)
+{
+    Deflate codec(9);
+    Random rng(1234);
+    std::vector<std::uint8_t> data(4096);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    WorkCounters work;
+    auto compressed = codec.compress(data, work);
+    WorkCounters w2;
+    EXPECT_EQ(codec.decompress(compressed, w2), data);
+    // Stored-block fallback: random data must not expand beyond the
+    // 5-byte frame.
+    EXPECT_LE(compressed.size(), data.size() + 5);
+}
+
+TEST(Deflate, StoredBlockRoundTripsTinyIncompressible)
+{
+    Deflate codec(9);
+    Random rng(99);
+    for (std::size_t n : {8u, 33u, 100u}) {
+        std::vector<std::uint8_t> data(n);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        WorkCounters w1, w2;
+        const auto compressed = codec.compress(data, w1);
+        EXPECT_LE(compressed.size(), n + 5) << n;
+        EXPECT_EQ(codec.decompress(compressed, w2), data) << n;
+    }
+}
+
+TEST(Deflate, HigherLevelDoesMoreWorkNotWorseRatio)
+{
+    Random rng(7);
+    auto data = syntheticApp(16384, rng);
+    WorkCounters w1, w9;
+    Deflate fast(1), best(9);
+    auto c1 = fast.compress(data, w1);
+    auto c9 = best.compress(data, w9);
+    EXPECT_GE(w9.branchyOps, w1.branchyOps);
+    EXPECT_LE(c9.size(), c1.size() + 64);
+}
+
+/** Round-trip across sizes as a parameterized property. */
+class DeflateRoundTrip : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DeflateRoundTrip, SyntheticAppData)
+{
+    Random rng(GetParam());
+    auto data = syntheticApp(GetParam(), rng);
+    Deflate codec(6);
+    WorkCounters work;
+    auto compressed = codec.compress(data, work);
+    WorkCounters w2;
+    EXPECT_EQ(codec.decompress(compressed, w2), data);
+    // App-like data compresses at least 2x once it amortizes the
+    // ~320-byte code-table header.
+    if (data.size() >= 4096)
+        EXPECT_GT(Deflate::ratio(data.size(), compressed.size()), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeflateRoundTrip,
+                         ::testing::Values(64, 257, 1024, 4096, 16384,
+                                           65536));

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+using namespace snic::sim;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.runNext());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.curTick(), 20u);
+    // Remaining event still pending.
+    EXPECT_EQ(q.numPending(), 1u);
+    q.runAll();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenDrained)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.runUntil(100);
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventId id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id));  // double-cancel is a no-op
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DescheduleAfterFireReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_FALSE(q.deschedule(id));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5)
+            q.scheduleIn(10, step);
+    };
+    q.schedule(0, step);
+    q.runAll();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(q.curTick(), 40u);
+}
+
+TEST(EventQueue, NumPendingTracksLiveEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.numPending(), 2u);
+    q.deschedule(a);
+    EXPECT_EQ(q.numPending(), 1u);
+    q.runNext();
+    EXPECT_EQ(q.numPending(), 0u);
+}
+
+TEST(EventQueue, ZeroDelayEventFiresAtCurrentTick)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runNext();
+    bool fired = false;
+    q.scheduleIn(0, [&] { fired = true; });
+    q.runNext();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.curTick(), 10u);
+}
+
+TEST(Simulation, SchedulingHelpersWork)
+{
+    Simulation sim(42);
+    int count = 0;
+    sim.after(usToTicks(1.0), [&] { ++count; });
+    sim.at(usToTicks(2.0), [&] { ++count; });
+    sim.runUntil(usToTicks(1.5));
+    EXPECT_EQ(count, 1);
+    sim.runAll();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), usToTicks(2.0));
+}
+
+TEST(Simulation, CancelPreventsFiring)
+{
+    Simulation sim;
+    int count = 0;
+    EventId id = sim.after(100, [&] { ++count; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.runAll();
+    EXPECT_EQ(count, 0);
+}
+
+TEST(Types, TimeConversionsRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(usToTicks(1.0), 1'000'000u);
+    EXPECT_EQ(msToTicks(1.0), 1'000'000'000u);
+    EXPECT_EQ(secToTicks(1.0), ticksPerSec);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(12.5)), 12.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(secToTicks(2.0)), 2.0);
+}

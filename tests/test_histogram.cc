@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit and property tests for the log-linear histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+#include "stats/histogram.hh"
+
+using snic::stats::Histogram;
+using snic::sim::Random;
+
+TEST(Histogram, EmptyReportsZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h(7);
+    for (std::uint64_t v = 0; v < 128; ++v)
+        h.record(v);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 127u);
+    EXPECT_EQ(h.count(), 128u);
+    EXPECT_EQ(h.percentile(0.5), 63u);
+}
+
+TEST(Histogram, MeanAndStddevMatchExactValues)
+{
+    Histogram h;
+    for (std::uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u})
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    // Sample stddev of the classic example set is ~2.138.
+    EXPECT_NEAR(h.stddev(), 2.138, 0.01);
+}
+
+TEST(Histogram, PercentileBoundsAreMinMax)
+{
+    Histogram h;
+    h.record(10);
+    h.record(1000);
+    h.record(100000);
+    EXPECT_EQ(h.percentile(0.0), 10u);
+    EXPECT_EQ(h.percentile(1.0), 100000u);
+}
+
+TEST(Histogram, RelativeErrorBounded)
+{
+    // Property: for sub_bucket_bits=7 the bucket representative must
+    // be within ~1% of the recorded value across many decades.
+    Histogram h(7);
+    Random rng(5);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t v = rng.uniformInt(1, 1) *
+            static_cast<std::uint64_t>(rng.uniform(1e3, 1e9));
+        Histogram one(7);
+        one.record(v);
+        const double rep = static_cast<double>(one.percentile(0.5));
+        const double err =
+            std::abs(rep - static_cast<double>(v)) / static_cast<double>(v);
+        ASSERT_LT(err, 0.01) << "value " << v << " rep " << rep;
+    }
+}
+
+TEST(Histogram, PercentilesOrderedAndConsistent)
+{
+    Histogram h;
+    Random rng(6);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = static_cast<std::uint64_t>(rng.exponential(5000.0));
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    const std::uint64_t p50 = h.percentile(0.5);
+    const std::uint64_t p90 = h.percentile(0.9);
+    const std::uint64_t p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // Compare against exact order statistics within bucket error.
+    const double exact_p99 = static_cast<double>(vals[9899]);
+    EXPECT_NEAR(static_cast<double>(p99), exact_p99, exact_p99 * 0.02);
+}
+
+TEST(Histogram, MergeCombinesSamples)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.record(100);
+    for (int i = 0; i < 100; ++i)
+        b.record(10000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.min(), 100u);
+    // p25 from the low half, p75 from the high half.
+    EXPECT_NEAR(static_cast<double>(a.percentile(0.25)), 100.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(a.percentile(0.75)), 10000.0, 100.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h;
+    h.record(42, 10);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(Histogram, WeightedRecordEqualsRepeated)
+{
+    Histogram a, b;
+    a.record(777, 50);
+    for (int i = 0; i < 50; ++i)
+        b.record(777);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+/** Percentile sweep as a parameterized property test. */
+class HistogramQuantile : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HistogramQuantile, MatchesExactOrderStatistic)
+{
+    const double q = GetParam();
+    Histogram h;
+    Random rng(77);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = static_cast<std::uint64_t>(
+            rng.boundedPareto(100.0, 1e7, 1.1));
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    const auto idx = static_cast<std::size_t>(q * (vals.size() - 1));
+    const double exact = static_cast<double>(vals[idx]);
+    const double approx = static_cast<double>(h.percentile(q));
+    EXPECT_NEAR(approx, exact, exact * 0.03 + 2.0) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramQuantile,
+                         ::testing::Values(0.10, 0.25, 0.50, 0.75, 0.90,
+                                           0.95, 0.99, 0.999));

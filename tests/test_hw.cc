@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the hardware models: platforms, accelerators, PCIe,
+ * eSwitch, and the composed server.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.hh"
+#include "hw/cpu_platform.hh"
+#include "hw/eswitch.hh"
+#include "hw/pcie.hh"
+#include "hw/server.hh"
+#include "hw/specs.hh"
+
+using namespace snic;
+using namespace snic::hw;
+using snic::alg::WorkCounters;
+
+namespace {
+
+WorkCounters
+branchyWork(std::uint64_t ops)
+{
+    WorkCounters w;
+    w.branchyOps = ops;
+    w.messages = 1;
+    return w;
+}
+
+} // anonymous namespace
+
+TEST(CostModel, PricesEachCategory)
+{
+    CostModel m;
+    m.perBranchyOp = 2.0;
+    m.perMessage = 10.0;
+    WorkCounters w;
+    w.branchyOps = 5;
+    w.messages = 1;
+    EXPECT_DOUBLE_EQ(m.serviceNs(w), 20.0);
+}
+
+TEST(Platform, SingleRequestTakesServiceTime)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 1, CostModel{.perBranchyOp = 1.0});
+    sim::Tick done_at = 0;
+    p.submit(branchyWork(1000), 0, [&] { done_at = s.now(); });
+    s.runAll();
+    EXPECT_EQ(done_at, sim::nsToTicks(1000.0));
+    EXPECT_EQ(p.completedCount(), 1u);
+}
+
+TEST(Platform, RequestsQueuePerWorker)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 1, CostModel{.perBranchyOp = 1.0});
+    std::vector<sim::Tick> completions;
+    for (int i = 0; i < 3; ++i)
+        p.submit(branchyWork(100), 0,
+                 [&] { completions.push_back(s.now()); });
+    s.runAll();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[0], sim::nsToTicks(100.0));
+    EXPECT_EQ(completions[1], sim::nsToTicks(200.0));
+    EXPECT_EQ(completions[2], sim::nsToTicks(300.0));
+}
+
+TEST(Platform, MultipleWorkersServeInParallel)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 4, CostModel{.perBranchyOp = 1.0});
+    std::vector<sim::Tick> completions;
+    for (int i = 0; i < 4; ++i)
+        p.submit(branchyWork(100), i,
+                 [&] { completions.push_back(s.now()); });
+    s.runAll();
+    for (sim::Tick t : completions)
+        EXPECT_EQ(t, sim::nsToTicks(100.0));
+}
+
+TEST(Platform, FlowHashPinsToWorker)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 4, CostModel{.perBranchyOp = 1.0});
+    p.setDispatch(Dispatch::FlowHash);
+    std::vector<sim::Tick> completions;
+    // Same flow hash -> same worker -> serialized.
+    for (int i = 0; i < 3; ++i)
+        p.submit(branchyWork(100), 42,
+                 [&] { completions.push_back(s.now()); });
+    s.runAll();
+    EXPECT_EQ(completions.back(), sim::nsToTicks(300.0));
+}
+
+TEST(Platform, SpeedScaleStretchesService)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 1, CostModel{.perBranchyOp = 1.0});
+    p.setSpeed(0.5);
+    sim::Tick done_at = 0;
+    p.submit(branchyWork(100), 0, [&] { done_at = s.now(); });
+    s.runAll();
+    EXPECT_EQ(done_at, sim::nsToTicks(200.0));
+}
+
+TEST(Platform, PipelineLatencyDoesNotOccupyWorker)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 1, CostModel{.perBranchyOp = 1.0}, 0.0,
+                        500.0);
+    std::vector<sim::Tick> completions;
+    p.submit(branchyWork(100), 0,
+             [&] { completions.push_back(s.now()); });
+    p.submit(branchyWork(100), 0,
+             [&] { completions.push_back(s.now()); });
+    s.runAll();
+    ASSERT_EQ(completions.size(), 2u);
+    // Each completion is service + pipeline, but the second only
+    // waited for the first's *service*, not its pipeline.
+    EXPECT_EQ(completions[0], sim::nsToTicks(600.0));
+    EXPECT_EQ(completions[1], sim::nsToTicks(700.0));
+}
+
+TEST(Platform, BusyIntegralTracksUtilization)
+{
+    sim::Simulation s;
+    ExecutionPlatform p(s, "p", 2, CostModel{.perBranchyOp = 1.0});
+    const double before = p.busyIntegral();
+    p.submit(branchyWork(1000), 0, nullptr);  // 1 us on one of 2 cores
+    s.runAll();
+    const double busy = p.busyIntegral() - before;
+    EXPECT_NEAR(busy, 1e-6, 1e-9);  // one worker-microsecond
+}
+
+TEST(Platform, SnicCpuIsSlowerThanHostOnKernelWork)
+{
+    // KO1 sanity: the same kernel-heavy work costs ~6x on the SNIC.
+    WorkCounters w;
+    w.kernelOps = 1000;
+    const double host = hostCostModel().serviceNs(w);
+    const double snic = snicCpuCostModel().serviceNs(w);
+    EXPECT_NEAR(snic / host, 6.0, 0.5);
+}
+
+TEST(Platform, HostWinsAesButLosesSha1AgainstPka)
+{
+    // KO2 sanity at the platform-throughput level: the host brings 8
+    // cores, the PKA engine 2 lanes; engine per-lane times are set so
+    // the whole-platform ratios match the paper.
+    sim::Simulation s;
+    auto pka = makeAccelerator(s, AccelKind::Pka);
+    WorkCounters aes;
+    aes.cryptoBlocks = 1000;
+    WorkCounters sha;
+    sha.hashBlocks = 1000;
+    const auto host = hostCostModel();
+    auto tput = [](double per_unit_ns, unsigned workers) {
+        return workers / per_unit_ns;
+    };
+    EXPECT_GT(tput(host.serviceNs(aes), 8),
+              tput(pka->costs().serviceNs(aes), 2));
+    EXPECT_LT(tput(host.serviceNs(sha), 8),
+              tput(pka->costs().serviceNs(sha), 2));
+}
+
+TEST(Accelerator, RemThroughputCapsNear50Gbps)
+{
+    // KO3: offered bytes beyond ~50 Gbps cannot complete in time.
+    sim::Simulation s;
+    auto rem = makeAccelerator(s, AccelKind::Rem);
+    // Submit 10 ms worth of 50 Gbps traffic as 64 KB jobs.
+    const double bytes_total = 50e9 / 8.0 * 0.010;
+    const std::uint32_t job_bytes = 65536;
+    const int jobs = static_cast<int>(bytes_total / job_bytes);
+    int completed = 0;
+    for (int i = 0; i < jobs; ++i) {
+        WorkCounters w;
+        w.streamBytes = job_bytes;
+        w.messages = 1;
+        rem->submit(w, i, [&] { ++completed; });
+    }
+    s.runUntil(sim::msToTicks(12.0));
+    // All jobs finish within ~20% over the nominal window: the engine
+    // sustains roughly its rated rate, definitely not line rate.
+    EXPECT_EQ(completed, jobs);
+    sim::Simulation s2;
+    auto rem2 = makeAccelerator(s2, AccelKind::Rem);
+    const int jobs2 = jobs * 2;  // 100 Gbps offered
+    int completed2 = 0;
+    for (int i = 0; i < jobs2; ++i) {
+        WorkCounters w;
+        w.streamBytes = job_bytes;
+        w.messages = 1;
+        rem2->submit(w, i, [&] { ++completed2; });
+    }
+    s2.runUntil(sim::msToTicks(12.0));
+    EXPECT_LT(completed2, jobs2);  // cannot keep up with line rate
+}
+
+TEST(Pcie, TransferDelayIncludesLatencyAndSerialization)
+{
+    sim::Simulation s;
+    PcieLink pcie(s, "pcie", 32.0, 700.0);
+    const sim::Tick d = pcie.transferDelay(32000);  // 1 us at 32 GB/s
+    EXPECT_EQ(d, sim::usToTicks(1.0) + sim::nsToTicks(700.0));
+    EXPECT_EQ(pcie.bytesMoved(), 32000u);
+}
+
+TEST(ESwitch, SteersByClassifier)
+{
+    sim::Simulation s;
+    PcieLink pcie(s, "pcie", 32.0, 700.0);
+    ESwitch sw(s, "esw", pcie);
+    int to_host = 0, to_snic = 0;
+    sw.connectHostCpu([&](const net::Packet &) { ++to_host; });
+    sw.connectSnicCpu([&](const net::Packet &) { ++to_snic; });
+    sw.setClassifier([](const net::Packet &p) {
+        return p.sizeBytes > 100 ? SteerTarget::HostCpu
+                                 : SteerTarget::SnicCpu;
+    });
+    net::Packet small;
+    small.sizeBytes = 64;
+    net::Packet big;
+    big.sizeBytes = 1500;
+    sw.ingress(small);
+    sw.ingress(big);
+    s.runAll();
+    EXPECT_EQ(to_host, 1);
+    EXPECT_EQ(to_snic, 1);
+    EXPECT_EQ(sw.toHostCount(), 1u);
+    EXPECT_EQ(sw.toSnicCount(), 1u);
+}
+
+TEST(ESwitch, HostPathIsSlowerThanSnicPath)
+{
+    sim::Simulation s;
+    PcieLink pcie(s, "pcie", 32.0, 700.0);
+    ESwitch sw(s, "esw", pcie);
+    sim::Tick host_at = 0, snic_at = 0;
+    sw.connectHostCpu([&](const net::Packet &) { host_at = s.now(); });
+    sw.connectSnicCpu([&](const net::Packet &) { snic_at = s.now(); });
+    net::Packet pkt;
+    pkt.sizeBytes = 1500;
+    sw.setClassifier(
+        [](const net::Packet &) { return SteerTarget::SnicCpu; });
+    sw.ingress(pkt);
+    s.runAll();
+    sw.setClassifier(
+        [](const net::Packet &) { return SteerTarget::HostCpu; });
+    sw.ingress(pkt);
+    s.runAll();
+    EXPECT_GT(host_at - snic_at, sim::nsToTicks(600.0));
+}
+
+TEST(Server, ComposesAllPlatforms)
+{
+    sim::Simulation s;
+    ServerModel server(s);
+    EXPECT_EQ(server.hostCpu().numWorkers(), 8u);
+    EXPECT_EQ(server.snicCpu().numWorkers(), specs::snicCores);
+    EXPECT_EQ(server.accel(AccelKind::Rem).numWorkers(),
+              specs::rem_accel::lanes);
+    EXPECT_EQ(&server.cpuFor(Platform::HostCpu), &server.hostCpu());
+    EXPECT_EQ(&server.cpuFor(Platform::SnicAccel), &server.snicCpu());
+    ServerModel wide(s, 10);
+    EXPECT_EQ(wide.hostCpu().numWorkers(), 10u);
+}
+
+TEST(CachePressure, RampsWithWorkingSet)
+{
+    EXPECT_DOUBLE_EQ(cachePressure(1e6, 24.75e6), 1.0);
+    const double at_cache = cachePressure(24.75e6, 24.75e6);
+    const double at_4x = cachePressure(4 * 24.75e6, 24.75e6);
+    EXPECT_GT(at_cache, 1.0);
+    EXPECT_GT(at_4x, at_cache);
+    EXPECT_LE(cachePressure(1e12, 24.75e6), 5.0);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the hash table and KV store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alg/kv/hash_table.hh"
+#include "alg/kv/kv_store.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::kv;
+using snic::sim::Random;
+
+namespace {
+
+std::vector<std::uint8_t>
+val(const std::string &s)
+{
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+} // anonymous namespace
+
+TEST(HashTable, PutGetErase)
+{
+    HashTable t(8);
+    WorkCounters work;
+    EXPECT_TRUE(t.put("alpha", val("1"), work));
+    EXPECT_TRUE(t.put("beta", val("2"), work));
+    EXPECT_FALSE(t.put("alpha", val("3"), work));  // replace
+    ASSERT_NE(t.get("alpha", work), nullptr);
+    EXPECT_EQ(*t.get("alpha", work), val("3"));
+    EXPECT_EQ(t.get("missing", work), nullptr);
+    EXPECT_TRUE(t.erase("alpha", work));
+    EXPECT_FALSE(t.erase("alpha", work));
+    EXPECT_EQ(t.get("alpha", work), nullptr);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(HashTable, ResizesUnderLoad)
+{
+    HashTable t(4);
+    WorkCounters work;
+    for (int i = 0; i < 1000; ++i)
+        t.put("key" + std::to_string(i), val("v"), work);
+    EXPECT_EQ(t.size(), 1000u);
+    EXPECT_LE(t.loadFactor(), 0.75);
+    // Everything still reachable after resizes.
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_NE(t.get("key" + std::to_string(i), work), nullptr) << i;
+}
+
+TEST(HashTable, MemoryAccounting)
+{
+    HashTable t;
+    WorkCounters work;
+    t.put("abc", val("12345"), work);
+    EXPECT_EQ(t.memoryBytes(), 8u);
+    t.put("abc", val("1"), work);  // replace shrinks
+    EXPECT_EQ(t.memoryBytes(), 4u);
+    t.erase("abc", work);
+    EXPECT_EQ(t.memoryBytes(), 0u);
+}
+
+TEST(HashTable, WorkCountsGrowWithChains)
+{
+    // A 1-bucket table degenerates to a list: probes scale with size.
+    HashTable t(1);
+    WorkCounters w_fill;
+    // Insert without triggering resize checks mattering (loadFactor
+    // >0.75 resizes; with 1 bucket it resizes, so use distinct check).
+    for (int i = 0; i < 50; ++i)
+        t.put("k" + std::to_string(i), val("v"), w_fill);
+    WorkCounters w1;
+    t.get("k0", w1);
+    EXPECT_GE(w1.randomTouches, 1u);
+}
+
+TEST(HashTable, VersionsTrackWriters)
+{
+    HashTable t(8);
+    WorkCounters work;
+    const auto v0 = t.bucketVersion("alpha");
+    EXPECT_EQ(v0 % 2, 0u);  // even: no writer in flight
+    t.put("alpha", val("1"), work);
+    const auto v1 = t.bucketVersion("alpha");
+    EXPECT_GT(v1, v0);
+    EXPECT_EQ(v1 % 2, 0u);
+    // Reads do not bump versions.
+    t.get("alpha", work);
+    EXPECT_EQ(t.bucketVersion("alpha"), v1);
+    t.erase("alpha", work);
+    EXPECT_GT(t.bucketVersion("alpha"), v1);
+}
+
+TEST(HashTable, VersionsSurviveResizeMonotonically)
+{
+    HashTable t(2);
+    WorkCounters work;
+    t.put("probe", val("x"), work);
+    const auto before = t.bucketVersion("probe");
+    for (int i = 0; i < 100; ++i)
+        t.put("k" + std::to_string(i), val("v"), work);  // resizes
+    EXPECT_GE(t.bucketVersion("probe"), before);
+    EXPECT_EQ(t.bucketVersion("probe") % 2, 0u);
+}
+
+TEST(KvStore, ExecuteOps)
+{
+    KvStore store;
+    WorkCounters work;
+    auto r1 = store.execute(Op{OpType::Put, "user1", val("hello")},
+                            work);
+    EXPECT_TRUE(r1.hit);
+    auto r2 = store.execute(Op{OpType::Get, "user1", {}}, work);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.value, val("hello"));
+    auto r3 = store.execute(Op{OpType::Get, "user2", {}}, work);
+    EXPECT_FALSE(r3.hit);
+    auto r4 = store.execute(Op{OpType::Delete, "user1", {}}, work);
+    EXPECT_TRUE(r4.hit);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(KvStore, BatchPreservesOrder)
+{
+    KvStore store;
+    WorkCounters work;
+    std::vector<Op> ops{
+        {OpType::Put, "a", val("1")},
+        {OpType::Put, "b", val("2")},
+        {OpType::Get, "a", {}},
+        {OpType::Get, "zz", {}},
+    };
+    auto results = store.executeBatch(ops, work);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[2].hit);
+    EXPECT_EQ(results[2].value, val("1"));
+    EXPECT_FALSE(results[3].hit);
+    EXPECT_EQ(work.messages, 4u);
+}
+
+TEST(KvStore, LoadMatchesPaperScale)
+{
+    // The paper loads 30 K records of 1 KB each for Redis/YCSB.
+    KvStore store;
+    WorkCounters work;
+    Random rng(5);
+    store.load(30000, 1024, rng, work);
+    EXPECT_EQ(store.size(), 30000u);
+    EXPECT_GT(store.memoryBytes(), 30000u * 1024u);
+    WorkCounters w;
+    EXPECT_NE(store.execute(Op{OpType::Get, KvStore::keyFor(12345), {}},
+                            w)
+                  .hit,
+              false);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Coverage for small pieces not exercised elsewhere: CSV flag,
+ * efficiency helpers, logging levels, accelerator naming, trace
+ * parameter sensitivity, and sensor behaviour under dynamic load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/efficiency.hh"
+#include "core/tco.hh"
+#include "hw/accelerator.hh"
+#include "net/dc_trace.hh"
+#include "power/sensors.hh"
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+TEST(Misc, WantCsvDetectsFlag)
+{
+    const char *with[] = {"prog", "--csv"};
+    const char *without[] = {"prog", "--verbose"};
+    EXPECT_TRUE(stats::Table::wantCsv(
+        2, const_cast<char **>(with)));
+    EXPECT_FALSE(stats::Table::wantCsv(
+        2, const_cast<char **>(without)));
+    EXPECT_FALSE(stats::Table::wantCsv(1, const_cast<char **>(with)));
+}
+
+TEST(Misc, EfficiencyHelpers)
+{
+    RunResult r;
+    r.maxRps = 1000.0;
+    r.maxGbps = 8.0;
+    r.energy.avgServerWatts = 250.0;
+    EXPECT_DOUBLE_EQ(efficiencyRpsPerJoule(r), 4.0);
+    EXPECT_DOUBLE_EQ(efficiencyGbpsPerWatt(r), 0.032);
+    RunResult zero;
+    EXPECT_DOUBLE_EQ(efficiencyRpsPerJoule(zero), 0.0);
+
+    RunResult host = r;
+    RunResult snic = r;
+    snic.maxRps = 2000.0;
+    EXPECT_DOUBLE_EQ(normalizedEfficiency(snic, host), 2.0);
+}
+
+TEST(Misc, LogLevelsSwitch)
+{
+    const auto saved = sim::logLevel();
+    sim::setLogLevel(sim::LogLevel::Verbose);
+    EXPECT_EQ(sim::logLevel(), sim::LogLevel::Verbose);
+    sim::verbose("coverage: verbose path %d", 1);
+    sim::inform("coverage: inform path");
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    sim::inform("suppressed");
+    sim::warn("coverage: warn path");
+    sim::setLogLevel(saved);
+}
+
+TEST(Misc, AcceleratorNames)
+{
+    EXPECT_STREQ(hw::accelName(hw::AccelKind::Rem), "rem_accel");
+    EXPECT_STREQ(hw::accelName(hw::AccelKind::Pka), "pka_accel");
+    EXPECT_STREQ(hw::accelName(hw::AccelKind::Compression),
+                 "comp_accel");
+    EXPECT_STREQ(hw::platformName(hw::Platform::SnicAccel),
+                 "snic_accel");
+}
+
+class TraceParams : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TraceParams, MeanIsPreservedAcrossTargets)
+{
+    sim::Random rng(17);
+    net::DcTraceParams params;
+    params.meanGbps = GetParam();
+    const auto rates = net::makeDcTrace(params, rng);
+    EXPECT_NEAR(net::traceMean(rates), params.meanGbps,
+                params.meanGbps * 0.05);
+    for (double r : rates)
+        ASSERT_LE(r, params.peakGbps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, TraceParams,
+                         ::testing::Values(0.2, 0.76, 2.0, 5.0));
+
+TEST(Misc, SensorTracksDynamicSource)
+{
+    // A ramping source: the sensor's later samples must exceed its
+    // earlier ones.
+    sim::Simulation s(21);
+    double level = 0.0;
+    auto sensor = power::makeYoctoWattSensor(
+        s, "ramp", [&] { return 29.0 + level; });
+    sensor.start(sim::secToTicks(4.0));
+    s.at(sim::secToTicks(2.0), [&] { level = 5.0; });
+    s.runUntil(sim::secToTicks(4.5));
+    ASSERT_GE(sensor.sampleCount(), 30u);
+    const double early = sensor.sample(2).second;
+    const double late =
+        sensor.sample(sensor.sampleCount() - 2).second;
+    EXPECT_NEAR(late - early, 5.0, 0.05);
+}
+
+TEST(Misc, TcoRowRejectsZeroThroughput)
+{
+    EXPECT_EXIT(computeRow("bad", 250.0, 250.0, 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "throughput");
+}
+
+TEST(Misc, ESwitchDropRule)
+{
+    sim::Simulation s;
+    hw::PcieLink pcie(s, "pcie", 32.0, 700.0);
+    hw::ESwitch sw(s, "esw", pcie);
+    sw.setClassifier(
+        [](const net::Packet &) { return hw::SteerTarget::Drop; });
+    net::Packet pkt;
+    pkt.sizeBytes = 64;
+    sw.ingress(pkt);
+    s.runAll();
+    EXPECT_EQ(sw.droppedCount(), 1u);
+    EXPECT_EQ(sw.toHostCount(), 0u);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the network substrate: link, size dists, traffic
+ * generation and the synthetic datacenter trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/dc_trace.hh"
+#include "net/link.hh"
+#include "net/packet.hh"
+#include "net/size_dist.hh"
+#include "net/traffic_gen.hh"
+
+using namespace snic;
+using namespace snic::net;
+
+TEST(Packet, RateConversions)
+{
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerSec(100.0), 12.5e9);
+    EXPECT_DOUBLE_EQ(bytesToGbps(12.5e9, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(bytesToGbps(100.0, 0.0), 0.0);
+}
+
+TEST(Link, DeliversWithSerializationAndLatency)
+{
+    sim::Simulation s;
+    Link link(s, "wire", 100.0, sim::usToTicks(1.0));
+    sim::Tick delivered_at = 0;
+    link.connect([&](const Packet &) { delivered_at = s.now(); });
+    Packet pkt;
+    pkt.sizeBytes = 1250;  // 100 ns at 100 Gbps
+    link.send(pkt);
+    s.runAll();
+    EXPECT_EQ(delivered_at, sim::nsToTicks(100.0) + sim::usToTicks(1.0));
+    EXPECT_EQ(link.delivered(), 1u);
+}
+
+TEST(Link, PacketsQueueBehindEachOther)
+{
+    sim::Simulation s;
+    Link link(s, "wire", 100.0, 0);
+    std::vector<sim::Tick> times;
+    link.connect([&](const Packet &) { times.push_back(s.now()); });
+    Packet pkt;
+    pkt.sizeBytes = 1250;
+    link.send(pkt);
+    link.send(pkt);
+    link.send(pkt);
+    s.runAll();
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_EQ(times[1] - times[0], sim::nsToTicks(100.0));
+    EXPECT_EQ(times[2] - times[1], sim::nsToTicks(100.0));
+}
+
+TEST(Link, DropsWhenBacklogExceedsHorizon)
+{
+    sim::Simulation s;
+    Link link(s, "wire", 1.0, 0, sim::usToTicks(10.0));
+    link.connect([](const Packet &) {});
+    Packet pkt;
+    pkt.sizeBytes = 12500;  // 100 us at 1 Gbps: one packet >> horizon
+    EXPECT_TRUE(link.send(pkt));
+    EXPECT_FALSE(link.send(pkt));  // backlog beyond 10 us -> drop
+    EXPECT_EQ(link.dropped(), 1u);
+}
+
+TEST(SizeDist, FixedAlwaysSame)
+{
+    sim::Random rng(1);
+    auto d = SizeDist::fixed(1024);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(d.sample(rng), 1024u);
+    EXPECT_DOUBLE_EQ(d.meanBytes(), 1024.0);
+}
+
+TEST(SizeDist, MixMeansMatchWeights)
+{
+    sim::Random rng(2);
+    auto d = SizeDist::datacenterMix(0.5);
+    EXPECT_DOUBLE_EQ(d.meanBytes(), (64 + 1500) / 2.0);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, d.meanBytes(), 20.0);
+}
+
+TEST(SizeDist, PcapMixSpansRange)
+{
+    sim::Random rng(3);
+    auto d = SizeDist::pcapMix();
+    bool small = false, big = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = d.sample(rng);
+        small |= (v == 64);
+        big |= (v == 1500);
+    }
+    EXPECT_TRUE(small);
+    EXPECT_TRUE(big);
+}
+
+TEST(TrafficGen, HitsRequestedRate)
+{
+    sim::Simulation s(7);
+    Link link(s, "wire", 100.0, 0);
+    std::uint64_t bytes = 0;
+    link.connect([&](const Packet &p) { bytes += p.sizeBytes; });
+    TrafficGen gen(s, "gen", link, SizeDist::fixed(1024), Proto::Udp);
+    const sim::Tick horizon = sim::msToTicks(20.0);
+    gen.startAtRate(10.0, horizon);  // 10 Gbps for 20 ms
+    s.runUntil(horizon + sim::msToTicks(1.0));
+    const double gbps = bytesToGbps(static_cast<double>(bytes), 0.020);
+    EXPECT_NEAR(gbps, 10.0, 0.7);
+}
+
+TEST(TrafficGen, DeterministicArrivalsAreEvenlySpaced)
+{
+    sim::Simulation s(8);
+    Link link(s, "wire", 100.0, 0);
+    std::vector<sim::Tick> times;
+    link.connect([&](const Packet &) { times.push_back(s.now()); });
+    TrafficGen gen(s, "gen", link, SizeDist::fixed(1000), Proto::Dpdk);
+    gen.setArrival(Arrival::Deterministic);
+    gen.startAtRate(8.0, sim::usToTicks(100.0));  // 1 pkt per us
+    s.runAll();
+    ASSERT_GT(times.size(), 10u);
+    const sim::Tick gap = times[1] - times[0];
+    for (std::size_t i = 2; i < 10; ++i)
+        EXPECT_EQ(times[i] - times[i - 1], gap);
+}
+
+TEST(TrafficGen, ScheduleModulatesRate)
+{
+    sim::Simulation s(9);
+    Link link(s, "wire", 100.0, 0);
+    std::uint64_t first_half = 0, second_half = 0;
+    const sim::Tick window = sim::msToTicks(5.0);
+    link.connect([&](const Packet &p) {
+        if (s.now() < window)
+            first_half += p.sizeBytes;
+        else
+            second_half += p.sizeBytes;
+    });
+    TrafficGen gen(s, "gen", link, SizeDist::fixed(1024), Proto::Dpdk);
+    gen.startSchedule({2.0, 20.0}, window);
+    s.runAll();
+    EXPECT_GT(second_half, first_half * 5);
+}
+
+TEST(DcTrace, MeanMatchesTable4)
+{
+    sim::Random rng(10);
+    DcTraceParams params;
+    auto rates = makeDcTrace(params, rng);
+    EXPECT_EQ(rates.size(), params.bins);
+    EXPECT_NEAR(traceMean(rates), 0.76, 0.03);
+    EXPECT_LE(tracePeak(rates), params.peakGbps + 1e-9);
+    // Bursty: the peak should be well above the mean.
+    EXPECT_GT(tracePeak(rates), 3.0 * traceMean(rates));
+}
+
+TEST(DcTrace, DifferentSeedsDifferentShapes)
+{
+    sim::Random a(1), b(2);
+    DcTraceParams params;
+    auto ra = makeDcTrace(params, a);
+    auto rb = makeDcTrace(params, b);
+    int differing = 0;
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        differing += (std::abs(ra[i] - rb[i]) > 1e-9);
+    EXPECT_GT(differing, static_cast<int>(ra.size() / 2));
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Guards on the paper's headline shapes. The bench binaries *print*
+ * the figures; these tests *assert* the qualitative claims so a
+ * regression in any model breaks the build, not just the plots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+#include "core/report.hh"
+#include "core/experiment.hh"
+#include "core/tco.hh"
+#include "net/dc_trace.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+ExperimentOptions
+quick()
+{
+    ExperimentOptions o;
+    o.targetSamples = 4000;
+    return o;
+}
+
+} // anonymous namespace
+
+TEST(PaperShapes, Fig5KneeOrdering)
+{
+    // The three curves of Fig. 5 in three points each.
+    const auto opts = quick();
+
+    // (1) The accelerator is flat below its cap and explodes past it,
+    //     identically for both rule sets (KO3/KO4).
+    const auto accel_low = measureAtRate(
+        "rem_exe_mtu", hw::Platform::SnicAccel, 20.0, opts);
+    const auto accel_hi = measureAtRate(
+        "rem_exe_mtu", hw::Platform::SnicAccel, 60.0, opts);
+    const auto accel_img_low = measureAtRate(
+        "rem_img_mtu", hw::Platform::SnicAccel, 20.0, opts);
+    EXPECT_LT(accel_low.p99Us(), 30.0);
+    EXPECT_LT(accel_hi.achievedGbps, 55.0);       // the ~50 Gbps cap
+    EXPECT_GT(accel_hi.p99Us(), 100.0);           // saturated
+    EXPECT_NEAR(accel_img_low.p99Us(), accel_low.p99Us(),
+                accel_low.p99Us() * 0.2);         // ruleset-blind
+
+    // (2) The host handles file_executable at rates the accelerator
+    //     cannot, at single-digit-us p99 (the 78 Gbps / 5.1 us side).
+    const auto host_exe = measureAtRate(
+        "rem_exe_mtu", hw::Platform::HostCpu, 60.0, opts);
+    EXPECT_GT(host_exe.achievedGbps, 55.0);
+    EXPECT_LT(host_exe.p99Us(), 15.0);
+
+    // (3) The host's file_image knee arrives far earlier.
+    const auto host_img = measureAtRate(
+        "rem_img_mtu", hw::Platform::HostCpu, 40.0, opts);
+    EXPECT_GT(host_img.p99Us(), 10.0 * host_exe.p99Us());
+}
+
+TEST(PaperShapes, Table4TradeOff)
+{
+    sim::Random rng(7);
+    const auto rates = net::makeDcTrace(net::DcTraceParams{}, rng);
+    Measurement host, snic;
+    for (auto p : {hw::Platform::HostCpu, hw::Platform::SnicAccel}) {
+        TestbedConfig cfg;
+        cfg.workloadId = "rem_exe_mtu";
+        cfg.platform = p;
+        cfg.seed = 7;
+        Testbed bed(cfg);
+        (p == hw::Platform::HostCpu ? host : snic) =
+            bed.replaySchedule(rates, sim::msToTicks(2.0));
+    }
+    // Same throughput (the trace is far below both capacities)...
+    EXPECT_NEAR(host.achievedGbps, paper::table4ThroughputGbps, 0.05);
+    EXPECT_NEAR(snic.achievedGbps, paper::table4ThroughputGbps, 0.05);
+    // ...the SNIC saves roughly the paper's ~9 % of power...
+    const double saving = (host.energy.avgServerWatts -
+                           snic.energy.avgServerWatts) /
+                          host.energy.avgServerWatts;
+    EXPECT_GT(saving, 0.06);
+    EXPECT_LT(saving, 0.14);
+    // ...at ~3-4x the p99 (the SLO violation the paper warns about).
+    EXPECT_GT(snic.p99Us(), 2.5 * host.p99Us());
+    EXPECT_LT(snic.p99Us(), 6.0 * host.p99Us());
+}
+
+TEST(PaperShapes, Table5SavingsSigns)
+{
+    // From the paper's inputs, the TCO model must reproduce the sign
+    // pattern: fio +, OvS +, REM -, Compress ++ (the headline).
+    EXPECT_GT(computeRow("fio", 257, 343, 1, 1).savingsFraction, 0.0);
+    EXPECT_GT(computeRow("ovs", 255, 328, 1, 1).savingsFraction, 0.0);
+    EXPECT_LT(computeRow("rem", 255, 268, 1, 1).savingsFraction, 0.0);
+    const auto comp = computeRow("compress", 255, 269, 3.5, 1.0);
+    EXPECT_GT(comp.savingsFraction, 0.5);
+}
+
+TEST(PaperShapes, Ko5EfficiencyIsThroughputDominated)
+{
+    // KO5: whole-server efficiency tracks throughput because idle
+    // power dominates. A function where the SNIC halves throughput
+    // cannot be more efficient no matter how little the SNIC draws.
+    const auto row = compareOnPlatforms("micro_udp_1024", quick());
+    EXPECT_LT(row.throughputRatio, 0.5);
+    EXPECT_LT(row.efficiencyRatio, 1.0);
+    // And the efficiency ratio sits close to the throughput ratio
+    // scaled by the (small) power difference.
+    const double power_ratio = row.host.energy.avgServerWatts /
+                               row.snic.energy.avgServerWatts;
+    EXPECT_NEAR(row.efficiencyRatio,
+                row.throughputRatio * power_ratio,
+                row.efficiencyRatio * 0.25);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the power model, sensors, energy metering, and the
+ * isolation-validation procedure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/server.hh"
+#include "power/energy.hh"
+#include "power/isolation.hh"
+#include "power/power_model.hh"
+#include "power/sensors.hh"
+
+using namespace snic;
+using namespace snic::power;
+using snic::alg::WorkCounters;
+
+TEST(PowerModel, IdleMatchesPaper)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    EXPECT_NEAR(power.serverWatts(), 252.0, 0.5);
+    EXPECT_NEAR(power.snicWatts(), 29.0, 0.5);
+}
+
+TEST(PowerModel, ActiveAddersWithinPaperBounds)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    // Fully busy host at high traffic: active adder up to ~150.6 W.
+    const double host_full =
+        power.serverWattsAt(1.0, 0.0, 0.0, 90.0) - 252.0;
+    EXPECT_GT(host_full, 120.0);
+    EXPECT_LT(host_full, 160.0);
+    // Fully busy SNIC: active adder up to ~5.4 W.
+    const double snic_full = power.snicWattsAt(1.0, 1.0, 50.0) - 29.0;
+    EXPECT_GT(snic_full, 3.5);
+    EXPECT_LT(snic_full, 6.0);
+}
+
+TEST(PowerModel, RailsSplitSumsToTotal)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    const double total = power.snicWatts();
+    EXPECT_NEAR(power.snicRailWatts(true) + power.snicRailWatts(false),
+                total, 1e-9);
+    EXPECT_GT(power.snicRailWatts(true), power.snicRailWatts(false));
+}
+
+TEST(PowerModel, ReflectsPlatformActivity)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    const double idle = power.serverWatts();
+    WorkCounters w;
+    w.branchyOps = 1'000'000;  // ~1.1 ms of host work
+    server.hostCpu().submit(w, 0, nullptr);
+    // Mid-service: one host core busy.
+    s.runUntil(sim::usToTicks(100.0));
+    EXPECT_GT(power.serverWatts(), idle + 5.0);
+    s.runAll();
+    EXPECT_NEAR(power.serverWatts(), idle, 0.5);
+}
+
+TEST(Sensors, BmcQuantizesToWholeWatts)
+{
+    sim::Simulation s(3);
+    auto sensor = makeBmcSensor(s, [] { return 253.4; });
+    sensor.start(sim::secToTicks(10.0));
+    s.runUntil(sim::secToTicks(10.5));
+    ASSERT_GE(sensor.sampleCount(), 10u);
+    for (std::size_t i = 0; i < sensor.sampleCount(); ++i) {
+        const double w = sensor.sample(i).second;
+        EXPECT_DOUBLE_EQ(w, std::round(w));
+        EXPECT_NEAR(w, 253.4, 2.1);  // quantization + noise
+    }
+}
+
+TEST(Sensors, YoctoResolvesMilliwattSwings)
+{
+    // A 5.4 W swing (the SNIC's active range): the Yocto rig must
+    // resolve it crisply; the BMC barely sees it through its noise.
+    sim::Simulation s(4);
+    auto source_low = [] { return 29.0; };
+    auto source_high = [] { return 34.4; };
+    auto yocto_low = makeYoctoWattSensor(s, "y1", source_low);
+    auto yocto_high = makeYoctoWattSensor(s, "y2", source_high);
+    yocto_low.start(sim::secToTicks(2.0));
+    yocto_high.start(sim::secToTicks(2.0));
+    s.runUntil(sim::secToTicks(2.5));
+    EXPECT_NEAR(yocto_high.meanWatts() - yocto_low.meanWatts(), 5.4,
+                0.01);
+}
+
+TEST(Sensors, SamplingRates)
+{
+    sim::Simulation s(5);
+    auto bmc = makeBmcSensor(s, [] { return 252.0; });
+    auto yocto = makeYoctoWattSensor(s, "y", [] { return 29.0; });
+    bmc.start(sim::secToTicks(5.0));
+    yocto.start(sim::secToTicks(5.0));
+    s.runUntil(sim::secToTicks(5.2));
+    // 10x sampling-rate gap (Sec. 3.2).
+    EXPECT_NEAR(static_cast<double>(yocto.sampleCount()) /
+                    static_cast<double>(bmc.sampleCount()),
+                10.0, 1.5);
+}
+
+TEST(EnergyMeter, IdleWindowEnergy)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    EnergyMeter meter(server, power);
+    meter.begin();
+    s.runUntil(sim::msToTicks(100.0));
+    const EnergyReading r = meter.end(0.0);
+    EXPECT_NEAR(r.seconds, 0.1, 1e-9);
+    EXPECT_NEAR(r.avgServerWatts, 252.0, 0.5);
+    EXPECT_NEAR(r.serverJoules, 25.2, 0.1);
+}
+
+TEST(EnergyMeter, BusyWindowCostsMore)
+{
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    EnergyMeter meter(server, power);
+    meter.begin();
+    // Keep one host core busy for the whole window.
+    WorkCounters w;
+    w.branchyOps = 100'000;  // ~110 us
+    for (int i = 0; i < 900; ++i)
+        server.hostCpu().submit(w, 0, nullptr);
+    s.runUntil(sim::msToTicks(100.0));
+    const EnergyReading r = meter.end(0.0);
+    EXPECT_GT(r.hostUtil, 0.1);
+    EXPECT_GT(r.avgServerWatts, 253.0);
+}
+
+TEST(Isolation, DifferenceMatchesDirectMeasurement)
+{
+    // Sec. 3.2: with-vs-without difference approximately equals the
+    // riser measurement.
+    sim::Simulation s;
+    hw::ServerModel server(s);
+    ServerPowerModel power(server);
+    for (double util : {0.0, 0.5, 1.0}) {
+        const auto r = validateIsolation(power, 0.0, util, util, 20.0);
+        EXPECT_LT(r.mismatchFraction, 0.05) << util;
+        EXPECT_GT(r.riserWatts, 28.0);
+    }
+}
+
+TEST(Isolation, SensorResolutionClaims)
+{
+    const auto r = compareSensorResolution();
+    EXPECT_DOUBLE_EQ(r.resolutionRatio, 500.0);
+    EXPECT_DOUBLE_EQ(r.samplingRatio, 10.0);
+}

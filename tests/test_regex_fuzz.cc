@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fuzz-style property tests for the regex engine: randomly generated
+ * patterns must (a) never crash the parser, (b) compile to NFA and
+ * DFA that agree on every input, and (c) respect basic algebraic
+ * properties of matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alg/regex/dfa.hh"
+#include "alg/regex/nfa.hh"
+#include "alg/regex/parser.hh"
+#include "sim/random.hh"
+
+using namespace snic::alg;
+using namespace snic::alg::regex;
+using snic::sim::Random;
+
+namespace {
+
+/** Generate a random syntactically-valid pattern of bounded size. */
+std::string
+randomPattern(Random &rng, int budget)
+{
+    std::string out;
+    const char *literals = "abcxyz019";
+    while (budget > 0) {
+        const int pick = static_cast<int>(rng.uniformInt(0, 9));
+        switch (pick) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+          case 4:
+            out.push_back(literals[rng.uniformInt(0, 8)]);
+            --budget;
+            break;
+          case 5:
+            out += "[a-c]";
+            budget -= 2;
+            break;
+          case 6:
+            out.push_back('.');
+            --budget;
+            break;
+          case 7:
+            // Quantify the previous atom when one exists.
+            if (!out.empty() && std::string("*+?").find(out.back()) ==
+                                    std::string::npos &&
+                out.back() != '(' && out.back() != '|') {
+                out.push_back("*+?"[rng.uniformInt(0, 2)]);
+            }
+            --budget;
+            break;
+          case 8: {
+            std::string inner = randomPattern(rng, budget / 2);
+            if (!inner.empty())
+                out += "(" + inner + ")";
+            budget -= static_cast<int>(inner.size()) + 2;
+            break;
+          }
+          case 9:
+            if (!out.empty() && out.back() != '|' &&
+                out.back() != '(') {
+                out.push_back('|');
+                out.push_back(literals[rng.uniformInt(0, 8)]);
+            }
+            budget -= 2;
+            break;
+        }
+    }
+    // Trim illegal trailing alternation.
+    while (!out.empty() && out.back() == '|')
+        out.pop_back();
+    if (out.empty())
+        out = "a";
+    return out;
+}
+
+std::vector<std::uint8_t>
+randomText(Random &rng, std::size_t len)
+{
+    static const char alphabet[] = "abcxyz019 []().";
+    std::vector<std::uint8_t> text(len);
+    for (auto &b : text)
+        b = static_cast<std::uint8_t>(
+            alphabet[rng.uniformInt(0, sizeof(alphabet) - 2)]);
+    return text;
+}
+
+} // anonymous namespace
+
+TEST(RegexFuzz, GeneratedPatternsParseAndAgree)
+{
+    Random rng(1001);
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::string pattern = randomPattern(rng, 12);
+        SCOPED_TRACE("pattern: " + pattern);
+        Nfa nfa = Nfa::compile(pattern);
+        Dfa dfa(nfa);
+        for (int t = 0; t < 10; ++t) {
+            const auto text =
+                randomText(rng, rng.uniformInt(0, 40));
+            WorkCounters w1, w2;
+            ASSERT_EQ(nfa.scan(text.data(), text.size(), w1),
+                      dfa.scan(text.data(), text.size(), w2));
+        }
+    }
+}
+
+TEST(RegexFuzz, ParserNeverCrashesOnGarbage)
+{
+    Random rng(1002);
+    static const char soup[] = "ab(|)*+?[]{}-\\.x09^";
+    int parsed = 0, rejected = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string junk;
+        const std::size_t len = rng.uniformInt(1, 20);
+        for (std::size_t i = 0; i < len; ++i)
+            junk.push_back(soup[rng.uniformInt(0, sizeof(soup) - 2)]);
+        try {
+            Parser::parse(junk);
+            ++parsed;
+        } catch (const Parser::ParseError &) {
+            ++rejected;
+        }
+    }
+    // Both outcomes must occur; crashes would abort the test.
+    EXPECT_GT(parsed, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(RegexFuzz, MatchIsInvariantUnderPadding)
+{
+    // Unanchored semantics: padding the input can only add matches.
+    Random rng(1003);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::string pattern = randomPattern(rng, 10);
+        SCOPED_TRACE("pattern: " + pattern);
+        Dfa dfa(Nfa::compile(pattern));
+        auto text = randomText(rng, 24);
+        WorkCounters w;
+        const auto base = dfa.scan(text.data(), text.size(), w);
+        auto padded = randomText(rng, 8);
+        padded.insert(padded.end(), text.begin(), text.end());
+        auto tail = randomText(rng, 8);
+        padded.insert(padded.end(), tail.begin(), tail.end());
+        const auto wide = dfa.scan(padded.data(), padded.size(), w);
+        for (int tag : base)
+            ASSERT_TRUE(wide.count(tag))
+                << "padding lost a match for tag " << tag;
+    }
+}
+
+TEST(RegexFuzz, SelfMatchProperty)
+{
+    // A pure-literal pattern must match itself embedded anywhere.
+    Random rng(1004);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string lit;
+        const std::size_t len = rng.uniformInt(1, 10);
+        static const char alphabet[] = "abcxyz019";
+        for (std::size_t i = 0; i < len; ++i)
+            lit.push_back(alphabet[rng.uniformInt(0, 8)]);
+        Dfa dfa(Nfa::compile(lit));
+        auto text = randomText(rng, 16);
+        const std::size_t off = rng.uniformInt(0, text.size());
+        text.insert(text.begin() + static_cast<long>(off), lit.begin(),
+                    lit.end());
+        WorkCounters w;
+        ASSERT_TRUE(dfa.matchesAny(text.data(), text.size(), w))
+            << lit;
+    }
+}

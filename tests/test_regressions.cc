@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Regression tests pinning down harness bugs found during
+ * calibration, plus coverage for late-added features (operation
+ * modes, served-rate series, window sizing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hh"
+#include "core/throughput_search.hh"
+#include "hw/eswitch.hh"
+#include "hw/pcie.hh"
+#include "net/link.hh"
+#include "net/traffic_gen.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+TEST(Regression, TrafficGenRestartDoesNotDoubleRate)
+{
+    // Bug: each startAtRate() spawned a new emit chain while the old
+    // chain's pending event kept emitting — doubling the offered
+    // load after every restart.
+    sim::Simulation s(3);
+    net::Link link(s, "wire", 100.0, 0);
+    std::uint64_t bytes = 0;
+    link.connect([&](const net::Packet &p) { bytes += p.sizeBytes; });
+    net::TrafficGen gen(s, "gen", link, net::SizeDist::fixed(1024),
+                        net::Proto::Udp);
+
+    // First run.
+    gen.startAtRate(10.0, s.now() + sim::msToTicks(5.0));
+    s.runUntil(s.now() + sim::msToTicks(6.0));
+    // Restart at the same rate; measure only the second window.
+    bytes = 0;
+    const sim::Tick t0 = s.now();
+    gen.startAtRate(10.0, t0 + sim::msToTicks(10.0));
+    s.runUntil(t0 + sim::msToTicks(10.0));
+    const double gbps = static_cast<double>(bytes) * 8.0 / 0.010 / 1e9;
+    EXPECT_NEAR(gbps, 10.0, 1.0);  // was ~20 with the bug
+}
+
+TEST(Regression, CapacityProbeDoesNotPoisonLatencyPoint)
+{
+    // Bug family: backlog left by the saturating capacity probe
+    // (link serialization state, platform queues, in-flight
+    // accelerator handoffs) leaked into the next window and inflated
+    // p99 by orders of magnitude.
+    ExperimentOptions opts;
+    opts.targetSamples = 4000;
+
+    TestbedConfig cfg;
+    cfg.workloadId = "rem_exe_mtu";
+    cfg.platform = hw::Platform::SnicAccel;
+    Testbed bed(cfg);
+    const Capacity cap = findCapacity(bed, opts);
+    const auto after = bed.measure(cap.requestGbps * 0.5,
+                                   opts.warmup,
+                                   sim::msToTicks(10.0));
+
+    TestbedConfig cfg2 = cfg;
+    cfg2.seed = cfg.seed;
+    Testbed fresh(cfg2);
+    const auto clean = fresh.measure(cap.requestGbps * 0.5,
+                                     opts.warmup,
+                                     sim::msToTicks(10.0));
+    // The reused testbed must behave like a fresh one.
+    EXPECT_NEAR(after.p99Us(), clean.p99Us(), clean.p99Us() * 0.15);
+}
+
+TEST(Regression, WindowForClampsAndScales)
+{
+    ExperimentOptions opts;
+    opts.targetSamples = 10000;
+    // Very fast workload -> clamp to the minimum window.
+    EXPECT_EQ(windowFor(1e9, opts), opts.minWindow);
+    // Very slow workload -> clamp to the maximum window.
+    EXPECT_EQ(windowFor(0.5, opts), opts.maxWindow);
+    // In between: targetSamples / rps.
+    EXPECT_EQ(windowFor(100000.0, opts), sim::msToTicks(100.0));
+}
+
+TEST(OperationModes, OffPathShortensTheSwitchPipeline)
+{
+    sim::Simulation s;
+    hw::PcieLink pcie(s, "pcie", 32.0, 700.0);
+    hw::ESwitch sw(s, "esw", pcie);
+    sw.setClassifier(
+        [](const net::Packet &) { return hw::SteerTarget::SnicCpu; });
+    sim::Tick on_path = 0, off_path = 0;
+    sw.connectSnicCpu(
+        [&](const net::Packet &) { on_path = s.now(); });
+    net::Packet pkt;
+    pkt.sizeBytes = 1500;
+    sw.ingress(pkt);
+    s.runAll();
+    const sim::Tick t_on = on_path;
+
+    sw.setMode(hw::OperationMode::OffPath);
+    sw.connectSnicCpu(
+        [&](const net::Packet &) { off_path = s.now(); });
+    const sim::Tick before = s.now();
+    sw.ingress(pkt);
+    s.runAll();
+    EXPECT_LT(off_path - before, t_on);  // M2 pipeline is shorter
+    EXPECT_EQ(sw.mode(), hw::OperationMode::OffPath);
+}
+
+TEST(ReplaySeries, ServedSeriesTracksSchedule)
+{
+    TestbedConfig cfg;
+    cfg.workloadId = "rem_exe_mtu";
+    cfg.platform = hw::Platform::HostCpu;
+    Testbed bed(cfg);
+    const std::vector<double> rates{2.0, 8.0, 2.0};
+    const auto m = bed.replaySchedule(rates, sim::msToTicks(4.0));
+    ASSERT_EQ(m.servedGbpsSeries.size(), rates.size());
+    EXPECT_NEAR(m.servedGbpsSeries[0], 2.0, 0.8);
+    EXPECT_NEAR(m.servedGbpsSeries[1], 8.0, 1.6);
+    EXPECT_GT(m.servedGbpsSeries[1], m.servedGbpsSeries[0] * 2.0);
+}
+
+TEST(ReplaySeries, PlainMeasurementsHaveNoSeries)
+{
+    TestbedConfig cfg;
+    cfg.workloadId = "micro_udp_1024";
+    cfg.platform = hw::Platform::HostCpu;
+    Testbed bed(cfg);
+    const auto m =
+        bed.measure(5.0, sim::msToTicks(1.0), sim::msToTicks(5.0));
+    EXPECT_TRUE(m.servedGbpsSeries.empty());
+}

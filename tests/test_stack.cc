@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the networking-stack cost models, including the KO1
+ * cross-platform sanity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cpu_platform.hh"
+#include "stack/dpdk_stack.hh"
+#include "stack/rdma_stack.hh"
+#include "stack/stack_model.hh"
+#include "stack/tcp_stack.hh"
+#include "stack/udp_stack.hh"
+
+using namespace snic;
+using namespace snic::stack;
+using snic::alg::WorkCounters;
+
+namespace {
+
+double
+rxNsOn(const StackModel &stack, const hw::CostModel &cpu,
+       std::uint32_t bytes)
+{
+    return cpu.serviceNs(stack.rxWork(bytes));
+}
+
+} // anonymous namespace
+
+TEST(Stacks, FactoryProducesAllKinds)
+{
+    for (StackKind k : {StackKind::Udp, StackKind::Tcp, StackKind::Dpdk,
+                        StackKind::Rdma}) {
+        auto s = makeStack(k);
+        ASSERT_NE(s, nullptr);
+        EXPECT_STREQ(s->name(), stackName(k));
+    }
+}
+
+TEST(Stacks, CostOrderingTcpHeaviestDpdkLightest)
+{
+    const auto host = hw::hostCostModel();
+    TcpStack tcp;
+    UdpStack udp;
+    DpdkStack dpdk;
+    RdmaStack rdma(RdmaOp::TwoSided);
+    const double tcp_ns = rxNsOn(tcp, host, 1024);
+    const double udp_ns = rxNsOn(udp, host, 1024);
+    const double dpdk_ns = rxNsOn(dpdk, host, 1024);
+    const double rdma_ns = rxNsOn(rdma, host, 1024);
+    EXPECT_GT(tcp_ns, udp_ns);
+    EXPECT_GT(udp_ns, rdma_ns);
+    EXPECT_GT(rdma_ns, dpdk_ns);
+}
+
+TEST(Stacks, Ko1UdpRatioMatchesPaper)
+{
+    // The SNIC CPU delivers 76.5-85.7% lower UDP throughput: the
+    // per-packet cost ratio must sit in roughly [4.2, 7].
+    const auto host = hw::hostCostModel();
+    const auto snic = hw::snicCpuCostModel();
+    UdpStack udp;
+    for (std::uint32_t bytes : {64u, 1024u}) {
+        const double ratio =
+            rxNsOn(udp, snic, bytes) / rxNsOn(udp, host, bytes);
+        EXPECT_GE(ratio, 4.0) << bytes;
+        EXPECT_LE(ratio, 7.5) << bytes;
+    }
+}
+
+TEST(Stacks, DpdkSingleCoreReachesLineRateFor1KbOnly)
+{
+    // Sec. 3.3: one core (either platform) sustains 100 Gbps with
+    // 1 KB packets; nobody sustains it with 64 B packets.
+    const double budget_1kb_ns = 1024.0 * 8.0 / 100.0;  // 81.9 ns
+    const double budget_64b_ns = 64.0 * 8.0 / 100.0;    // 5.1 ns
+    DpdkStack dpdk;
+    const auto host = hw::hostCostModel();
+    const auto snic = hw::snicCpuCostModel();
+    EXPECT_LT(rxNsOn(dpdk, host, 1024), budget_1kb_ns);
+    EXPECT_LT(rxNsOn(dpdk, snic, 1024), budget_1kb_ns);
+    EXPECT_GT(rxNsOn(dpdk, host, 64), budget_64b_ns);
+    EXPECT_GT(rxNsOn(dpdk, snic, 64), budget_64b_ns);
+}
+
+TEST(Stacks, RdmaOneSidedCostsNoCpu)
+{
+    RdmaStack one(RdmaOp::OneSided);
+    const auto w = one.rxWork(1024);
+    EXPECT_EQ(w.kernelOps, 0u);
+    EXPECT_EQ(w.branchyOps, 0u);
+    EXPECT_EQ(w.streamBytes, 0u);
+    RdmaStack two(RdmaOp::TwoSided);
+    EXPECT_GT(two.rxWork(1024).branchyOps, 0u);
+}
+
+TEST(Stacks, RdmaSnicPathShorterThanHost)
+{
+    RdmaStack rdma;
+    EXPECT_LT(rdma.fixedLatency(hw::Platform::SnicCpu),
+              rdma.fixedLatency(hw::Platform::HostCpu));
+}
+
+TEST(Stacks, OnlyDpdkBusyPolls)
+{
+    EXPECT_TRUE(DpdkStack().busyPolling());
+    EXPECT_FALSE(UdpStack().busyPolling());
+    EXPECT_FALSE(TcpStack().busyPolling());
+    EXPECT_FALSE(RdmaStack().busyPolling());
+}
+
+TEST(Stacks, TcpConnectionWorkIsExpensiveAndAmortizable)
+{
+    const auto setup = TcpStack::connectionSetupWork();
+    const auto teardown = TcpStack::connectionTeardownWork();
+    const auto per_packet = TcpStack().rxWork(1024);
+    // One handshake costs several packets' worth of kernel work —
+    // AccelTCP's premise.
+    EXPECT_GT(setup.kernelOps, 3 * per_packet.kernelOps);
+    EXPECT_GT(teardown.kernelOps, per_packet.kernelOps);
+    // And it hurts the SNIC CPU ~6x as much (KO1's mechanism).
+    const double host = hw::hostCostModel().serviceNs(setup);
+    const double snic = hw::snicCpuCostModel().serviceNs(setup);
+    EXPECT_GT(snic, host * 4.0);
+}
+
+TEST(Stacks, KernelStacksCopyPayload)
+{
+    UdpStack udp;
+    TcpStack tcp;
+    DpdkStack dpdk;
+    EXPECT_EQ(udp.rxWork(1024).streamBytes, 1024u);
+    EXPECT_EQ(tcp.rxWork(1024).streamBytes, 1024u);
+    EXPECT_EQ(dpdk.rxWork(1024).streamBytes, 0u);  // zero-copy
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit tests for the Table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+using snic::stats::Table;
+
+TEST(Table, RendersTitleHeaderAndRows)
+{
+    Table t("Demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Table, CsvIsCommaSeparated)
+{
+    Table t("Demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::ratio(1.834, 2), "1.83x");
+    EXPECT_EQ(Table::percent(12.34, 1), "12.3%");
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t("Align");
+    t.setHeader({"x", "longheader"});
+    t.addRow({"verylongcell", "1"});
+    std::string out = t.render();
+    // Header row should be padded at least as wide as the longest cell.
+    auto header_pos = out.find("x ");
+    ASSERT_NE(header_pos, std::string::npos);
+}

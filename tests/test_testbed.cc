@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the Testbed measurement harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hh"
+#include "core/throughput_search.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+Testbed
+makeBed(const char *id, hw::Platform p, std::uint64_t seed = 1)
+{
+    TestbedConfig cfg;
+    cfg.workloadId = id;
+    cfg.platform = p;
+    cfg.seed = seed;
+    return Testbed(cfg);
+}
+
+} // anonymous namespace
+
+TEST(Testbed, RejectsUnsupportedPlatform)
+{
+    // micro_udp has no accelerator column in Table 3.
+    TestbedConfig cfg;
+    cfg.workloadId = "micro_udp_64";
+    cfg.platform = hw::Platform::SnicAccel;
+    EXPECT_EXIT(Testbed bed(cfg), ::testing::ExitedWithCode(1),
+                "does not run on");
+}
+
+TEST(Testbed, AchievedTracksOfferedBelowCapacity)
+{
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    const auto m = bed.measure(5.0, sim::msToTicks(1.0),
+                               sim::msToTicks(10.0));
+    EXPECT_NEAR(m.achievedGbps, 5.0, 0.5);
+    EXPECT_GT(m.completed, 1000u);
+    EXPECT_GT(m.p99Us(), m.p50Us() * 0.99);
+}
+
+TEST(Testbed, SaturatesAtCapacity)
+{
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    const auto low = bed.measure(10.0, sim::msToTicks(1.0),
+                                 sim::msToTicks(10.0));
+    const auto over = bed.measure(60.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(10.0));
+    EXPECT_NEAR(low.achievedGbps, 10.0, 1.0);
+    EXPECT_LT(over.achievedGbps, 30.0);  // host UDP caps ~25 Gbps
+    EXPECT_GT(over.achievedGbps, 20.0);
+}
+
+TEST(Testbed, BackToBackWindowsAreIndependent)
+{
+    // The second window must not inherit the first's backlog: low-
+    // rate latency must return to baseline after a saturating run.
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    const auto base = bed.measure(2.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(5.0));
+    bed.measure(80.0, sim::msToTicks(1.0), sim::msToTicks(5.0));
+    const auto after = bed.measure(2.0, sim::msToTicks(1.0),
+                                   sim::msToTicks(5.0));
+    EXPECT_NEAR(after.p50Us(), base.p50Us(), base.p50Us() * 0.2);
+}
+
+TEST(Testbed, ClosedLoopKeepsDepthRequestsInFlight)
+{
+    auto bed = makeBed("fio_read", hw::Platform::HostCpu);
+    const auto m = bed.measureClosedLoop(4, sim::msToTicks(1.0),
+                                         sim::msToTicks(10.0));
+    EXPECT_GT(m.completed, 100u);
+    // 4 x 64 KB outstanding on a 100 Gbps wire: throughput well
+    // above a single-block-at-a-time rate.
+    EXPECT_GT(m.goodputGbps, 30.0);
+}
+
+TEST(Testbed, EstimateCapacityIsInTheRightBallpark)
+{
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    const double est = bed.estimateCapacityRps();
+    ExperimentOptions opts;
+    opts.targetSamples = 5000;
+    const Capacity cap = findCapacity(bed, opts);
+    EXPECT_GT(cap.rps, est * 0.5);
+    EXPECT_LT(cap.rps, est * 2.0);
+}
+
+TEST(Testbed, SameSeedReproducesExactly)
+{
+    auto a = makeBed("nat_10k", hw::Platform::HostCpu, 7);
+    auto b = makeBed("nat_10k", hw::Platform::HostCpu, 7);
+    const auto ma = a.measure(5.0, sim::msToTicks(1.0),
+                              sim::msToTicks(5.0));
+    const auto mb = b.measure(5.0, sim::msToTicks(1.0),
+                              sim::msToTicks(5.0));
+    EXPECT_EQ(ma.completed, mb.completed);
+    EXPECT_EQ(ma.latency.p99(), mb.latency.p99());
+}
+
+TEST(Testbed, AccelPlatformUsesAccelerator)
+{
+    auto bed = makeBed("rem_exe_mtu", hw::Platform::SnicAccel);
+    bed.measure(10.0, sim::msToTicks(1.0), sim::msToTicks(5.0));
+    EXPECT_GT(bed.server().accel(hw::AccelKind::Rem).completedCount(),
+              100u);
+}
+
+TEST(Testbed, HostPlatformLeavesAcceleratorIdle)
+{
+    auto bed = makeBed("rem_exe_mtu", hw::Platform::HostCpu);
+    bed.measure(10.0, sim::msToTicks(1.0), sim::msToTicks(5.0));
+    EXPECT_EQ(bed.server().accel(hw::AccelKind::Rem).completedCount(),
+              0u);
+}
+
+TEST(Testbed, EnergyReadingMatchesActivity)
+{
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    const auto idleish = bed.measure(0.5, sim::msToTicks(1.0),
+                                     sim::msToTicks(10.0));
+    const auto busy = bed.measure(20.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(10.0));
+    EXPECT_GT(busy.energy.avgServerWatts,
+              idleish.energy.avgServerWatts + 20.0);
+    EXPECT_GE(idleish.energy.avgServerWatts, 252.0);
+}
+
+TEST(Testbed, ReplayScheduleFollowsTrace)
+{
+    auto bed = makeBed("rem_exe_mtu", hw::Platform::HostCpu);
+    const std::vector<double> rates{1.0, 2.0, 1.0, 0.5};
+    const auto m = bed.replaySchedule(rates, sim::msToTicks(2.0));
+    EXPECT_NEAR(m.achievedGbps, 1.125, 0.2);  // trace mean
+    EXPECT_GT(m.completed, 500u);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for TimeSeries binning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+#include "stats/timeseries.hh"
+
+using namespace snic;
+using snic::stats::TimeSeries;
+
+TEST(TimeSeries, AddAccumulatesPerBin)
+{
+    TimeSeries ts(sim::msToTicks(1.0));
+    ts.add(sim::usToTicks(100), 5.0);
+    ts.add(sim::usToTicks(900), 7.0);
+    ts.add(sim::usToTicks(1500), 11.0);
+    EXPECT_DOUBLE_EQ(ts.sum(0), 12.0);
+    EXPECT_DOUBLE_EQ(ts.sum(1), 11.0);
+    EXPECT_DOUBLE_EQ(ts.sum(2), 0.0);
+}
+
+TEST(TimeSeries, RateDividesByBinSeconds)
+{
+    TimeSeries ts(sim::msToTicks(10.0));
+    ts.add(0, 1e6);  // 1e6 units in a 10 ms bin -> 1e8 per second
+    EXPECT_DOUBLE_EQ(ts.rate(0), 1e8);
+}
+
+TEST(TimeSeries, ObserveAveragesWithinBin)
+{
+    TimeSeries ts(sim::secToTicks(1.0));
+    ts.observe(sim::msToTicks(100), 250.0);
+    ts.observe(sim::msToTicks(600), 260.0);
+    EXPECT_DOUBLE_EQ(ts.mean(0), 255.0);
+    EXPECT_DOUBLE_EQ(ts.mean(1), 0.0);
+}
+
+TEST(TimeSeries, BinsGrowOnDemand)
+{
+    TimeSeries ts(100);
+    EXPECT_EQ(ts.numBins(), 0u);
+    ts.add(950, 1.0);
+    EXPECT_EQ(ts.numBins(), 10u);
+    EXPECT_DOUBLE_EQ(ts.sum(9), 1.0);
+}
+
+TEST(TimeSeries, BinStartTimes)
+{
+    TimeSeries ts(sim::msToTicks(2.0));
+    EXPECT_EQ(ts.binStart(0), 0u);
+    EXPECT_EQ(ts.binStart(3), sim::msToTicks(6.0));
+}
+
+TEST(TimeSeries, DumpRatesHasOneLinePerBin)
+{
+    TimeSeries ts(sim::msToTicks(1.0));
+    ts.add(0, 1.0);
+    ts.add(sim::msToTicks(2.5), 1.0);
+    std::string csv = ts.dumpRates();
+    int lines = 0;
+    for (char c : csv)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 3);
+}
