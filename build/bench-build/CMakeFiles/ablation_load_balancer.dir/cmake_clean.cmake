@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_load_balancer"
+  "../bench/ablation_load_balancer.pdb"
+  "CMakeFiles/ablation_load_balancer.dir/ablation_load_balancer.cc.o"
+  "CMakeFiles/ablation_load_balancer.dir/ablation_load_balancer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

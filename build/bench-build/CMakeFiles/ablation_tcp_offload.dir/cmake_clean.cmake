@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tcp_offload"
+  "../bench/ablation_tcp_offload.pdb"
+  "CMakeFiles/ablation_tcp_offload.dir/ablation_tcp_offload.cc.o"
+  "CMakeFiles/ablation_tcp_offload.dir/ablation_tcp_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

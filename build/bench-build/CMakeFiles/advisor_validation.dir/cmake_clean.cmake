@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/advisor_validation"
+  "../bench/advisor_validation.pdb"
+  "CMakeFiles/advisor_validation.dir/advisor_validation.cc.o"
+  "CMakeFiles/advisor_validation.dir/advisor_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

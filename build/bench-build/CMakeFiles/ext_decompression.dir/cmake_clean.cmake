@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_decompression"
+  "../bench/ext_decompression.pdb"
+  "CMakeFiles/ext_decompression.dir/ext_decompression.cc.o"
+  "CMakeFiles/ext_decompression.dir/ext_decompression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_functions"
+  "../bench/fig4_functions.pdb"
+  "CMakeFiles/fig4_functions.dir/fig4_functions.cc.o"
+  "CMakeFiles/fig4_functions.dir/fig4_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

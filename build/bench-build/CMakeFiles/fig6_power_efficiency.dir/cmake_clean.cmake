@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_power_efficiency"
+  "../bench/fig6_power_efficiency.pdb"
+  "CMakeFiles/fig6_power_efficiency.dir/fig6_power_efficiency.cc.o"
+  "CMakeFiles/fig6_power_efficiency.dir/fig6_power_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

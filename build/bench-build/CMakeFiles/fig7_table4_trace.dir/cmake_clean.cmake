@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_table4_trace"
+  "../bench/fig7_table4_trace.pdb"
+  "CMakeFiles/fig7_table4_trace.dir/fig7_table4_trace.cc.o"
+  "CMakeFiles/fig7_table4_trace.dir/fig7_table4_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_table4_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernels_gbench"
+  "../bench/kernels_gbench.pdb"
+  "CMakeFiles/kernels_gbench.dir/kernels_gbench.cc.o"
+  "CMakeFiles/kernels_gbench.dir/kernels_gbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_stacks"
+  "../bench/micro_stacks.pdb"
+  "CMakeFiles/micro_stacks.dir/micro_stacks.cc.o"
+  "CMakeFiles/micro_stacks.dir/micro_stacks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_methodology"
+  "../bench/power_methodology.pdb"
+  "CMakeFiles/power_methodology.dir/power_methodology.cc.o"
+  "CMakeFiles/power_methodology.dir/power_methodology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

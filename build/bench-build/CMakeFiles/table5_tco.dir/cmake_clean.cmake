@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_tco"
+  "../bench/table5_tco.pdb"
+  "CMakeFiles/table5_tco.dir/table5_tco.cc.o"
+  "CMakeFiles/table5_tco.dir/table5_tco.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

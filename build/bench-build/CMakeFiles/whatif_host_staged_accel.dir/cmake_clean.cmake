@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/whatif_host_staged_accel"
+  "../bench/whatif_host_staged_accel.pdb"
+  "CMakeFiles/whatif_host_staged_accel.dir/whatif_host_staged_accel.cc.o"
+  "CMakeFiles/whatif_host_staged_accel.dir/whatif_host_staged_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_host_staged_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

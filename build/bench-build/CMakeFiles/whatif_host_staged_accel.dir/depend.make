@@ -1,0 +1,2 @@
+# Empty dependencies file for whatif_host_staged_accel.
+# This may be replaced when dependencies are built.

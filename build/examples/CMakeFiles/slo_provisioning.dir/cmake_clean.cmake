@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_provisioning.dir/slo_provisioning.cpp.o"
+  "CMakeFiles/slo_provisioning.dir/slo_provisioning.cpp.o.d"
+  "slo_provisioning"
+  "slo_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

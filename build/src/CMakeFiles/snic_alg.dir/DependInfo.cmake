@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alg/crypto/aes.cc" "src/CMakeFiles/snic_alg.dir/alg/crypto/aes.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/crypto/aes.cc.o.d"
+  "/root/repo/src/alg/crypto/bignum.cc" "src/CMakeFiles/snic_alg.dir/alg/crypto/bignum.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/crypto/bignum.cc.o.d"
+  "/root/repo/src/alg/crypto/rsa.cc" "src/CMakeFiles/snic_alg.dir/alg/crypto/rsa.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/crypto/rsa.cc.o.d"
+  "/root/repo/src/alg/crypto/sha1.cc" "src/CMakeFiles/snic_alg.dir/alg/crypto/sha1.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/crypto/sha1.cc.o.d"
+  "/root/repo/src/alg/deflate/deflate.cc" "src/CMakeFiles/snic_alg.dir/alg/deflate/deflate.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/deflate/deflate.cc.o.d"
+  "/root/repo/src/alg/deflate/huffman.cc" "src/CMakeFiles/snic_alg.dir/alg/deflate/huffman.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/deflate/huffman.cc.o.d"
+  "/root/repo/src/alg/deflate/lz77.cc" "src/CMakeFiles/snic_alg.dir/alg/deflate/lz77.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/deflate/lz77.cc.o.d"
+  "/root/repo/src/alg/kv/hash_table.cc" "src/CMakeFiles/snic_alg.dir/alg/kv/hash_table.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/kv/hash_table.cc.o.d"
+  "/root/repo/src/alg/kv/kv_store.cc" "src/CMakeFiles/snic_alg.dir/alg/kv/kv_store.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/kv/kv_store.cc.o.d"
+  "/root/repo/src/alg/nat/nat_table.cc" "src/CMakeFiles/snic_alg.dir/alg/nat/nat_table.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/nat/nat_table.cc.o.d"
+  "/root/repo/src/alg/regex/dfa.cc" "src/CMakeFiles/snic_alg.dir/alg/regex/dfa.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/regex/dfa.cc.o.d"
+  "/root/repo/src/alg/regex/nfa.cc" "src/CMakeFiles/snic_alg.dir/alg/regex/nfa.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/regex/nfa.cc.o.d"
+  "/root/repo/src/alg/regex/parser.cc" "src/CMakeFiles/snic_alg.dir/alg/regex/parser.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/regex/parser.cc.o.d"
+  "/root/repo/src/alg/regex/ruleset.cc" "src/CMakeFiles/snic_alg.dir/alg/regex/ruleset.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/regex/ruleset.cc.o.d"
+  "/root/repo/src/alg/text/bm25.cc" "src/CMakeFiles/snic_alg.dir/alg/text/bm25.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/text/bm25.cc.o.d"
+  "/root/repo/src/alg/workcount.cc" "src/CMakeFiles/snic_alg.dir/alg/workcount.cc.o" "gcc" "src/CMakeFiles/snic_alg.dir/alg/workcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/snic_core.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "src/CMakeFiles/snic_core.dir/core/calibration.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/calibration.cc.o.d"
+  "/root/repo/src/core/efficiency.cc" "src/CMakeFiles/snic_core.dir/core/efficiency.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/efficiency.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/snic_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/load_balancer.cc" "src/CMakeFiles/snic_core.dir/core/load_balancer.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/load_balancer.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/snic_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/tco.cc" "src/CMakeFiles/snic_core.dir/core/tco.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/tco.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/CMakeFiles/snic_core.dir/core/testbed.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/testbed.cc.o.d"
+  "/root/repo/src/core/throughput_search.cc" "src/CMakeFiles/snic_core.dir/core/throughput_search.cc.o" "gcc" "src/CMakeFiles/snic_core.dir/core/throughput_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

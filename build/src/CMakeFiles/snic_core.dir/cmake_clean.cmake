@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_core.dir/core/advisor.cc.o"
+  "CMakeFiles/snic_core.dir/core/advisor.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/calibration.cc.o"
+  "CMakeFiles/snic_core.dir/core/calibration.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/efficiency.cc.o"
+  "CMakeFiles/snic_core.dir/core/efficiency.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/experiment.cc.o"
+  "CMakeFiles/snic_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/load_balancer.cc.o"
+  "CMakeFiles/snic_core.dir/core/load_balancer.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/report.cc.o"
+  "CMakeFiles/snic_core.dir/core/report.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/tco.cc.o"
+  "CMakeFiles/snic_core.dir/core/tco.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/testbed.cc.o"
+  "CMakeFiles/snic_core.dir/core/testbed.cc.o.d"
+  "CMakeFiles/snic_core.dir/core/throughput_search.cc.o"
+  "CMakeFiles/snic_core.dir/core/throughput_search.cc.o.d"
+  "libsnic_core.a"
+  "libsnic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

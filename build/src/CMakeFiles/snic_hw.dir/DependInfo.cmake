@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/CMakeFiles/snic_hw.dir/hw/accelerator.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/accelerator.cc.o.d"
+  "/root/repo/src/hw/cpu_platform.cc" "src/CMakeFiles/snic_hw.dir/hw/cpu_platform.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/cpu_platform.cc.o.d"
+  "/root/repo/src/hw/eswitch.cc" "src/CMakeFiles/snic_hw.dir/hw/eswitch.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/eswitch.cc.o.d"
+  "/root/repo/src/hw/pcie.cc" "src/CMakeFiles/snic_hw.dir/hw/pcie.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/pcie.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/CMakeFiles/snic_hw.dir/hw/platform.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/platform.cc.o.d"
+  "/root/repo/src/hw/server.cc" "src/CMakeFiles/snic_hw.dir/hw/server.cc.o" "gcc" "src/CMakeFiles/snic_hw.dir/hw/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

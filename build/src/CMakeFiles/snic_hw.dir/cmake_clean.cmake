@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_hw.dir/hw/accelerator.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/accelerator.cc.o.d"
+  "CMakeFiles/snic_hw.dir/hw/cpu_platform.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/cpu_platform.cc.o.d"
+  "CMakeFiles/snic_hw.dir/hw/eswitch.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/eswitch.cc.o.d"
+  "CMakeFiles/snic_hw.dir/hw/pcie.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/pcie.cc.o.d"
+  "CMakeFiles/snic_hw.dir/hw/platform.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/platform.cc.o.d"
+  "CMakeFiles/snic_hw.dir/hw/server.cc.o"
+  "CMakeFiles/snic_hw.dir/hw/server.cc.o.d"
+  "libsnic_hw.a"
+  "libsnic_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

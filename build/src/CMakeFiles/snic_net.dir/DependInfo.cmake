@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dc_trace.cc" "src/CMakeFiles/snic_net.dir/net/dc_trace.cc.o" "gcc" "src/CMakeFiles/snic_net.dir/net/dc_trace.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/snic_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/snic_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/snic_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/snic_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/size_dist.cc" "src/CMakeFiles/snic_net.dir/net/size_dist.cc.o" "gcc" "src/CMakeFiles/snic_net.dir/net/size_dist.cc.o.d"
+  "/root/repo/src/net/traffic_gen.cc" "src/CMakeFiles/snic_net.dir/net/traffic_gen.cc.o" "gcc" "src/CMakeFiles/snic_net.dir/net/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

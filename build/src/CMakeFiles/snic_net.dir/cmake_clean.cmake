@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_net.dir/net/dc_trace.cc.o"
+  "CMakeFiles/snic_net.dir/net/dc_trace.cc.o.d"
+  "CMakeFiles/snic_net.dir/net/link.cc.o"
+  "CMakeFiles/snic_net.dir/net/link.cc.o.d"
+  "CMakeFiles/snic_net.dir/net/packet.cc.o"
+  "CMakeFiles/snic_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/snic_net.dir/net/size_dist.cc.o"
+  "CMakeFiles/snic_net.dir/net/size_dist.cc.o.d"
+  "CMakeFiles/snic_net.dir/net/traffic_gen.cc.o"
+  "CMakeFiles/snic_net.dir/net/traffic_gen.cc.o.d"
+  "libsnic_net.a"
+  "libsnic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy.cc" "src/CMakeFiles/snic_power.dir/power/energy.cc.o" "gcc" "src/CMakeFiles/snic_power.dir/power/energy.cc.o.d"
+  "/root/repo/src/power/isolation.cc" "src/CMakeFiles/snic_power.dir/power/isolation.cc.o" "gcc" "src/CMakeFiles/snic_power.dir/power/isolation.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/snic_power.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/snic_power.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/sensors.cc" "src/CMakeFiles/snic_power.dir/power/sensors.cc.o" "gcc" "src/CMakeFiles/snic_power.dir/power/sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_power.dir/power/energy.cc.o"
+  "CMakeFiles/snic_power.dir/power/energy.cc.o.d"
+  "CMakeFiles/snic_power.dir/power/isolation.cc.o"
+  "CMakeFiles/snic_power.dir/power/isolation.cc.o.d"
+  "CMakeFiles/snic_power.dir/power/power_model.cc.o"
+  "CMakeFiles/snic_power.dir/power/power_model.cc.o.d"
+  "CMakeFiles/snic_power.dir/power/sensors.cc.o"
+  "CMakeFiles/snic_power.dir/power/sensors.cc.o.d"
+  "libsnic_power.a"
+  "libsnic_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

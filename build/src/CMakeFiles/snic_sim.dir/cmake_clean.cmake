@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/snic_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/snic_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/snic_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/snic_sim.dir/sim/random.cc.o"
+  "CMakeFiles/snic_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/snic_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/snic_sim.dir/sim/simulation.cc.o.d"
+  "libsnic_sim.a"
+  "libsnic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/dpdk_stack.cc" "src/CMakeFiles/snic_stack.dir/stack/dpdk_stack.cc.o" "gcc" "src/CMakeFiles/snic_stack.dir/stack/dpdk_stack.cc.o.d"
+  "/root/repo/src/stack/rdma_stack.cc" "src/CMakeFiles/snic_stack.dir/stack/rdma_stack.cc.o" "gcc" "src/CMakeFiles/snic_stack.dir/stack/rdma_stack.cc.o.d"
+  "/root/repo/src/stack/stack_model.cc" "src/CMakeFiles/snic_stack.dir/stack/stack_model.cc.o" "gcc" "src/CMakeFiles/snic_stack.dir/stack/stack_model.cc.o.d"
+  "/root/repo/src/stack/tcp_stack.cc" "src/CMakeFiles/snic_stack.dir/stack/tcp_stack.cc.o" "gcc" "src/CMakeFiles/snic_stack.dir/stack/tcp_stack.cc.o.d"
+  "/root/repo/src/stack/udp_stack.cc" "src/CMakeFiles/snic_stack.dir/stack/udp_stack.cc.o" "gcc" "src/CMakeFiles/snic_stack.dir/stack/udp_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_stack.dir/stack/dpdk_stack.cc.o"
+  "CMakeFiles/snic_stack.dir/stack/dpdk_stack.cc.o.d"
+  "CMakeFiles/snic_stack.dir/stack/rdma_stack.cc.o"
+  "CMakeFiles/snic_stack.dir/stack/rdma_stack.cc.o.d"
+  "CMakeFiles/snic_stack.dir/stack/stack_model.cc.o"
+  "CMakeFiles/snic_stack.dir/stack/stack_model.cc.o.d"
+  "CMakeFiles/snic_stack.dir/stack/tcp_stack.cc.o"
+  "CMakeFiles/snic_stack.dir/stack/tcp_stack.cc.o.d"
+  "CMakeFiles/snic_stack.dir/stack/udp_stack.cc.o"
+  "CMakeFiles/snic_stack.dir/stack/udp_stack.cc.o.d"
+  "libsnic_stack.a"
+  "libsnic_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ascii_plot.cc" "src/CMakeFiles/snic_stats.dir/stats/ascii_plot.cc.o" "gcc" "src/CMakeFiles/snic_stats.dir/stats/ascii_plot.cc.o.d"
+  "/root/repo/src/stats/counter.cc" "src/CMakeFiles/snic_stats.dir/stats/counter.cc.o" "gcc" "src/CMakeFiles/snic_stats.dir/stats/counter.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/snic_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/snic_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/snic_stats.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/snic_stats.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/CMakeFiles/snic_stats.dir/stats/timeseries.cc.o" "gcc" "src/CMakeFiles/snic_stats.dir/stats/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_stats.dir/stats/ascii_plot.cc.o"
+  "CMakeFiles/snic_stats.dir/stats/ascii_plot.cc.o.d"
+  "CMakeFiles/snic_stats.dir/stats/counter.cc.o"
+  "CMakeFiles/snic_stats.dir/stats/counter.cc.o.d"
+  "CMakeFiles/snic_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/snic_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/snic_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/snic_stats.dir/stats/summary.cc.o.d"
+  "CMakeFiles/snic_stats.dir/stats/timeseries.cc.o"
+  "CMakeFiles/snic_stats.dir/stats/timeseries.cc.o.d"
+  "libsnic_stats.a"
+  "libsnic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bm25.cc" "src/CMakeFiles/snic_workloads.dir/workloads/bm25.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/bm25.cc.o.d"
+  "/root/repo/src/workloads/compression.cc" "src/CMakeFiles/snic_workloads.dir/workloads/compression.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/compression.cc.o.d"
+  "/root/repo/src/workloads/crypto.cc" "src/CMakeFiles/snic_workloads.dir/workloads/crypto.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/crypto.cc.o.d"
+  "/root/repo/src/workloads/dfa_scan.cc" "src/CMakeFiles/snic_workloads.dir/workloads/dfa_scan.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/dfa_scan.cc.o.d"
+  "/root/repo/src/workloads/fio.cc" "src/CMakeFiles/snic_workloads.dir/workloads/fio.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/fio.cc.o.d"
+  "/root/repo/src/workloads/mica.cc" "src/CMakeFiles/snic_workloads.dir/workloads/mica.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/mica.cc.o.d"
+  "/root/repo/src/workloads/micro_dpdk.cc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_dpdk.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_dpdk.cc.o.d"
+  "/root/repo/src/workloads/micro_rdma.cc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_rdma.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_rdma.cc.o.d"
+  "/root/repo/src/workloads/micro_udp.cc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_udp.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/micro_udp.cc.o.d"
+  "/root/repo/src/workloads/nat.cc" "src/CMakeFiles/snic_workloads.dir/workloads/nat.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/nat.cc.o.d"
+  "/root/repo/src/workloads/ovs.cc" "src/CMakeFiles/snic_workloads.dir/workloads/ovs.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/ovs.cc.o.d"
+  "/root/repo/src/workloads/redis.cc" "src/CMakeFiles/snic_workloads.dir/workloads/redis.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/redis.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/snic_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rem.cc" "src/CMakeFiles/snic_workloads.dir/workloads/rem.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/rem.cc.o.d"
+  "/root/repo/src/workloads/snort.cc" "src/CMakeFiles/snic_workloads.dir/workloads/snort.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/snort.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/snic_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/snic_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

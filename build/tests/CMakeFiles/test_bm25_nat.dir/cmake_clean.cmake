@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bm25_nat.dir/test_bm25_nat.cc.o"
+  "CMakeFiles/test_bm25_nat.dir/test_bm25_nat.cc.o.d"
+  "test_bm25_nat"
+  "test_bm25_nat.pdb"
+  "test_bm25_nat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bm25_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_props.dir/test_crypto_props.cc.o"
+  "CMakeFiles/test_crypto_props.dir/test_crypto_props.cc.o.d"
+  "test_crypto_props"
+  "test_crypto_props.pdb"
+  "test_crypto_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

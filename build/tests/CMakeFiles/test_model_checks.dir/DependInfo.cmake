@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model_checks.cc" "tests/CMakeFiles/test_model_checks.dir/test_model_checks.cc.o" "gcc" "tests/CMakeFiles/test_model_checks.dir/test_model_checks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_checks.dir/test_model_checks.cc.o"
+  "CMakeFiles/test_model_checks.dir/test_model_checks.cc.o.d"
+  "test_model_checks"
+  "test_model_checks.pdb"
+  "test_model_checks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_summary[1]_include.cmake")
+include("/root/repo/build/tests/test_deflate[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_regex[1]_include.cmake")
+include("/root/repo/build/tests/test_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_bm25_nat[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_regex_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_model_checks[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_props[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_ascii_plot[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
