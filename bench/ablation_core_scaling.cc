@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "core/throughput_search.hh"
 #include "sim/logging.hh"
 #include "stats/summary.hh"
@@ -23,22 +24,31 @@ main()
     ExperimentOptions opts;
     opts.targetSamples = 6000;
 
+    // Six host core counts plus the fixed accelerator, batched into
+    // one parallel sweep.
+    const std::vector<unsigned> core_counts{2, 4, 6, 8, 10, 12};
+    std::vector<ExperimentCell> cells;
+    for (unsigned cores : core_counts) {
+        ExperimentOptions o = opts;
+        o.hostCoresOverride = cores;
+        cells.push_back({"rem_exe_mtu", hw::Platform::HostCpu, o});
+    }
+    cells.push_back({"rem_exe_mtu", hw::Platform::SnicAccel, opts});
+    ExperimentRunner runner;
+    const auto runs = runner.runCells(cells);
+
     stats::Table t("KO3 — host core scaling, REM file_executable "
                    "(MTU) vs the fixed accelerator");
     t.setHeader({"cores", "host Gbps", "host p99 us"});
-    for (unsigned cores : {2u, 4u, 6u, 8u, 10u, 12u}) {
-        ExperimentOptions o = opts;
-        o.hostCoresOverride = cores;
-        const auto r =
-            runExperiment("rem_exe_mtu", hw::Platform::HostCpu, o);
-        t.addRow({std::to_string(cores),
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+        const auto &r = runs[i];
+        t.addRow({std::to_string(core_counts[i]),
                   stats::Table::num(r.maxGbps, 1),
                   stats::Table::num(r.p99Us, 1)});
     }
     t.print();
 
-    const auto accel =
-        runExperiment("rem_exe_mtu", hw::Platform::SnicAccel, opts);
+    const auto &accel = runs.back();
     std::printf("SNIC accelerator (fixed hardware): %.1f Gbps at "
                 "p99 %.1f us — no way to scale it to line rate, so "
                 "host cores must stay reserved for overflow (KO3).\n",

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/load_balancer.hh"
+#include "core/runner.hh"
 #include "net/dc_trace.hh"
 #include "sim/logging.hh"
 #include "stats/summary.hh"
@@ -25,28 +26,36 @@ int
 main()
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    ExperimentRunner runner;
 
     // A bursty schedule that crosses the accelerator's ~50 Gbps cap.
     const std::vector<double> rates{5.0,  10.0, 25.0, 55.0, 70.0,
                                     55.0, 25.0, 10.0, 5.0,  2.0};
 
+    // Each BalancerBed is self-contained, so the five policies run
+    // concurrently.
+    const std::vector<BalancePolicy> policies{
+        BalancePolicy::SnicOnly, BalancePolicy::HostOnly,
+        BalancePolicy::StaticSplit, BalancePolicy::Threshold,
+        BalancePolicy::HwThreshold};
+    const auto policy_runs =
+        runner.map(policies.size(), [&](std::size_t i) {
+            BalancerConfig cfg;
+            cfg.policy = policies[i];
+            cfg.ratesGbps = rates;
+            cfg.binTicks = sim::msToTicks(2.0);
+            cfg.thresholdUs = 40.0;
+            cfg.hostFraction = 0.5;
+            return runBalancer(cfg);
+        });
+
     stats::Table t("Strategy 3 — load-balancing policies "
                    "(REM file_executable, bursty trace to 70 Gbps)");
     t.setHeader({"policy", "achieved Gbps", "p99 us", "mean us",
                  "server W", "snic-cpu util", "host share"});
-
-    for (BalancePolicy policy :
-         {BalancePolicy::SnicOnly, BalancePolicy::HostOnly,
-          BalancePolicy::StaticSplit, BalancePolicy::Threshold,
-          BalancePolicy::HwThreshold}) {
-        BalancerConfig cfg;
-        cfg.policy = policy;
-        cfg.ratesGbps = rates;
-        cfg.binTicks = sim::msToTicks(2.0);
-        cfg.thresholdUs = 40.0;
-        cfg.hostFraction = 0.5;
-        const auto r = runBalancer(cfg);
-        t.addRow({balancePolicyName(policy),
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &r = policy_runs[i];
+        t.addRow({balancePolicyName(policies[i]),
                   stats::Table::num(r.achievedGbps, 2),
                   stats::Table::num(r.p99Us, 1),
                   stats::Table::num(r.meanUs, 1),
@@ -58,17 +67,23 @@ main()
 
     // Monitoring-cost sweep: the paper's "consumes most of the SNIC
     // CPU cycles simply to monitor packets at high rates".
+    const std::vector<std::uint64_t> monitor_ops{0, 120, 400, 800};
+    const auto monitor_runs =
+        runner.map(monitor_ops.size(), [&](std::size_t i) {
+            BalancerConfig cfg;
+            cfg.policy = BalancePolicy::Threshold;
+            cfg.ratesGbps = std::vector<double>(8, 45.0);
+            cfg.binTicks = sim::msToTicks(2.0);
+            cfg.monitorOpsPerPacket = monitor_ops[i];
+            return runBalancer(cfg);
+        });
+
     stats::Table m("Threshold balancer: software monitoring cost "
                    "sweep at 45 Gbps sustained");
     m.setHeader({"monitor ops/pkt", "snic-cpu util", "p99 us"});
-    for (std::uint64_t ops : {0ull, 120ull, 400ull, 800ull}) {
-        BalancerConfig cfg;
-        cfg.policy = BalancePolicy::Threshold;
-        cfg.ratesGbps = std::vector<double>(8, 45.0);
-        cfg.binTicks = sim::msToTicks(2.0);
-        cfg.monitorOpsPerPacket = ops;
-        const auto r = runBalancer(cfg);
-        m.addRow({std::to_string(ops),
+    for (std::size_t i = 0; i < monitor_ops.size(); ++i) {
+        const auto &r = monitor_runs[i];
+        m.addRow({std::to_string(monitor_ops[i]),
                   stats::Table::percent(r.snicCpuUtil * 100.0),
                   stats::Table::num(r.p99Us, 1)});
     }

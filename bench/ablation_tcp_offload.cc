@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "hw/cpu_platform.hh"
 #include "sim/logging.hh"
 #include "stack/tcp_stack.hh"
@@ -111,13 +112,16 @@ main()
         "dominates for long ones — matching each paper's own "
         "motivation.\n\n");
 
-    // Validation: the analytic f=0 column against the simulator.
+    // Validation: the analytic f=0 column against the simulator —
+    // both platforms measured concurrently.
     ExperimentOptions opts;
     opts.targetSamples = 6000;
-    const auto host_run =
-        runExperiment("micro_udp_1024", hw::Platform::HostCpu, opts);
-    const auto snic_run =
-        runExperiment("micro_udp_1024", hw::Platform::SnicCpu, opts);
+    ExperimentRunner runner;
+    const auto runs = runner.runCells(
+        {{"micro_udp_1024", hw::Platform::HostCpu, opts},
+         {"micro_udp_1024", hw::Platform::SnicCpu, opts}});
+    const auto &host_run = runs[0];
+    const auto &snic_run = runs[1];
     std::printf("Simulated f=0 validation: host %.1f Gbps, snic %.1f "
                 "Gbps (ratio %.2fx).\n",
                 host_run.maxGbps, snic_run.maxGbps,

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "sim/logging.hh"
 
 using namespace snic;
@@ -25,6 +26,14 @@ main(int argc, char **argv)
 
     const auto lineup = workloads::fig4Lineup();
 
+    // Every (function x platform) cell is independent: fan the whole
+    // figure out across the machine in one sweep.
+    ExperimentRunner runner;
+    std::vector<std::string> ids = lineup.softwareOnly;
+    ids.insert(ids.end(), lineup.hardwareAccelerated.begin(),
+               lineup.hardwareAccelerated.end());
+    const auto rows = compareOnPlatforms(ids, runner, opts);
+
     stats::Table sw("Fig. 4 — Software-Only Functions "
                     "(SNIC CPU / host CPU)");
     setFig4Header(sw);
@@ -35,20 +44,19 @@ main(int argc, char **argv)
         p99_lo = std::min(p99_lo, row.p99Ratio);
         p99_hi = std::max(p99_hi, row.p99Ratio);
     };
-    for (const auto &id : lineup.softwareOnly) {
-        const auto row = compareOnPlatforms(id, opts);
-        addFig4Row(sw, row);
-        track(row);
+    const std::size_t n_sw = lineup.softwareOnly.size();
+    for (std::size_t i = 0; i < n_sw; ++i) {
+        addFig4Row(sw, rows[i]);
+        track(rows[i]);
     }
     sw.print(csv);
 
     stats::Table hwt("Fig. 4 — Hardware-Accelerated Functions "
                      "(SNIC accel / host CPU)");
     setFig4Header(hwt);
-    for (const auto &id : lineup.hardwareAccelerated) {
-        const auto row = compareOnPlatforms(id, opts);
-        addFig4Row(hwt, row);
-        track(row);
+    for (std::size_t i = n_sw; i < rows.size(); ++i) {
+        addFig4Row(hwt, rows[i]);
+        track(rows[i]);
     }
     hwt.print(csv);
 

@@ -9,6 +9,7 @@
 
 #include "core/calibration.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "sim/logging.hh"
 #include "stats/ascii_plot.hh"
 #include "stats/summary.hh"
@@ -27,20 +28,28 @@ struct SweepSeries
     std::vector<double> p99;
 };
 
+std::vector<double>
+sweepRates()
+{
+    std::vector<double> rates;
+    for (double rate = 10.0; rate <= 90.0 + 1e-9; rate += 10.0)
+        rates.push_back(rate);
+    return rates;
+}
+
 SweepSeries
-sweep(const char *label, const char *workload_id, hw::Platform platform)
+tabulate(const char *label, const std::vector<double> &rates,
+         const std::vector<Measurement> &points)
 {
     SweepSeries out;
     stats::Table t(label);
     t.setHeader({"offered Gbps", "achieved Gbps", "p99 us"});
-    ExperimentOptions opts;
-    opts.targetSamples = 6000;
-    for (double rate = 10.0; rate <= 90.0 + 1e-9; rate += 10.0) {
-        const auto m = measureAtRate(workload_id, platform, rate, opts);
-        t.addRow({stats::Table::num(rate, 0),
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &m = points[i];
+        t.addRow({stats::Table::num(rates[i], 0),
                   stats::Table::num(m.achievedGbps, 1),
                   stats::Table::num(m.p99Us(), 1)});
-        out.rates.push_back(rate);
+        out.rates.push_back(rates[i]);
         out.achieved.push_back(m.achievedGbps);
         out.p99.push_back(m.p99Us());
     }
@@ -55,17 +64,49 @@ main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
     csvOutput = stats::Table::wantCsv(argc, argv);
+
+    // Four series x nine load points, all independent: one batch.
+    struct SeriesSpec
+    {
+        const char *label;
+        const char *workloadId;
+        hw::Platform platform;
+    };
+    const std::vector<SeriesSpec> series{
+        {"Fig. 5 — host CPU, file_executable (8 cores, MTU)",
+         "rem_exe_mtu", hw::Platform::HostCpu},
+        {"Fig. 5 — host CPU, file_image (8 cores, MTU)",
+         "rem_img_mtu", hw::Platform::HostCpu},
+        {"Fig. 5 — SNIC accelerator, file_executable (MTU)",
+         "rem_exe_mtu", hw::Platform::SnicAccel},
+        {"Fig. 5 — SNIC accelerator, file_image (MTU)",
+         "rem_img_mtu", hw::Platform::SnicAccel},
+    };
+    const auto rates = sweepRates();
+    ExperimentOptions opts;
+    opts.targetSamples = 6000;
+    std::vector<RateCell> cells;
+    for (const auto &s : series) {
+        for (double rate : rates)
+            cells.push_back({s.workloadId, s.platform, rate, opts});
+    }
+    ExperimentRunner runner;
+    const auto points = runner.measureCells(cells);
+
+    auto seriesPoints = [&](std::size_t s) {
+        return std::vector<Measurement>(
+            points.begin() + static_cast<std::ptrdiff_t>(s *
+                                                         rates.size()),
+            points.begin() + static_cast<std::ptrdiff_t>(
+                                 (s + 1) * rates.size()));
+    };
     const auto host_exe =
-        sweep("Fig. 5 — host CPU, file_executable (8 cores, MTU)",
-              "rem_exe_mtu", hw::Platform::HostCpu);
+        tabulate(series[0].label, rates, seriesPoints(0));
     const auto host_img =
-        sweep("Fig. 5 — host CPU, file_image (8 cores, MTU)",
-              "rem_img_mtu", hw::Platform::HostCpu);
+        tabulate(series[1].label, rates, seriesPoints(1));
     const auto accel_exe =
-        sweep("Fig. 5 — SNIC accelerator, file_executable (MTU)",
-              "rem_exe_mtu", hw::Platform::SnicAccel);
-    sweep("Fig. 5 — SNIC accelerator, file_image (MTU)",
-          "rem_img_mtu", hw::Platform::SnicAccel);
+        tabulate(series[2].label, rates, seriesPoints(2));
+    tabulate(series[3].label, rates, seriesPoints(3));
 
     if (!csvOutput) {
         stats::AsciiPlot tput("Fig. 5 (top) — achieved Gbps vs "

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "sim/logging.hh"
 
 using namespace snic;
@@ -34,9 +35,14 @@ main(int argc, char **argv)
         "rem_img", "rem_exe", "comp_app", "comp_txt", "ovs_100",
     };
 
+    // One (function x platform) batch for the whole figure.
+    ExperimentRunner runner;
+    const auto rows = compareOnPlatforms(functions, runner, opts);
+
     double eff_lo = 1e9, eff_hi = 0.0;
-    for (const auto &id : functions) {
-        const auto row = compareOnPlatforms(id, opts);
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+        const auto &id = functions[i];
+        const auto &row = rows[i];
         const auto band = paper::fig6EfficiencyExpectation(id);
         eff_lo = std::min(eff_lo, row.efficiencyRatio);
         eff_hi = std::max(eff_hi, row.efficiencyRatio);

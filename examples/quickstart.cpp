@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "sim/logging.hh"
 
 using namespace snic;
@@ -31,7 +32,10 @@ main(int argc, char **argv)
 
     ExperimentOptions opts;
     opts.targetSamples = 8000;
-    const NormalizedRow row = compareOnPlatforms(id, opts);
+    // The batch API measures the host and SNIC sides concurrently.
+    ExperimentRunner runner;
+    const NormalizedRow row =
+        compareOnPlatforms({id}, runner, opts).front();
 
     auto show = [](const char *label, const RunResult &r) {
         std::printf("%-22s %8.2f Gbps  %8.0f req/s  p99 %8.1f us  "

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "core/tco.hh"
 #include "sim/logging.hh"
 
@@ -34,7 +35,10 @@ main(int argc, char **argv)
 
     ExperimentOptions opts;
     opts.targetSamples = 8000;
-    const NormalizedRow row = compareOnPlatforms(id, opts);
+    // Measure both fleet candidates concurrently.
+    ExperimentRunner runner;
+    const NormalizedRow row =
+        compareOnPlatforms({id}, runner, opts).front();
 
     const bool snic_meets = row.snic.p99Us <= p99_budget;
     const bool host_meets = row.host.p99Us <= p99_budget;

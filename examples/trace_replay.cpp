@@ -71,5 +71,18 @@ main(int argc, char **argv)
                 "idle\n",
                 m.energy.avgServerWatts, m.energy.avgSnicWatts,
                 m.energy.avgServerWatts - 252.0);
+
+    // Where did the time go? Per-stage residency from the pipeline.
+    std::printf("\n%-12s %10s %10s %8s %10s %10s\n", "stage",
+                "accepted", "dropped", "inflight", "mean us",
+                "p99 us");
+    for (const auto &s : m.stageStats) {
+        std::printf("%-12s %10llu %10llu %8llu %10.2f %10.2f\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.accepted),
+                    static_cast<unsigned long long>(s.dropped),
+                    static_cast<unsigned long long>(s.inFlight),
+                    s.meanResidencyUs, s.p99ResidencyUs);
+    }
     return 0;
 }

@@ -25,6 +25,10 @@ struct ExperimentOptions
     unsigned hostCoresOverride = 0;
     /** Samples targeted per measurement window. */
     std::uint64_t targetSamples = 20000;
+    /** Capacity-search starting offer in Gbps (0 = derive from the
+     *  analytic estimate). Deliberately low values exercise the
+     *  escalate-on-non-saturation branch of findCapacity. */
+    double initialOfferedGbps = 0.0;
     sim::Tick warmup = sim::msToTicks(2.0);
     sim::Tick minWindow = sim::msToTicks(10.0);
     sim::Tick maxWindow = sim::secToTicks(5.0);

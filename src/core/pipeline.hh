@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The request pipeline: the testbed datapath decomposed into
+ * explicit, composable stages.
+ *
+ *   IngressStage -> StackStage -> AppStage -> AcceleratorStage ->
+ *   EgressStage
+ *
+ * Each stage owns one hop of the request path (epoch filtering +
+ * planning, stack cost accounting, CPU service, accelerator service,
+ * response emission) and records per-stage queue/latency statistics.
+ * The Testbed assembles a Pipeline per TestbedConfig; experiment
+ * variants (TCP-offload ablation, host-staged acceleration, load
+ * balancing) become stage swaps instead of Testbed forks.
+ *
+ * Stages hand requests to each other synchronously except where the
+ * modelled hardware is asynchronous (CPU and accelerator queues), so
+ * the event ordering — and therefore every measured number — is
+ * identical to the former monolithic datapath.
+ */
+
+#ifndef SNIC_CORE_PIPELINE_HH
+#define SNIC_CORE_PIPELINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/server.hh"
+#include "net/link.hh"
+#include "stack/stack_model.hh"
+#include "stats/histogram.hh"
+#include "workloads/workload.hh"
+
+namespace snic::core {
+
+/** One request flowing through the stage chain. */
+struct PipelineRequest
+{
+    net::Packet packet;
+    /** Filled by IngressStage; amended by StackStage. */
+    workloads::RequestPlan plan;
+    /** Tick the request entered the current stage (residency). */
+    sim::Tick stageEntered = 0;
+};
+
+/** Per-stage flow and residency statistics. */
+struct StageStats
+{
+    std::uint64_t accepted = 0;   ///< requests entering the stage
+    std::uint64_t forwarded = 0;  ///< requests leaving downstream
+    std::uint64_t dropped = 0;    ///< epoch-filtered stale requests
+    /** Time from stage entry to stage exit, in ticks: queueing plus
+     *  service for the asynchronous stages, ~0 for synchronous ones. */
+    stats::Histogram residency;
+
+    /** Requests currently inside the stage (its queue depth). */
+    std::uint64_t
+    inFlight() const
+    {
+        return accepted - forwarded - dropped;
+    }
+
+    void
+    reset()
+    {
+        accepted = forwarded = dropped = 0;
+        residency.reset();
+    }
+};
+
+/** A copyable snapshot of one stage's stats for Measurement. */
+struct StageSnapshot
+{
+    std::string name;
+    std::uint64_t accepted = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t inFlight = 0;
+    double meanResidencyUs = 0.0;
+    double p99ResidencyUs = 0.0;
+};
+
+/**
+ * Everything the stages need from the assembled testbed. The
+ * assembler (Testbed) builds one of these after constructing the
+ * hardware; the Pipeline owns a copy whose epochStart it advances
+ * between measurement windows.
+ */
+struct PipelineContext
+{
+    sim::Simulation &sim;
+    hw::ServerModel &server;
+    workloads::Workload &workload;
+    stack::StackModel &stack;
+    /** The CPU platform serving this configuration. */
+    hw::ExecutionPlatform &servingCpu;
+    hw::Platform platform;
+    /** Requests created before this tick are stale leftovers from a
+     *  previous measurement window and must not be recorded. */
+    sim::Tick epochStart = 0;
+};
+
+/**
+ * Where completed requests leave the pipeline. Implemented by the
+ * assembler, which owns the measurement state (recording flags,
+ * latency histogram, closed-loop driver).
+ */
+class EgressSink
+{
+  public:
+    virtual ~EgressSink() = default;
+
+    /** A stale request reached egress (frees a closed-loop slot). */
+    virtual void onStale() = 0;
+
+    /** A request completed inside the epoch; called before the
+     *  response (if any) is serialized. */
+    virtual void onServed(const net::Packet &pkt,
+                          const workloads::RequestPlan &plan) = 0;
+
+    /** Terminal completion for requests with no response packet;
+     *  @p latency is the end-to-end latency in ticks. */
+    virtual void onTerminal(sim::Tick latency) = 0;
+};
+
+/**
+ * Abstract pipeline stage. accept() timestamps the request and
+ * counts it in; process() does the stage's work and ends in
+ * forward() (downstream), forwardTo() (an explicit bypass target)
+ * or drop() (stale requests).
+ */
+class Stage
+{
+  public:
+    Stage(PipelineContext &ctx, std::string name)
+        : _ctx(ctx), _name(std::move(name))
+    {}
+    virtual ~Stage() = default;
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    void setNext(Stage *next) { _next = next; }
+    Stage *next() const { return _next; }
+    const std::string &name() const { return _name; }
+    const StageStats &stats() const { return _stats; }
+    void resetStats() { _stats.reset(); }
+
+    /** Entry point: stat accounting, then process(). */
+    void
+    accept(PipelineRequest &&req)
+    {
+        ++_stats.accepted;
+        req.stageEntered = _ctx.sim.now();
+        process(std::move(req));
+    }
+
+    /** Snapshot the stats for reporting. */
+    StageSnapshot snapshot() const;
+
+  protected:
+    virtual void process(PipelineRequest &&req) = 0;
+
+    /** Complete this stage and hand to the next (if any). */
+    void
+    forward(PipelineRequest &&req)
+    {
+        exit_(req);
+        if (_next)
+            _next->accept(std::move(req));
+    }
+
+    /** Complete this stage and hand to an explicit target (bypass). */
+    void
+    forwardTo(Stage &to, PipelineRequest &&req)
+    {
+        exit_(req);
+        to.accept(std::move(req));
+    }
+
+    /** Discard a stale request. */
+    void drop(PipelineRequest &&) { ++_stats.dropped; }
+
+    PipelineContext &_ctx;
+
+  private:
+    void
+    exit_(const PipelineRequest &req)
+    {
+        _stats.residency.record(_ctx.sim.now() - req.stageEntered);
+        ++_stats.forwarded;
+    }
+
+    std::string _name;
+    Stage *_next = nullptr;
+    StageStats _stats;
+};
+
+/**
+ * Ingress: epoch-filter arriving packets and plan the request
+ * against the workload (the application-dispatch decision).
+ */
+class IngressStage : public Stage
+{
+  public:
+    explicit IngressStage(PipelineContext &ctx)
+        : Stage(ctx, "ingress")
+    {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+};
+
+/**
+ * Stack: charge the networking-stack rx/tx work to the plan's CPU
+ * work. Data-plane-offloaded packets with no CPU work (eSwitch
+ * forwarding) bypass the CPU and accelerator stages entirely.
+ */
+class StackStage : public Stage
+{
+  public:
+    explicit StackStage(PipelineContext &ctx) : Stage(ctx, "stack") {}
+
+    /** Egress target for the data-plane-offload fast path. */
+    void setBypass(Stage *egress) { _bypass = egress; }
+
+  protected:
+    void process(PipelineRequest &&req) override;
+
+  private:
+    Stage *_bypass = nullptr;
+};
+
+/**
+ * App: occupy the serving CPU for the request's (stack + function)
+ * work. Residency in this stage is CPU queueing plus service time.
+ */
+class AppStage : public Stage
+{
+  public:
+    explicit AppStage(PipelineContext &ctx) : Stage(ctx, "app") {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+};
+
+/**
+ * Accelerator: occupy the engine for plans that carry accelerator
+ * work; a pass-through otherwise. Stale requests skip the engine so
+ * leftovers never occupy it inside a new measurement window.
+ */
+class AcceleratorStage : public Stage
+{
+  public:
+    explicit AcceleratorStage(PipelineContext &ctx)
+        : Stage(ctx, "accelerator")
+    {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+};
+
+/**
+ * Egress: close the measurement. Serializes the response onto the
+ * down link (delivery closes the latency sample) or, for sink-style
+ * functions without response traffic, reports the terminal latency
+ * directly to the EgressSink.
+ */
+class EgressStage : public Stage
+{
+  public:
+    EgressStage(PipelineContext &ctx, net::Link &down_link,
+                EgressSink &sink)
+        : Stage(ctx, "egress"), _downLink(down_link), _sink(sink)
+    {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+
+  private:
+    net::Link &_downLink;
+    EgressSink &_sink;
+};
+
+/**
+ * The assembled stage chain. Owns the context copy and the stages;
+ * exposes the front stage for injection and the stats for reporting.
+ */
+class Pipeline
+{
+  public:
+    /** Assemble the standard 5-stage datapath. */
+    Pipeline(const PipelineContext &ctx, net::Link &down_link,
+             EgressSink &sink);
+
+    /** Inject one request at the front stage. */
+    void
+    inject(const net::Packet &pkt)
+    {
+        PipelineRequest req;
+        req.packet = pkt;
+        _stages.front()->accept(std::move(req));
+    }
+
+    PipelineContext &context() { return _ctx; }
+    const PipelineContext &context() const { return _ctx; }
+
+    /** Begin a new measurement epoch at @p now. */
+    void setEpoch(sim::Tick now) { _ctx.epochStart = now; }
+    sim::Tick epoch() const { return _ctx.epochStart; }
+
+    const std::vector<std::unique_ptr<Stage>> &stages() const
+    {
+        return _stages;
+    }
+
+    /** Find a stage by name (nullptr when absent). */
+    const Stage *stage(const std::string &name) const;
+
+    void resetStats();
+
+    /** Snapshot every stage, front to back. */
+    std::vector<StageSnapshot> snapshot() const;
+
+  private:
+    PipelineContext _ctx;
+    std::vector<std::unique_ptr<Stage>> _stages;
+};
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_PIPELINE_HH

@@ -5,32 +5,70 @@
 
 #include "core/report.hh"
 
+#include <utility>
+
 #include "core/efficiency.hh"
 
 namespace snic::core {
 
+hw::Platform
+snicSideFor(const std::string &workload_id)
+{
+    const auto probe = workloads::makeWorkload(workload_id);
+    return probe->supports(hw::Platform::SnicAccel)
+               ? hw::Platform::SnicAccel
+               : hw::Platform::SnicCpu;
+}
+
 NormalizedRow
-compareOnPlatforms(const std::string &workload_id,
-                   const ExperimentOptions &opts)
+makeNormalizedRow(const std::string &workload_id, RunResult host,
+                  RunResult snic)
 {
     NormalizedRow row;
     row.workloadId = workload_id;
-
-    const auto probe = workloads::makeWorkload(workload_id);
-    const hw::Platform snic_side =
-        probe->supports(hw::Platform::SnicAccel)
-            ? hw::Platform::SnicAccel
-            : hw::Platform::SnicCpu;
-
-    row.host = runExperiment(workload_id, hw::Platform::HostCpu, opts);
-    row.snic = runExperiment(workload_id, snic_side, opts);
-
+    row.host = std::move(host);
+    row.snic = std::move(snic);
     if (row.host.maxGbps > 0.0)
         row.throughputRatio = row.snic.maxGbps / row.host.maxGbps;
     if (row.host.p99Us > 0.0)
         row.p99Ratio = row.snic.p99Us / row.host.p99Us;
     row.efficiencyRatio = normalizedEfficiency(row.snic, row.host);
     return row;
+}
+
+NormalizedRow
+compareOnPlatforms(const std::string &workload_id,
+                   const ExperimentOptions &opts)
+{
+    const hw::Platform snic_side = snicSideFor(workload_id);
+    RunResult host =
+        runExperiment(workload_id, hw::Platform::HostCpu, opts);
+    RunResult snic = runExperiment(workload_id, snic_side, opts);
+    return makeNormalizedRow(workload_id, std::move(host),
+                             std::move(snic));
+}
+
+std::vector<NormalizedRow>
+compareOnPlatforms(const std::vector<std::string> &ids,
+                   ExperimentRunner &runner,
+                   const ExperimentOptions &opts)
+{
+    std::vector<ExperimentCell> cells;
+    cells.reserve(ids.size() * 2);
+    for (const auto &id : ids) {
+        cells.push_back({id, hw::Platform::HostCpu, opts});
+        cells.push_back({id, snicSideFor(id), opts});
+    }
+    std::vector<RunResult> runs = runner.runCells(cells);
+
+    std::vector<NormalizedRow> rows;
+    rows.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        rows.push_back(makeNormalizedRow(ids[i],
+                                         std::move(runs[2 * i]),
+                                         std::move(runs[2 * i + 1])));
+    }
+    return rows;
 }
 
 std::string

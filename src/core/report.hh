@@ -8,9 +8,11 @@
 #define SNIC_CORE_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "core/calibration.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "stats/summary.hh"
 
 namespace snic::core {
@@ -33,6 +35,24 @@ struct NormalizedRow
  */
 NormalizedRow compareOnPlatforms(const std::string &workload_id,
                                  const ExperimentOptions &opts = {});
+
+/** The SNIC-side platform of a Fig. 4 bar group (SA when Table 3
+ *  marks the accelerator, SC otherwise). */
+hw::Platform snicSideFor(const std::string &workload_id);
+
+/** Form the ratio row from an already-measured platform pair. */
+NormalizedRow makeNormalizedRow(const std::string &workload_id,
+                                RunResult host, RunResult snic);
+
+/**
+ * Batch version of compareOnPlatforms: all (workload x platform)
+ * cells of @p ids fan out across @p runner as one sweep; rows come
+ * back in input order, bitwise identical to the serial loop.
+ */
+std::vector<NormalizedRow>
+compareOnPlatforms(const std::vector<std::string> &ids,
+                   ExperimentRunner &runner,
+                   const ExperimentOptions &opts = {});
 
 /** Append @p row to a Fig. 4-style table with paper bands. */
 void addFig4Row(stats::Table &table, const NormalizedRow &row);

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ExperimentRunner implementation.
+ */
+
+#include "core/runner.hh"
+
+#include <algorithm>
+
+namespace snic::core {
+
+ExperimentRunner::ExperimentRunner(unsigned workers)
+{
+    if (workers == 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        // The caller participates, so spawn one fewer thread.
+        workers = hc > 1 ? hc - 1 : 0;
+    }
+    _threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mutex);
+        _stop = true;
+    }
+    _workCv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ExperimentRunner::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(_mutex);
+    for (;;) {
+        _workCv.wait(lk, [this] { return _stop || !_tasks.empty(); });
+        if (_tasks.empty()) {
+            if (_stop)
+                return;
+            continue;
+        }
+        auto task = std::move(_tasks.front());
+        _tasks.pop_front();
+        lk.unlock();
+        task();
+        lk.lock();
+        if (--_inFlight == 0)
+            _idleCv.notify_all();
+    }
+}
+
+void
+ExperimentRunner::parallelFor(std::size_t n,
+                              const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (_threads.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lk(_mutex);
+    _inFlight += n;
+    for (std::size_t i = 0; i < n; ++i)
+        _tasks.emplace_back([&fn, i] { fn(i); });
+    lk.unlock();
+    _workCv.notify_all();
+
+    // The caller helps drain the queue, then waits for stragglers.
+    lk.lock();
+    while (!_tasks.empty()) {
+        auto task = std::move(_tasks.front());
+        _tasks.pop_front();
+        lk.unlock();
+        task();
+        lk.lock();
+        if (--_inFlight == 0)
+            _idleCv.notify_all();
+    }
+    _idleCv.wait(lk, [this] { return _inFlight == 0; });
+}
+
+std::vector<RunResult>
+ExperimentRunner::runCells(const std::vector<ExperimentCell> &cells)
+{
+    return map(cells.size(), [&](std::size_t i) {
+        const ExperimentCell &c = cells[i];
+        return runExperiment(c.workloadId, c.platform, c.opts);
+    });
+}
+
+std::vector<Measurement>
+ExperimentRunner::measureCells(const std::vector<RateCell> &cells)
+{
+    return map(cells.size(), [&](std::size_t i) {
+        const RateCell &c = cells[i];
+        return measureAtRate(c.workloadId, c.platform, c.gbps, c.opts);
+    });
+}
+
+} // namespace snic::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ExperimentRunner: a thread-pool driver that executes independent
+ * experiment cells concurrently.
+ *
+ * Every figure and table of the study is a sweep of independent
+ * (workload x platform x load-point) cells, each of which builds its
+ * own Simulation + Testbed (one DES per cell, no shared mutable
+ * state). The runner is therefore a plain parallel map: cell i's
+ * result lands in slot i, and because each cell is seeded by its own
+ * options, results are bitwise identical to a serial run regardless
+ * of worker count or scheduling order.
+ */
+
+#ifndef SNIC_CORE_RUNNER_HH
+#define SNIC_CORE_RUNNER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace snic::core {
+
+/** One (workload x platform x options) cell of a sweep. */
+struct ExperimentCell
+{
+    std::string workloadId;
+    hw::Platform platform = hw::Platform::HostCpu;
+    ExperimentOptions opts;
+};
+
+/** One fixed-rate measurement cell (Fig. 5-style sweeps). */
+struct RateCell
+{
+    std::string workloadId;
+    hw::Platform platform = hw::Platform::HostCpu;
+    double gbps = 0.0;
+    ExperimentOptions opts;
+};
+
+/**
+ * A fixed pool of worker threads executing sweep cells.
+ *
+ * The calling thread participates in draining the task queue, so a
+ * runner with N workers applies N+1 threads to a batch. parallelFor
+ * is not reentrant: tasks must not themselves call into the runner.
+ * Tasks must not throw (simulation errors abort the process).
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param workers worker-thread count; 0 picks the hardware
+     *        concurrency (minus the participating caller).
+     */
+    explicit ExperimentRunner(unsigned workers = 0);
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    /** Worker threads (excluding the participating caller). */
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(_threads.size());
+    }
+
+    /** Run @p fn(i) for every i in [0, n), blocking until done. */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Parallel map preserving input order. */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn fn) -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        std::vector<decltype(fn(std::size_t{}))> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** runExperiment over every cell; results indexed like cells. */
+    std::vector<RunResult>
+    runCells(const std::vector<ExperimentCell> &cells);
+
+    /** measureAtRate over every cell; results indexed like cells. */
+    std::vector<Measurement>
+    measureCells(const std::vector<RateCell> &cells);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _threads;
+    std::mutex _mutex;
+    std::condition_variable _workCv;  ///< workers: tasks available
+    std::condition_variable _idleCv;  ///< caller: batch finished
+    std::deque<std::function<void()>> _tasks;
+    std::size_t _inFlight = 0;  ///< queued + running tasks
+    bool _stop = false;
+};
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_RUNNER_HH

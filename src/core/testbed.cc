@@ -1,6 +1,7 @@
 /**
  * @file
- * Testbed implementation.
+ * Testbed implementation: hardware assembly, pipeline wiring, and
+ * the measurement windows.
  */
 
 #include "core/testbed.hh"
@@ -43,14 +44,26 @@ Testbed::Testbed(const TestbedConfig &config)
         *_sim, "downlink", hw::specs::lineRateGbps,
         sim::usToTicks(1.0));
 
-    // Wire: uplink -> eSwitch -> serving CPU sink.
+    // Assemble the stage pipeline over the hardware.
+    const PipelineContext ctx{*_sim,     *_server,
+                              *_workload, *_stack,
+                              servingCpu(), config.platform,
+                              /*epochStart=*/0};
+    // The conversion to the privately-inherited EgressSink must
+    // happen here, inside the class's own scope.
+    EgressSink &sink_self = *this;
+    _pipeline = std::make_unique<Pipeline>(ctx, *_downLink, sink_self);
+
+    // Wire: uplink -> eSwitch -> pipeline front.
     _server->eswitch().setClassifier(
         [platform = config.platform](const net::Packet &) {
             return platform == hw::Platform::HostCpu
                        ? hw::SteerTarget::HostCpu
                        : hw::SteerTarget::SnicCpu;
         });
-    auto sink = [this](const net::Packet &pkt) { handleRequest(pkt); };
+    auto sink = [this](const net::Packet &pkt) {
+        _pipeline->inject(pkt);
+    };
     _server->eswitch().connectHostCpu(sink);
     _server->eswitch().connectSnicCpu(sink);
     _upLink->connect([this](const net::Packet &pkt) {
@@ -59,7 +72,7 @@ Testbed::Testbed(const TestbedConfig &config)
 
     // Response delivery closes the latency measurement.
     _downLink->connect([this](const net::Packet &pkt) {
-        if (pkt.createdAt < _epochStart)
+        if (pkt.createdAt < _pipeline->epoch())
             return;
         const sim::Tick rtt =
             _sim->now() - pkt.createdAt +
@@ -116,95 +129,48 @@ Testbed::resetDatapath()
 }
 
 void
-Testbed::handleRequest(const net::Packet &pkt)
+Testbed::beginWindow()
 {
-    if (pkt.createdAt < _epochStart)
-        return;  // stale leftover from a previous window
-    const workloads::Spec &spec = _workload->spec();
-    workloads::RequestPlan plan =
-        _workload->plan(pkt.sizeBytes, _config.platform, _sim->rng());
-
-    alg::WorkCounters cpu_work = plan.cpuWork;
-    const bool network = spec.drive == workloads::Drive::Network;
-    if (network && !spec.dataPlaneOffload) {
-        cpu_work += _stack->rxWork(pkt.sizeBytes);
-        if (plan.responseBytes > 0)
-            cpu_work += _stack->txWork(plan.responseBytes);
-    }
-
-    if (spec.dataPlaneOffload && cpu_work.empty()) {
-        // eSwitch-forwarded packet: the CPU never runs; respond
-        // straight off the data plane.
-        finishRequest(pkt, plan);
-        return;
-    }
-
-    const hw::AccelKind accel_kind = spec.accel;
-    servingCpu().submit(
-        cpu_work, pkt.flowHash,
-        [this, pkt, accel_kind, plan = std::move(plan)]() mutable {
-            if (pkt.createdAt < _epochStart) {
-                // Stale leftover: do not occupy the accelerator in
-                // the new measurement window.
-                finishRequest(pkt, plan);
-                return;
-            }
-            if (!plan.accelWork.empty()) {
-                _server->accel(accel_kind).submit(
-                    plan.accelWork, pkt.flowHash,
-                    [this, pkt, plan]() { finishRequest(pkt, plan); });
-            } else {
-                finishRequest(pkt, plan);
-            }
-        });
+    _pipeline->setEpoch(_sim->now());
+    _pipeline->resetStats();
+    _recording = false;
+    _latency.reset();
+    _completed = 0;
+    _generatedInWindow = 0;
+    _bytesServed = 0.0;
+    _goodputBytes = 0.0;
+    _wireBytes = 0.0;
+    resetDatapath();
 }
 
 void
-Testbed::finishRequest(const net::Packet &pkt,
-                       const workloads::RequestPlan &plan)
+Testbed::onStale()
 {
-    if (pkt.createdAt < _epochStart) {
-        if (_closedLoopActive && _inFlight > 0)
-            --_inFlight;
+    if (_closedLoopActive && _inFlight > 0)
+        --_inFlight;
+}
+
+void
+Testbed::onServed(const net::Packet &pkt,
+                  const workloads::RequestPlan &plan)
+{
+    if (!_recording)
         return;
-    }
-    const workloads::Spec &spec = _workload->spec();
+    _bytesServed += pkt.sizeBytes;
+    _goodputBytes += std::max<double>(pkt.sizeBytes,
+                                      plan.responseBytes);
+    _wireBytes += static_cast<double>(pkt.sizeBytes) +
+                  plan.responseBytes;
+    ++_generatedInWindow;
+    if (_servedSeries)
+        _servedSeries->add(_sim->now(), pkt.sizeBytes);
+}
+
+void
+Testbed::onTerminal(sim::Tick latency)
+{
     if (_recording) {
-        _bytesServed += pkt.sizeBytes;
-        _goodputBytes += std::max<double>(pkt.sizeBytes,
-                                          plan.responseBytes);
-        _wireBytes += static_cast<double>(pkt.sizeBytes) +
-                      plan.responseBytes;
-        ++_generatedInWindow;
-        if (_servedSeries)
-            _servedSeries->add(_sim->now(), pkt.sizeBytes);
-    }
-
-    double extra_ns = plan.extraLatencyNs;
-    const bool network = spec.drive == workloads::Drive::Network;
-    if (network && !spec.dataPlaneOffload) {
-        extra_ns += sim::ticksToNs(
-            _stack->fixedLatency(_config.platform));
-    }
-
-    if (plan.responseBytes > 0) {
-        net::Packet response;
-        response.id = pkt.id;
-        response.sizeBytes = plan.responseBytes;
-        response.proto = pkt.proto;
-        response.createdAt = pkt.createdAt;
-        response.flowHash = pkt.flowHash;
-        response.extraNs = extra_ns;
-        _downLink->send(response);
-        return;
-    }
-
-    // No response traffic (IDS sinks, local crypto): latency is the
-    // processing completion itself.
-    const sim::Tick lat = _sim->now() - pkt.createdAt +
-                          sim::nsToTicks(extra_ns);
-    if (_recording) {
-        _latency.record(lat);
+        _latency.record(latency);
         ++_completed;
     }
     if (_closedLoopActive) {
@@ -224,7 +190,7 @@ Testbed::issueClosedLoopJob()
     job.sizeBytes = _workload->spec().sizes.sample(_sim->rng());
     job.createdAt = _sim->now();
     job.flowHash = _sim->rng().next();
-    handleRequest(job);
+    _pipeline->inject(job);
 }
 
 Measurement
@@ -241,6 +207,7 @@ Testbed::collect(sim::Tick warmup, sim::Tick window,
     m.achievedGbps = _bytesServed * 8.0 / secs / 1e9;
     m.goodputGbps = _goodputBytes * 8.0 / secs / 1e9;
     m.achievedRps = static_cast<double>(_completed) / secs;
+    m.stageStats = _pipeline->snapshot();
     return m;
 }
 
@@ -248,16 +215,8 @@ Measurement
 Testbed::measure(double gbps, sim::Tick warmup, sim::Tick window)
 {
     const workloads::Spec &spec = _workload->spec();
-    _epochStart = _sim->now();
-    _recording = false;
-    _latency.reset();
-    _completed = 0;
-    _generatedInWindow = 0;
-    _bytesServed = 0.0;
-    _goodputBytes = 0.0;
-    _wireBytes = 0.0;
+    beginWindow();
     _closedLoopActive = false;
-    resetDatapath();
 
     const sim::Tick start = _sim->now();
     const sim::Tick window_start = start + warmup;
@@ -288,15 +247,7 @@ Measurement
 Testbed::measureClosedLoop(unsigned depth, sim::Tick warmup,
                            sim::Tick window)
 {
-    _epochStart = _sim->now();
-    _recording = false;
-    _latency.reset();
-    _completed = 0;
-    _generatedInWindow = 0;
-    _bytesServed = 0.0;
-    _goodputBytes = 0.0;
-    _wireBytes = 0.0;
-    resetDatapath();
+    beginWindow();
 
     _closedLoopActive = true;
     _targetDepth = depth;
@@ -325,15 +276,8 @@ Testbed::replaySchedule(const std::vector<double> &rates_gbps,
 {
     if (_workload->spec().drive != workloads::Drive::Network)
         sim::fatal("Testbed::replaySchedule requires a network drive");
-    _epochStart = _sim->now();
-    _recording = false;
-    _latency.reset();
-    _completed = 0;
-    _generatedInWindow = 0;
-    _bytesServed = 0.0;
-    _goodputBytes = 0.0;
-    _wireBytes = 0.0;
-    resetDatapath();
+    beginWindow();
+    _closedLoopActive = false;
     _servedSeries = std::make_unique<stats::TimeSeries>(bin);
 
     const sim::Tick start = _sim->now();
@@ -384,7 +328,7 @@ Testbed::scheduleLocalJob(double jobs_per_sec, sim::Tick until)
     job.sizeBytes = _workload->spec().sizes.sample(_sim->rng());
     job.createdAt = _sim->now();
     job.flowHash = _sim->rng().next();
-    handleRequest(job);
+    _pipeline->inject(job);
 
     const double gap_sec =
         _sim->rng().exponential(1.0 / jobs_per_sec);

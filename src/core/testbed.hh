@@ -5,10 +5,16 @@
  * measurement behind every figure and table in the study.
  *
  * Request path (network drives):
- *   TrafficGen -> 100 GbE Link -> eSwitch -> [PCIe if host] ->
- *   stack RX work + app work on the serving CPU ->
- *   [accelerator job] -> response serialization on the down Link ->
+ *   TrafficGen -> 100 GbE Link -> eSwitch ->
+ *   IngressStage -> StackStage -> AppStage -> AcceleratorStage ->
+ *   EgressStage -> response serialization on the down Link ->
  *   latency sample.
+ *
+ * The Testbed is an *assembler*: it builds the hardware, wires the
+ * stage pipeline (core/pipeline.hh) per TestbedConfig, and owns the
+ * measurement state (windows, recording, closed-loop driver). The
+ * datapath itself lives in the stages, so experiment variants swap
+ * stages instead of forking this class.
  *
  * Local drives (Cryptography, fio) replace the ingress path with a
  * local job generator (open loop) or an iodepth-style closed loop.
@@ -20,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "core/pipeline.hh"
 #include "hw/server.hh"
 #include "net/link.hh"
 #include "net/traffic_gen.hh"
@@ -59,6 +66,9 @@ struct Measurement
     /** Served bytes per bin during replaySchedule (Fig. 7's measured
      *  rate-over-time series); empty for plain measurements. */
     std::vector<double> servedGbpsSeries;
+    /** Per-stage flow/queue/latency stats for the window (pipeline
+     *  order: ingress, stack, app, accelerator, egress). */
+    std::vector<StageSnapshot> stageStats;
 
     double p99Us() const { return sim::ticksToUs(latency.p99()); }
     double p50Us() const { return sim::ticksToUs(latency.p50()); }
@@ -68,11 +78,11 @@ struct Measurement
 /**
  * The assembled testbed.
  */
-class Testbed
+class Testbed : private EgressSink
 {
   public:
     explicit Testbed(const TestbedConfig &config);
-    ~Testbed();
+    ~Testbed() override;
 
     /**
      * Open-loop measurement: offer @p gbps of traffic (or jobs) for
@@ -107,6 +117,8 @@ class Testbed
     hw::Platform platform() const { return _config.platform; }
     sim::Simulation &sim() { return *_sim; }
     const power::ServerPowerModel &power() const { return *_power; }
+    /** The assembled stage chain (stats, stage inspection). */
+    const Pipeline &pipeline() const { return *_pipeline; }
 
   private:
     TestbedConfig _config;
@@ -118,11 +130,11 @@ class Testbed
     std::unique_ptr<net::TrafficGen> _gen;
     std::unique_ptr<workloads::Workload> _workload;
     std::unique_ptr<stack::StackModel> _stack;
+    std::unique_ptr<Pipeline> _pipeline;
 
-    // Live measurement state. _epochStart guards against requests
-    // left in flight by a previous measurement window: anything
-    // created before it is dropped unrecorded.
-    sim::Tick _epochStart = 0;
+    // Live measurement state. The pipeline's epoch guards against
+    // requests left in flight by a previous measurement window:
+    // anything created before it is dropped unrecorded.
     bool _recording = false;
     stats::Histogram _latency;
     std::uint64_t _completed = 0;
@@ -139,9 +151,12 @@ class Testbed
     bool _closedLoopActive = false;
     std::uint64_t _jobSeq = 0;
 
-    void handleRequest(const net::Packet &pkt);
-    void finishRequest(const net::Packet &pkt,
-                       const workloads::RequestPlan &plan);
+    // EgressSink: completions leaving the pipeline.
+    void onStale() override;
+    void onServed(const net::Packet &pkt,
+                  const workloads::RequestPlan &plan) override;
+    void onTerminal(sim::Tick latency) override;
+
     void issueClosedLoopJob();
     void startLocalGenerator(double gbps, sim::Tick until);
     void scheduleLocalJob(double jobs_per_sec, sim::Tick until);
@@ -150,6 +165,10 @@ class Testbed
 
     /** The CPU platform that serves this config. */
     hw::ExecutionPlatform &servingCpu();
+
+    /** Start a fresh measurement window: advance the epoch, clear
+     *  the recorders and per-stage stats. */
+    void beginWindow();
 
     /** Drain queues and clear link/PCIe backlog between windows. */
     void resetDatapath();

@@ -30,14 +30,18 @@ findCapacity(Testbed &testbed, const ExperimentOptions &opts)
     const double est_rps = testbed.estimateCapacityRps();
     const double est_gbps = est_rps * mean_bytes * 8.0 / 1e9;
 
-    double offered =
-        std::min(est_gbps * 1.35, hw::specs::lineRateGbps);
+    double offered = opts.initialOfferedGbps > 0.0
+                         ? std::min(opts.initialOfferedGbps,
+                                    hw::specs::lineRateGbps)
+                         : std::min(est_gbps * 1.35,
+                                    hw::specs::lineRateGbps);
     Capacity best;
 
     for (int attempt = 0; attempt < 5; ++attempt) {
         const sim::Tick window = windowFor(est_rps, opts);
         const Measurement m =
             testbed.measure(offered, opts.warmup, window);
+        ++best.attempts;
         best.gbps = std::max(best.gbps, m.goodputGbps);
         best.requestGbps = std::max(best.requestGbps, m.achievedGbps);
         best.rps = std::max(best.rps, m.achievedRps);
@@ -45,6 +49,7 @@ findCapacity(Testbed &testbed, const ExperimentOptions &opts)
         // itself is the limit: done.
         if (m.achievedGbps < 0.93 * offered ||
             offered >= hw::specs::lineRateGbps * 0.999) {
+            best.saturated = true;
             break;
         }
         offered = std::min(offered * 1.7, hw::specs::lineRateGbps);

@@ -22,6 +22,12 @@ struct Capacity
     double gbps = 0.0;         ///< goodput units (figures)
     double requestGbps = 0.0;  ///< request-byte units (search/load)
     double rps = 0.0;
+    /** Measurement windows the search ran (> 1 means the first
+     *  offer did not saturate and the search escalated). */
+    int attempts = 0;
+    /** True when the final window confirmed saturation (achieved
+     *  clearly below offered) or the wire itself was the limit. */
+    bool saturated = false;
 };
 
 /**

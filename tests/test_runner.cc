@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the ExperimentRunner thread pool: parallel sweeps must be
+ * bitwise identical to serial runs, and the map/parallelFor plumbing
+ * must preserve ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/report.hh"
+#include "core/runner.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+void
+expectBitwiseEqual(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workloadId, b.workloadId);
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.maxGbps, b.maxGbps);
+    EXPECT_EQ(a.maxRps, b.maxRps);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    EXPECT_EQ(a.p50Us, b.p50Us);
+    EXPECT_EQ(a.meanUs, b.meanUs);
+    EXPECT_EQ(a.energy.avgServerWatts, b.energy.avgServerWatts);
+    EXPECT_EQ(a.energy.avgSnicWatts, b.energy.avgSnicWatts);
+    EXPECT_EQ(a.energy.serverJoules, b.energy.serverJoules);
+    EXPECT_EQ(a.efficiencyRpsPerJoule, b.efficiencyRpsPerJoule);
+    EXPECT_EQ(a.efficiencyGbpsPerWatt, b.efficiencyGbpsPerWatt);
+}
+
+} // anonymous namespace
+
+TEST(Runner, ParallelIsBitwiseIdenticalToSerial)
+{
+    // Three workload families x both platform sides. Every cell
+    // builds its own Simulation, so worker count and scheduling
+    // order must not leak into any measured number.
+    ExperimentOptions opts;
+    opts.targetSamples = 4000;
+    std::vector<ExperimentCell> cells;
+    for (const char *id : {"micro_udp_1024", "redis_a", "rem_exe"}) {
+        cells.push_back({id, hw::Platform::HostCpu, opts});
+        cells.push_back({id, snicSideFor(id), opts});
+    }
+
+    std::vector<RunResult> serial;
+    for (const auto &c : cells)
+        serial.push_back(runExperiment(c.workloadId, c.platform,
+                                       c.opts));
+
+    ExperimentRunner runner(4);
+    const auto parallel = runner.runCells(cells);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(cells[i].workloadId);
+        expectBitwiseEqual(serial[i], parallel[i]);
+    }
+}
+
+TEST(Runner, MeasureCellsMatchesSerialMeasureAtRate)
+{
+    ExperimentOptions opts;
+    opts.targetSamples = 3000;
+    const std::vector<RateCell> cells{
+        {"micro_udp_1024", hw::Platform::HostCpu, 5.0, opts},
+        {"micro_udp_1024", hw::Platform::SnicCpu, 2.0, opts},
+        {"rem_exe_mtu", hw::Platform::SnicAccel, 10.0, opts},
+    };
+    ExperimentRunner runner(3);
+    const auto par = runner.measureCells(cells);
+    ASSERT_EQ(par.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto ser =
+            measureAtRate(cells[i].workloadId, cells[i].platform,
+                          cells[i].gbps, cells[i].opts);
+        EXPECT_EQ(par[i].completed, ser.completed);
+        EXPECT_EQ(par[i].achievedGbps, ser.achievedGbps);
+        EXPECT_EQ(par[i].latency.p99(), ser.latency.p99());
+    }
+}
+
+TEST(Runner, MapPreservesInputOrder)
+{
+    ExperimentRunner runner(4);
+    const auto out = runner.map(
+        257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Runner, MoreWorkersThanTasks)
+{
+    ExperimentRunner runner(8);
+    std::atomic<int> hits{0};
+    runner.parallelFor(3, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(Runner, ZeroTasksReturnsImmediately)
+{
+    ExperimentRunner runner(2);
+    runner.parallelFor(0, [](std::size_t) { FAIL(); });
+    const auto out =
+        runner.map(0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Runner, SerialFallbackWithoutWorkers)
+{
+    // workers=0 asks for hardware concurrency minus the caller; on a
+    // single-core machine that is zero threads and the caller runs
+    // the batch inline. Either way the batch must complete.
+    ExperimentRunner runner;
+    std::atomic<int> hits{0};
+    runner.parallelFor(16, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(Runner, ReusableAcrossBatches)
+{
+    ExperimentRunner runner(2);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> hits{0};
+        runner.parallelFor(10, [&](std::size_t) { ++hits; });
+        EXPECT_EQ(hits.load(), 10);
+    }
+}
