@@ -4,11 +4,17 @@
  * trace (or a flat rate) and watch throughput and power over time —
  * the Sec. 5.1 experiment as an interactive tool.
  *
- *   ./trace_replay [workload_id] [host|snic_cpu|snic_accel]
+ *   ./trace_replay [workload_id] [host|snic_cpu|snic_accel] [--trace[=N]]
+ *
+ * --trace[=N] additionally records per-request stage timelines and
+ * prints the N (default 5) slowest requests' stage breakdowns plus a
+ * dominant-stage p99 attribution line. Tracing is opt-in and does
+ * not perturb any measured number.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -19,17 +25,61 @@
 using namespace snic;
 using namespace snic::core;
 
+namespace {
+
+/** Print one traced request's stage-by-stage timeline. */
+void
+printTimeline(const RequestTrace &t, std::size_t rank,
+              const std::vector<StageSnapshot> &stages)
+{
+    const sim::Tick t0 = t.enteredPipeline();
+    std::printf("#%zu: request %llu, %llu B — latency %.2f us "
+                "(pipeline %.2f us, entered t=%.3f ms)\n",
+                rank, static_cast<unsigned long long>(t.requestId),
+                static_cast<unsigned long long>(t.sizeBytes),
+                sim::ticksToUs(t.latency()),
+                sim::ticksToUs(t.totalResidency()),
+                sim::ticksToSec(t0) * 1e3);
+    std::printf("    %-12s %10s %10s %10s %8s\n", "stage",
+                "enter us", "exit us", "resid us", "q@entry");
+    for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+        const TraceHop &hop = t.hops[i];
+        const char *name = hop.stage < stages.size()
+                               ? stages[hop.stage].name.c_str()
+                               : "?";
+        std::printf("    %-12s %10.3f %10.3f %10.3f %8llu\n", name,
+                    sim::ticksToUs(hop.entered - t0),
+                    sim::ticksToUs(hop.exited - t0),
+                    sim::ticksToUs(hop.residency()),
+                    static_cast<unsigned long long>(
+                        hop.queueDepthAtEntry));
+    }
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
-    const std::string id = argc > 1 ? argv[1] : "rem_exe_mtu";
+    std::string id = "rem_exe_mtu";
     hw::Platform platform = hw::Platform::HostCpu;
-    if (argc > 2) {
-        if (!std::strcmp(argv[2], "snic_cpu"))
+    std::size_t trace_slowest = 0;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--trace", 7)) {
+            trace_slowest = 5;
+            if (argv[i][7] == '=')
+                trace_slowest = std::strtoul(argv[i] + 8, nullptr, 10);
+            continue;
+        }
+        if (++positional == 1) {
+            id = argv[i];
+        } else if (!std::strcmp(argv[i], "snic_cpu")) {
             platform = hw::Platform::SnicCpu;
-        else if (!std::strcmp(argv[2], "snic_accel"))
+        } else if (!std::strcmp(argv[i], "snic_accel")) {
             platform = hw::Platform::SnicAccel;
+        }
     }
 
     sim::Random rng(42);
@@ -60,6 +110,8 @@ main(int argc, char **argv)
     cfg.platform = platform;
     cfg.seed = 42;
     Testbed bed(cfg);
+    if (trace_slowest > 0)
+        bed.enableTracing(trace_slowest);
     const auto m = bed.replaySchedule(rates, sim::msToTicks(2.0));
 
     std::printf("served %llu requests; avg throughput %.2f Gbps\n",
@@ -83,6 +135,29 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s.dropped),
                     static_cast<unsigned long long>(s.inFlight),
                     s.meanResidencyUs, s.p99ResidencyUs);
+    }
+
+    if (trace_slowest > 0) {
+        std::printf("\nslowest %zu of %llu traced requests:\n\n",
+                    m.slowestTraces.size(),
+                    static_cast<unsigned long long>(
+                        bed.tracer()->completed()));
+        for (std::size_t i = 0; i < m.slowestTraces.size(); ++i)
+            printTimeline(m.slowestTraces[i], i + 1, m.stageStats);
+
+        const TailAttribution tail = attributeTail(m.slowestTraces);
+        if (tail.stage >= 0) {
+            const char *name =
+                static_cast<std::size_t>(tail.stage) <
+                        m.stageStats.size()
+                    ? m.stageStats[tail.stage].name.c_str()
+                    : "?";
+            std::printf("\np99 attribution: stage '%s' dominates the "
+                        "tail — %.1f%% of slowest-request residency, "
+                        "largest hop in %zu/%zu timelines\n",
+                        name, tail.share * 100.0, tail.dominated,
+                        tail.traces);
+        }
     }
     return 0;
 }

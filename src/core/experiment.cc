@@ -38,6 +38,8 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
     config.seed = opts.seed;
     config.hostCoresOverride = opts.hostCoresOverride;
     Testbed testbed(config);
+    if (opts.traceSlowest > 0)
+        testbed.enableTracing(opts.traceSlowest);
 
     if (isClosedLoop(testbed.workload())) {
         // Closed loop: capacity and latency come from one run.
@@ -51,6 +53,7 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
         r.p50Us = m.p50Us();
         r.meanUs = m.meanUs();
         r.energy = m.energy;
+        r.slowestTraces = m.slowestTraces;
     } else {
         const Capacity cap = findCapacity(testbed, opts);
         r.maxRps = cap.rps;
@@ -72,6 +75,7 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
         r.p50Us = m.p50Us();
         r.meanUs = m.meanUs();
         r.energy = m.energy;
+        r.slowestTraces = m.slowestTraces;
     }
 
     r.efficiencyRpsPerJoule = efficiencyRpsPerJoule(r);
@@ -89,6 +93,8 @@ measureAtRate(const std::string &workload_id, hw::Platform platform,
     config.seed = opts.seed;
     config.hostCoresOverride = opts.hostCoresOverride;
     Testbed testbed(config);
+    if (opts.traceSlowest > 0)
+        testbed.enableTracing(opts.traceSlowest);
 
     // Window sized by the *offered* rate.
     const double mean_bytes =

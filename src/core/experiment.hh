@@ -32,6 +32,10 @@ struct ExperimentOptions
     sim::Tick warmup = sim::msToTicks(2.0);
     sim::Tick minWindow = sim::msToTicks(10.0);
     sim::Tick maxWindow = sim::secToTicks(5.0);
+    /** Keep the N slowest per-request stage timelines of each
+     *  measurement window (0 = tracing off, the default; see
+     *  Measurement::slowestTraces). */
+    std::size_t traceSlowest = 0;
 };
 
 /** The headline numbers of one (workload, platform) cell. */
@@ -50,6 +54,10 @@ struct RunResult
     power::EnergyReading energy;       ///< at the load point
     double efficiencyRpsPerJoule = 0.0;
     double efficiencyGbpsPerWatt = 0.0;
+
+    /** Slowest request timelines of the load-point window (empty
+     *  unless ExperimentOptions::traceSlowest > 0). */
+    std::vector<RequestTrace> slowestTraces;
 };
 
 /**

@@ -20,8 +20,8 @@ Stage::snapshot() const
     s.forwarded = _stats.forwarded;
     s.dropped = _stats.dropped;
     s.inFlight = _stats.inFlight();
-    s.meanResidencyUs = sim::ticksToUs(
-        static_cast<sim::Tick>(_stats.residency.mean()));
+    // Keep the mean in double: sub-tick means would truncate to 0.
+    s.meanResidencyUs = sim::ticksToUs(_stats.residency.mean());
     s.p99ResidencyUs = sim::ticksToUs(_stats.residency.p99());
     return s;
 }
@@ -146,6 +146,9 @@ Pipeline::Pipeline(const PipelineContext &ctx, net::Link &down_link,
     _stages.push_back(std::move(app));
     _stages.push_back(std::move(accel));
     _stages.push_back(std::move(egress));
+
+    for (std::size_t i = 0; i < _stages.size(); ++i)
+        _stages[i]->setIndex(static_cast<std::uint8_t>(i));
 }
 
 const Stage *

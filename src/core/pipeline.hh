@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace.hh"
 #include "hw/server.hh"
 #include "net/link.hh"
 #include "stack/stack_model.hh"
@@ -42,6 +43,9 @@ struct PipelineRequest
     workloads::RequestPlan plan;
     /** Tick the request entered the current stage (residency). */
     sim::Tick stageEntered = 0;
+    /** Per-request timeline, owned by the TraceRecorder; null when
+     *  tracing is disabled (the null-object fast path). */
+    RequestTrace *trace = nullptr;
 };
 
 /** Per-stage flow and residency statistics. */
@@ -99,6 +103,8 @@ struct PipelineContext
     /** Requests created before this tick are stale leftovers from a
      *  previous measurement window and must not be recorded. */
     sim::Tick epochStart = 0;
+    /** Per-request trace recorder; null disables tracing entirely. */
+    TraceRecorder *tracer = nullptr;
 };
 
 /**
@@ -147,10 +153,19 @@ class Stage
     const StageStats &stats() const { return _stats; }
     void resetStats() { _stats.reset(); }
 
+    /** Position in the pipeline's stage vector (trace hop ids). */
+    void setIndex(std::uint8_t index) { _index = index; }
+    std::uint8_t index() const { return _index; }
+
     /** Entry point: stat accounting, then process(). */
     void
     accept(PipelineRequest &&req)
     {
+        if (req.trace) {
+            // Queue depth *before* this request is counted in.
+            req.trace->enter(_index, _ctx.sim.now(),
+                             _stats.inFlight());
+        }
         ++_stats.accepted;
         req.stageEntered = _ctx.sim.now();
         process(std::move(req));
@@ -162,13 +177,18 @@ class Stage
   protected:
     virtual void process(PipelineRequest &&req) = 0;
 
-    /** Complete this stage and hand to the next (if any). */
+    /** Complete this stage and hand to the next (if any); leaving
+     *  the last stage completes the request's trace. */
     void
     forward(PipelineRequest &&req)
     {
         exit_(req);
-        if (_next)
+        if (_next) {
             _next->accept(std::move(req));
+            return;
+        }
+        if (req.trace)
+            _ctx.tracer->complete(req.trace, _ctx.sim.now());
     }
 
     /** Complete this stage and hand to an explicit target (bypass). */
@@ -179,20 +199,31 @@ class Stage
         to.accept(std::move(req));
     }
 
-    /** Discard a stale request. */
-    void drop(PipelineRequest &&) { ++_stats.dropped; }
+    /** Discard a stale request (its timeline with it). */
+    void
+    drop(PipelineRequest &&req)
+    {
+        ++_stats.dropped;
+        if (req.trace) {
+            _ctx.tracer->discard(req.trace);
+            req.trace = nullptr;
+        }
+    }
 
     PipelineContext &_ctx;
 
   private:
     void
-    exit_(const PipelineRequest &req)
+    exit_(PipelineRequest &req)
     {
+        if (req.trace)
+            req.trace->exitStage(_ctx.sim.now());
         _stats.residency.record(_ctx.sim.now() - req.stageEntered);
         ++_stats.forwarded;
     }
 
     std::string _name;
+    std::uint8_t _index = 0;
     Stage *_next = nullptr;
     StageStats _stats;
 };
@@ -300,11 +331,18 @@ class Pipeline
     {
         PipelineRequest req;
         req.packet = pkt;
+        if (_ctx.tracer)
+            req.trace = _ctx.tracer->begin(pkt);
         _stages.front()->accept(std::move(req));
     }
 
     PipelineContext &context() { return _ctx; }
     const PipelineContext &context() const { return _ctx; }
+
+    /** Attach (or detach with nullptr) a per-request trace recorder.
+     *  Only requests injected while attached are traced. */
+    void setTracer(TraceRecorder *tracer) { _ctx.tracer = tracer; }
+    TraceRecorder *tracer() const { return _ctx.tracer; }
 
     /** Begin a new measurement epoch at @p now. */
     void setEpoch(sim::Tick now) { _ctx.epochStart = now; }

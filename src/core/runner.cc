@@ -33,6 +33,27 @@ ExperimentRunner::~ExperimentRunner()
 }
 
 void
+ExperimentRunner::runTask(std::function<void()> &&task,
+                          std::unique_lock<std::mutex> &lk)
+{
+    // The decrement must happen even when the task throws, or the
+    // caller waits on _idleCv forever; the first exception is kept
+    // for parallelFor to rethrow once the batch has drained.
+    lk.unlock();
+    std::exception_ptr error;
+    try {
+        task();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    lk.lock();
+    if (error && !_firstError)
+        _firstError = std::move(error);
+    if (--_inFlight == 0)
+        _idleCv.notify_all();
+}
+
+void
 ExperimentRunner::workerLoop()
 {
     std::unique_lock<std::mutex> lk(_mutex);
@@ -45,11 +66,7 @@ ExperimentRunner::workerLoop()
         }
         auto task = std::move(_tasks.front());
         _tasks.pop_front();
-        lk.unlock();
-        task();
-        lk.lock();
-        if (--_inFlight == 0)
-            _idleCv.notify_all();
+        runTask(std::move(task), lk);
     }
 }
 
@@ -77,13 +94,18 @@ ExperimentRunner::parallelFor(std::size_t n,
     while (!_tasks.empty()) {
         auto task = std::move(_tasks.front());
         _tasks.pop_front();
-        lk.unlock();
-        task();
-        lk.lock();
-        if (--_inFlight == 0)
-            _idleCv.notify_all();
+        runTask(std::move(task), lk);
     }
     _idleCv.wait(lk, [this] { return _inFlight == 0; });
+
+    // Propagate the first task failure once the batch has fully
+    // drained (the runner stays reusable afterwards).
+    if (_firstError) {
+        std::exception_ptr error = std::move(_firstError);
+        _firstError = nullptr;
+        lk.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 std::vector<RunResult>

@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,7 +50,9 @@ struct RateCell
  * The calling thread participates in draining the task queue, so a
  * runner with N workers applies N+1 threads to a batch. parallelFor
  * is not reentrant: tasks must not themselves call into the runner.
- * Tasks must not throw (simulation errors abort the process).
+ * A throwing task does not deadlock the batch: the remaining tasks
+ * still run, and the first exception is rethrown to the caller once
+ * the batch has drained (the runner stays reusable).
  */
 class ExperimentRunner
 {
@@ -71,7 +74,8 @@ class ExperimentRunner
         return static_cast<unsigned>(_threads.size());
     }
 
-    /** Run @p fn(i) for every i in [0, n), blocking until done. */
+    /** Run @p fn(i) for every i in [0, n), blocking until done.
+     *  Rethrows the first task exception after the batch drains. */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
@@ -96,12 +100,18 @@ class ExperimentRunner
   private:
     void workerLoop();
 
+    /** Run one task with @p lk held on entry and exit, keeping the
+     *  in-flight count exception-safe. */
+    void runTask(std::function<void()> &&task,
+                 std::unique_lock<std::mutex> &lk);
+
     std::vector<std::thread> _threads;
     std::mutex _mutex;
     std::condition_variable _workCv;  ///< workers: tasks available
     std::condition_variable _idleCv;  ///< caller: batch finished
     std::deque<std::function<void()>> _tasks;
     std::size_t _inFlight = 0;  ///< queued + running tasks
+    std::exception_ptr _firstError;  ///< first task failure of a batch
     bool _stop = false;
 };
 

@@ -119,6 +119,13 @@ Testbed::servingCpu()
 }
 
 void
+Testbed::enableTracing(std::size_t keepSlowest)
+{
+    _tracer = std::make_unique<TraceRecorder>(keepSlowest);
+    _pipeline->setTracer(_tracer.get());
+}
+
+void
 Testbed::resetDatapath()
 {
     servingCpu().drainAndReset();
@@ -133,6 +140,8 @@ Testbed::beginWindow()
 {
     _pipeline->setEpoch(_sim->now());
     _pipeline->resetStats();
+    if (_tracer)
+        _tracer->reset();
     _recording = false;
     _latency.reset();
     _completed = 0;
@@ -208,6 +217,8 @@ Testbed::collect(sim::Tick warmup, sim::Tick window,
     m.goodputGbps = _goodputBytes * 8.0 / secs / 1e9;
     m.achievedRps = static_cast<double>(_completed) / secs;
     m.stageStats = _pipeline->snapshot();
+    if (_tracer)
+        m.slowestTraces = _tracer->slowest();
     return m;
 }
 
@@ -230,6 +241,11 @@ Testbed::measure(double gbps, sim::Tick warmup, sim::Tick window)
     }
 
     _sim->runUntil(window_start);
+    if (_tracer) {
+        // Forget warmup-period timelines: kept traces describe the
+        // measured window, like the latency histogram.
+        _tracer->reset();
+    }
     _recording = true;
     power::EnergyMeter meter(*_server, *_power);
     meter.begin();
@@ -258,6 +274,8 @@ Testbed::measureClosedLoop(unsigned depth, sim::Tick warmup,
     const sim::Tick window_start = _sim->now() + warmup;
     const sim::Tick window_end = window_start + window;
     _sim->runUntil(window_start);
+    if (_tracer)
+        _tracer->reset();
     _recording = true;
     power::EnergyMeter meter(*_server, *_power);
     meter.begin();

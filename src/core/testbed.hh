@@ -69,6 +69,10 @@ struct Measurement
     /** Per-stage flow/queue/latency stats for the window (pipeline
      *  order: ingress, stack, app, accelerator, egress). */
     std::vector<StageSnapshot> stageStats;
+    /** Slowest completed request timelines (slowest first), empty
+     *  unless Testbed::enableTracing was called. Hop stage indices
+     *  address stageStats. */
+    std::vector<RequestTrace> slowestTraces;
 
     double p99Us() const { return sim::ticksToUs(latency.p99()); }
     double p50Us() const { return sim::ticksToUs(latency.p50()); }
@@ -112,6 +116,17 @@ class Testbed : private EgressSink
      */
     double estimateCapacityRps(int samples = 64);
 
+    /**
+     * Opt into per-request stage tracing: keep the @p keepSlowest
+     * slowest completed timelines of each measurement window in
+     * Measurement::slowestTraces. Must be called before the
+     * measurement; tracing adds no cost to untraced runs.
+     */
+    void enableTracing(std::size_t keepSlowest);
+
+    /** The attached recorder (null when tracing is disabled). */
+    const TraceRecorder *tracer() const { return _tracer.get(); }
+
     const workloads::Workload &workload() const { return *_workload; }
     hw::ServerModel &server() { return *_server; }
     hw::Platform platform() const { return _config.platform; }
@@ -131,6 +146,8 @@ class Testbed : private EgressSink
     std::unique_ptr<workloads::Workload> _workload;
     std::unique_ptr<stack::StackModel> _stack;
     std::unique_ptr<Pipeline> _pipeline;
+    /** Per-request trace recorder (allocated by enableTracing). */
+    std::unique_ptr<TraceRecorder> _tracer;
 
     // Live measurement state. The pipeline's epoch guards against
     // requests left in flight by a previous measurement window:

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * TraceRecorder implementation.
+ */
+
+#include "core/trace.hh"
+
+#include <algorithm>
+
+namespace snic::core {
+
+namespace {
+
+/** Min-heap comparator: the fastest kept trace sits at the front. */
+bool
+slowerThan(const RequestTrace &a, const RequestTrace &b)
+{
+    return a.latency() > b.latency();
+}
+
+} // anonymous namespace
+
+RequestTrace *
+TraceRecorder::begin(const net::Packet &pkt)
+{
+    RequestTrace *t;
+    std::uint32_t slot;
+    if (!_freeSlots.empty()) {
+        slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        t = _live[slot].get();
+        *t = RequestTrace();
+    } else {
+        slot = static_cast<std::uint32_t>(_live.size());
+        _live.push_back(std::make_unique<RequestTrace>());
+        t = _live.back().get();
+    }
+    t->_slot = slot;
+    t->requestId = pkt.id;
+    t->sizeBytes = pkt.sizeBytes;
+    t->createdAt = pkt.createdAt;
+    ++_begun;
+    return t;
+}
+
+void
+TraceRecorder::release(RequestTrace *trace)
+{
+    _freeSlots.push_back(trace->_slot);
+}
+
+void
+TraceRecorder::complete(RequestTrace *trace, sim::Tick now)
+{
+    trace->completedAt = now;
+    ++_completed;
+    if (_keep > 0) {
+        if (_kept.size() < _keep) {
+            _kept.push_back(*trace);
+            std::push_heap(_kept.begin(), _kept.end(), slowerThan);
+        } else if (trace->latency() > _kept.front().latency()) {
+            std::pop_heap(_kept.begin(), _kept.end(), slowerThan);
+            _kept.back() = *trace;
+            std::push_heap(_kept.begin(), _kept.end(), slowerThan);
+        }
+    }
+    release(trace);
+}
+
+void
+TraceRecorder::discard(RequestTrace *trace)
+{
+    release(trace);
+}
+
+void
+TraceRecorder::reset()
+{
+    _kept.clear();
+    _begun = 0;
+    _completed = 0;
+}
+
+std::vector<RequestTrace>
+TraceRecorder::slowest() const
+{
+    std::vector<RequestTrace> out = _kept;
+    std::sort(out.begin(), out.end(), [](const RequestTrace &a,
+                                         const RequestTrace &b) {
+        if (a.latency() != b.latency())
+            return a.latency() > b.latency();
+        return a.requestId < b.requestId;  // deterministic order
+    });
+    return out;
+}
+
+TailAttribution
+attributeTail(const std::vector<RequestTrace> &traces)
+{
+    TailAttribution out;
+    out.traces = traces.size();
+    if (traces.empty())
+        return out;
+
+    // Summed residency per pipeline stage index, plus a per-trace
+    // "largest hop" vote.
+    std::vector<double> residency;
+    std::vector<std::size_t> votes;
+    double total = 0.0;
+    for (const RequestTrace &t : traces) {
+        sim::Tick worst = 0;
+        std::size_t worst_stage = 0;
+        for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+            const TraceHop &hop = t.hops[i];
+            const std::size_t s = hop.stage;
+            if (s >= residency.size()) {
+                residency.resize(s + 1, 0.0);
+                votes.resize(s + 1, 0);
+            }
+            const sim::Tick r = hop.residency();
+            residency[s] += static_cast<double>(r);
+            total += static_cast<double>(r);
+            if (r >= worst) {
+                worst = r;
+                worst_stage = s;
+            }
+        }
+        if (t.hopCount)
+            ++votes[worst_stage];
+    }
+    if (residency.empty() || total <= 0.0)
+        return out;
+
+    const auto it = std::max_element(residency.begin(), residency.end());
+    const std::size_t stage =
+        static_cast<std::size_t>(it - residency.begin());
+    out.stage = static_cast<int>(stage);
+    out.share = *it / total;
+    out.dominated = votes[stage];
+    return out;
+}
+
+} // namespace snic::core

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Per-request stage tracing for tail-latency forensics.
+ *
+ * A per-stage residency histogram (StageStats) says which stage is
+ * slow *on average*; it cannot explain which stage made a specific
+ * slow request slow. The TraceRecorder fills that gap: when enabled,
+ * every request injected into the pipeline carries a RequestTrace —
+ * a compact record of stage entry/exit timestamps and the queue
+ * depth seen at each entry — and the recorder keeps the slowest-N
+ * completed timelines in a bounded min-heap. Reading those N
+ * timelines answers "which stage dominates the p99" directly,
+ * instead of by guess-and-rerun.
+ *
+ * Tracing is strictly opt-in. With no recorder attached the request
+ * carries a null trace pointer and every hook is a single untaken
+ * branch, so all measured numbers are bitwise identical to an
+ * untraced run (asserted in tests/test_pipeline.cc).
+ */
+
+#ifndef SNIC_CORE_TRACE_HH
+#define SNIC_CORE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace snic::core {
+
+/** One stage visit in a request's timeline. */
+struct TraceHop
+{
+    /** Index into the pipeline's stage vector (front == 0). */
+    std::uint8_t stage = 0;
+    sim::Tick entered = 0;
+    sim::Tick exited = 0;
+    /** Requests already inside the stage when this one entered. */
+    std::uint64_t queueDepthAtEntry = 0;
+
+    sim::Tick residency() const { return exited - entered; }
+};
+
+/**
+ * The timeline of one request through the pipeline. Fixed-capacity
+ * so recording never allocates on the datapath; the standard chain
+ * visits at most 5 stages (3 on the data-plane-offload bypass).
+ */
+struct RequestTrace
+{
+    static constexpr std::size_t maxHops = 8;
+
+    std::uint64_t requestId = 0;
+    std::uint64_t sizeBytes = 0;
+    /** Packet creation tick (includes pre-pipeline link time). */
+    sim::Tick createdAt = 0;
+    /** Tick the request left the last stage (0 while in flight). */
+    sim::Tick completedAt = 0;
+
+    std::array<TraceHop, maxHops> hops{};
+    std::uint8_t hopCount = 0;
+
+    /** Creation-to-pipeline-exit latency in ticks. */
+    sim::Tick latency() const { return completedAt - createdAt; }
+
+    /** Entry tick of the first stage (0 if never entered). */
+    sim::Tick
+    enteredPipeline() const
+    {
+        return hopCount ? hops[0].entered : 0;
+    }
+
+    /** Sum of per-stage residencies (== pipeline transit time). */
+    sim::Tick
+    totalResidency() const
+    {
+        sim::Tick sum = 0;
+        for (std::uint8_t i = 0; i < hopCount; ++i)
+            sum += hops[i].residency();
+        return sum;
+    }
+
+    void
+    enter(std::uint8_t stage, sim::Tick now, std::uint64_t depth)
+    {
+        if (hopCount >= maxHops)
+            return;
+        hops[hopCount].stage = stage;
+        hops[hopCount].entered = now;
+        hops[hopCount].exited = now;
+        hops[hopCount].queueDepthAtEntry = depth;
+        ++hopCount;
+    }
+
+    void
+    exitStage(sim::Tick now)
+    {
+        if (hopCount)
+            hops[hopCount - 1].exited = now;
+    }
+
+  private:
+    friend class TraceRecorder;
+    /** Slot in the recorder's live pool (recorder bookkeeping). */
+    std::uint32_t _slot = 0;
+};
+
+/** "Which stage dominates the tail" over a set of timelines. */
+struct TailAttribution
+{
+    /** Pipeline index of the stage with the largest residency share
+     *  across all traces (-1 when there are no traces). */
+    int stage = -1;
+    /** That stage's fraction of the summed residency. */
+    double share = 0.0;
+    /** Traces in which that stage is the single largest hop. */
+    std::size_t dominated = 0;
+    std::size_t traces = 0;
+};
+
+/** Aggregate the dominant stage over @p traces (typically the
+ *  recorder's slowest-N, i.e. the measured tail). */
+TailAttribution attributeTail(const std::vector<RequestTrace> &traces);
+
+/**
+ * Owns every live RequestTrace (a pooled registry, so traces of
+ * requests abandoned mid-flight are reclaimed with the recorder) and
+ * a bounded min-heap of the slowest completed timelines.
+ */
+class TraceRecorder
+{
+  public:
+    /** @param keep how many slowest completed traces to retain. */
+    explicit TraceRecorder(std::size_t keep = 8) : _keep(keep) {}
+
+    std::size_t keep() const { return _keep; }
+
+    /** Start tracing one injected request; the returned pointer
+     *  stays valid until complete()/discard() or clear(). */
+    RequestTrace *begin(const net::Packet &pkt);
+
+    /** The request left the pipeline at @p now: record the timeline
+     *  into the slowest-N heap (if it qualifies) and free the slot. */
+    void complete(RequestTrace *trace, sim::Tick now);
+
+    /** The request was dropped (stale): forget the timeline. */
+    void discard(RequestTrace *trace);
+
+    /** Forget completed timelines at a window boundary. Live slots
+     *  are kept: leftover in-flight requests still point into the
+     *  pool and will be discarded as stale by the stages. */
+    void reset();
+
+    /** Completed timelines, slowest first. */
+    std::vector<RequestTrace> slowest() const;
+
+    /** Requests traced (begun) since construction. */
+    std::uint64_t begun() const { return _begun; }
+
+    /** Requests whose completed timeline was considered. */
+    std::uint64_t completed() const { return _completed; }
+
+  private:
+    void release(RequestTrace *trace);
+
+    std::size_t _keep;
+    std::uint64_t _begun = 0;
+    std::uint64_t _completed = 0;
+
+    /** Live pool: slots are recycled through the free list. */
+    std::vector<std::unique_ptr<RequestTrace>> _live;
+    std::vector<std::uint32_t> _freeSlots;
+
+    /** Min-heap on latency: front is the fastest kept trace, the
+     *  one evicted when a slower timeline completes. */
+    std::vector<RequestTrace> _kept;
+};
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_TRACE_HH

@@ -66,6 +66,14 @@ ticksToUs(Tick t)
     return static_cast<double>(t) * 1e-6;
 }
 
+/** Fractional-tick overload: statistics (means) must not be
+ *  truncated to an integer Tick before conversion. */
+constexpr double
+ticksToUs(double t)
+{
+    return t * 1e-6;
+}
+
 /** @return @p t expressed in seconds. */
 constexpr double
 ticksToSec(Tick t)

@@ -5,6 +5,7 @@
 
 #include "stats/histogram.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -17,8 +18,11 @@ Histogram::Histogram(unsigned sub_bucket_bits)
       _subMask(_subCount - 1)
 {
     assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
-    // 64 magnitudes x sub-buckets covers the full uint64 range.
-    _buckets.assign((64 - _subBits + 1) * _subCount, 0);
+    // indexFor's largest index is reached at msb 63: magnitude
+    // (64 - subBits) times subCount, plus the sub-index (< subCount)
+    // and the linear-region offset (subCount) — so (66 - subBits) *
+    // subCount buckets cover the full uint64 range.
+    _buckets.assign((64 - _subBits + 2) * _subCount, 0);
 }
 
 std::size_t
@@ -113,8 +117,12 @@ Histogram::percentile(double q) const
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < _buckets.size(); ++i) {
         seen += _buckets[i];
-        if (seen >= target)
-            return valueFor(i);
+        if (seen >= target) {
+            // Bucket midpoints can overshoot the largest (or
+            // undershoot the smallest) recorded sample; never report
+            // a percentile outside the observed range.
+            return std::clamp(valueFor(i), _min, _max);
+        }
     }
     return _max;
 }

@@ -54,7 +54,9 @@ class Histogram
      * Value at quantile @p q in [0, 1]; e.g. 0.99 for p99.
      *
      * Returns the representative (midpoint) value of the bucket that
-     * contains the q-th sample; 0 when empty.
+     * contains the q-th sample, clamped to the observed [min, max]
+     * range (a reported p99 can never exceed the true maximum);
+     * 0 when empty.
      */
     std::uint64_t percentile(double q) const;
 

@@ -110,6 +110,51 @@ TEST(Histogram, MergeCombinesSamples)
     EXPECT_NEAR(static_cast<double>(a.percentile(0.75)), 10000.0, 100.0);
 }
 
+TEST(Histogram, TopMagnitudeValuesDoNotOverflowBuckets)
+{
+    // Regression: values whose msb is 63 (e.g. 1<<63, UINT64_MAX)
+    // used to index one magnitude past the allocated bucket array —
+    // an assert in debug builds, a silent OOB write in release.
+    Histogram h;
+    h.record(std::uint64_t(1) << 63);
+    h.record(~std::uint64_t(0));  // UINT64_MAX
+    for (unsigned k = 0; k < 64; ++k)
+        h.record(std::uint64_t(1) << k);
+    EXPECT_EQ(h.count(), 66u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), ~std::uint64_t(0));
+    EXPECT_EQ(h.percentile(1.0), ~std::uint64_t(0));
+    EXPECT_LE(h.percentile(0.999), ~std::uint64_t(0));
+
+    // Sub-bucket resolution extremes must hold the bound too.
+    for (unsigned bits : {1u, 7u, 16u}) {
+        Histogram g(bits);
+        g.record(~std::uint64_t(0));
+        EXPECT_EQ(g.count(), 1u) << "sub_bucket_bits=" << bits;
+        EXPECT_EQ(g.percentile(0.5), ~std::uint64_t(0));
+    }
+}
+
+TEST(Histogram, PercentileClampedToObservedRange)
+{
+    // A single-sample histogram must report that sample for every
+    // quantile — not the containing bucket's midpoint, which can
+    // exceed the true maximum.
+    Histogram h;
+    h.record(1000000);
+    EXPECT_EQ(h.percentile(0.25), 1000000u);
+    EXPECT_EQ(h.percentile(0.5), 1000000u);
+    EXPECT_EQ(h.p99(), 1000000u);
+
+    // Two near-identical large samples: the shared bucket's midpoint
+    // overshoots both; the clamp pins the answer inside [min, max].
+    Histogram g;
+    g.record((std::uint64_t(1) << 20) + 1);
+    g.record((std::uint64_t(1) << 20) + 3);
+    EXPECT_GE(g.percentile(0.01), g.min());
+    EXPECT_LE(g.p99(), g.max());
+}
+
 TEST(Histogram, ResetClearsEverything)
 {
     Histogram h;

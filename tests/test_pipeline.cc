@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/experiment.hh"
 #include "core/testbed.hh"
 
 using namespace snic;
@@ -140,4 +141,120 @@ TEST(Pipeline, StageLookupByName)
     ASSERT_NE(bed.pipeline().stage("app"), nullptr);
     EXPECT_EQ(bed.pipeline().stage("app")->name(), "app");
     EXPECT_EQ(bed.pipeline().stage("nonesuch"), nullptr);
+}
+
+TEST(Pipeline, TracedTimelinesAreConsistent)
+{
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    bed.enableTracing(8);
+    const auto m = bed.measure(5.0, sim::msToTicks(1.0),
+                               sim::msToTicks(10.0));
+    ASSERT_FALSE(m.slowestTraces.empty());
+    EXPECT_LE(m.slowestTraces.size(), 8u);
+
+    sim::Tick prev_latency = ~sim::Tick(0);
+    for (const auto &t : m.slowestTraces) {
+        // Slowest-first ordering.
+        EXPECT_LE(t.latency(), prev_latency);
+        prev_latency = t.latency();
+
+        // The standard chain visits all five stages, front first.
+        ASSERT_EQ(t.hopCount, 5u);
+        EXPECT_EQ(t.hops[0].stage, 0u);
+        EXPECT_GE(t.hops[0].entered, t.createdAt);
+
+        // Timestamps are monotone and handoffs are gapless: a stage
+        // is entered exactly when the previous one is exited.
+        for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+            EXPECT_LE(t.hops[i].entered, t.hops[i].exited);
+            if (i > 0) {
+                EXPECT_GT(t.hops[i].stage, t.hops[i - 1].stage);
+                EXPECT_EQ(t.hops[i].entered, t.hops[i - 1].exited);
+            }
+        }
+        const TraceHop &last = t.hops[t.hopCount - 1];
+        EXPECT_EQ(t.completedAt, last.exited);
+
+        // Per-stage residencies sum exactly to the pipeline transit
+        // time; end-to-end latency adds only the pre-pipeline link
+        // hop (serialization + 1 us propagation + eSwitch).
+        EXPECT_EQ(t.totalResidency(), last.exited - t.hops[0].entered);
+        EXPECT_GE(t.latency(), t.totalResidency());
+        EXPECT_LE(t.latency() - t.totalResidency(),
+                  sim::usToTicks(10.0));
+    }
+
+    // The tail of this CPU-bound workload is attributed to the app
+    // stage (CPU queueing + service).
+    const TailAttribution tail = attributeTail(m.slowestTraces);
+    ASSERT_GE(tail.stage, 0);
+    ASSERT_LT(static_cast<std::size_t>(tail.stage),
+              m.stageStats.size());
+    EXPECT_EQ(m.stageStats[tail.stage].name, "app");
+    EXPECT_GT(tail.share, 0.5);
+    EXPECT_EQ(tail.traces, m.slowestTraces.size());
+    EXPECT_GT(tail.dominated, 0u);
+}
+
+TEST(Pipeline, DisabledTracingIsBitwiseIdenticalToTraced)
+{
+    // The null-object path: a traced run must not perturb a single
+    // measured number relative to an untraced run of the same seed.
+    auto plain = makeBed("micro_udp_1024", hw::Platform::HostCpu, 9);
+    auto traced = makeBed("micro_udp_1024", hw::Platform::HostCpu, 9);
+    traced.enableTracing(16);
+
+    const auto a = plain.measure(8.0, sim::msToTicks(1.0),
+                                 sim::msToTicks(10.0));
+    const auto b = traced.measure(8.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(10.0));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.achievedGbps, b.achievedGbps);
+    EXPECT_EQ(a.goodputGbps, b.goodputGbps);
+    EXPECT_EQ(a.achievedRps, b.achievedRps);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.min(), b.latency.min());
+    EXPECT_EQ(a.latency.max(), b.latency.max());
+    EXPECT_EQ(a.latency.p50(), b.latency.p50());
+    EXPECT_EQ(a.latency.p99(), b.latency.p99());
+    EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+
+    EXPECT_TRUE(a.slowestTraces.empty());
+    ASSERT_FALSE(b.slowestTraces.empty());
+    // The kept tail matches the histogram's view of the maximum.
+    EXPECT_EQ(b.slowestTraces.size(), 16u);
+}
+
+TEST(Pipeline, TracedClosedLoopAndRepeatedWindows)
+{
+    auto bed = makeBed("fio_read", hw::Platform::HostCpu);
+    bed.enableTracing(4);
+    const auto first = bed.measureClosedLoop(4, sim::msToTicks(1.0),
+                                             sim::msToTicks(10.0));
+    ASSERT_FALSE(first.slowestTraces.empty());
+    EXPECT_LE(first.slowestTraces.size(), 4u);
+
+    // A second window reports its own slowest set, not leftovers.
+    const auto second = bed.measureClosedLoop(4, sim::msToTicks(1.0),
+                                              sim::msToTicks(10.0));
+    ASSERT_FALSE(second.slowestTraces.empty());
+    for (const auto &t : second.slowestTraces)
+        EXPECT_GE(t.enteredPipeline(), bed.pipeline().epoch());
+}
+
+TEST(Pipeline, TraceSlowestOptionFlowsThroughExperiment)
+{
+    ExperimentOptions opts;
+    opts.targetSamples = 2000;
+    opts.traceSlowest = 3;
+    const auto m = measureAtRate("micro_udp_1024",
+                                 hw::Platform::HostCpu, 5.0, opts);
+    EXPECT_FALSE(m.slowestTraces.empty());
+    EXPECT_LE(m.slowestTraces.size(), 3u);
+
+    const auto r = runExperiment("micro_udp_1024",
+                                 hw::Platform::HostCpu, opts);
+    EXPECT_FALSE(r.slowestTraces.empty());
+    EXPECT_LE(r.slowestTraces.size(), 3u);
 }

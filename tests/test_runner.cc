@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "core/report.hh"
 #include "core/runner.hh"
@@ -132,4 +133,57 @@ TEST(Runner, ReusableAcrossBatches)
         runner.parallelFor(10, [&](std::size_t) { ++hits; });
         EXPECT_EQ(hits.load(), 10);
     }
+}
+
+TEST(Runner, ThrowingTaskPropagatesWithoutDeadlock)
+{
+    // Regression: a throwing task used to skip the _inFlight
+    // decrement, leaving the caller waiting on _idleCv forever. The
+    // batch must drain, the first exception must reach the caller,
+    // and the runner must stay usable.
+    ExperimentRunner runner(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(runner.parallelFor(64,
+                                    [&](std::size_t i) {
+                                        ++ran;
+                                        if (i == 13) {
+                                            throw std::runtime_error(
+                                                "cell 13 failed");
+                                        }
+                                    }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 64);
+
+    std::atomic<int> hits{0};
+    runner.parallelFor(8, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(Runner, ThrowingTaskMessageSurvivesPropagation)
+{
+    ExperimentRunner runner(2);
+    try {
+        runner.parallelFor(4, [](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("first failure");
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first failure");
+    }
+}
+
+TEST(Runner, EveryTaskThrowingStillDrains)
+{
+    ExperimentRunner runner(4);
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_THROW(runner.parallelFor(32,
+                                        [](std::size_t) {
+                                            throw std::runtime_error(
+                                                "all fail");
+                                        }),
+                     std::runtime_error);
+    }
+    // A clean batch afterwards sees no stale error.
+    runner.parallelFor(4, [](std::size_t) {});
 }
