@@ -2,8 +2,15 @@
  * @file
  * Fleet provisioning under an SLO: the datacenter operator's
  * question. Given a function, a p99 budget and an aggregate demand,
- * size a SNIC fleet and a plain-NIC fleet, and compare their 5-year
- * TCO (the Sec. 5.2 analysis as a reusable tool).
+ * size a SNIC fleet and a plain-NIC fleet *by simulation* — racks of
+ * growing size behind a flow-hash (ECMP-style) ToR — and compare
+ * their 5-year TCO (the Sec. 5.2 analysis as a reusable tool).
+ *
+ * The interesting output is the sim-vs-arithmetic delta: dividing
+ * demand by per-server capacity assumes perfectly balanced, loss-
+ * free scale-out, while the simulated rack pays for dispatch skew
+ * and per-member queueing, and sometimes needs the extra server the
+ * division hides.
  *
  *   ./slo_provisioning [workload_id] [demand_gbps] [p99_us]
  */
@@ -13,78 +20,188 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/rack.hh"
 #include "core/report.hh"
-#include "core/runner.hh"
 #include "core/tco.hh"
+#include "core/throughput_search.hh"
 #include "sim/logging.hh"
+#include "workloads/registry.hh"
 
 using namespace snic;
 using namespace snic::core;
+
+namespace {
+
+/** Per-side provisioning outcome. */
+struct SidePlan
+{
+    double perServerGbps = 0.0;   ///< measured 1-server capacity
+    double perServerP99Us = 0.0;  ///< at the operating load factor
+    double wattsPerServer = 0.0;
+    FleetSizing fleet;
+    bool perServerMeets = false;
+};
+
+SidePlan
+planSide(const std::string &id, hw::Platform platform,
+         double demand_gbps, double p99_budget,
+         const ExperimentOptions &opts)
+{
+    SidePlan plan;
+
+    // Per-server capacity, measured on a 1-server pass-through rack
+    // (bitwise the standalone testbed, same basis as the rack sims).
+    RackConfig base;
+    base.workloadId = id;
+    base.platform = platform;
+    base.servers = 1;
+    base.policy = net::DispatchPolicy::PassThrough;
+    Rack probe(base);
+    const Capacity cap = findCapacity(probe, opts);
+    plan.perServerGbps = cap.requestGbps;
+
+    const double spec_lf =
+        probe.server(0).workload().spec().operatingLoadFactor;
+    const double lf = spec_lf > 0.0 ? spec_lf : opts.loadFactor;
+    const RackMeasurement at_load = probe.measure(
+        lf * cap.requestGbps, opts.warmup,
+        windowFor(cap.rps, opts));
+    plan.perServerP99Us = at_load.aggregate.p99Us();
+    plan.wattsPerServer = at_load.aggregate.energy.avgServerWatts;
+    plan.perServerMeets = plan.perServerP99Us <= p99_budget;
+
+    // Fleet sizing by simulation: racks of growing size behind a
+    // flow-hash ToR (the ECMP-style dispatch a real rack gets).
+    base.policy = net::DispatchPolicy::FlowHash;
+    base.servers = 0;  // overridden per candidate
+    plan.fleet = sizeFleetBySimulation(base, demand_gbps, p99_budget,
+                                       plan.perServerGbps, opts);
+    return plan;
+}
+
+void
+printSide(const char *label, const SidePlan &p)
+{
+    std::printf("%s per-server %.2f Gbps, p99 %.1f us at load "
+                "(%s SLO)\n",
+                label, p.perServerGbps, p.perServerP99Us,
+                p.perServerMeets ? "meets" : "VIOLATES");
+    const FleetSizing &f = p.fleet;
+    std::printf("  arithmetic fleet: %u servers "
+                "(ceil of demand / capacity)\n",
+                f.arithmeticServers);
+    if (f.met) {
+        std::printf("  simulated fleet:  %u servers -> %.1f Gbps "
+                    "served, p99 %.1f us, dispatch imbalance %.2f\n",
+                    f.simulatedServers, f.achievedGbps, f.p99Us,
+                    f.imbalance);
+        const int delta = f.deltaServers();
+        if (delta > 0) {
+            std::printf("  sim-vs-ceil delta: +%d server%s — the "
+                        "headroom the division hides\n",
+                        delta, delta == 1 ? "" : "s");
+        } else if (delta < 0) {
+            std::printf("  sim-vs-ceil delta: %d — statistical "
+                        "multiplexing beats the per-server ceiling\n",
+                        delta);
+        } else {
+            std::printf("  sim-vs-ceil delta: 0 — arithmetic was "
+                        "honest for this demand\n");
+        }
+    } else {
+        std::printf("  simulated fleet:  no size in [%u, %u] met "
+                    "the SLO (last try: %.1f Gbps, p99 %.1f us)\n",
+                    f.arithmeticServers > 1 ? f.arithmeticServers - 1
+                                            : 1,
+                    f.arithmeticServers + 8, f.achievedGbps, f.p99Us);
+    }
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
-    const std::string id = argc > 1 ? argv[1] : "comp_app";
+    const std::string id = argc > 1 ? argv[1] : "rem_exe_mtu";
     const double demand_gbps = argc > 2 ? std::atof(argv[2]) : 400.0;
     const double p99_budget = argc > 3 ? std::atof(argv[3]) : 500.0;
 
+    {
+        const auto w = workloads::makeWorkload(id);
+        if (w->spec().drive != workloads::Drive::Network) {
+            std::printf("workload '%s' is not network-driven; rack "
+                        "provisioning needs packets to dispatch "
+                        "(try rem_exe_mtu, redis_a, ovs_fwd, ...)\n",
+                        id.c_str());
+            return 1;
+        }
+    }
+
     std::printf("Provisioning '%s' for %.0f Gbps aggregate demand "
-                "under a %.0f us p99 budget\n\n",
+                "under a %.0f us p99 budget\n"
+                "(fleets sized by rack simulation, flow-hash "
+                "dispatch)\n\n",
                 id.c_str(), demand_gbps, p99_budget);
 
     ExperimentOptions opts;
-    opts.targetSamples = 8000;
-    // Measure both fleet candidates concurrently.
-    ExperimentRunner runner;
-    const NormalizedRow row =
-        compareOnPlatforms({id}, runner, opts).front();
+    opts.targetSamples = 6000;
+    opts.warmup = sim::msToTicks(1.0);
+    opts.minWindow = sim::msToTicks(2.0);
 
-    const bool snic_meets = row.snic.p99Us <= p99_budget;
-    const bool host_meets = row.host.p99Us <= p99_budget;
-    std::printf("per-server: SNIC side %.2f Gbps at p99 %.1f us "
-                "(%s SLO); host side %.2f Gbps at p99 %.1f us "
-                "(%s SLO)\n\n",
-                row.snic.maxGbps, row.snic.p99Us,
-                snic_meets ? "meets" : "VIOLATES", row.host.maxGbps,
-                row.host.p99Us, host_meets ? "meets" : "VIOLATES");
+    const SidePlan snic =
+        planSide(id, snicSideFor(id), demand_gbps, p99_budget, opts);
+    const SidePlan host = planSide(id, hw::Platform::HostCpu,
+                                   demand_gbps, p99_budget, opts);
 
-    if (!snic_meets && !host_meets) {
-        std::printf("Neither platform meets the SLO at full load; "
-                    "relax the budget or shard the demand.\n");
+    printSide("SNIC side:", snic);
+    std::printf("\n");
+    printSide("NIC (host) side:", host);
+    std::printf("\n");
+
+    if (!snic.fleet.met && !host.fleet.met) {
+        std::printf("Neither fleet meets the SLO in the searched "
+                    "range; relax the budget or shard the demand.\n");
         return 1;
     }
 
-    const auto servers_for = [&](double per_server_gbps) {
-        return static_cast<unsigned>(
-            std::ceil(demand_gbps / per_server_gbps));
-    };
     TcoInputs in;
-    const unsigned snic_servers = servers_for(row.snic.maxGbps);
-    const unsigned nic_servers = servers_for(row.host.maxGbps);
-    const auto snic_col = computeColumn(
-        snic_servers, row.snic.energy.avgServerWatts, true, in);
-    const auto nic_col = computeColumn(
-        nic_servers, row.host.energy.avgServerWatts, false, in);
+    const unsigned snic_servers = snic.fleet.met
+                                      ? snic.fleet.simulatedServers
+                                      : snic.fleet.arithmeticServers;
+    const unsigned nic_servers = host.fleet.met
+                                     ? host.fleet.simulatedServers
+                                     : host.fleet.arithmeticServers;
+    const auto snic_col =
+        computeColumn(snic_servers, snic.wattsPerServer, true, in);
+    const auto nic_col =
+        computeColumn(nic_servers, host.wattsPerServer, false, in);
 
     std::printf("SNIC fleet: %3u servers x %6.1f W -> 5y TCO "
                 "$%9.0f%s\n",
                 snic_servers, snic_col.powerPerServerW,
                 snic_col.fiveYearTcoUsd,
-                snic_meets ? "" : "  [SLO violation]");
+                snic.fleet.met ? "" : "  [SLO violation]");
     std::printf("NIC fleet:  %3u servers x %6.1f W -> 5y TCO "
                 "$%9.0f%s\n",
                 nic_servers, nic_col.powerPerServerW,
                 nic_col.fiveYearTcoUsd,
-                host_meets ? "" : "  [SLO violation]");
+                host.fleet.met ? "" : "  [SLO violation]");
 
-    if (snic_meets && host_meets) {
+    if (snic.fleet.met && host.fleet.met) {
         const double savings =
             (nic_col.fiveYearTcoUsd - snic_col.fiveYearTcoUsd) /
             nic_col.fiveYearTcoUsd;
-        std::printf("\nSNIC saves %.1f%% of the 5-year TCO for this "
-                    "function and SLO.\n", savings * 100.0);
-    } else if (snic_meets) {
+        if (savings >= 0.0) {
+            std::printf("\nSNIC saves %.1f%% of the 5-year TCO for "
+                        "this function and SLO.\n", savings * 100.0);
+        } else {
+            std::printf("\nSNIC COSTS %.1f%% more 5-year TCO for "
+                        "this function and SLO — the fleet the SLO "
+                        "forces is larger than the power saving "
+                        "repays.\n", -savings * 100.0);
+        }
+    } else if (snic.fleet.met) {
         std::printf("\nOnly the SNIC fleet meets the SLO.\n");
     } else {
         std::printf("\nOnly the NIC (host) fleet meets the SLO — "

@@ -178,4 +178,13 @@ Pipeline::snapshot() const
     return out;
 }
 
+std::uint64_t
+Pipeline::inFlight() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &s : _stages)
+        sum += s->stats().inFlight();
+    return sum;
+}
+
 } // namespace snic::core

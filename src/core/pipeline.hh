@@ -58,11 +58,16 @@ struct StageStats
      *  service for the asynchronous stages, ~0 for synchronous ones. */
     stats::Histogram residency;
 
-    /** Requests currently inside the stage (its queue depth). */
+    /** Requests currently inside the stage (its queue depth).
+     *  Saturating: a leftover request accepted before resetStats()
+     *  but leaving after it exits on the fresh counters, and a
+     *  plain subtraction would wrap — poisoning any consumer that
+     *  compares depths (the rack's least-queue probe). */
     std::uint64_t
     inFlight() const
     {
-        return accepted - forwarded - dropped;
+        const std::uint64_t left = forwarded + dropped;
+        return accepted > left ? accepted - left : 0;
     }
 
     void
@@ -203,7 +208,8 @@ class Stage
     void
     drop(PipelineRequest &&req)
     {
-        ++_stats.dropped;
+        if (req.stageEntered >= _ctx.epochStart)
+            ++_stats.dropped;
         if (req.trace) {
             _ctx.tracer->discard(req.trace);
             req.trace = nullptr;
@@ -218,6 +224,16 @@ class Stage
     {
         if (req.trace)
             req.trace->exitStage(_ctx.sim.now());
+        // A request that entered this stage before the current
+        // window's epoch was counted into the *previous* window's
+        // (since reset) stats. Counting its exit here would leave
+        // the flow counters unbalanced — forwarded with no matching
+        // accepted — which reads as negative queue depth and
+        // poisons inFlight() consumers (the rack's least-queue
+        // probe). Its residency also straddles the reset, so skip
+        // both.
+        if (req.stageEntered < _ctx.epochStart)
+            return;
         _stats.residency.record(_ctx.sim.now() - req.stageEntered);
         ++_stats.forwarded;
     }
@@ -360,6 +376,10 @@ class Pipeline
 
     /** Snapshot every stage, front to back. */
     std::vector<StageSnapshot> snapshot() const;
+
+    /** Requests currently inside the chain, summed over stages — the
+     *  queue-depth signal the rack's load-aware dispatch observes. */
+    std::uint64_t inFlight() const;
 
   private:
     PipelineContext _ctx;

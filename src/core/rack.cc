@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Rack implementation: shared-timeline assembly, the aggregate
+ * measurement window, and simulation-based fleet sizing.
+ */
+
+#include "core/rack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/throughput_search.hh"
+#include "hw/specs.hh"
+#include "sim/logging.hh"
+
+namespace snic::core {
+
+Rack::Rack(const RackConfig &config)
+    : _config(config)
+{
+    if (config.servers == 0)
+        sim::fatal("Rack: needs at least one server");
+
+    _sim = std::make_unique<sim::Simulation>(config.seed);
+    _members.reserve(config.servers);
+    for (unsigned i = 0; i < config.servers; ++i) {
+        TestbedConfig tc;
+        tc.workloadId = config.workloadId;
+        tc.platform = config.platform;
+        tc.seed = config.seed;
+        tc.hostCoresOverride = config.hostCoresOverride;
+        _members.push_back(std::make_unique<Testbed>(tc, *_sim));
+    }
+
+    const workloads::Spec &spec = _members.front()->workload().spec();
+    if (spec.drive != workloads::Drive::Network) {
+        sim::fatal("Rack: workload %s is not network-driven — rack "
+                   "composition dispatches packets, not local jobs",
+                   config.workloadId.c_str());
+    }
+
+    net::TorConfig tor;
+    tor.policy = config.policy;
+    tor.members = config.servers;
+    tor.seed = config.seed;
+    tor.flowCount = config.flowCount;
+    tor.hotFlowFraction = config.hotFlowFraction;
+    tor.forwardNs = hw::specs::torLatencyNs;
+    _tor = std::make_unique<net::TorSwitch>(tor);
+    // Queue-aware policies compare members by outstanding work in
+    // ticks: the uplink serialization backlog (where incast piles
+    // up) plus every request the member still holds — propagating on
+    // the wire or inside the pipeline — priced at one mean request's
+    // wire time each. Counting the on-the-wire packets matters: a
+    // probe that only sees the pipeline lags dispatch by the link
+    // latency, and during that window a least-queue policy herds
+    // consecutive packets onto the same "idle" member.
+    const double mean_bytes = spec.sizes.meanBytes();
+    const sim::Tick mean_wire_ticks = sim::secToTicks(
+        mean_bytes * 8.0 / (hw::specs::lineRateGbps * 1e9));
+    _tor->setLoadProbe([this, mean_wire_ticks](unsigned m) {
+        const Testbed &bed = *_members[m];
+        const std::uint64_t held =
+            bed._upLink->inFlight() + bed.pipeline().inFlight();
+        return bed._upLink->backlog() + held * mean_wire_ticks;
+    });
+
+    // The single aggregate client: every emitted packet takes one
+    // dispatch decision, then the chosen member's own uplink (where
+    // serialization backlog — incast — accumulates).
+    _gen = std::make_unique<net::TrafficGen>(
+        *_sim, "rack-client",
+        net::PacketSink([this](const net::Packet &pkt) {
+            const unsigned m = _tor->pick(pkt);
+            net::Packet p = pkt;
+            p.extraNs += _tor->forwardNs();
+            _members[m]->upLink().send(p);
+        }),
+        spec.sizes, protoFor(spec.stack));
+}
+
+Rack::~Rack() = default;
+
+double
+Rack::meanRequestBytes() const
+{
+    return _members.front()->workload().spec().sizes.meanBytes();
+}
+
+double
+Rack::estimateCapacityRps(int samples)
+{
+    double sum = 0.0;
+    for (auto &m : _members)
+        sum += m->estimateCapacityRps(samples);
+    return sum;
+}
+
+RackMeasurement
+Rack::measure(double aggregate_gbps, sim::Tick warmup,
+              sim::Tick window)
+{
+    // Mirror Testbed::measure step-for-step so a 1-server
+    // PassThrough rack replays the identical event sequence.
+    for (auto &m : _members) {
+        m->beginWindow();
+        m->_closedLoopActive = false;
+    }
+    _tor->resetStats();
+
+    const sim::Tick start = _sim->now();
+    const sim::Tick window_start = start + warmup;
+    const sim::Tick window_end = window_start + window;
+
+    _gen->startAtRate(aggregate_gbps, window_end);
+    _sim->runUntil(window_start);
+    for (auto &m : _members) {
+        if (m->_tracer)
+            m->_tracer->reset();
+        m->_recording = true;
+    }
+    std::vector<power::EnergyMeter> meters;
+    meters.reserve(_members.size());
+    for (auto &m : _members) {
+        meters.emplace_back(*m->_server, *m->_power);
+        meters.back().begin();
+    }
+    _sim->runUntil(window_end);
+    for (auto &m : _members)
+        m->_recording = false;
+    _gen->stop();
+
+    RackMeasurement rm;
+    rm.perServer.reserve(_members.size());
+    const double per_server_offered =
+        aggregate_gbps / static_cast<double>(_members.size());
+    for (std::size_t i = 0; i < _members.size(); ++i) {
+        Testbed &m = *_members[i];
+        Measurement mi = m.collect(warmup, window, per_server_offered);
+        mi.energy = meters[i].end(m._wireBytes / 2.0);
+        rm.perServer.push_back(std::move(mi));
+    }
+    rm.dispatched = _tor->dispatched();
+    rm.imbalance = _tor->imbalance();
+
+    // Merge the member windows into the rack-aggregate view.
+    Measurement &agg = rm.aggregate;
+    agg.offeredGbps = aggregate_gbps;
+    const std::size_t n = rm.perServer.size();
+    for (const Measurement &mi : rm.perServer) {
+        agg.achievedGbps += mi.achievedGbps;
+        agg.goodputGbps += mi.goodputGbps;
+        agg.achievedRps += mi.achievedRps;
+        agg.completed += mi.completed;
+        agg.generated += mi.generated;
+        agg.latency.merge(mi.latency);
+        agg.energy.avgServerWatts += mi.energy.avgServerWatts;
+        agg.energy.avgSnicWatts += mi.energy.avgSnicWatts;
+        agg.energy.serverJoules += mi.energy.serverJoules;
+        agg.energy.nicGbps += mi.energy.nicGbps;
+        agg.energy.hostUtil += mi.energy.hostUtil / n;
+        agg.energy.snicCpuUtil += mi.energy.snicCpuUtil / n;
+        agg.energy.accelUtil += mi.energy.accelUtil / n;
+    }
+    agg.energy.seconds = rm.perServer.front().energy.seconds;
+    return rm;
+}
+
+FleetSizing
+sizeFleetBySimulation(const RackConfig &base, double demand_gbps,
+                      double p99_budget_us, double per_server_gbps,
+                      const ExperimentOptions &opts)
+{
+    FleetSizing out;
+    if (demand_gbps <= 0.0 || per_server_gbps <= 0.0)
+        return out;
+    out.arithmeticServers = static_cast<unsigned>(
+        std::ceil(demand_gbps / per_server_gbps));
+
+    const unsigned lo =
+        out.arithmeticServers > 1 ? out.arithmeticServers - 1 : 1;
+    const unsigned hi = out.arithmeticServers + 8;
+    for (unsigned m = lo; m <= hi; ++m) {
+        // Skip sizes whose wires cannot physically carry the demand.
+        if (demand_gbps > m * hw::specs::lineRateGbps * 0.98)
+            continue;
+        RackConfig cfg = base;
+        cfg.servers = m;
+        Rack rack(cfg);
+        const double rps = net::gbpsToBytesPerSec(demand_gbps) /
+                           rack.meanRequestBytes();
+        const sim::Tick window = windowFor(rps, opts);
+        const RackMeasurement rm =
+            rack.measure(demand_gbps, opts.warmup, window);
+        out.simulatedServers = m;
+        out.achievedGbps = rm.aggregate.achievedGbps;
+        out.p99Us = rm.aggregate.p99Us();
+        out.imbalance = rm.imbalance;
+        if (out.achievedGbps >= 0.97 * demand_gbps &&
+            out.p99Us <= p99_budget_us) {
+            out.met = true;
+            return out;
+        }
+    }
+    // Nothing in range met the SLO: report the last attempt but keep
+    // simulatedServers meaningful only alongside met == false.
+    out.met = false;
+    return out;
+}
+
+RackRunResult
+runRackExperiment(const RackConfig &config,
+                  const ExperimentOptions &opts)
+{
+    RackRunResult r;
+    r.config = config;
+
+    Rack rack(config);
+    if (opts.traceSlowest > 0) {
+        for (unsigned i = 0; i < rack.servers(); ++i)
+            rack.server(i).enableTracing(opts.traceSlowest);
+    }
+
+    const Capacity cap = findCapacity(rack, opts);
+    r.maxGbps = cap.gbps;
+    r.maxRps = cap.rps;
+    r.searchAttempts = cap.attempts;
+    r.saturated = cap.saturated;
+
+    const double spec_lf =
+        rack.server(0).workload().spec().operatingLoadFactor;
+    const double rate =
+        cap.requestGbps * (spec_lf > 0.0 ? spec_lf : opts.loadFactor);
+    const sim::Tick window = windowFor(cap.rps, opts);
+    RackMeasurement rm = rack.measure(rate, opts.warmup, window);
+    r.p99Us = rm.aggregate.p99Us();
+    r.p50Us = rm.aggregate.p50Us();
+    r.meanUs = rm.aggregate.meanUs();
+    r.rackWatts = rm.aggregate.energy.avgServerWatts;
+    r.imbalance = rm.imbalance;
+    r.loadPoint = std::move(rm);
+    return r;
+}
+
+} // namespace snic::core

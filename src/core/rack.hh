@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Rack-level composition: M independent server pipelines behind a
+ * top-of-rack dispatch model, driven by ONE aggregate traffic
+ * generator on ONE simulation timeline.
+ *
+ * The paper's TCO punchline (Table 5, Sec. 6) is about fleets — how
+ * many SNIC-augmented vs NIC-only servers serve a demand under an
+ * SLO — but ceil(demand / per-server-capacity) arithmetic hides the
+ * cross-server imbalance a real dispatcher produces. Here the
+ * imbalance is emergent: the ToR policy decides where each packet
+ * goes, each member models its own uplink serialization, queues and
+ * accelerator, and the rack-level p99 is the merged distribution the
+ * operator actually observes.
+ *
+ * Wiring invariant: a 1-server rack with the PassThrough policy
+ * performs exactly the event sequence of the single-server Testbed —
+ * same RNG stream, same link hops, zero added dispatch cost — so its
+ * numbers are bitwise identical (asserted in tests/test_rack.cc).
+ * Everything the rack adds is therefore attributable to topology, not
+ * to harness drift.
+ */
+
+#ifndef SNIC_CORE_RACK_HH
+#define SNIC_CORE_RACK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/testbed.hh"
+#include "net/tor_switch.hh"
+
+namespace snic::core {
+
+/** Rack construction options. */
+struct RackConfig
+{
+    std::string workloadId;
+    hw::Platform platform = hw::Platform::HostCpu;
+    /** Member servers behind the ToR. */
+    unsigned servers = 1;
+    net::DispatchPolicy policy = net::DispatchPolicy::RoundRobin;
+    std::uint64_t seed = 1;
+    /** Host core count override per member (0 = workload default). */
+    unsigned hostCoresOverride = 0;
+    /** FlowHash knobs (see TorConfig). */
+    unsigned flowCount = 64;
+    double hotFlowFraction = 0.0;
+};
+
+/** One rack measurement window: the merged view plus every member. */
+struct RackMeasurement
+{
+    /** Rack-aggregate numbers: throughput/completions summed, the
+     *  latency histogram merged across members (energy summed; its
+     *  utilizations are member means). Stage stats stay per-member. */
+    Measurement aggregate;
+    /** Per-server windows, ToR order. */
+    std::vector<Measurement> perServer;
+    /** Packets the ToR dispatched to each member (includes warmup —
+     *  dispatch shares, not window-exact counts). */
+    std::vector<std::uint64_t> dispatched;
+    /** max/mean of dispatched (1 = perfectly balanced). */
+    double imbalance = 0.0;
+};
+
+/**
+ * The assembled rack.
+ */
+class Rack
+{
+  public:
+    explicit Rack(const RackConfig &config);
+    ~Rack();
+
+    unsigned servers() const
+    {
+        return static_cast<unsigned>(_members.size());
+    }
+    Testbed &server(unsigned i) { return *_members.at(i); }
+    const RackConfig &config() const { return _config; }
+    sim::Simulation &sim() { return *_sim; }
+    const net::TorSwitch &tor() const { return *_tor; }
+
+    /**
+     * Open-loop rack measurement: offer @p aggregate_gbps across the
+     * whole rack for @p window after @p warmup. Mirrors
+     * Testbed::measure member-by-member.
+     */
+    RackMeasurement measure(double aggregate_gbps, sim::Tick warmup,
+                            sim::Tick window);
+
+    /** Sum of the members' analytic capacity estimates (rps). */
+    double estimateCapacityRps(int samples = 64);
+
+    /** Mean request bytes of the (shared) workload spec. */
+    double meanRequestBytes() const;
+
+  private:
+    RackConfig _config;
+    std::unique_ptr<sim::Simulation> _sim;
+    std::vector<std::unique_ptr<Testbed>> _members;
+    std::unique_ptr<net::TorSwitch> _tor;
+    /** The rack's single aggregate client. */
+    std::unique_ptr<net::TrafficGen> _gen;
+};
+
+/** Fleet sizing answers: arithmetic vs simulated (Sec. 6 as a
+ *  simulation question instead of a division). */
+struct FleetSizing
+{
+    /** ceil(demand / per-server capacity). */
+    unsigned arithmeticServers = 0;
+    /** Smallest simulated rack that served the demand within the
+     *  p99 budget (0 when no size in the searched range did). */
+    unsigned simulatedServers = 0;
+    /** Aggregate numbers of the accepted rack size. */
+    double achievedGbps = 0.0;
+    double p99Us = 0.0;
+    double imbalance = 0.0;
+    bool met = false;
+
+    /** simulated - arithmetic (the headroom arithmetic hides). */
+    int deltaServers() const
+    {
+        return static_cast<int>(simulatedServers) -
+               static_cast<int>(arithmeticServers);
+    }
+};
+
+/**
+ * Size a fleet by simulation: starting from the arithmetic estimate
+ * implied by @p per_server_gbps, simulate racks of growing size until
+ * one serves @p demand_gbps with p99 <= @p p99_budget_us (or the
+ * search range max(arith-1,1) .. arith+8 is exhausted).
+ * @p base supplies workload/platform/policy; its server count is
+ * overridden per candidate.
+ */
+FleetSizing sizeFleetBySimulation(const RackConfig &base,
+                                  double demand_gbps,
+                                  double p99_budget_us,
+                                  double per_server_gbps,
+                                  const ExperimentOptions &opts = {});
+
+/** The headline numbers of one rack cell (mirrors RunResult). */
+struct RackRunResult
+{
+    RackConfig config;
+    double maxGbps = 0.0;   ///< rack-aggregate sustainable goodput
+    double maxRps = 0.0;
+    double p99Us = 0.0;     ///< merged distribution at the load point
+    double p50Us = 0.0;
+    double meanUs = 0.0;
+    /** Sum of member avgServerWatts at the load point. */
+    double rackWatts = 0.0;
+    double imbalance = 0.0;
+    /** Capacity-search telemetry (attempts/saturated). */
+    int searchAttempts = 0;
+    bool saturated = false;
+    /** The full load-point window (aggregate + per-server). */
+    RackMeasurement loadPoint;
+};
+
+/** Run the capacity-then-load-point procedure for one rack cell. */
+RackRunResult runRackExperiment(const RackConfig &config,
+                                const ExperimentOptions &opts = {});
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_RACK_HH

@@ -6,6 +6,7 @@
 #include "core/runner.hh"
 
 #include <algorithm>
+#include <numeric>
 
 namespace snic::core {
 
@@ -74,17 +75,41 @@ void
 ExperimentRunner::parallelFor(std::size_t n,
                               const std::function<void(std::size_t)> &fn)
 {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    parallelForOrdered(order, fn);
+}
+
+std::vector<std::size_t>
+ExperimentRunner::longestFirstOrder(const std::vector<double> &hints)
+{
+    std::vector<std::size_t> order(hints.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Stable: equal hints (the all-zero default) keep input order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&hints](std::size_t a, std::size_t b) {
+                         return hints[a] > hints[b];
+                     });
+    return order;
+}
+
+void
+ExperimentRunner::parallelForOrdered(
+    const std::vector<std::size_t> &order,
+    const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t n = order.size();
     if (n == 0)
         return;
     if (_threads.empty()) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i : order)
             fn(i);
         return;
     }
 
     std::unique_lock<std::mutex> lk(_mutex);
     _inFlight += n;
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i : order)
         _tasks.emplace_back([&fn, i] { fn(i); });
     lk.unlock();
     _workCv.notify_all();
@@ -108,22 +133,57 @@ ExperimentRunner::parallelFor(std::size_t n,
     }
 }
 
+namespace {
+
+template <typename Cell>
+std::vector<double>
+costHints(const std::vector<Cell> &cells)
+{
+    std::vector<double> hints(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        hints[i] = cells[i].costHint;
+    return hints;
+}
+
+} // anonymous namespace
+
 std::vector<RunResult>
 ExperimentRunner::runCells(const std::vector<ExperimentCell> &cells)
 {
-    return map(cells.size(), [&](std::size_t i) {
-        const ExperimentCell &c = cells[i];
-        return runExperiment(c.workloadId, c.platform, c.opts);
-    });
+    std::vector<RunResult> out(cells.size());
+    parallelForOrdered(longestFirstOrder(costHints(cells)),
+                       [&](std::size_t i) {
+                           const ExperimentCell &c = cells[i];
+                           out[i] = runExperiment(c.workloadId,
+                                                  c.platform, c.opts);
+                       });
+    return out;
 }
 
 std::vector<Measurement>
 ExperimentRunner::measureCells(const std::vector<RateCell> &cells)
 {
-    return map(cells.size(), [&](std::size_t i) {
-        const RateCell &c = cells[i];
-        return measureAtRate(c.workloadId, c.platform, c.gbps, c.opts);
-    });
+    std::vector<Measurement> out(cells.size());
+    parallelForOrdered(longestFirstOrder(costHints(cells)),
+                       [&](std::size_t i) {
+                           const RateCell &c = cells[i];
+                           out[i] = measureAtRate(c.workloadId,
+                                                  c.platform, c.gbps,
+                                                  c.opts);
+                       });
+    return out;
+}
+
+std::vector<RackRunResult>
+ExperimentRunner::runRackCells(const std::vector<RackCell> &cells)
+{
+    std::vector<RackRunResult> out(cells.size());
+    parallelForOrdered(longestFirstOrder(costHints(cells)),
+                       [&](std::size_t i) {
+                           out[i] = runRackExperiment(cells[i].config,
+                                                      cells[i].opts);
+                       });
+    return out;
 }
 
 } // namespace snic::core

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/rack.hh"
 
 namespace snic::core {
 
@@ -33,6 +34,11 @@ struct ExperimentCell
     std::string workloadId;
     hw::Platform platform = hw::Platform::HostCpu;
     ExperimentOptions opts;
+    /** Relative expected runtime (any positive scale; 0 = unknown).
+     *  Cells with larger hints are *started* first so one long cell
+     *  (a capacity search) does not serialize at the tail of the
+     *  batch; results always come back in input order. */
+    double costHint = 0.0;
 };
 
 /** One fixed-rate measurement cell (Fig. 5-style sweeps). */
@@ -42,6 +48,15 @@ struct RateCell
     hw::Platform platform = hw::Platform::HostCpu;
     double gbps = 0.0;
     ExperimentOptions opts;
+    double costHint = 0.0;  ///< see ExperimentCell::costHint
+};
+
+/** One rack-topology cell (scale-out sweeps). */
+struct RackCell
+{
+    RackConfig config;
+    ExperimentOptions opts;
+    double costHint = 0.0;  ///< see ExperimentCell::costHint
 };
 
 /**
@@ -79,6 +94,23 @@ class ExperimentRunner
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Like parallelFor over the indices in @p order, which controls
+     * only the order tasks are *handed out* (the longest-first
+     * close-the-tail schedule); each index still runs exactly once
+     * and completion of the whole batch is unchanged.
+     */
+    void parallelForOrdered(const std::vector<std::size_t> &order,
+                            const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Start order for a batch with the given per-cell cost hints:
+     * largest hint first (stable, so equal hints keep input order).
+     * All-zero hints return the identity order.
+     */
+    static std::vector<std::size_t>
+    longestFirstOrder(const std::vector<double> &hints);
+
     /** Parallel map preserving input order. */
     template <typename Fn>
     auto
@@ -89,13 +121,20 @@ class ExperimentRunner
         return out;
     }
 
-    /** runExperiment over every cell; results indexed like cells. */
+    /** runExperiment over every cell; results indexed like cells.
+     *  Cells start longest-hint-first (see ExperimentCell::costHint)
+     *  but the result vector always matches the input order. */
     std::vector<RunResult>
     runCells(const std::vector<ExperimentCell> &cells);
 
     /** measureAtRate over every cell; results indexed like cells. */
     std::vector<Measurement>
     measureCells(const std::vector<RateCell> &cells);
+
+    /** runRackExperiment over every cell; results indexed like
+     *  cells. */
+    std::vector<RackRunResult>
+    runRackCells(const std::vector<RackCell> &cells);
 
   private:
     void workerLoop();

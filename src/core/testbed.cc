@@ -13,21 +13,51 @@
 
 namespace snic::core {
 
+net::Proto
+protoFor(stack::StackKind kind)
+{
+    switch (kind) {
+      case stack::StackKind::Udp:
+        return net::Proto::Udp;
+      case stack::StackKind::Tcp:
+        return net::Proto::Tcp;
+      case stack::StackKind::Dpdk:
+        return net::Proto::Dpdk;
+      case stack::StackKind::Rdma:
+        return net::Proto::Rdma;
+    }
+    return net::Proto::Udp;
+}
+
 Testbed::Testbed(const TestbedConfig &config)
     : _config(config)
 {
-    _sim = std::make_unique<sim::Simulation>(config.seed);
-    _workload = workloads::makeWorkload(config.workloadId);
+    _ownedSim = std::make_unique<sim::Simulation>(config.seed);
+    _sim = _ownedSim.get();
+    assemble();
+}
+
+Testbed::Testbed(const TestbedConfig &config, sim::Simulation &shared)
+    : _config(config)
+{
+    _sim = &shared;
+    assemble();
+}
+
+void
+Testbed::assemble()
+{
+    _workload = workloads::makeWorkload(_config.workloadId);
     const workloads::Spec &spec = _workload->spec();
 
-    if (!_workload->supports(config.platform)) {
+    if (!_workload->supports(_config.platform)) {
         sim::fatal("Testbed: workload %s does not run on %s (Table 3)",
-                   config.workloadId.c_str(),
-                   hw::platformName(config.platform));
+                   _config.workloadId.c_str(),
+                   hw::platformName(_config.platform));
     }
 
-    const unsigned host_cores = config.hostCoresOverride
-                                    ? config.hostCoresOverride
+    const unsigned host_cores = _config.hostCoresOverride
+                                    ? _config.hostCoresOverride
                                     : spec.hostCores;
     _server = std::make_unique<hw::ServerModel>(*_sim, host_cores,
                                                 spec.snicCores);
@@ -47,7 +77,7 @@ Testbed::Testbed(const TestbedConfig &config)
     // Assemble the stage pipeline over the hardware.
     const PipelineContext ctx{*_sim,     *_server,
                               *_workload, *_stack,
-                              servingCpu(), config.platform,
+                              servingCpu(), _config.platform,
                               /*epochStart=*/0};
     // The conversion to the privately-inherited EgressSink must
     // happen here, inside the class's own scope.
@@ -56,7 +86,7 @@ Testbed::Testbed(const TestbedConfig &config)
 
     // Wire: uplink -> eSwitch -> pipeline front.
     _server->eswitch().setClassifier(
-        [platform = config.platform](const net::Packet &) {
+        [platform = _config.platform](const net::Packet &) {
             return platform == hw::Platform::HostCpu
                        ? hw::SteerTarget::HostCpu
                        : hw::SteerTarget::SnicCpu;
@@ -88,23 +118,9 @@ Testbed::Testbed(const TestbedConfig &config)
     });
 
     if (spec.drive == workloads::Drive::Network) {
-        net::Proto proto = net::Proto::Udp;
-        switch (spec.stack) {
-          case stack::StackKind::Udp:
-            proto = net::Proto::Udp;
-            break;
-          case stack::StackKind::Tcp:
-            proto = net::Proto::Tcp;
-            break;
-          case stack::StackKind::Dpdk:
-            proto = net::Proto::Dpdk;
-            break;
-          case stack::StackKind::Rdma:
-            proto = net::Proto::Rdma;
-            break;
-        }
         _gen = std::make_unique<net::TrafficGen>(
-            *_sim, "client", *_upLink, spec.sizes, proto);
+            *_sim, "client", *_upLink, spec.sizes,
+            protoFor(spec.stack));
     }
 
     _workload->setup(_sim->rng());

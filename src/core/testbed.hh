@@ -79,6 +79,9 @@ struct Measurement
     double meanUs() const { return sim::ticksToUs(latency.mean()); }
 };
 
+/** The wire protocol a stack kind carries (generator packet tag). */
+net::Proto protoFor(stack::StackKind kind);
+
 /**
  * The assembled testbed.
  */
@@ -86,6 +89,16 @@ class Testbed : private EgressSink
 {
   public:
     explicit Testbed(const TestbedConfig &config);
+
+    /**
+     * Assemble onto an externally owned Simulation — the rack
+     * composition, where M servers share one timeline so cross-server
+     * effects are emergent. The caller keeps @p shared alive for the
+     * testbed's lifetime and drives the measurement windows itself
+     * (Rack); config.seed only seeds the analytic estimator.
+     */
+    Testbed(const TestbedConfig &config, sim::Simulation &shared);
+
     ~Testbed() override;
 
     /**
@@ -134,10 +147,18 @@ class Testbed : private EgressSink
     const power::ServerPowerModel &power() const { return *_power; }
     /** The assembled stage chain (stats, stage inspection). */
     const Pipeline &pipeline() const { return *_pipeline; }
+    /** The client-to-server link (rack dispatch injects here). */
+    net::Link &upLink() { return *_upLink; }
 
   private:
+    /** The rack composition drives member windows directly. */
+    friend class Rack;
+
     TestbedConfig _config;
-    std::unique_ptr<sim::Simulation> _sim;
+    /** Set when this testbed owns its Simulation (the single-server
+     *  construction); empty when assembled onto a shared one. */
+    std::unique_ptr<sim::Simulation> _ownedSim;
+    sim::Simulation *_sim = nullptr;
     std::unique_ptr<hw::ServerModel> _server;
     std::unique_ptr<power::ServerPowerModel> _power;
     std::unique_ptr<net::Link> _upLink;    ///< client -> server
@@ -173,6 +194,9 @@ class Testbed : private EgressSink
     void onServed(const net::Packet &pkt,
                   const workloads::RequestPlan &plan) override;
     void onTerminal(sim::Tick latency) override;
+
+    /** Shared constructor body: hardware, pipeline, generator. */
+    void assemble();
 
     void issueClosedLoopJob();
     void startLocalGenerator(double gbps, sim::Tick until);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "core/rack.hh"
 #include "hw/specs.hh"
 
 namespace snic::core {
@@ -53,6 +54,39 @@ findCapacity(Testbed &testbed, const ExperimentOptions &opts)
             break;
         }
         offered = std::min(offered * 1.7, hw::specs::lineRateGbps);
+    }
+    return best;
+}
+
+Capacity
+findCapacity(Rack &rack, const ExperimentOptions &opts)
+{
+    const double mean_bytes = rack.meanRequestBytes();
+    const double est_rps = rack.estimateCapacityRps();
+    const double est_gbps = est_rps * mean_bytes * 8.0 / 1e9;
+    const double wire_cap =
+        rack.servers() * hw::specs::lineRateGbps;
+
+    double offered = opts.initialOfferedGbps > 0.0
+                         ? std::min(opts.initialOfferedGbps, wire_cap)
+                         : std::min(est_gbps * 1.35, wire_cap);
+    Capacity best;
+
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        const sim::Tick window = windowFor(est_rps, opts);
+        const RackMeasurement rm =
+            rack.measure(offered, opts.warmup, window);
+        const Measurement &m = rm.aggregate;
+        ++best.attempts;
+        best.gbps = std::max(best.gbps, m.goodputGbps);
+        best.requestGbps = std::max(best.requestGbps, m.achievedGbps);
+        best.rps = std::max(best.rps, m.achievedRps);
+        if (m.achievedGbps < 0.93 * offered ||
+            offered >= wire_cap * 0.999) {
+            best.saturated = true;
+            break;
+        }
+        offered = std::min(offered * 1.7, wire_cap);
     }
     return best;
 }

@@ -35,6 +35,15 @@ struct Capacity
  */
 Capacity findCapacity(Testbed &testbed, const ExperimentOptions &opts);
 
+class Rack;
+
+/**
+ * Rack-aggregate capacity: the same escalate-until-saturated search
+ * over Rack::measure, with the wire ceiling scaled to M uplinks.
+ * The returned units are rack totals, not per-server.
+ */
+Capacity findCapacity(Rack &rack, const ExperimentOptions &opts);
+
 } // namespace snic::core
 
 #endif // SNIC_CORE_THROUGHPUT_SEARCH_HH

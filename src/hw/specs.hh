@@ -120,6 +120,12 @@ constexpr double eswitchLatencyNs = 350.0;
 /** OvS data plane offloaded to the eSwitch forwards at line rate. */
 constexpr double eswitchGbps = 100.0;
 
+// --- Rack composition (Sec. 6's fleet-level view) ---
+
+/** Top-of-rack switch cut-through forwarding latency per packet
+ *  (Tomahawk-class shallow-buffer ToR). */
+constexpr double torLatencyNs = 600.0;
+
 } // namespace snic::hw::specs
 
 #endif // SNIC_HW_SPECS_HH

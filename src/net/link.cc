@@ -42,6 +42,7 @@ Link::send(const Packet &pkt)
     const auto ser = static_cast<sim::Tick>(ser_sec * 1e12 + 0.5);
     const sim::Tick start = std::max(_nextFree, t);
     _nextFree = start + ser;
+    _sent.inc();
 
     const sim::Tick deliver_at = _nextFree + _latency;
     Packet copy = pkt;

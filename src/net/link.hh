@@ -52,6 +52,23 @@ class Link : public sim::Component
     double gbps() const { return _gbps; }
     std::uint64_t delivered() const { return _delivered.value(); }
     std::uint64_t dropped() const { return _dropped.value(); }
+    /** Packets accepted but not yet delivered (serializing or
+     *  propagating) — the dispatch-feedback lag a queue-aware rack
+     *  policy must account for. Counts traffic since the last
+     *  reset() only: deliveries already scheduled when a window
+     *  boundary resets the link are stale (epoch-dropped on
+     *  arrival), and delivery is FIFO, so the first post-reset
+     *  deliveries drain that phantom backlog before fresh packets. */
+    std::uint64_t
+    inFlight() const
+    {
+        const std::uint64_t sent = _sent.value() - _sentAtReset;
+        const std::uint64_t del =
+            _delivered.value() - _deliveredAtReset;
+        const std::uint64_t fresh_del =
+            del > _phantomAtReset ? del - _phantomAtReset : 0;
+        return sent > fresh_del ? sent - fresh_del : 0;
+    }
     std::uint64_t bytesDelivered() const
     {
         return static_cast<std::uint64_t>(_bytes.value());
@@ -60,8 +77,17 @@ class Link : public sim::Component
     /** Current backlog (time until the link drains), for tests. */
     sim::Tick backlog() const;
 
-    /** Clear serialization backlog (between measurement windows). */
-    void reset() { _nextFree = 0; }
+    /** Clear serialization backlog (between measurement windows)
+     *  and rebase the inFlight() view: packets still propagating
+     *  belong to the previous window. */
+    void
+    reset()
+    {
+        _nextFree = 0;
+        _sentAtReset = _sent.value();
+        _deliveredAtReset = _delivered.value();
+        _phantomAtReset = _sentAtReset - _deliveredAtReset;
+    }
 
   private:
     double _gbps;
@@ -69,6 +95,11 @@ class Link : public sim::Component
     sim::Tick _dropHorizon;
     sim::Tick _nextFree = 0;
     PacketSink _sink;
+    stats::Counter _sent;       ///< accepted (not tail-dropped)
+    /** inFlight() baselines captured by reset(). */
+    std::uint64_t _sentAtReset = 0;
+    std::uint64_t _deliveredAtReset = 0;
+    std::uint64_t _phantomAtReset = 0;
     stats::Counter _delivered;
     stats::Counter _dropped;
     stats::Accumulator _bytes;

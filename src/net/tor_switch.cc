@@ -1,0 +1,154 @@
+/**
+ * @file
+ * TorSwitch implementation.
+ */
+
+#include "net/tor_switch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snic::net {
+
+const char *
+dispatchPolicyName(DispatchPolicy p)
+{
+    switch (p) {
+      case DispatchPolicy::PassThrough:
+        return "pass_through";
+      case DispatchPolicy::RoundRobin:
+        return "round_robin";
+      case DispatchPolicy::Random:
+        return "random";
+      case DispatchPolicy::Random2Choice:
+        return "random_2choice";
+      case DispatchPolicy::FlowHash:
+        return "flow_hash";
+      case DispatchPolicy::LeastQueue:
+        return "least_queue";
+    }
+    sim::panic("dispatchPolicyName: bad policy");
+}
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates flow ids from member counts so
+ *  flow -> member placement behaves like an independent hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+TorSwitch::TorSwitch(const TorConfig &config)
+    : _config(config),
+      _rng(config.seed * 0x9e3779b97f4a7c15ULL + 0x7045ULL),
+      _dispatched(config.members, 0)
+{
+    if (_config.members == 0)
+        sim::fatal("TorSwitch: a rack needs at least one member");
+    if (_config.policy == DispatchPolicy::PassThrough &&
+        _config.members != 1) {
+        sim::fatal("TorSwitch: pass_through is the 1-server identity "
+                   "wiring (%u members configured)", _config.members);
+    }
+    if (_config.flowCount == 0)
+        _config.flowCount = 1;
+}
+
+double
+TorSwitch::forwardNs() const
+{
+    return _config.policy == DispatchPolicy::PassThrough
+               ? 0.0
+               : _config.forwardNs;
+}
+
+std::uint64_t
+TorSwitch::load(unsigned member) const
+{
+    return _probe ? _probe(member) : 0;
+}
+
+unsigned
+TorSwitch::pick(const Packet &pkt)
+{
+    const unsigned m = _config.members;
+    unsigned target = 0;
+    switch (_config.policy) {
+      case DispatchPolicy::PassThrough:
+        target = 0;
+        break;
+      case DispatchPolicy::RoundRobin:
+        target = static_cast<unsigned>(_rrNext++ % m);
+        break;
+      case DispatchPolicy::Random:
+        target = static_cast<unsigned>(
+            _rng.uniformInt(0, m - 1));
+        break;
+      case DispatchPolicy::Random2Choice: {
+        const auto a = static_cast<unsigned>(
+            _rng.uniformInt(0, m - 1));
+        const auto b = static_cast<unsigned>(
+            _rng.uniformInt(0, m - 1));
+        target = load(b) < load(a) ? b : a;
+        break;
+      }
+      case DispatchPolicy::FlowHash: {
+        // Collapse the packet's RSS hash onto flowCount sticky flows,
+        // optionally re-pointing a hot fraction at flow 0, then hash
+        // the flow to a member. The hot-flow coin comes from the
+        // switch's private RNG so the traffic stream itself is
+        // unchanged across policies.
+        std::uint64_t flow = pkt.flowHash % _config.flowCount;
+        if (_config.hotFlowFraction > 0.0 &&
+            _rng.chance(_config.hotFlowFraction)) {
+            flow = 0;
+        }
+        target = static_cast<unsigned>(mix64(flow) % m);
+        break;
+      }
+      case DispatchPolicy::LeastQueue: {
+        std::uint64_t best = load(0);
+        for (unsigned i = 1; i < m; ++i) {
+            const std::uint64_t l = load(i);
+            if (l < best) {
+                best = l;
+                target = i;
+            }
+        }
+        break;
+      }
+    }
+    ++_dispatched[target];
+    return target;
+}
+
+double
+TorSwitch::imbalance() const
+{
+    std::uint64_t total = 0, worst = 0;
+    for (std::uint64_t d : _dispatched) {
+        total += d;
+        worst = std::max(worst, d);
+    }
+    if (total == 0)
+        return 0.0;
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(_dispatched.size());
+    return static_cast<double>(worst) / mean;
+}
+
+void
+TorSwitch::resetStats()
+{
+    std::fill(_dispatched.begin(), _dispatched.end(), 0);
+}
+
+} // namespace snic::net

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Top-of-rack switch model: the dispatch decision that spreads one
+ * aggregate traffic stream over the M servers of a rack.
+ *
+ * The switch is a *policy*, not a store-and-forward hop: per-member
+ * uplink serialization and queueing are modelled by each server's own
+ * 100 GbE Link, so cross-server imbalance and incast backlog emerge
+ * from where the dispatcher sends packets rather than being assumed.
+ * Non-pass-through policies charge a fixed forwarding latency
+ * (TorConfig::forwardNs, hw::specs::torLatencyNs in the assembled
+ * rack) through Packet::extraNs; PassThrough adds nothing, so a
+ * 1-server rack reproduces the single-server testbed bitwise
+ * (asserted in tests/test_rack.cc).
+ *
+ * The switch owns a private RNG: policy randomness must not perturb
+ * the simulation's RNG stream, or per-server traffic would differ
+ * across policies and policy comparisons would lose their paired-
+ * sample power.
+ */
+
+#ifndef SNIC_NET_TOR_SWITCH_HH
+#define SNIC_NET_TOR_SWITCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/random.hh"
+
+namespace snic::net {
+
+/** How the ToR spreads packets over rack members. */
+enum class DispatchPolicy
+{
+    /** Everything to member 0, zero added latency — the identity
+     *  wiring that makes a 1-server rack equal the plain Testbed. */
+    PassThrough,
+    RoundRobin,     ///< strict rotation, per-packet
+    Random,         ///< uniform random member
+    Random2Choice,  ///< two random members, pick the shorter queue
+    /** Hash the packet's flow to a member (ECMP-style). Flows are
+     *  sticky, so hot flows pin whole servers — the skew source. */
+    FlowHash,
+    LeastQueue,     ///< global shortest queue (ties: lowest index)
+};
+
+/** Display name ("pass_through", "round_robin", ...). */
+const char *dispatchPolicyName(DispatchPolicy p);
+
+/** ToR configuration. */
+struct TorConfig
+{
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+    unsigned members = 1;
+    std::uint64_t seed = 1;
+    /** FlowHash: packets are mapped onto this many distinct flows
+     *  (fewer flows -> coarser, more collision-prone hashing). */
+    unsigned flowCount = 64;
+    /** FlowHash: fraction of packets re-pointed at flow 0 — the
+     *  hot-key skew knob (0 = uniform flows). */
+    double hotFlowFraction = 0.0;
+    /** Cut-through forwarding latency charged per packet by every
+     *  policy except PassThrough (which must stay cost-free). */
+    double forwardNs = 600.0;
+};
+
+/** Queue-depth observer for the load-aware policies: requests
+ *  currently inside member @p i's server pipeline. */
+using LoadProbe = std::function<std::uint64_t(unsigned member)>;
+
+/**
+ * The dispatcher. pick() returns the member index for one packet and
+ * maintains per-member dispatch counts for imbalance reporting.
+ */
+class TorSwitch
+{
+  public:
+    explicit TorSwitch(const TorConfig &config);
+
+    /** Attach the queue-depth observer (required for Random2Choice
+     *  and LeastQueue; ignored by the oblivious policies). */
+    void setLoadProbe(LoadProbe probe) { _probe = std::move(probe); }
+
+    /** Choose the member for @p pkt. */
+    unsigned pick(const Packet &pkt);
+
+    /** Forwarding latency charged per dispatched packet (ns). */
+    double forwardNs() const;
+
+    const TorConfig &config() const { return _config; }
+
+    /** Packets dispatched to each member since resetStats(). */
+    const std::vector<std::uint64_t> &dispatched() const
+    {
+        return _dispatched;
+    }
+
+    /** max/mean of the per-member dispatch counts (1 = perfectly
+     *  balanced; 0 when nothing was dispatched). */
+    double imbalance() const;
+
+    /** Zero the dispatch counters (measurement window boundary). */
+    void resetStats();
+
+  private:
+    TorConfig _config;
+    sim::Random _rng;
+    std::uint64_t _rrNext = 0;
+    std::vector<std::uint64_t> _dispatched;
+    LoadProbe _probe;
+
+    std::uint64_t load(unsigned member) const;
+};
+
+} // namespace snic::net
+
+#endif // SNIC_NET_TOR_SWITCH_HH

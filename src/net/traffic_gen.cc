@@ -11,8 +11,18 @@ namespace snic::net {
 
 TrafficGen::TrafficGen(sim::Simulation &sim, std::string name,
                        Link &link, SizeDist sizes, Proto proto)
+    : TrafficGen(sim, std::move(name),
+                 PacketSink([&link](const Packet &pkt) {
+                     link.send(pkt);
+                 }),
+                 std::move(sizes), proto)
+{
+}
+
+TrafficGen::TrafficGen(sim::Simulation &sim, std::string name,
+                       PacketSink tx, SizeDist sizes, Proto proto)
     : Component(sim, std::move(name)),
-      _link(link),
+      _tx(std::move(tx)),
       _sizes(std::move(sizes)),
       _proto(proto)
 {
@@ -75,7 +85,7 @@ TrafficGen::emitNext(std::uint64_t chain)
     pkt.proto = _proto;
     pkt.createdAt = now();
     pkt.flowHash = sim().rng().next();
-    _link.send(pkt);
+    _tx(pkt);
 
     // Mean interarrival keyed to the *mean* packet size so the byte
     // rate matches the requested Gbps.

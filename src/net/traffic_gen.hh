@@ -38,6 +38,16 @@ class TrafficGen : public sim::Component
     TrafficGen(sim::Simulation &sim, std::string name, Link &link,
                SizeDist sizes, Proto proto);
 
+    /**
+     * Transmit into an arbitrary sink instead of a Link — the rack
+     * composition's aggregate generator hands each packet to a
+     * dispatch function (ToR switch) that picks a member uplink.
+     * Generation order, RNG consumption and pacing are identical to
+     * the Link constructor.
+     */
+    TrafficGen(sim::Simulation &sim, std::string name, PacketSink tx,
+               SizeDist sizes, Proto proto);
+
     /** Set the arrival process (default Poisson). */
     void setArrival(Arrival a) { _arrival = a; }
 
@@ -62,7 +72,7 @@ class TrafficGen : public sim::Component
     std::uint64_t sent() const { return _sent; }
 
   private:
-    Link &_link;
+    PacketSink _tx;
     SizeDist _sizes;
     Proto _proto;
     Arrival _arrival = Arrival::Poisson;

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the SNIC<->host load balancer (core/load_balancer.hh):
+ * every BalancePolicy's split accounting, the threshold policy's
+ * spill-to-host behaviour past the accelerator knee, and the paper's
+ * "software monitoring burns the SNIC CPU" claim (Sec. 5.3) against
+ * the zero-monitor-cost hardware variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/load_balancer.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+BalancerConfig
+baseConfig(BalancePolicy policy, std::vector<double> rates)
+{
+    BalancerConfig cfg;
+    cfg.policy = policy;
+    cfg.ratesGbps = std::move(rates);
+    cfg.binTicks = sim::msToTicks(2.0);
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** A modest schedule the accelerator path can absorb alone. */
+std::vector<double>
+lowRates()
+{
+    return {10.0, 10.0, 10.0};
+}
+
+/** Past the REM accelerator's ~50 Gbps knee: accel-only overloads. */
+std::vector<double>
+overloadRates()
+{
+    return {60.0, 60.0, 60.0, 60.0};
+}
+
+} // anonymous namespace
+
+TEST(LoadBalancer, PolicyNamesAreDistinct)
+{
+    const std::vector<BalancePolicy> all{
+        BalancePolicy::SnicOnly, BalancePolicy::HostOnly,
+        BalancePolicy::StaticSplit, BalancePolicy::Threshold,
+        BalancePolicy::HwThreshold};
+    std::vector<std::string> names;
+    for (const auto p : all) {
+        const char *name = balancePolicyName(p);
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        names.emplace_back(name);
+    }
+    for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+}
+
+TEST(LoadBalancer, SnicOnlyKeepsEverythingOnTheAccelerator)
+{
+    const BalancerResult r =
+        runBalancer(baseConfig(BalancePolicy::SnicOnly, lowRates()));
+    EXPECT_EQ(r.policy, BalancePolicy::SnicOnly);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_DOUBLE_EQ(r.hostShare, 0.0);
+    EXPECT_GT(r.achievedGbps, 0.0);
+    EXPECT_GT(r.p99Us, 0.0);
+}
+
+TEST(LoadBalancer, HostOnlySendsEverythingToTheHost)
+{
+    const BalancerResult r =
+        runBalancer(baseConfig(BalancePolicy::HostOnly, lowRates()));
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_DOUBLE_EQ(r.hostShare, 1.0);
+}
+
+TEST(LoadBalancer, StaticSplitHonorsTheConfiguredFraction)
+{
+    BalancerConfig cfg =
+        baseConfig(BalancePolicy::StaticSplit, lowRates());
+    cfg.hostFraction = 0.25;
+    const BalancerResult r = runBalancer(cfg);
+    EXPECT_GT(r.completed, 0u);
+    // The realized split is a Bernoulli sample over many packets.
+    EXPECT_NEAR(r.hostShare, 0.25, 0.05);
+
+    cfg.hostFraction = 0.75;
+    const BalancerResult r2 = runBalancer(cfg);
+    EXPECT_NEAR(r2.hostShare, 0.75, 0.05);
+    EXPECT_GT(r2.hostShare, r.hostShare);
+}
+
+TEST(LoadBalancer, ThresholdSpillsToHostPastTheAccelKnee)
+{
+    // Accel-only past the knee: the queue grows without bound and
+    // the tail explodes. The threshold policy must notice the lag
+    // and redirect some traffic to the host.
+    const BalancerResult snic_only = runBalancer(
+        baseConfig(BalancePolicy::SnicOnly, overloadRates()));
+    const BalancerResult threshold = runBalancer(
+        baseConfig(BalancePolicy::Threshold, overloadRates()));
+
+    EXPECT_GT(threshold.hostShare, 0.05);
+    EXPECT_LT(threshold.hostShare, 1.0);
+    EXPECT_LT(threshold.p99Us, 0.5 * snic_only.p99Us);
+    EXPECT_GE(threshold.achievedGbps, snic_only.achievedGbps);
+}
+
+TEST(LoadBalancer, ThresholdStaysOnSnicWhenAccelKeepsUp)
+{
+    const BalancerResult r = runBalancer(
+        baseConfig(BalancePolicy::Threshold, lowRates()));
+    EXPECT_GT(r.completed, 0u);
+    // Nothing to spill: the accel path never lags at 10 Gbps.
+    EXPECT_LT(r.hostShare, 0.05);
+}
+
+TEST(LoadBalancer, SoftwareMonitoringBurnsSnicCpu)
+{
+    // The paper's Sec. 5.3 observation, as a falsifiable assertion:
+    // at a high steady rate the software threshold balancer spends
+    // SNIC CPU on per-packet monitoring that the eSwitch-resident
+    // balancer does not.
+    const std::vector<double> steady(6, 45.0);
+    const BalancerResult sw = runBalancer(
+        baseConfig(BalancePolicy::Threshold, steady));
+    const BalancerResult hwb = runBalancer(
+        baseConfig(BalancePolicy::HwThreshold, steady));
+
+    EXPECT_GT(sw.snicCpuUtil, hwb.snicCpuUtil);
+    EXPECT_GT(sw.snicCpuUtil, 2.0 * hwb.snicCpuUtil);
+    // Both keep serving; the hardware variant is never worse.
+    EXPECT_GT(hwb.completed, 0u);
+    EXPECT_GE(hwb.achievedGbps, 0.95 * sw.achievedGbps);
+}
+
+TEST(LoadBalancer, MonitoringCostScalesWithConfiguredOps)
+{
+    BalancerConfig cheap =
+        baseConfig(BalancePolicy::Threshold, {45.0, 45.0, 45.0});
+    cheap.monitorOpsPerPacket = 0;
+    BalancerConfig costly = cheap;
+    costly.monitorOpsPerPacket = 600;
+
+    const BalancerResult a = runBalancer(cheap);
+    const BalancerResult b = runBalancer(costly);
+    EXPECT_GT(b.snicCpuUtil, a.snicCpuUtil);
+}
+
+TEST(LoadBalancer, OfferedMeanMatchesSchedule)
+{
+    const BalancerResult r = runBalancer(
+        baseConfig(BalancePolicy::HostOnly, {10.0, 20.0, 30.0}));
+    EXPECT_NEAR(r.offeredMeanGbps, 20.0, 1e-9);
+}

@@ -258,3 +258,114 @@ TEST(Pipeline, TraceSlowestOptionFlowsThroughExperiment)
     EXPECT_FALSE(r.slowestTraces.empty());
     EXPECT_LE(r.slowestTraces.size(), 3u);
 }
+
+namespace {
+
+/** Build a synthetic trace visiting (stage, residency) hops
+ *  back-to-back starting at tick 1000. */
+RequestTrace
+syntheticTrace(const std::vector<std::pair<std::uint8_t, sim::Tick>>
+                   &hops)
+{
+    RequestTrace t;
+    t.createdAt = 500;
+    sim::Tick now = 1000;
+    for (const auto &[stage, residency] : hops) {
+        t.enter(stage, now, 0);
+        now += residency;
+        t.exitStage(now);
+    }
+    t.completedAt = now;
+    return t;
+}
+
+} // anonymous namespace
+
+TEST(TailAttribution, EmptyInputHasNoStage)
+{
+    const TailAttribution a = attributeTail({});
+    EXPECT_EQ(a.stage, -1);
+    EXPECT_EQ(a.share, 0.0);
+    EXPECT_EQ(a.dominated, 0u);
+    EXPECT_EQ(a.traces, 0u);
+}
+
+TEST(TailAttribution, SingleStageTraceOwnsTheWholeTail)
+{
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{2, 400}})};
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 2);
+    EXPECT_DOUBLE_EQ(a.share, 1.0);
+    EXPECT_EQ(a.dominated, 1u);
+    EXPECT_EQ(a.traces, 1u);
+}
+
+TEST(TailAttribution, DominantStageWinsByResidencySum)
+{
+    // Stage 3 holds 600 of 1000 summed ticks and is the largest hop
+    // in both traces.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{0, 100}, {3, 250}, {4, 50}}),
+        syntheticTrace({{0, 100}, {3, 350}, {4, 150}}),
+    };
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 3);
+    EXPECT_DOUBLE_EQ(a.share, 0.6);
+    EXPECT_EQ(a.dominated, 2u);
+    EXPECT_EQ(a.traces, 2u);
+}
+
+TEST(TailAttribution, DominatedCountsOnlyLargestHopVotes)
+{
+    // Stage 1 wins the residency sum (500 vs 400) but is the
+    // largest hop in only one of the two traces.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{1, 400}, {2, 100}}),
+        syntheticTrace({{1, 100}, {2, 300}}),
+    };
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 1);
+    EXPECT_DOUBLE_EQ(a.share, 500.0 / 900.0);
+    EXPECT_EQ(a.dominated, 1u);
+}
+
+TEST(TailAttribution, SummedResidencyTieGoesToTheEarlierStage)
+{
+    // Both stages sum to 300: max_element keeps the first maximum,
+    // i.e. the lowest pipeline index.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{1, 300}, {4, 300}})};
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 1);
+    EXPECT_DOUBLE_EQ(a.share, 0.5);
+    // ...while the per-trace largest-hop vote breaks ties toward
+    // the *later* hop, so the earlier stage collects no vote here.
+    EXPECT_EQ(a.dominated, 0u);
+}
+
+TEST(TailAttribution, ZeroResidencyTimelinesAttributeNothing)
+{
+    // Hops that enter and exit on the same tick carry no residency;
+    // with a zero total there is no stage to blame.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{0, 0}, {1, 0}})};
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, -1);
+    EXPECT_EQ(a.share, 0.0);
+    EXPECT_EQ(a.traces, 1u);
+}
+
+TEST(TailAttribution, RevisitedStageAccumulatesAcrossHops)
+{
+    // A stage visited twice in one timeline (e.g. a retry) sums its
+    // residencies: stage 2 totals 350 and beats stage 0's 300.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{2, 150}, {0, 300}, {2, 200}})};
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 2);
+    EXPECT_DOUBLE_EQ(a.share, 350.0 / 650.0);
+    // The largest single hop is stage 0's 300, so the vote differs
+    // from the summed winner.
+    EXPECT_EQ(a.dominated, 0u);
+}

@@ -87,6 +87,67 @@ TEST(Runner, MeasureCellsMatchesSerialMeasureAtRate)
     }
 }
 
+TEST(Runner, LongestFirstOrderSortsStably)
+{
+    // Largest hint starts first; ties (and the all-zero default)
+    // keep input order, so hint-less batches are unchanged.
+    const auto order =
+        ExperimentRunner::longestFirstOrder({1.0, 5.0, 3.0, 5.0});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 0u);
+
+    const auto identity =
+        ExperimentRunner::longestFirstOrder({0.0, 0.0, 0.0});
+    EXPECT_EQ(identity, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_TRUE(ExperimentRunner::longestFirstOrder({}).empty());
+}
+
+TEST(Runner, CostHintsChangeStartOrderNotResults)
+{
+    // The longest-first schedule is a latency optimization only:
+    // results stay in input order and every number is bitwise
+    // identical to the hint-less run.
+    ExperimentOptions opts;
+    opts.targetSamples = 3000;
+    std::vector<ExperimentCell> plain;
+    plain.push_back({"micro_udp_1024", hw::Platform::HostCpu, opts});
+    plain.push_back({"micro_udp_1024", hw::Platform::SnicCpu, opts});
+    plain.push_back({"rem_exe", hw::Platform::SnicAccel, opts});
+
+    std::vector<ExperimentCell> hinted = plain;
+    hinted[0].costHint = 1.0;
+    hinted[1].costHint = 9.0;  // starts first
+    hinted[2].costHint = 4.0;
+
+    ExperimentRunner runner(2);
+    const auto base = runner.runCells(plain);
+    const auto reordered = runner.runCells(hinted);
+
+    ASSERT_EQ(base.size(), reordered.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE(i);
+        // Slot i still holds cell i's platform & numbers.
+        EXPECT_EQ(reordered[i].platform, plain[i].platform);
+        expectBitwiseEqual(base[i], reordered[i]);
+    }
+}
+
+TEST(Runner, ParallelForOrderedRunsEveryIndexOnce)
+{
+    ExperimentRunner runner(4);
+    std::vector<std::atomic<int>> hits(32);
+    const auto order =
+        ExperimentRunner::longestFirstOrder(std::vector<double>(32, 0.0));
+    std::vector<std::size_t> reversed(order.rbegin(), order.rend());
+    runner.parallelForOrdered(reversed,
+                              [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Runner, MapPreservesInputOrder)
 {
     ExperimentRunner runner(4);
