@@ -37,6 +37,8 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
     config.platform = platform;
     config.seed = opts.seed;
     config.hostCoresOverride = opts.hostCoresOverride;
+    config.accelQueueing = opts.accelQueueing;
+    config.accelBatchOverride = opts.accelBatchOverride;
     Testbed testbed(config);
     if (opts.traceSlowest > 0)
         testbed.enableTracing(opts.traceSlowest);
@@ -92,6 +94,8 @@ measureAtRate(const std::string &workload_id, hw::Platform platform,
     config.platform = platform;
     config.seed = opts.seed;
     config.hostCoresOverride = opts.hostCoresOverride;
+    config.accelQueueing = opts.accelQueueing;
+    config.accelBatchOverride = opts.accelBatchOverride;
     Testbed testbed(config);
     if (opts.traceSlowest > 0)
         testbed.enableTracing(opts.traceSlowest);

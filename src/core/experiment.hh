@@ -36,6 +36,10 @@ struct ExperimentOptions
      *  measurement window (0 = tracing off, the default; see
      *  Measurement::slowestTraces). */
     std::size_t traceSlowest = 0;
+    /** Engine queue-discipline policy (identity A/Bs, batch sweeps). */
+    AccelQueueing accelQueueing = AccelQueueing::WorkloadDefault;
+    /** Coalescing parameters when accelQueueing is ForceCoalescing. */
+    hw::BatchConfig accelBatchOverride;
 };
 
 /** The headline numbers of one (workload, platform) cell. */

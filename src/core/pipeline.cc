@@ -23,6 +23,10 @@ Stage::snapshot() const
     // Keep the mean in double: sub-tick means would truncate to 0.
     s.meanResidencyUs = sim::ticksToUs(_stats.residency.mean());
     s.p99ResidencyUs = sim::ticksToUs(_stats.residency.p99());
+    s.meanBatchOccupancy = _stats.batchOccupancy.mean();
+    s.maxBatchOccupancy = _stats.batchOccupancy.max();
+    s.meanBatchStallUs = sim::ticksToUs(_stats.batchStall.mean());
+    s.p99BatchStallUs = sim::ticksToUs(_stats.batchStall.p99());
     return s;
 }
 
@@ -64,10 +68,21 @@ AppStage::process(PipelineRequest &&req)
 {
     const alg::WorkCounters work = req.plan.cpuWork;
     const std::uint64_t flow = req.packet.flowHash;
+    // CPU dispatch is always Immediate; the hook only splits the
+    // traced timeline into worker-queueing vs service, so untraced
+    // requests skip it entirely.
+    hw::DispatchHook hook;
+    if (req.trace) {
+        hook = [trace = req.trace](sim::Tick dispatched,
+                                   sim::Tick service_start, unsigned) {
+            trace->markDispatch(dispatched, service_start);
+        };
+    }
     _ctx.servingCpu.submit(work, flow,
                            [this, req = std::move(req)]() mutable {
                                forward(std::move(req));
-                           });
+                           },
+                           std::move(hook));
 }
 
 void
@@ -82,10 +97,28 @@ AcceleratorStage::process(PipelineRequest &&req)
     }
     const alg::WorkCounters work = req.plan.accelWork;
     const std::uint64_t flow = req.packet.flowHash;
+    // The hook fires when the engine's discipline posts the job —
+    // immediately under Immediate, at batch formation under
+    // Coalescing — and records the batch occupancy plus how long
+    // this request stalled coalescing. A traced request additionally
+    // splits its timeline at the same instants, so batch-formation
+    // wait shows up as a distinct interval instead of being folded
+    // into service. Hooks for requests discarded by a window drain
+    // never fire (the discipline drops them undispatched).
+    hw::DispatchHook hook =
+        [this, entered = req.stageEntered, trace = req.trace](
+            sim::Tick dispatched, sim::Tick service_start,
+            unsigned batch_size) {
+            recordDispatch(entered, dispatched, batch_size);
+            if (trace)
+                trace->markDispatch(dispatched, service_start);
+        };
     _ctx.server.accel(_ctx.workload.spec().accel)
-        .submit(work, flow, [this, req = std::move(req)]() mutable {
-            forward(std::move(req));
-        });
+        .submit(work, flow,
+                [this, req = std::move(req)]() mutable {
+                    forward(std::move(req));
+                },
+                std::move(hook));
 }
 
 void

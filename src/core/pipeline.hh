@@ -57,6 +57,13 @@ struct StageStats
     /** Time from stage entry to stage exit, in ticks: queueing plus
      *  service for the asynchronous stages, ~0 for synchronous ones. */
     stats::Histogram residency;
+    /** Batch size observed at each request's dispatch — 1 under the
+     *  Immediate discipline, the coalesced job size under Coalescing.
+     *  Empty for stages that never dispatch through a platform. */
+    stats::Histogram batchOccupancy;
+    /** Ticks each request waited for its batch to form before the
+     *  job posted (0 under Immediate). */
+    stats::Histogram batchStall;
 
     /** Requests currently inside the stage (its queue depth).
      *  Saturating: a leftover request accepted before resetStats()
@@ -75,6 +82,8 @@ struct StageStats
     {
         accepted = forwarded = dropped = 0;
         residency.reset();
+        batchOccupancy.reset();
+        batchStall.reset();
     }
 };
 
@@ -88,6 +97,13 @@ struct StageSnapshot
     std::uint64_t inFlight = 0;
     double meanResidencyUs = 0.0;
     double p99ResidencyUs = 0.0;
+    /** Mean/max coalesced-batch size at dispatch (0 when the stage
+     *  dispatched nothing through a platform). */
+    double meanBatchOccupancy = 0.0;
+    std::uint64_t maxBatchOccupancy = 0;
+    /** Batch-formation wait (0 under Immediate dispatch). */
+    double meanBatchStallUs = 0.0;
+    double p99BatchStallUs = 0.0;
 };
 
 /**
@@ -181,6 +197,17 @@ class Stage
 
   protected:
     virtual void process(PipelineRequest &&req) = 0;
+
+    /** Record one dispatch observation from a platform hook: the
+     *  batch the request rode in and how long it coalesced. */
+    void
+    recordDispatch(sim::Tick entered, sim::Tick dispatched,
+                   unsigned batch_size)
+    {
+        _stats.batchOccupancy.record(batch_size);
+        _stats.batchStall.record(
+            dispatched > entered ? dispatched - entered : 0);
+    }
 
     /** Complete this stage and hand to the next (if any); leaving
      *  the last stage completes the request's trace. */

@@ -61,6 +61,25 @@ Testbed::assemble()
                                     : spec.hostCores;
     _server = std::make_unique<hw::ServerModel>(*_sim, host_cores,
                                                 spec.snicCores);
+
+    // Engine queue discipline: the workload's hardware batching
+    // defaults unless this run forces a policy. ForceImmediate keeps
+    // the pre-installed Immediate discipline (the identity datapath).
+    switch (_config.accelQueueing) {
+      case AccelQueueing::WorkloadDefault:
+        if (spec.accelBatch.enabled()) {
+            _server->accel(spec.accel).setDiscipline(
+                hw::makeCoalescing(spec.accelBatch));
+        }
+        break;
+      case AccelQueueing::ForceImmediate:
+        break;
+      case AccelQueueing::ForceCoalescing:
+        _server->accel(spec.accel).setDiscipline(
+            hw::makeCoalescing(_config.accelBatchOverride));
+        break;
+    }
+
     _power = std::make_unique<power::ServerPowerModel>(*_server);
     _stack = stack::makeStack(spec.stack, spec.rdmaOneSided);
 

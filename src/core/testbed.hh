@@ -38,6 +38,20 @@
 
 namespace snic::core {
 
+/** Engine queue-discipline policy for one testbed run. */
+enum class AccelQueueing
+{
+    /** The workload's Spec::accelBatch decides (REM coalesces; the
+     *  other functions run the Immediate identity path). */
+    WorkloadDefault,
+    /** Per-request Immediate dispatch regardless of the workload —
+     *  the pre-discipline datapath (identity A/B runs). */
+    ForceImmediate,
+    /** Coalesce with TestbedConfig::accelBatchOverride (batch-size
+     *  sweeps, fig5_rem_sweep --batch). */
+    ForceCoalescing,
+};
+
 /** Testbed construction options. */
 struct TestbedConfig
 {
@@ -46,6 +60,10 @@ struct TestbedConfig
     std::uint64_t seed = 1;
     /** Override the host core count (0 = workload default). */
     unsigned hostCoresOverride = 0;
+    /** Engine queue-discipline policy (see AccelQueueing). */
+    AccelQueueing accelQueueing = AccelQueueing::WorkloadDefault;
+    /** Coalescing parameters when accelQueueing is ForceCoalescing. */
+    hw::BatchConfig accelBatchOverride;
 };
 
 /** One measurement window's outcome. */

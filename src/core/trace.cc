@@ -102,9 +102,11 @@ attributeTail(const std::vector<RequestTrace> &traces)
     if (traces.empty())
         return out;
 
-    // Summed residency per pipeline stage index, plus a per-trace
+    // Summed residency per pipeline stage index — split into its
+    // batch-stall / queue-wait / service causes — plus a per-trace
     // "largest hop" vote.
     std::vector<double> residency;
+    std::vector<double> stall, queue, service;
     std::vector<std::size_t> votes;
     double total = 0.0;
     for (const RequestTrace &t : traces) {
@@ -115,10 +117,16 @@ attributeTail(const std::vector<RequestTrace> &traces)
             const std::size_t s = hop.stage;
             if (s >= residency.size()) {
                 residency.resize(s + 1, 0.0);
+                stall.resize(s + 1, 0.0);
+                queue.resize(s + 1, 0.0);
+                service.resize(s + 1, 0.0);
                 votes.resize(s + 1, 0);
             }
             const sim::Tick r = hop.residency();
             residency[s] += static_cast<double>(r);
+            stall[s] += static_cast<double>(hop.batchStall());
+            queue[s] += static_cast<double>(hop.queueWait());
+            service[s] += static_cast<double>(hop.serviceTime());
             total += static_cast<double>(r);
             if (r >= worst) {
                 worst = r;
@@ -137,6 +145,11 @@ attributeTail(const std::vector<RequestTrace> &traces)
     out.stage = static_cast<int>(stage);
     out.share = *it / total;
     out.dominated = votes[stage];
+    if (*it > 0.0) {
+        out.batchStallShare = stall[stage] / *it;
+        out.queueShare = queue[stage] / *it;
+        out.serviceShare = service[stage] / *it;
+    }
     return out;
 }
 

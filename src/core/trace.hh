@@ -38,10 +38,41 @@ struct TraceHop
     std::uint8_t stage = 0;
     sim::Tick entered = 0;
     sim::Tick exited = 0;
+    /** Tick the request left the stage's queue discipline for a
+     *  worker. Under a coalescing engine queue this is when the
+     *  batch formed; synchronous stages leave it at entry, so the
+     *  batching-stall interval degrades to zero. */
+    sim::Tick dispatched = 0;
+    /** Tick its worker actually began the service (>= dispatched
+     *  when the worker had a backlog). */
+    sim::Tick serviceStarted = 0;
     /** Requests already inside the stage when this one entered. */
     std::uint64_t queueDepthAtEntry = 0;
 
     sim::Tick residency() const { return exited - entered; }
+
+    /** Time spent waiting for the batch to form. */
+    sim::Tick
+    batchStall() const
+    {
+        return dispatched > entered ? dispatched - entered : 0;
+    }
+
+    /** Time spent queued behind the worker's backlog. */
+    sim::Tick
+    queueWait() const
+    {
+        return serviceStarted > dispatched
+                   ? serviceStarted - dispatched
+                   : 0;
+    }
+
+    /** Service (plus any completion pipeline) time. */
+    sim::Tick
+    serviceTime() const
+    {
+        return exited > serviceStarted ? exited - serviceStarted : 0;
+    }
 };
 
 /**
@@ -91,6 +122,8 @@ struct RequestTrace
         hops[hopCount].stage = stage;
         hops[hopCount].entered = now;
         hops[hopCount].exited = now;
+        hops[hopCount].dispatched = now;
+        hops[hopCount].serviceStarted = now;
         hops[hopCount].queueDepthAtEntry = depth;
         ++hopCount;
     }
@@ -100,6 +133,18 @@ struct RequestTrace
     {
         if (hopCount)
             hops[hopCount - 1].exited = now;
+    }
+
+    /** The current stage handed the request to a worker: split its
+     *  residency into batch-formation wait, worker queueing and
+     *  service (called from the platform's dispatch hook). */
+    void
+    markDispatch(sim::Tick dispatched, sim::Tick service_started)
+    {
+        if (!hopCount)
+            return;
+        hops[hopCount - 1].dispatched = dispatched;
+        hops[hopCount - 1].serviceStarted = service_started;
     }
 
   private:
@@ -119,6 +164,14 @@ struct TailAttribution
     /** Traces in which that stage is the single largest hop. */
     std::size_t dominated = 0;
     std::size_t traces = 0;
+
+    /** *Why* the dominant stage holds requests: its residency split
+     *  into batch-formation wait, worker queueing, and service —
+     *  fractions of that stage's summed residency (each 0 when the
+     *  stage is -1). Synchronous stages report pure service. */
+    double batchStallShare = 0.0;
+    double queueShare = 0.0;
+    double serviceShare = 0.0;
 };
 
 /** Aggregate the dominant stage over @p traces (typically the

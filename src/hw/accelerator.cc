@@ -39,6 +39,39 @@ accelName(AccelKind kind)
     sim::panic("accelName: bad kind");
 }
 
+BatchConfig
+accelBatchDefaults(AccelKind kind)
+{
+    BatchConfig b;
+    switch (kind) {
+      case AccelKind::Rem:
+        b.maxBatch = specs::rem_accel::jobBatch;
+        b.coalesceWindowNs = specs::rem_accel::coalesceWindowNs;
+        b.batchSetupNs = specs::rem_accel::batchSetupNs;
+        b.batchedPipelineNs = specs::rem_accel::batchedPipelineNs;
+        break;
+      case AccelKind::Pka:
+        b.maxBatch = specs::pka_accel::jobBatch;
+        b.coalesceWindowNs = specs::pka_accel::coalesceWindowNs;
+        break;
+      case AccelKind::Compression:
+        b.maxBatch = specs::comp_accel::jobBatch;
+        b.coalesceWindowNs = specs::comp_accel::coalesceWindowNs;
+        break;
+    }
+    return b;
+}
+
+std::unique_ptr<ExecutionPlatform>
+makeAccelerator(sim::Simulation &sim, AccelKind kind,
+                const BatchConfig &batch)
+{
+    auto engine = makeAccelerator(sim, kind);
+    if (batch.enabled())
+        engine->setDiscipline(makeCoalescing(batch));
+    return engine;
+}
+
 std::unique_ptr<ExecutionPlatform>
 makeAccelerator(sim::Simulation &sim, AccelKind kind)
 {

@@ -1,6 +1,7 @@
 /**
  * @file
- * ExecutionPlatform implementation.
+ * ExecutionPlatform implementation: the worker pool and the dispatch
+ * SPI the queue disciplines drive.
  */
 
 #include "hw/platform.hh"
@@ -34,10 +35,23 @@ ExecutionPlatform::ExecutionPlatform(sim::Simulation &sim,
       _costs(costs),
       _setupNs(setup_ns),
       _pipelineNs(pipeline_ns),
-      _busyUntil(workers, 0)
+      _busyUntil(workers, 0),
+      _discipline(makeImmediate())
 {
     assert(workers >= 1);
+    _discipline->attach(*this);
     _busyTracker.start(now(), 0.0);
+}
+
+ExecutionPlatform::~ExecutionPlatform() = default;
+
+void
+ExecutionPlatform::setDiscipline(std::unique_ptr<QueueDiscipline> d)
+{
+    assert(d);
+    _discipline->drain();
+    _discipline = std::move(d);
+    _discipline->attach(*this);
 }
 
 unsigned
@@ -76,13 +90,22 @@ ExecutionPlatform::utilizationSince(double integral_then,
 
 void
 ExecutionPlatform::submit(const alg::WorkCounters &work,
-                          std::uint64_t flowHash, Completion done)
+                          std::uint64_t flowHash, Completion done,
+                          DispatchHook hook)
 {
-    const double ns = (_costs.serviceNs(work) + _setupNs) / _speed;
-    const auto service = static_cast<sim::Tick>(ns * 1e3 + 0.5);
-    const auto pipeline =
-        static_cast<sim::Tick>(_pipelineNs * 1e3 + 0.5);
+    Submission sub;
+    sub.work = work;
+    sub.flowHash = flowHash;
+    sub.done = std::move(done);
+    sub.hook = std::move(hook);
+    sub.enqueuedAt = now();
+    _discipline->enqueue(std::move(sub));
+}
 
+WorkerSlot
+ExecutionPlatform::occupy(std::uint64_t flowHash, sim::Tick service,
+                          sim::Tick pipeline)
+{
     // Pick a worker.
     std::size_t w = 0;
     if (_dispatch == Dispatch::FlowHash) {
@@ -104,8 +127,13 @@ ExecutionPlatform::submit(const alg::WorkCounters &work,
     if (pipeline > 0)
         sim().at(busy_done, [this] { trackBusy(); });
 
-    const sim::Tick complete_at = busy_done + pipeline;
-    sim().at(complete_at, [this, done = std::move(done)] {
+    return {w, start, busy_done};
+}
+
+void
+ExecutionPlatform::completeAt(sim::Tick when, Completion done)
+{
+    sim().at(when, [this, done = std::move(done)] {
         _completed.inc();
         trackBusy();
         if (done)
@@ -114,8 +142,23 @@ ExecutionPlatform::submit(const alg::WorkCounters &work,
 }
 
 void
+ExecutionPlatform::completeBatchAt(sim::Tick when,
+                                   std::vector<Submission> members)
+{
+    sim().at(when, [this, members = std::move(members)]() mutable {
+        for (Submission &m : members) {
+            _completed.inc();
+            trackBusy();
+            if (m.done)
+                m.done();
+        }
+    });
+}
+
+void
 ExecutionPlatform::drainAndReset()
 {
+    _discipline->drain();
     std::fill(_busyUntil.begin(), _busyUntil.end(), 0);
     trackBusy();
 }

@@ -4,20 +4,24 @@
  * into service time.
  *
  * A platform is a set of workers (CPU cores or accelerator lanes)
- * with a cost model. Requests are dispatched to workers, occupy them
- * for the priced service time, and complete via callback. Tail
- * latency emerges from this queueing — the p99 knees of Fig. 5 are
- * exactly the saturation behaviour of these queues.
+ * with a cost model, fronted by a pluggable QueueDiscipline that
+ * decides when submissions occupy a worker (per-request Immediate
+ * dispatch by default; batch Coalescing on engines that post jobs).
+ * Requests are dispatched to workers, occupy them for the priced
+ * service time, and complete via callback. Tail latency emerges from
+ * this queueing — the p99 knees of Fig. 5 are exactly the saturation
+ * behaviour of these queues.
  */
 
 #ifndef SNIC_HW_PLATFORM_HH
 #define SNIC_HW_PLATFORM_HH
 
-#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "alg/workcount.hh"
+#include "hw/queue_discipline.hh"
 #include "sim/simulation.hh"
 #include "stats/counter.hh"
 
@@ -49,6 +53,14 @@ enum class Dispatch
     FlowHash,     ///< static RSS: flowHash % workers
 };
 
+/** The worker reservation handed back by ExecutionPlatform::occupy. */
+struct WorkerSlot
+{
+    std::size_t worker = 0;
+    sim::Tick start = 0;     ///< service begins (after any backlog)
+    sim::Tick busyDone = 0;  ///< worker frees
+};
+
 /**
  * A multi-worker execution platform.
  */
@@ -56,7 +68,7 @@ class ExecutionPlatform : public sim::Component
 {
   public:
     /** Completion callback; receives the completion tick. */
-    using Completion = std::function<void()>;
+    using Completion = hw::Completion;
 
     /**
      * @param workers   cores or accelerator lanes.
@@ -70,17 +82,26 @@ class ExecutionPlatform : public sim::Component
                       unsigned workers, CostModel costs,
                       double setup_ns = 0.0, double pipeline_ns = 0.0);
 
+    ~ExecutionPlatform() override;
+
     /**
-     * Submit one request.
+     * Submit one request through the installed discipline.
      *
      * @param work     the priced work.
      * @param flowHash steering key (used by Dispatch::FlowHash).
      * @param done     invoked when service completes.
+     * @param hook     optional dispatch observation (trace/stats);
+     *                 attaching one never changes the schedule.
      */
     void submit(const alg::WorkCounters &work, std::uint64_t flowHash,
-                Completion done);
+                Completion done, DispatchHook hook = nullptr);
 
-    /** Compute the service time (ns) this platform would charge. */
+    /**
+     * Compute the service time (ns) this platform would charge one
+     * request in isolation. Under a coalescing discipline this is
+     * the batch=1 (worst-amortization) figure; the analytic capacity
+     * estimator deliberately keeps using it as a lower bound.
+     */
     double
     serviceNs(const alg::WorkCounters &work) const
     {
@@ -88,6 +109,15 @@ class ExecutionPlatform : public sim::Component
     }
 
     void setDispatch(Dispatch d) { _dispatch = d; }
+
+    /**
+     * Install a queue discipline (Immediate is pre-installed). The
+     * platform owns it; any half-built batch in the outgoing
+     * discipline is discarded.
+     */
+    void setDiscipline(std::unique_ptr<QueueDiscipline> d);
+    QueueDiscipline &discipline() { return *_discipline; }
+    const QueueDiscipline &discipline() const { return *_discipline; }
 
     /**
      * Frequency / DVFS scale: 1.0 = nominal. Values below 1 stretch
@@ -118,10 +148,49 @@ class ExecutionPlatform : public sim::Component
 
     std::uint64_t completedCount() const { return _completed.value(); }
 
-    /** Drop all queue state (between measurement runs). */
+    /** Drop all queue state, including any half-coalesced batch
+     *  (between measurement runs). */
     void drainAndReset();
 
     const CostModel &costs() const { return _costs; }
+
+    // --- Dispatch SPI (used by QueueDiscipline implementations) ---
+
+    /** Raw cost-model price of @p work in ns (no setup, no speed). */
+    double
+    rawServiceNs(const alg::WorkCounters &work) const
+    {
+        return _costs.serviceNs(work);
+    }
+
+    double setupNs() const { return _setupNs; }
+    double speed() const { return _speed; }
+
+    /** The per-request pipeline latency in ticks, rounded exactly as
+     *  the pre-discipline datapath rounded it. */
+    sim::Tick
+    pipelineTicks() const
+    {
+        return static_cast<sim::Tick>(_pipelineNs * 1e3 + 0.5);
+    }
+
+    /**
+     * Reserve a worker for @p service ticks starting now (or when
+     * the chosen worker frees). Picks the worker per the Dispatch
+     * policy, advances its busy horizon and keeps the busy-time
+     * integral exact (the worker frees at busyDone even though
+     * completions land after the pipeline).
+     */
+    WorkerSlot occupy(std::uint64_t flowHash, sim::Tick service,
+                      sim::Tick pipeline);
+
+    /** Schedule one completion at @p when. */
+    void completeAt(sim::Tick when, Completion done);
+
+    /** Schedule a batch fan-out: every member completes at @p when,
+     *  in submission order. */
+    void completeBatchAt(sim::Tick when,
+                         std::vector<Submission> members);
 
   private:
     CostModel _costs;
@@ -134,6 +203,7 @@ class ExecutionPlatform : public sim::Component
     std::vector<sim::Tick> _busyUntil;
     stats::Counter _completed;
     mutable stats::TimeWeighted _busyTracker;
+    std::unique_ptr<QueueDiscipline> _discipline;
 
     void trackBusy();
 };

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Queue discipline implementations.
+ */
+
+#include "hw/queue_discipline.hh"
+
+#include <algorithm>
+
+#include "hw/platform.hh"
+
+namespace snic::hw {
+
+void
+ImmediateDiscipline::enqueue(Submission &&sub)
+{
+    ExecutionPlatform &p = platform();
+
+    // This body is the pre-discipline ExecutionPlatform::submit,
+    // arithmetic and event schedule preserved exactly: the identity
+    // A/B tests assert every measurement is bitwise unchanged.
+    const double ns = (p.rawServiceNs(sub.work) + p.setupNs()) /
+                      p.speed();
+    const auto service = static_cast<sim::Tick>(ns * 1e3 + 0.5);
+    const sim::Tick pipeline = p.pipelineTicks();
+
+    const WorkerSlot slot = p.occupy(sub.flowHash, service, pipeline);
+    if (sub.hook)
+        sub.hook(p.now(), slot.start, 1);
+    p.completeAt(slot.busyDone + pipeline, std::move(sub.done));
+}
+
+void
+CoalescingDiscipline::enqueue(Submission &&sub)
+{
+    _pending.push_back(std::move(sub));
+
+    if (_pending.size() >= _config.maxBatch ||
+        _config.coalesceWindowNs <= 0.0) {
+        // Batch full (or no window at all): dispatch synchronously so
+        // the event schedule cannot reorder against the submitter —
+        // with maxBatch 1 this is exactly the Immediate path.
+        dispatchPending(/*by_timer=*/false);
+        return;
+    }
+
+    if (_pending.size() == 1) {
+        // First member arms the coalesce window.
+        ExecutionPlatform &p = platform();
+        const auto window = static_cast<sim::Tick>(
+            _config.coalesceWindowNs * 1e3 + 0.5);
+        const std::uint64_t gen = _timerGen;
+        p.sim().after(window, [this, gen] {
+            // Stale fire: the batch already dispatched (full) or was
+            // drained between windows.
+            if (gen != _timerGen || _pending.empty())
+                return;
+            dispatchPending(/*by_timer=*/true);
+        });
+    }
+}
+
+void
+CoalescingDiscipline::dispatchPending(bool by_timer)
+{
+    ExecutionPlatform &p = platform();
+    ++_timerGen;  // invalidate any armed window timer
+
+    const auto n = static_cast<unsigned>(_pending.size());
+
+    // One batch job: per-batch setup plus the summed member service.
+    double raw_ns = 0.0;
+    for (const Submission &s : _pending)
+        raw_ns += p.rawServiceNs(s.work);
+    const double setup_ns = _config.batchSetupNs >= 0.0
+                                ? _config.batchSetupNs
+                                : p.setupNs();
+    const double ns = (raw_ns + setup_ns) / p.speed();
+    const auto service = static_cast<sim::Tick>(ns * 1e3 + 0.5);
+    const sim::Tick pipeline =
+        _config.batchedPipelineNs >= 0.0
+            ? static_cast<sim::Tick>(_config.batchedPipelineNs * 1e3 +
+                                     0.5)
+            : p.pipelineTicks();
+
+    // The batch occupies one worker; steer by the head member.
+    const WorkerSlot slot =
+        p.occupy(_pending.front().flowHash, service, pipeline);
+
+    const sim::Tick dispatched = p.now();
+    for (Submission &s : _pending) {
+        if (s.hook)
+            s.hook(dispatched, slot.start, n);
+    }
+
+    ++_batches;
+    _members += n;
+    if (by_timer)
+        ++_timerDispatches;
+    else
+        ++_fullDispatches;
+    _maxOccupancy = std::max(_maxOccupancy, n);
+
+    std::vector<Submission> batch;
+    batch.swap(_pending);
+    p.completeBatchAt(slot.busyDone + pipeline, std::move(batch));
+}
+
+void
+CoalescingDiscipline::drain()
+{
+    // Between measurement windows: discard the half-built batch.
+    // Members are stale by definition (their senders were reset), so
+    // they are dropped without completion; a traced member's slot is
+    // reclaimed when the recorder clears (bounded to one batch per
+    // engine).
+    ++_timerGen;
+    _pending.clear();
+}
+
+BatchingSnapshot
+CoalescingDiscipline::batching() const
+{
+    BatchingSnapshot s;
+    s.batches = _batches;
+    s.members = _members;
+    s.fullDispatches = _fullDispatches;
+    s.timerDispatches = _timerDispatches;
+    s.maxOccupancy = _maxOccupancy;
+    s.pendingNow = static_cast<unsigned>(_pending.size());
+    return s;
+}
+
+std::unique_ptr<QueueDiscipline>
+makeImmediate()
+{
+    return std::make_unique<ImmediateDiscipline>();
+}
+
+std::unique_ptr<QueueDiscipline>
+makeCoalescing(BatchConfig config)
+{
+    return std::make_unique<CoalescingDiscipline>(config);
+}
+
+} // namespace snic::hw

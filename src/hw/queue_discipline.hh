@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Queue disciplines: how an ExecutionPlatform turns submissions into
+ * worker occupancy.
+ *
+ * The platform itself is just a worker pool (core lanes, engine
+ * lanes) with a cost model; *when* and *how* submissions reach a
+ * worker is a pluggable policy:
+ *
+ *  - Immediate: every submission is priced and dispatched to a
+ *    worker on the spot — the classic per-request FIFO server. This
+ *    is the identity discipline: its arithmetic and event schedule
+ *    are exactly the pre-discipline platform's, so every measured
+ *    number is bitwise identical (asserted in
+ *    tests/test_queue_discipline.cc).
+ *
+ *  - Coalescing: submissions accumulate into a batch until either
+ *    maxBatch members have arrived or a coalesce window (armed by
+ *    the first member) expires. The whole batch occupies one worker
+ *    for one per-batch setup plus the summed per-member service, and
+ *    completion fans out to every member at once. This is how the
+ *    BlueField-2 engines actually run (the DOCA driver posts ~32
+ *    packets per RXP job), and it is where the paper's two signature
+ *    accelerator behaviours come from: the ~50 Gbps REM ceiling
+ *    (KO3) emerges from per-batch setup amortization, and the ~25 us
+ *    low-load latency floor (Fig. 5) emerges from waiting for the
+ *    batch to fill.
+ */
+
+#ifndef SNIC_HW_QUEUE_DISCIPLINE_HH
+#define SNIC_HW_QUEUE_DISCIPLINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "alg/workcount.hh"
+#include "sim/types.hh"
+
+namespace snic::hw {
+
+class ExecutionPlatform;
+
+/** Completion callback; invoked when service (+ pipeline) finishes. */
+using Completion = std::function<void()>;
+
+/**
+ * Optional observation hook, invoked synchronously at dispatch time
+ * (when the submission leaves the discipline for a worker). Purely
+ * observational — attaching one never changes the event schedule.
+ *
+ * @param dispatched   tick the submission left the discipline.
+ * @param serviceStart tick its worker actually begins the service
+ *                     (>= dispatched when the worker has a backlog).
+ * @param batchSize    members in the dispatched batch (1 under
+ *                     Immediate).
+ */
+using DispatchHook =
+    std::function<void(sim::Tick dispatched, sim::Tick serviceStart,
+                       unsigned batchSize)>;
+
+/** One queued unit of work. */
+struct Submission
+{
+    alg::WorkCounters work;
+    std::uint64_t flowHash = 0;
+    Completion done;
+    DispatchHook hook;
+    /** Tick the submission entered the discipline. */
+    sim::Tick enqueuedAt = 0;
+};
+
+/**
+ * Coalescing parameters for one engine (or CPU) queue.
+ *
+ * The defaults are the identity configuration: maxBatch 1 and a zero
+ * window dispatch every submission on arrival, and the sentinel
+ * setup/pipeline values inherit the platform's own numbers — so
+ * Coalescing{1, 0} is bit-for-bit the Immediate discipline.
+ */
+struct BatchConfig
+{
+    /** Dispatch as soon as this many submissions have coalesced. */
+    unsigned maxBatch = 1;
+    /** Dispatch at latest this long after the first member arrived
+     *  (0 = dispatch on arrival). */
+    double coalesceWindowNs = 0.0;
+    /** Setup charged once per *batch* (< 0 inherits the platform's
+     *  per-request setup, the identity case). */
+    double batchSetupNs = -1.0;
+    /** Pipeline latency while batching (< 0 keeps the platform's
+     *  per-request pipeline). Engines that batch overlap part of the
+     *  staging/DMA path, so their batched pipeline is shorter than
+     *  the per-request amortized figure. */
+    double batchedPipelineNs = -1.0;
+
+    /** Whether this config coalesces at all. */
+    bool
+    enabled() const
+    {
+        return maxBatch > 1 || coalesceWindowNs > 0.0;
+    }
+};
+
+/** Aggregate batching behaviour of one discipline. */
+struct BatchingSnapshot
+{
+    std::uint64_t batches = 0;        ///< batches dispatched
+    std::uint64_t members = 0;        ///< submissions dispatched
+    std::uint64_t fullDispatches = 0; ///< dispatched by size
+    std::uint64_t timerDispatches = 0;///< dispatched by window expiry
+    unsigned maxOccupancy = 0;        ///< largest batch seen
+    unsigned pendingNow = 0;          ///< members waiting right now
+
+    double
+    meanOccupancy() const
+    {
+        return batches ? static_cast<double>(members) /
+                             static_cast<double>(batches)
+                       : 0.0;
+    }
+};
+
+/**
+ * The pluggable policy. The owning platform attaches itself before
+ * first use and forwards every submit(); the discipline decides when
+ * to occupy a worker through the platform's dispatch SPI
+ * (ExecutionPlatform::occupy / completeAt / completeBatchAt).
+ */
+class QueueDiscipline
+{
+  public:
+    virtual ~QueueDiscipline() = default;
+
+    /** Called by the owning platform when installed. */
+    void attach(ExecutionPlatform &platform) { _platform = &platform; }
+
+    virtual const char *name() const = 0;
+
+    /** Accept one submission; dispatch now or coalesce. */
+    virtual void enqueue(Submission &&sub) = 0;
+
+    /**
+     * Discard any half-built batch (between measurement windows).
+     * Pending members are dropped without completion — their senders
+     * are stale by definition when this is called.
+     */
+    virtual void drain() {}
+
+    /** Batching behaviour so far (zeroes for Immediate). */
+    virtual BatchingSnapshot batching() const { return {}; }
+
+    /** Members currently coalescing (0 for Immediate). */
+    virtual unsigned pending() const { return 0; }
+
+  protected:
+    ExecutionPlatform &platform() const { return *_platform; }
+
+  private:
+    ExecutionPlatform *_platform = nullptr;
+};
+
+/**
+ * Per-request FIFO dispatch — the identity discipline. enqueue() is
+ * the pre-discipline ExecutionPlatform::submit body verbatim.
+ */
+class ImmediateDiscipline final : public QueueDiscipline
+{
+  public:
+    const char *name() const override { return "immediate"; }
+    void enqueue(Submission &&sub) override;
+};
+
+/**
+ * Batch coalescing: accumulate until maxBatch or the coalesce window
+ * (armed by the first member) fires, then occupy one worker for
+ * (batch setup + summed member service) and fan the completion out.
+ */
+class CoalescingDiscipline final : public QueueDiscipline
+{
+  public:
+    explicit CoalescingDiscipline(BatchConfig config)
+        : _config(config)
+    {}
+
+    const char *name() const override { return "coalescing"; }
+    void enqueue(Submission &&sub) override;
+    void drain() override;
+    BatchingSnapshot batching() const override;
+
+    unsigned
+    pending() const override
+    {
+        return static_cast<unsigned>(_pending.size());
+    }
+
+    const BatchConfig &config() const { return _config; }
+
+  private:
+    void dispatchPending(bool by_timer);
+
+    BatchConfig _config;
+    std::vector<Submission> _pending;
+    /** Invalidates in-flight window timers (a fire whose generation
+     *  is stale — the batch already dispatched or drained — is a
+     *  no-op, so timers never need descheduling). */
+    std::uint64_t _timerGen = 0;
+
+    // Aggregate counters for BatchingSnapshot.
+    std::uint64_t _batches = 0;
+    std::uint64_t _members = 0;
+    std::uint64_t _fullDispatches = 0;
+    std::uint64_t _timerDispatches = 0;
+    unsigned _maxOccupancy = 0;
+};
+
+std::unique_ptr<QueueDiscipline> makeImmediate();
+std::unique_ptr<QueueDiscipline> makeCoalescing(BatchConfig config);
+
+} // namespace snic::hw
+
+#endif // SNIC_HW_QUEUE_DISCIPLINE_HH

@@ -51,6 +51,13 @@ struct Spec
     bool supportsAccel = false;
     hw::AccelKind accel = hw::AccelKind::Rem;
 
+    /** How the engine's queue coalesces this function's jobs. The
+     *  default (batch 1, no window) is the identity Immediate path;
+     *  workloads whose driver batches job posts (REM's DOCA path)
+     *  set the engine's hardware defaults here. The testbed can
+     *  override per run (TestbedConfig::accelQueueing). */
+    hw::BatchConfig accelBatch;
+
     /** Cores the function may use on each platform (Sec. 3.3/3.4:
      *  microbenchmarks use 1, REM staging uses 2 SNIC cores, ...). */
     unsigned hostCores = 8;

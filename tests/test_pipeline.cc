@@ -369,3 +369,67 @@ TEST(TailAttribution, RevisitedStageAccumulatesAcrossHops)
     // from the summed winner.
     EXPECT_EQ(a.dominated, 0u);
 }
+
+TEST(TailAttribution, SynchronousHopsReportPureService)
+{
+    // syntheticTrace never calls markDispatch, so every hop keeps
+    // dispatched == serviceStarted == entered: the dominant stage's
+    // residency is all service, with no batching or queueing blame.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{0, 100}, {3, 400}})};
+    const TailAttribution a = attributeTail(traces);
+    EXPECT_EQ(a.stage, 3);
+    EXPECT_DOUBLE_EQ(a.batchStallShare, 0.0);
+    EXPECT_DOUBLE_EQ(a.queueShare, 0.0);
+    EXPECT_DOUBLE_EQ(a.serviceShare, 1.0);
+}
+
+TEST(TailAttribution, MarkDispatchSplitsTheDominantStageByCause)
+{
+    // One hop of 400 ticks on stage 3, split by markDispatch into
+    // 100 batch-formation stall + 150 worker queueing + 150 service.
+    RequestTrace t = syntheticTrace({{0, 100}, {3, 400}});
+    t.hops[1].dispatched = t.hops[1].entered + 100;
+    t.hops[1].serviceStarted = t.hops[1].entered + 250;
+    const TailAttribution a = attributeTail({t});
+    EXPECT_EQ(a.stage, 3);
+    EXPECT_DOUBLE_EQ(a.batchStallShare, 100.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.queueShare, 150.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.serviceShare, 150.0 / 400.0);
+    // The causes partition the stage's residency exactly.
+    EXPECT_DOUBLE_EQ(
+        a.batchStallShare + a.queueShare + a.serviceShare, 1.0);
+}
+
+TEST(TailAttribution, CauseSharesAggregateOnlyTheDominantStage)
+{
+    // Two traces: stage 3 dominates (600 of 800). Its split sums the
+    // two hops' causes (stall 100+300, queue 50+0, service 100+50);
+    // stage 0's pure-service hops must not dilute the shares.
+    RequestTrace t1 = syntheticTrace({{0, 100}, {3, 250}});
+    t1.hops[1].dispatched = t1.hops[1].entered + 100;
+    t1.hops[1].serviceStarted = t1.hops[1].entered + 150;
+    RequestTrace t2 = syntheticTrace({{0, 100}, {3, 350}});
+    t2.hops[1].dispatched = t2.hops[1].entered + 300;
+    t2.hops[1].serviceStarted = t2.hops[1].entered + 300;
+    const TailAttribution a = attributeTail({t1, t2});
+    EXPECT_EQ(a.stage, 3);
+    EXPECT_DOUBLE_EQ(a.batchStallShare, 400.0 / 600.0);
+    EXPECT_DOUBLE_EQ(a.queueShare, 50.0 / 600.0);
+    EXPECT_DOUBLE_EQ(a.serviceShare, 150.0 / 600.0);
+}
+
+TEST(TraceHop, CauseIntervalsClampInsteadOfUnderflowing)
+{
+    // A hop whose dispatch marks were never set beyond entry (or
+    // were set inconsistently) must clamp each interval at zero
+    // rather than wrap the unsigned tick arithmetic.
+    TraceHop hop;
+    hop.entered = 1000;
+    hop.dispatched = 900;       // before entry: stall clamps to 0
+    hop.serviceStarted = 800;   // before dispatch: wait clamps to 0
+    hop.exited = 700;           // before service: service clamps to 0
+    EXPECT_EQ(hop.batchStall(), 0u);
+    EXPECT_EQ(hop.queueWait(), 0u);
+    EXPECT_EQ(hop.serviceTime(), 0u);
+}
