@@ -24,8 +24,10 @@ const char *const kStageNames[] = {"ingress", "stack", "app",
                                    "accelerator", "egress"};
 
 /** Which stage holds a cell's slowest requests, and why: the
- *  residency of the dominant stage split into batch-formation
- *  stall, worker queueing, and service. */
+ *  residency of the dominant stage split into doorbell
+ *  backpressure, batch-formation stall, worker queueing, and
+ *  service — plus the engine's batching and descriptor-ring
+ *  occupancy when the cell coalesces jobs. */
 void
 printForensics(const NormalizedRow &row)
 {
@@ -38,10 +40,29 @@ printForensics(const NormalizedRow &row)
             ? kStageNames[a.stage]
             : "?";
     std::printf("  %-18s %-11s %4.0f%% of tail residency "
-                "(stall %2.0f%% | queue %2.0f%% | service %2.0f%%)\n",
+                "(backpressure %2.0f%% | stall %2.0f%% | "
+                "queue %2.0f%% | service %2.0f%%)\n",
                 row.workloadId.c_str(), stage, a.share * 100.0,
+                a.backpressureShare * 100.0,
                 a.batchStallShare * 100.0, a.queueShare * 100.0,
                 a.serviceShare * 100.0);
+
+    const hw::BatchingSnapshot &b = row.snic.accelBatching;
+    const hw::RingSnapshot &r = row.snic.accelRing;
+    if (b.batches > 0) {
+        std::printf("  %-18s engine: %llu batches (mean %.1f, max %u "
+                    "members), ring occupancy p50/p99 %llu/%llu\n",
+                    "", static_cast<unsigned long long>(b.batches),
+                    b.meanOccupancy(), b.maxOccupancy,
+                    static_cast<unsigned long long>(r.occupancy.p50()),
+                    static_cast<unsigned long long>(r.occupancy.p99()));
+    }
+    if (r.bounded()) {
+        std::printf("  %-18s ring depth %u: %.1f%% of admissions "
+                    "parked, mean stall %.1f us\n",
+                    "", r.depth, r.parkedShare() * 100.0,
+                    sim::ticksToUs(r.stall.mean()));
+    }
 }
 
 } // anonymous namespace

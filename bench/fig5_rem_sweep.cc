@@ -10,10 +10,17 @@
  * the low-load floor rises with every batch step while the ceiling
  * holds in the paper's ~50 Gbps band.
  *
- * Both modes keep per-request stage traces of the slowest requests
+ * `--ring-depth` sweeps the engine's descriptor-ring depth x offered
+ * load with the workload's own coalescing: a finite ring turns on
+ * doorbell backpressure (full ring parks submitters and charges the
+ * stall to the serving cores), so the p99 knee shifts left as the
+ * ring shrinks.
+ *
+ * All modes keep per-request stage traces of the slowest requests
  * and close with a tail-forensics section: which pipeline stage owns
- * the p99, split into batch-formation stall vs worker queueing vs
- * service.
+ * the p99, split into doorbell backpressure vs batch-formation
+ * stall vs worker queueing vs service, plus the ring-full
+ * correlation when the ring is bounded.
  */
 
 #include <cstdio>
@@ -70,8 +77,9 @@ tabulate(const char *label, const std::vector<double> &rates,
 }
 
 /** Print where a measured cell's slowest requests spent their time:
- *  the dominant stage and its batch-stall / queueing / service
- *  split (satellite of the queue-discipline refactor). */
+ *  the dominant stage and its backpressure / batch-stall / queueing
+ *  / service split, plus — when the engine ring is bounded — which
+ *  upstream stage's residency coincided with the ring-full spans. */
 void
 printForensics(const char *label, const Measurement &m)
 {
@@ -80,15 +88,26 @@ printForensics(const char *label, const Measurement &m)
         std::printf("  %-44s no traces kept\n", label);
         return;
     }
-    const char *stage_name =
-        static_cast<std::size_t>(a.stage) < m.stageStats.size()
-            ? m.stageStats[a.stage].name.c_str()
-            : "?";
+    auto stageName = [&](int s) {
+        return static_cast<std::size_t>(s) < m.stageStats.size()
+                   ? m.stageStats[static_cast<std::size_t>(s)]
+                         .name.c_str()
+                   : "?";
+    };
     std::printf("  %-44s %-11s %4.0f%% of tail residency "
-                "(stall %2.0f%% | queue %2.0f%% | service %2.0f%%)\n",
-                label, stage_name, a.share * 100.0,
+                "(backpressure %2.0f%% | stall %2.0f%% | "
+                "queue %2.0f%% | service %2.0f%%)\n",
+                label, stageName(a.stage), a.share * 100.0,
+                a.backpressureShare * 100.0,
                 a.batchStallShare * 100.0, a.queueShare * 100.0,
                 a.serviceShare * 100.0);
+    const BackpressureCorrelation &c = m.backpressure;
+    if (c.stage >= 0) {
+        std::printf("  %-44s ring full %.0f us; %.0f%% of %s "
+                    "residency inside the full spans\n",
+                    "", sim::ticksToUs(c.ringFullTicks),
+                    c.share * 100.0, stageName(c.stage));
+    }
 }
 
 /** Default mode: the paper's Fig. 5 sweep. */
@@ -282,6 +301,125 @@ runBatchSweep()
     return 0;
 }
 
+/** `--ring-depth` mode: descriptor-ring depth x offered load. */
+int
+runRingDepthSweep()
+{
+    // Depth 0 = the unbounded default (no doorbell model); finite
+    // depths bound pending + in-service occupancy on the engine.
+    const std::vector<unsigned> depths{0, 256, 96, 48};
+    const std::vector<double> rates{10.0, 20.0, 30.0, 40.0, 45.0,
+                                    50.0, 60.0};
+
+    std::vector<RateCell> cells;
+    for (unsigned depth : depths) {
+        ExperimentOptions opts;
+        opts.targetSamples = 6000;
+        opts.traceSlowest = 8;
+        opts.accelRingDepth = depth;
+        for (double rate : rates) {
+            cells.push_back({"rem_exe_mtu", hw::Platform::SnicAccel,
+                             rate, opts});
+        }
+    }
+    ExperimentRunner runner;
+    const auto points = runner.measureCells(cells);
+
+    std::vector<std::vector<double>> p99_series(depths.size());
+    for (std::size_t d = 0; d < depths.size(); ++d) {
+        char title[96];
+        if (depths[d] == 0) {
+            std::snprintf(title, sizeof title,
+                          "Fig. 5 (ring sweep) — SNIC accelerator, "
+                          "unbounded ring");
+        } else {
+            std::snprintf(title, sizeof title,
+                          "Fig. 5 (ring sweep) — SNIC accelerator, "
+                          "ring depth %u",
+                          depths[d]);
+        }
+        stats::Table t(title);
+        t.setHeader({"offered Gbps", "achieved Gbps", "p99 us",
+                     "parked %", "mean stall us", "ring occ p99"});
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            const auto &m = points[d * rates.size() + r];
+            t.addRow({stats::Table::num(rates[r], 0),
+                      stats::Table::num(m.achievedGbps, 1),
+                      stats::Table::num(m.p99Us(), 1),
+                      stats::Table::num(
+                          m.accelRing.parkedShare() * 100.0, 1),
+                      stats::Table::num(
+                          sim::ticksToUs(m.accelRing.stall.mean()),
+                          1),
+                      stats::Table::num(static_cast<double>(
+                                            m.accelRing.occupancy
+                                                .p99()),
+                                        0)});
+            p99_series[d].push_back(m.p99Us());
+        }
+        t.print(csvOutput);
+    }
+
+    if (!csvOutput) {
+        stats::AsciiPlot lat("Ring sweep — p99 us vs offered Gbps "
+                             "(clamped at 150 us): the knee shifts "
+                             "left as the ring shrinks");
+        lat.setYLimit(150.0);
+        const char marks[] = {'u', 'd', 'm', 's'};
+        const char *labels[] = {"unbounded", "depth 256", "depth 96",
+                                "depth 48"};
+        for (std::size_t d = 0; d < depths.size(); ++d)
+            lat.addSeries(marks[d], rates, p99_series[d], labels[d]);
+        lat.print();
+    }
+
+    // Knee estimate per depth: the lowest offered rate whose p99
+    // crosses 100 us. A shallower ring crosses earlier.
+    std::printf("\np99 > 100 us knee per ring depth:\n");
+    for (std::size_t d = 0; d < depths.size(); ++d) {
+        double knee = 0.0;
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            if (p99_series[d][r] > 100.0) {
+                knee = rates[r];
+                break;
+            }
+        }
+        if (depths[d] == 0)
+            std::printf("  unbounded ring: ");
+        else
+            std::printf("  depth %9u: ", depths[d]);
+        if (knee > 0.0)
+            std::printf("%.0f Gbps\n", knee);
+        else
+            std::printf("beyond %.0f Gbps\n", rates.back());
+    }
+
+    // Tail forensics at the heaviest offer: with a finite ring the
+    // backpressure share appears and the correlation names the
+    // upstream stage that absorbed the doorbell stalls.
+    std::printf("\nTail forensics — slowest 8 at %.0f Gbps "
+                "offered:\n",
+                rates.back());
+    for (std::size_t d = 0; d < depths.size(); ++d) {
+        char label[48];
+        if (depths[d] == 0)
+            std::snprintf(label, sizeof label, "unbounded ring");
+        else
+            std::snprintf(label, sizeof label, "ring depth %u",
+                          depths[d]);
+        printForensics(label,
+                       points[d * rates.size() + rates.size() - 1]);
+    }
+
+    std::printf(
+        "\nA full descriptor ring parks the submitting core like a "
+        "blocked DOCA job post: the stall is charged upstream, so "
+        "shrinking the ring moves the same saturation p99 to lower "
+        "offered loads instead of growing an unbounded engine "
+        "queue.\n");
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -290,9 +428,14 @@ main(int argc, char **argv)
     sim::setLogLevel(sim::LogLevel::Quiet);
     csvOutput = stats::Table::wantCsv(argc, argv);
     bool batchMode = false;
+    bool ringMode = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--batch") == 0)
             batchMode = true;
+        if (std::strcmp(argv[i], "--ring-depth") == 0)
+            ringMode = true;
     }
+    if (ringMode)
+        return runRingDepthSweep();
     return batchMode ? runBatchSweep() : runFigureSweep();
 }

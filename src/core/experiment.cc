@@ -39,6 +39,7 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
     config.hostCoresOverride = opts.hostCoresOverride;
     config.accelQueueing = opts.accelQueueing;
     config.accelBatchOverride = opts.accelBatchOverride;
+    config.accelRingDepth = opts.accelRingDepth;
     Testbed testbed(config);
     if (opts.traceSlowest > 0)
         testbed.enableTracing(opts.traceSlowest);
@@ -56,6 +57,9 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
         r.meanUs = m.meanUs();
         r.energy = m.energy;
         r.slowestTraces = m.slowestTraces;
+        r.accelBatching = m.accelBatching;
+        r.accelRing = m.accelRing;
+        r.backpressure = m.backpressure;
     } else {
         const Capacity cap = findCapacity(testbed, opts);
         r.maxRps = cap.rps;
@@ -78,6 +82,9 @@ runExperiment(const std::string &workload_id, hw::Platform platform,
         r.meanUs = m.meanUs();
         r.energy = m.energy;
         r.slowestTraces = m.slowestTraces;
+        r.accelBatching = m.accelBatching;
+        r.accelRing = m.accelRing;
+        r.backpressure = m.backpressure;
     }
 
     r.efficiencyRpsPerJoule = efficiencyRpsPerJoule(r);
@@ -96,6 +103,7 @@ measureAtRate(const std::string &workload_id, hw::Platform platform,
     config.hostCoresOverride = opts.hostCoresOverride;
     config.accelQueueing = opts.accelQueueing;
     config.accelBatchOverride = opts.accelBatchOverride;
+    config.accelRingDepth = opts.accelRingDepth;
     Testbed testbed(config);
     if (opts.traceSlowest > 0)
         testbed.enableTracing(opts.traceSlowest);

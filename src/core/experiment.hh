@@ -40,6 +40,9 @@ struct ExperimentOptions
     AccelQueueing accelQueueing = AccelQueueing::WorkloadDefault;
     /** Coalescing parameters when accelQueueing is ForceCoalescing. */
     hw::BatchConfig accelBatchOverride;
+    /** Engine descriptor-ring depth (0 = unbounded; see
+     *  TestbedConfig::accelRingDepth). */
+    unsigned accelRingDepth = 0;
 };
 
 /** The headline numbers of one (workload, platform) cell. */
@@ -62,6 +65,13 @@ struct RunResult
     /** Slowest request timelines of the load-point window (empty
      *  unless ExperimentOptions::traceSlowest > 0). */
     std::vector<RequestTrace> slowestTraces;
+    /** Engine batch-formation behaviour of the load-point window. */
+    hw::BatchingSnapshot accelBatching;
+    /** Engine descriptor-ring behaviour of the load-point window. */
+    hw::RingSnapshot accelRing;
+    /** Ring-full / upstream-residency correlation of the load-point
+     *  window (set when tracing is on and the ring is bounded). */
+    BackpressureCorrelation backpressure;
 };
 
 /**

@@ -27,6 +27,8 @@ Stage::snapshot() const
     s.maxBatchOccupancy = _stats.batchOccupancy.max();
     s.meanBatchStallUs = sim::ticksToUs(_stats.batchStall.mean());
     s.p99BatchStallUs = sim::ticksToUs(_stats.batchStall.p99());
+    s.meanRingStallUs = sim::ticksToUs(_stats.ringStall.mean());
+    s.p99RingStallUs = sim::ticksToUs(_stats.ringStall.p99());
     return s;
 }
 
@@ -72,17 +74,24 @@ AppStage::process(PipelineRequest &&req)
     // traced timeline into worker-queueing vs service, so untraced
     // requests skip it entirely.
     hw::DispatchHook hook;
+    hw::Completion dropped;
     if (req.trace) {
-        hook = [trace = req.trace](sim::Tick dispatched,
+        hook = [trace = req.trace](sim::Tick admitted,
+                                   sim::Tick dispatched,
                                    sim::Tick service_start, unsigned) {
-            trace->markDispatch(dispatched, service_start);
+            trace->markDispatch(admitted, dispatched, service_start);
+        };
+        // If the platform discards the request (window drain or a
+        // completion straddling a reset), reclaim its recorder slot.
+        dropped = [tracer = _ctx.tracer, trace = req.trace] {
+            tracer->discard(trace);
         };
     }
     _ctx.servingCpu.submit(work, flow,
                            [this, req = std::move(req)]() mutable {
                                forward(std::move(req));
                            },
-                           std::move(hook));
+                           std::move(hook), std::move(dropped));
 }
 
 void
@@ -100,25 +109,46 @@ AcceleratorStage::process(PipelineRequest &&req)
     // The hook fires when the engine's discipline posts the job —
     // immediately under Immediate, at batch formation under
     // Coalescing — and records the batch occupancy plus how long
-    // this request stalled coalescing. A traced request additionally
-    // splits its timeline at the same instants, so batch-formation
-    // wait shows up as a distinct interval instead of being folded
-    // into service. Hooks for requests discarded by a window drain
-    // never fire (the discipline drops them undispatched).
+    // this request stalled (parked behind a full ring, then
+    // coalescing). A traced request additionally splits its timeline
+    // at the same instants, so doorbell backpressure and
+    // batch-formation wait show up as distinct intervals instead of
+    // being folded into service. Hooks for requests discarded by a
+    // window drain never fire (the discipline drops them
+    // undispatched); the dropped callback reclaims their trace slots.
     hw::DispatchHook hook =
         [this, entered = req.stageEntered, trace = req.trace](
-            sim::Tick dispatched, sim::Tick service_start,
-            unsigned batch_size) {
-            recordDispatch(entered, dispatched, batch_size);
+            sim::Tick admitted, sim::Tick dispatched,
+            sim::Tick service_start, unsigned batch_size) {
+            recordDispatch(entered, admitted, dispatched, batch_size);
             if (trace)
-                trace->markDispatch(dispatched, service_start);
+                trace->markDispatch(admitted, dispatched,
+                                    service_start);
+        };
+    hw::Completion dropped;
+    if (req.trace) {
+        dropped = [tracer = _ctx.tracer, trace = req.trace] {
+            tracer->discard(trace);
+        };
+    }
+    // Doorbell backpressure propagates upstream: while the engine's
+    // ring is full the submitting core sits blocked on the job post
+    // (a spinning DOCA doorbell write), so the stall occupies the
+    // serving CPU. That is what pushes queueing back into the stack
+    // stage's platform instead of letting it hide in an unbounded
+    // pend list.
+    hw::AdmissionHook on_admitted =
+        [cpu = &_ctx.servingCpu, flow](sim::Tick parked_at,
+                                       sim::Tick admitted_at) {
+            cpu->chargeStall(flow, admitted_at - parked_at);
         };
     _ctx.server.accel(_ctx.workload.spec().accel)
         .submit(work, flow,
                 [this, req = std::move(req)]() mutable {
                     forward(std::move(req));
                 },
-                std::move(hook));
+                std::move(hook), std::move(dropped),
+                std::move(on_admitted));
 }
 
 void

@@ -22,6 +22,7 @@
 #ifndef SNIC_CORE_PIPELINE_HH
 #define SNIC_CORE_PIPELINE_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,9 @@ struct StageStats
     /** Ticks each request waited for its batch to form before the
      *  job posted (0 under Immediate). */
     stats::Histogram batchStall;
+    /** Ticks each request spent parked behind a full descriptor
+     *  ring before the engine admitted it (0 when unbounded). */
+    stats::Histogram ringStall;
 
     /** Requests currently inside the stage (its queue depth).
      *  Saturating: a leftover request accepted before resetStats()
@@ -84,6 +88,7 @@ struct StageStats
         residency.reset();
         batchOccupancy.reset();
         batchStall.reset();
+        ringStall.reset();
     }
 };
 
@@ -104,6 +109,9 @@ struct StageSnapshot
     /** Batch-formation wait (0 under Immediate dispatch). */
     double meanBatchStallUs = 0.0;
     double p99BatchStallUs = 0.0;
+    /** Doorbell-backpressure wait (0 with an unbounded ring). */
+    double meanRingStallUs = 0.0;
+    double p99RingStallUs = 0.0;
 };
 
 /**
@@ -199,14 +207,18 @@ class Stage
     virtual void process(PipelineRequest &&req) = 0;
 
     /** Record one dispatch observation from a platform hook: the
-     *  batch the request rode in and how long it coalesced. */
+     *  batch the request rode in, how long it sat parked behind a
+     *  full ring, and how long it coalesced after admission. */
     void
-    recordDispatch(sim::Tick entered, sim::Tick dispatched,
-                   unsigned batch_size)
+    recordDispatch(sim::Tick entered, sim::Tick admitted,
+                   sim::Tick dispatched, unsigned batch_size)
     {
         _stats.batchOccupancy.record(batch_size);
+        _stats.ringStall.record(
+            admitted > entered ? admitted - entered : 0);
+        const sim::Tick from = std::max(entered, admitted);
         _stats.batchStall.record(
-            dispatched > entered ? dispatched - entered : 0);
+            dispatched > from ? dispatched - from : 0);
     }
 
     /** Complete this stage and hand to the next (if any); leaving

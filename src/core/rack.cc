@@ -115,8 +115,7 @@ Rack::measure(double aggregate_gbps, sim::Tick warmup,
     _gen->startAtRate(aggregate_gbps, window_end);
     _sim->runUntil(window_start);
     for (auto &m : _members) {
-        if (m->_tracer)
-            m->_tracer->reset();
+        m->resetWindowObservers();
         m->_recording = true;
     }
     std::vector<power::EnergyMeter> meters;

@@ -65,19 +65,30 @@ Testbed::assemble()
     // Engine queue discipline: the workload's hardware batching
     // defaults unless this run forces a policy. ForceImmediate keeps
     // the pre-installed Immediate discipline (the identity datapath).
+    // A ring-depth override bounds the engine's descriptor ring; a
+    // Coalescing{1, 0} discipline is bitwise the Immediate path, so
+    // bounding the ring of a non-batching engine costs nothing else.
     switch (_config.accelQueueing) {
-      case AccelQueueing::WorkloadDefault:
-        if (spec.accelBatch.enabled()) {
+      case AccelQueueing::WorkloadDefault: {
+        hw::BatchConfig cfg = spec.accelBatch;
+        if (_config.accelRingDepth)
+            cfg.queueDepth = _config.accelRingDepth;
+        if (cfg.enabled() || cfg.bounded()) {
             _server->accel(spec.accel).setDiscipline(
-                hw::makeCoalescing(spec.accelBatch));
+                hw::makeCoalescing(cfg));
         }
         break;
+      }
       case AccelQueueing::ForceImmediate:
         break;
-      case AccelQueueing::ForceCoalescing:
+      case AccelQueueing::ForceCoalescing: {
+        hw::BatchConfig cfg = _config.accelBatchOverride;
+        if (_config.accelRingDepth)
+            cfg.queueDepth = _config.accelRingDepth;
         _server->accel(spec.accel).setDiscipline(
-            hw::makeCoalescing(_config.accelBatchOverride));
+            hw::makeCoalescing(cfg));
         break;
+      }
     }
 
     _power = std::make_unique<power::ServerPowerModel>(*_server);
@@ -153,6 +164,28 @@ Testbed::servingCpu()
     return _server->cpuFor(_config.platform);
 }
 
+hw::ExecutionPlatform &
+Testbed::accelEngine()
+{
+    return _server->accel(_workload->spec().accel);
+}
+
+void
+Testbed::resetWindowObservers()
+{
+    if (_tracer) {
+        // Forget warmup-period timelines: kept traces describe the
+        // measured window, like the latency histogram.
+        _tracer->reset();
+    }
+    // Same boundary for the engine observers, so BatchingSnapshot
+    // and RingSnapshot count the window's traffic only — not the
+    // warmup's (there is no drain between warmup and window; a drain
+    // here would perturb the schedule).
+    accelEngine().resetRingStats();
+    accelEngine().discipline().resetBatchingStats();
+}
+
 void
 Testbed::enableTracing(std::size_t keepSlowest)
 {
@@ -164,7 +197,7 @@ void
 Testbed::resetDatapath()
 {
     servingCpu().drainAndReset();
-    _server->accel(_workload->spec().accel).drainAndReset();
+    accelEngine().drainAndReset();
     _server->pcie().reset();
     _upLink->reset();
     _downLink->reset();
@@ -254,6 +287,14 @@ Testbed::collect(sim::Tick warmup, sim::Tick window,
     m.stageStats = _pipeline->snapshot();
     if (_tracer)
         m.slowestTraces = _tracer->slowest();
+    m.accelBatching = accelEngine().discipline().batching();
+    m.accelRing = accelEngine().ringSnapshot();
+    if (!m.slowestTraces.empty() && m.accelRing.bounded()) {
+        const Stage *accel_stage = _pipeline->stage("accelerator");
+        m.backpressure = correlateRingFull(
+            m.slowestTraces, accelEngine().ringFullSpans(),
+            accel_stage ? accel_stage->index() : -1);
+    }
     return m;
 }
 
@@ -276,11 +317,7 @@ Testbed::measure(double gbps, sim::Tick warmup, sim::Tick window)
     }
 
     _sim->runUntil(window_start);
-    if (_tracer) {
-        // Forget warmup-period timelines: kept traces describe the
-        // measured window, like the latency histogram.
-        _tracer->reset();
-    }
+    resetWindowObservers();
     _recording = true;
     power::EnergyMeter meter(*_server, *_power);
     meter.begin();
@@ -309,8 +346,7 @@ Testbed::measureClosedLoop(unsigned depth, sim::Tick warmup,
     const sim::Tick window_start = _sim->now() + warmup;
     const sim::Tick window_end = window_start + window;
     _sim->runUntil(window_start);
-    if (_tracer)
-        _tracer->reset();
+    resetWindowObservers();
     _recording = true;
     power::EnergyMeter meter(*_server, *_power);
     meter.begin();

@@ -64,6 +64,15 @@ struct TestbedConfig
     AccelQueueing accelQueueing = AccelQueueing::WorkloadDefault;
     /** Coalescing parameters when accelQueueing is ForceCoalescing. */
     hw::BatchConfig accelBatchOverride;
+    /**
+     * Descriptor-ring depth override for the workload's engine
+     * (0 = keep the discipline's own queueDepth, unbounded by
+     * default). A finite depth turns on doorbell backpressure: full
+     * ring ⇒ submitters park and the stall is charged to the serving
+     * CPU. Ignored under ForceImmediate (the identity datapath has
+     * no ring model).
+     */
+    unsigned accelRingDepth = 0;
 };
 
 /** One measurement window's outcome. */
@@ -91,6 +100,16 @@ struct Measurement
      *  unless Testbed::enableTracing was called. Hop stage indices
      *  address stageStats. */
     std::vector<RequestTrace> slowestTraces;
+    /** The engine's batch-formation behaviour during the window
+     *  (zeros when it ran the Immediate discipline). */
+    hw::BatchingSnapshot accelBatching;
+    /** The engine's descriptor-ring/doorbell behaviour during the
+     *  window (unbounded depth and zeros by default). */
+    hw::RingSnapshot accelRing;
+    /** Which upstream stage's tail residency coincided with the
+     *  ring-full spans (meaningful only with tracing enabled and a
+     *  finite ring; ringStage is the accelerator stage index). */
+    BackpressureCorrelation backpressure;
 
     double p99Us() const { return sim::ticksToUs(latency.p99()); }
     double p50Us() const { return sim::ticksToUs(latency.p50()); }
@@ -224,6 +243,14 @@ class Testbed : private EgressSink
 
     /** The CPU platform that serves this config. */
     hw::ExecutionPlatform &servingCpu();
+
+    /** The engine platform serving this workload's accelerator work. */
+    hw::ExecutionPlatform &accelEngine();
+
+    /** Restart the window-scoped observers (trace recorder, engine
+     *  ring + batching stats) at the warmup/window boundary. Stats
+     *  only — never touches queues or the event schedule. */
+    void resetWindowObservers();
 
     /** Start a fresh measurement window: advance the epoch, clear
      *  the recorders and per-stage stats. */

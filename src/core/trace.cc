@@ -103,10 +103,10 @@ attributeTail(const std::vector<RequestTrace> &traces)
         return out;
 
     // Summed residency per pipeline stage index — split into its
-    // batch-stall / queue-wait / service causes — plus a per-trace
-    // "largest hop" vote.
+    // backpressure / batch-stall / queue-wait / service causes —
+    // plus a per-trace "largest hop" vote.
     std::vector<double> residency;
-    std::vector<double> stall, queue, service;
+    std::vector<double> park, stall, queue, service;
     std::vector<std::size_t> votes;
     double total = 0.0;
     for (const RequestTrace &t : traces) {
@@ -117,6 +117,7 @@ attributeTail(const std::vector<RequestTrace> &traces)
             const std::size_t s = hop.stage;
             if (s >= residency.size()) {
                 residency.resize(s + 1, 0.0);
+                park.resize(s + 1, 0.0);
                 stall.resize(s + 1, 0.0);
                 queue.resize(s + 1, 0.0);
                 service.resize(s + 1, 0.0);
@@ -124,6 +125,7 @@ attributeTail(const std::vector<RequestTrace> &traces)
             }
             const sim::Tick r = hop.residency();
             residency[s] += static_cast<double>(r);
+            park[s] += static_cast<double>(hop.backpressureStall());
             stall[s] += static_cast<double>(hop.batchStall());
             queue[s] += static_cast<double>(hop.queueWait());
             service[s] += static_cast<double>(hop.serviceTime());
@@ -146,9 +148,75 @@ attributeTail(const std::vector<RequestTrace> &traces)
     out.share = *it / total;
     out.dominated = votes[stage];
     if (*it > 0.0) {
+        out.backpressureShare = park[stage] / *it;
         out.batchStallShare = stall[stage] / *it;
         out.queueShare = queue[stage] / *it;
         out.serviceShare = service[stage] / *it;
+    }
+    return out;
+}
+
+namespace {
+
+/** Ticks of [begin, end) that fall inside @p spans (chronological,
+ *  non-overlapping). */
+sim::Tick
+overlapTicks(sim::Tick begin, sim::Tick end,
+             const std::vector<hw::RingFullSpan> &spans)
+{
+    sim::Tick sum = 0;
+    for (const hw::RingFullSpan &span : spans) {
+        if (span.end <= begin)
+            continue;
+        if (span.begin >= end)
+            break;
+        sum += std::min(end, span.end) - std::max(begin, span.begin);
+    }
+    return sum;
+}
+
+} // anonymous namespace
+
+BackpressureCorrelation
+correlateRingFull(const std::vector<RequestTrace> &traces,
+                  const std::vector<hw::RingFullSpan> &spans,
+                  int ring_stage)
+{
+    BackpressureCorrelation out;
+    out.ringStage = ring_stage;
+    for (const hw::RingFullSpan &span : spans)
+        out.ringFullTicks += span.end - span.begin;
+    if (traces.empty() || spans.empty())
+        return out;
+
+    std::vector<double> residency;
+    std::vector<double> overlapped;
+    for (const RequestTrace &t : traces) {
+        for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+            const TraceHop &hop = t.hops[i];
+            const std::size_t s = hop.stage;
+            if (static_cast<int>(s) == ring_stage)
+                continue;
+            if (s >= residency.size()) {
+                residency.resize(s + 1, 0.0);
+                overlapped.resize(s + 1, 0.0);
+            }
+            residency[s] += static_cast<double>(hop.residency());
+            overlapped[s] += static_cast<double>(
+                overlapTicks(hop.entered, hop.exited, spans));
+        }
+    }
+
+    out.overlapShare.assign(residency.size(), 0.0);
+    double best = 0.0;
+    for (std::size_t s = 0; s < residency.size(); ++s) {
+        if (residency[s] > 0.0)
+            out.overlapShare[s] = overlapped[s] / residency[s];
+        if (overlapped[s] > best) {
+            best = overlapped[s];
+            out.stage = static_cast<int>(s);
+            out.share = out.overlapShare[s];
+        }
     }
     return out;
 }

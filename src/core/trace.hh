@@ -21,11 +21,13 @@
 #ifndef SNIC_CORE_TRACE_HH
 #define SNIC_CORE_TRACE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "hw/queue_discipline.hh"
 #include "net/packet.hh"
 #include "sim/types.hh"
 
@@ -38,6 +40,10 @@ struct TraceHop
     std::uint8_t stage = 0;
     sim::Tick entered = 0;
     sim::Tick exited = 0;
+    /** Tick the submission cleared the engine's doorbell and entered
+     *  its queue discipline. Equal to `entered` unless the
+     *  descriptor ring was full and the submission was parked. */
+    sim::Tick admitted = 0;
     /** Tick the request left the stage's queue discipline for a
      *  worker. Under a coalescing engine queue this is when the
      *  batch formed; synchronous stages leave it at entry, so the
@@ -51,11 +57,19 @@ struct TraceHop
 
     sim::Tick residency() const { return exited - entered; }
 
+    /** Time spent parked behind a full descriptor ring. */
+    sim::Tick
+    backpressureStall() const
+    {
+        return admitted > entered ? admitted - entered : 0;
+    }
+
     /** Time spent waiting for the batch to form. */
     sim::Tick
     batchStall() const
     {
-        return dispatched > entered ? dispatched - entered : 0;
+        const sim::Tick from = std::max(entered, admitted);
+        return dispatched > from ? dispatched - from : 0;
     }
 
     /** Time spent queued behind the worker's backlog. */
@@ -122,6 +136,7 @@ struct RequestTrace
         hops[hopCount].stage = stage;
         hops[hopCount].entered = now;
         hops[hopCount].exited = now;
+        hops[hopCount].admitted = now;
         hops[hopCount].dispatched = now;
         hops[hopCount].serviceStarted = now;
         hops[hopCount].queueDepthAtEntry = depth;
@@ -136,13 +151,16 @@ struct RequestTrace
     }
 
     /** The current stage handed the request to a worker: split its
-     *  residency into batch-formation wait, worker queueing and
-     *  service (called from the platform's dispatch hook). */
+     *  residency into doorbell backpressure, batch-formation wait,
+     *  worker queueing and service (called from the platform's
+     *  dispatch hook). */
     void
-    markDispatch(sim::Tick dispatched, sim::Tick service_started)
+    markDispatch(sim::Tick admitted, sim::Tick dispatched,
+                 sim::Tick service_started)
     {
         if (!hopCount)
             return;
+        hops[hopCount - 1].admitted = admitted;
         hops[hopCount - 1].dispatched = dispatched;
         hops[hopCount - 1].serviceStarted = service_started;
     }
@@ -166,9 +184,11 @@ struct TailAttribution
     std::size_t traces = 0;
 
     /** *Why* the dominant stage holds requests: its residency split
-     *  into batch-formation wait, worker queueing, and service —
-     *  fractions of that stage's summed residency (each 0 when the
-     *  stage is -1). Synchronous stages report pure service. */
+     *  into doorbell backpressure, batch-formation wait, worker
+     *  queueing, and service — fractions of that stage's summed
+     *  residency (each 0 when the stage is -1). Synchronous stages
+     *  report pure service. */
+    double backpressureShare = 0.0;
     double batchStallShare = 0.0;
     double queueShare = 0.0;
     double serviceShare = 0.0;
@@ -177,6 +197,38 @@ struct TailAttribution
 /** Aggregate the dominant stage over @p traces (typically the
  *  recorder's slowest-N, i.e. the measured tail). */
 TailAttribution attributeTail(const std::vector<RequestTrace> &traces);
+
+/**
+ * Cross-stage cause correlation: how much of each stage's tail
+ * residency coincided with intervals when a (different) stage's
+ * engine descriptor ring was full. A large overlap on an upstream
+ * stage is the "stack queueing *caused by* accelerator backpressure"
+ * signature: the upstream workers were busy absorbing doorbell
+ * stalls, so requests piled up there instead of at the engine.
+ */
+struct BackpressureCorrelation
+{
+    /** Pipeline index of the stage owning the full ring. */
+    int ringStage = -1;
+    /** Summed length of the ring-full spans, in ticks. */
+    sim::Tick ringFullTicks = 0;
+    /** Upstream stage whose residency overlaps the full spans the
+     *  most (by overlapped ticks); -1 when there is no overlap. */
+    int stage = -1;
+    /** Fraction of that stage's summed residency inside the spans. */
+    double share = 0.0;
+    /** Per-stage overlap fraction, indexed by pipeline stage (the
+     *  ring stage itself is excluded and reports 0). */
+    std::vector<double> overlapShare;
+};
+
+/** Correlate @p traces' per-hop residency intervals against @p spans
+ *  (chronological), attributing overlap to every stage except
+ *  @p ring_stage itself. */
+BackpressureCorrelation
+correlateRingFull(const std::vector<RequestTrace> &traces,
+                  const std::vector<hw::RingFullSpan> &spans,
+                  int ring_stage);
 
 /**
  * Owns every live RequestTrace (a pooled registry, so traces of
@@ -215,6 +267,15 @@ class TraceRecorder
 
     /** Requests whose completed timeline was considered. */
     std::uint64_t completed() const { return _completed; }
+
+    /** Slots ever allocated (the pool high-water mark). Stable
+     *  across windows unless slots leak: every begun trace must be
+     *  completed or discarded, including batch members dropped by a
+     *  drain. */
+    std::size_t poolSize() const { return _live.size(); }
+
+    /** Slots currently free (== poolSize() when no trace is live). */
+    std::size_t freeCount() const { return _freeSlots.size(); }
 
   private:
     void release(RequestTrace *trace);

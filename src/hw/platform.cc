@@ -49,9 +49,12 @@ void
 ExecutionPlatform::setDiscipline(std::unique_ptr<QueueDiscipline> d)
 {
     assert(d);
+    assert(d->queueDepth() > 0);
     _discipline->drain();
     _discipline = std::move(d);
     _discipline->attach(*this);
+    // The new discipline may bound (or unbound) the ring.
+    updateFullSpan();
 }
 
 unsigned
@@ -91,15 +94,99 @@ ExecutionPlatform::utilizationSince(double integral_then,
 void
 ExecutionPlatform::submit(const alg::WorkCounters &work,
                           std::uint64_t flowHash, Completion done,
-                          DispatchHook hook)
+                          DispatchHook hook, Completion dropped,
+                          AdmissionHook onAdmitted)
 {
     Submission sub;
     sub.work = work;
     sub.flowHash = flowHash;
     sub.done = std::move(done);
     sub.hook = std::move(hook);
+    sub.dropped = std::move(dropped);
+    sub.onAdmitted = std::move(onAdmitted);
     sub.enqueuedAt = now();
+
+    if (ringFull()) {
+        // Doorbell backpressure: the ring has no room, so the
+        // submitter parks until completions free slots.
+        _doorbell.push_back(std::move(sub));
+        _maxWaiting = std::max(
+            _maxWaiting, static_cast<unsigned>(_doorbell.size()));
+        return;
+    }
+    admit(std::move(sub), /*was_parked=*/false);
+}
+
+bool
+ExecutionPlatform::ringFull() const
+{
+    const unsigned depth = _discipline->queueDepth();
+    return depth != BatchConfig::unboundedDepth &&
+           ringOccupancy() >= depth;
+}
+
+void
+ExecutionPlatform::admit(Submission &&sub, bool was_parked)
+{
+    sub.admittedAt = now();
+    ++_admissions;
+    _ringOccupancy.record(ringOccupancy());
+    if (was_parked) {
+        // Counted here rather than at park time so a window
+        // boundary mid-stall attributes the parked admission (and
+        // its stall sample) to the window that admitted it.
+        ++_parkedCount;
+        const sim::Tick stall = now() - sub.enqueuedAt;
+        _ringStall.record(stall);
+        if (sub.onAdmitted)
+            sub.onAdmitted(sub.enqueuedAt, now());
+    }
     _discipline->enqueue(std::move(sub));
+    updateFullSpan();
+}
+
+void
+ExecutionPlatform::pollDoorbell()
+{
+    while (!_doorbell.empty() && !ringFull()) {
+        Submission sub = std::move(_doorbell.front());
+        _doorbell.pop_front();
+        admit(std::move(sub), /*was_parked=*/true);
+    }
+}
+
+void
+ExecutionPlatform::updateFullSpan()
+{
+    const bool full = ringFull();
+    if (full == _ringWasFull)
+        return;
+    if (full)
+        _fullSince = now();
+    else
+        _fullSpans.push_back({_fullSince, now()});
+    _ringWasFull = full;
+}
+
+void
+ExecutionPlatform::ringSlotFreed()
+{
+    assert(_inService > 0);
+    --_inService;
+    updateFullSpan();
+}
+
+void
+ExecutionPlatform::chargeStall(std::uint64_t flowHash,
+                               sim::Tick stall_ticks)
+{
+    if (stall_ticks <= 0)
+        return;
+    const WorkerSlot slot = occupy(flowHash, stall_ticks,
+                                   /*pipeline=*/0);
+    // No completion event rides on a stall charge; sample the busy
+    // tracker when the worker frees so the integral stays exact.
+    sim().at(slot.busyDone, [this] { trackBusy(); });
 }
 
 WorkerSlot
@@ -131,13 +218,27 @@ ExecutionPlatform::occupy(std::uint64_t flowHash, sim::Tick service,
 }
 
 void
-ExecutionPlatform::completeAt(sim::Tick when, Completion done)
+ExecutionPlatform::completeAt(sim::Tick when, Completion done,
+                              Completion dropped)
 {
-    sim().at(when, [this, done = std::move(done)] {
+    ++_inService;
+    const std::uint64_t epoch = _completionEpoch;
+    sim().at(when, [this, epoch, done = std::move(done),
+                    dropped = std::move(dropped)] {
+        if (epoch != _completionEpoch) {
+            // The platform was reset while this completion was in
+            // flight: the sender is stale, swallow it (the
+            // platform-level analogue of the Stage epoch guard).
+            if (dropped)
+                dropped();
+            return;
+        }
+        ringSlotFreed();
         _completed.inc();
         trackBusy();
         if (done)
             done();
+        pollDoorbell();
     });
 }
 
@@ -145,22 +246,89 @@ void
 ExecutionPlatform::completeBatchAt(sim::Tick when,
                                    std::vector<Submission> members)
 {
-    sim().at(when, [this, members = std::move(members)]() mutable {
+    _inService += static_cast<unsigned>(members.size());
+    const std::uint64_t epoch = _completionEpoch;
+    sim().at(when, [this, epoch,
+                    members = std::move(members)]() mutable {
+        if (epoch != _completionEpoch) {
+            for (Submission &m : members) {
+                if (m.dropped)
+                    m.dropped();
+            }
+            return;
+        }
         for (Submission &m : members) {
+            ringSlotFreed();
             _completed.inc();
             trackBusy();
             if (m.done)
                 m.done();
         }
+        pollDoorbell();
     });
 }
 
 void
 ExecutionPlatform::drainAndReset()
 {
+    // Swallow every completion still in flight from the outgoing
+    // window: senders reached through their `done` callbacks are
+    // reset and must not be re-entered.
+    ++_completionEpoch;
+    _inService = 0;
+
+    for (Submission &s : _doorbell) {
+        if (s.dropped)
+            s.dropped();
+    }
+    _doorbell.clear();
+
     _discipline->drain();
     std::fill(_busyUntil.begin(), _busyUntil.end(), 0);
     trackBusy();
+    resetRingStats();
+}
+
+RingSnapshot
+ExecutionPlatform::ringSnapshot() const
+{
+    RingSnapshot s;
+    s.depth = _discipline->queueDepth();
+    s.admissions = _admissions;
+    s.parked = _parkedCount;
+    s.waitingNow = static_cast<unsigned>(_doorbell.size());
+    s.maxWaiting = _maxWaiting;
+    s.stall = _ringStall;
+    s.occupancy = _ringOccupancy;
+    for (const RingFullSpan &span : _fullSpans)
+        s.fullTicks += span.end - span.begin;
+    if (_ringWasFull)
+        s.fullTicks += now() - _fullSince;
+    return s;
+}
+
+std::vector<RingFullSpan>
+ExecutionPlatform::ringFullSpans() const
+{
+    std::vector<RingFullSpan> spans = _fullSpans;
+    if (_ringWasFull)
+        spans.push_back({_fullSince, now()});
+    return spans;
+}
+
+void
+ExecutionPlatform::resetRingStats()
+{
+    _admissions = 0;
+    _parkedCount = 0;
+    _maxWaiting = static_cast<unsigned>(_doorbell.size());
+    _ringStall.reset();
+    _ringOccupancy.reset();
+    _fullSpans.clear();
+    // Re-anchor the open span: the ring may legitimately be full at
+    // a window boundary mid-run.
+    _ringWasFull = ringFull();
+    _fullSince = now();
 }
 
 } // namespace snic::hw

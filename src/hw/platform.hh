@@ -16,6 +16,8 @@
 #ifndef SNIC_HW_PLATFORM_HH
 #define SNIC_HW_PLATFORM_HH
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "hw/queue_discipline.hh"
 #include "sim/simulation.hh"
 #include "stats/counter.hh"
+#include "stats/histogram.hh"
 
 namespace snic::hw {
 
@@ -62,6 +65,41 @@ struct WorkerSlot
 };
 
 /**
+ * Descriptor-ring / doorbell behaviour of one platform since the
+ * last resetRingStats(). All zeros when the installed discipline is
+ * unbounded (the default).
+ */
+struct RingSnapshot
+{
+    /** Configured ring capacity (BatchConfig::unboundedDepth when
+     *  the discipline does not bound its ring). */
+    unsigned depth = BatchConfig::unboundedDepth;
+    std::uint64_t admissions = 0; ///< submissions admitted to the ring
+    /** Admissions that had to wait at the doorbell first (counted at
+     *  admission, so it always matches the stall histogram). */
+    std::uint64_t parked = 0;
+    unsigned waitingNow = 0;      ///< doorbell wait-list, right now
+    unsigned maxWaiting = 0;      ///< wait-list high-water mark
+    /** Doorbell stall per *parked* submission, in ticks. */
+    stats::Histogram stall;
+    /** Ring occupancy (pending + in-service) sampled at each
+     *  submit. */
+    stats::Histogram occupancy;
+    /** Total ticks the ring spent full (open span included). */
+    sim::Tick fullTicks = 0;
+
+    bool bounded() const { return depth != BatchConfig::unboundedDepth; }
+
+    double
+    parkedShare() const
+    {
+        return admissions ? static_cast<double>(parked) /
+                                static_cast<double>(admissions)
+                          : 0.0;
+    }
+};
+
+/**
  * A multi-worker execution platform.
  */
 class ExecutionPlatform : public sim::Component
@@ -87,14 +125,38 @@ class ExecutionPlatform : public sim::Component
     /**
      * Submit one request through the installed discipline.
      *
-     * @param work     the priced work.
-     * @param flowHash steering key (used by Dispatch::FlowHash).
-     * @param done     invoked when service completes.
-     * @param hook     optional dispatch observation (trace/stats);
-     *                 attaching one never changes the schedule.
+     * When the discipline bounds its descriptor ring and pending +
+     * in-service occupancy has reached it, the submission is parked
+     * in the doorbell wait-list instead and admitted (FIFO) as
+     * completions free ring slots — the doorbell model of a DOCA job
+     * post blocking on a full ring.
+     *
+     * @param work       the priced work.
+     * @param flowHash   steering key (used by Dispatch::FlowHash).
+     * @param done       invoked when service completes.
+     * @param hook       optional dispatch observation (trace/stats);
+     *                   attaching one never changes the schedule.
+     * @param dropped    optional; invoked instead of @p done when the
+     *                   submission is discarded without service (see
+     *                   Submission::dropped).
+     * @param onAdmitted optional; invoked only if the submission was
+     *                   parked, at admission — the upstream
+     *                   backpressure-propagation point.
      */
     void submit(const alg::WorkCounters &work, std::uint64_t flowHash,
-                Completion done, DispatchHook hook = nullptr);
+                Completion done, DispatchHook hook = nullptr,
+                Completion dropped = nullptr,
+                AdmissionHook onAdmitted = nullptr);
+
+    /**
+     * Occupy a worker for @p stall_ticks of pure waiting starting
+     * now — how an upstream stage charges a doorbell stall to the
+     * core that sat blocked on the job post. Steered like any other
+     * request so repeated stalls pile onto real workers and the
+     * upstream queue grows, which is exactly the propagation the
+     * bounded ring is meant to produce.
+     */
+    void chargeStall(std::uint64_t flowHash, sim::Tick stall_ticks);
 
     /**
      * Compute the service time (ns) this platform would charge one
@@ -148,9 +210,34 @@ class ExecutionPlatform : public sim::Component
 
     std::uint64_t completedCount() const { return _completed.value(); }
 
-    /** Drop all queue state, including any half-coalesced batch
-     *  (between measurement runs). */
+    /**
+     * Drop all queue state: any half-coalesced batch, the doorbell
+     * wait-list, and every in-flight completion (between measurement
+     * runs). Advances the completion epoch so completions scheduled
+     * before the reset are swallowed when they fire — `dropped` (not
+     * `done`) is invoked and `completedCount()` stays
+     * window-accurate.
+     */
     void drainAndReset();
+
+    /** Doorbell/ring behaviour since the last resetRingStats(). */
+    RingSnapshot ringSnapshot() const;
+
+    /** Intervals during which the ring was full (an open interval is
+     *  closed at now()); chronological. Empty when unbounded. */
+    std::vector<RingFullSpan> ringFullSpans() const;
+
+    /** Restart ring statistics (at a measurement-window boundary);
+     *  never touches queue state or the event schedule. */
+    void resetRingStats();
+
+    /** Current descriptor-ring occupancy: coalescing members plus
+     *  dispatched-but-incomplete submissions. */
+    unsigned
+    ringOccupancy() const
+    {
+        return _discipline->pending() + _inService;
+    }
 
     const CostModel &costs() const { return _costs; }
 
@@ -184,11 +271,17 @@ class ExecutionPlatform : public sim::Component
     WorkerSlot occupy(std::uint64_t flowHash, sim::Tick service,
                       sim::Tick pipeline);
 
-    /** Schedule one completion at @p when. */
-    void completeAt(sim::Tick when, Completion done);
+    /**
+     * Schedule one completion at @p when. The submission counts as
+     * in-service (holds a ring slot) until it fires. A completion
+     * that straddles a drainAndReset() is swallowed: @p dropped (if
+     * any) is invoked instead of @p done.
+     */
+    void completeAt(sim::Tick when, Completion done,
+                    Completion dropped = nullptr);
 
     /** Schedule a batch fan-out: every member completes at @p when,
-     *  in submission order. */
+     *  in submission order (same epoch semantics as completeAt). */
     void completeBatchAt(sim::Tick when,
                          std::vector<Submission> members);
 
@@ -205,7 +298,39 @@ class ExecutionPlatform : public sim::Component
     mutable stats::TimeWeighted _busyTracker;
     std::unique_ptr<QueueDiscipline> _discipline;
 
+    /** Dispatched-but-incomplete submissions (ring slots held by
+     *  in-service work). */
+    unsigned _inService = 0;
+    /** Bumped by drainAndReset(); completions scheduled under an
+     *  older epoch are swallowed when they fire. */
+    std::uint64_t _completionEpoch = 0;
+    /** Submitters parked behind a full ring, FIFO. */
+    std::deque<Submission> _doorbell;
+
+    // Ring statistics (reset by resetRingStats / drainAndReset).
+    std::uint64_t _admissions = 0;
+    std::uint64_t _parkedCount = 0;
+    unsigned _maxWaiting = 0;
+    stats::Histogram _ringStall;
+    stats::Histogram _ringOccupancy;
+    std::vector<RingFullSpan> _fullSpans;
+    bool _ringWasFull = false;
+    sim::Tick _fullSince = 0;
+
     void trackBusy();
+
+    /** Whether the ring has no room for another admission. */
+    bool ringFull() const;
+    /** Admit @p sub into the discipline (stamps admittedAt, samples
+     *  occupancy, fires onAdmitted for parked submissions). */
+    void admit(Submission &&sub, bool was_parked);
+    /** Admit parked submissions while the ring has room. */
+    void pollDoorbell();
+    /** Open/close the current ring-full span after an occupancy
+     *  change. */
+    void updateFullSpan();
+    /** One in-service submission finished or was swallowed. */
+    void ringSlotFreed();
 };
 
 } // namespace snic::hw

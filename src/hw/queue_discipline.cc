@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "hw/platform.hh"
+#include "sim/logging.hh"
 
 namespace snic::hw {
 
@@ -26,8 +27,20 @@ ImmediateDiscipline::enqueue(Submission &&sub)
 
     const WorkerSlot slot = p.occupy(sub.flowHash, service, pipeline);
     if (sub.hook)
-        sub.hook(p.now(), slot.start, 1);
-    p.completeAt(slot.busyDone + pipeline, std::move(sub.done));
+        sub.hook(sub.admittedAt, p.now(), slot.start, 1);
+    p.completeAt(slot.busyDone + pipeline, std::move(sub.done),
+                 std::move(sub.dropped));
+}
+
+CoalescingDiscipline::CoalescingDiscipline(BatchConfig config)
+    : _config(config)
+{
+    if (_config.maxBatch == 0)
+        sim::fatal("CoalescingDiscipline: maxBatch == 0 (would "
+                   "degenerate to per-arrival dispatch; use 1)");
+    if (_config.queueDepth == 0)
+        sim::fatal("CoalescingDiscipline: queueDepth == 0 (a ring "
+                   "that admits nothing; use unboundedDepth)");
 }
 
 void
@@ -90,7 +103,7 @@ CoalescingDiscipline::dispatchPending(bool by_timer)
     const sim::Tick dispatched = p.now();
     for (Submission &s : _pending) {
         if (s.hook)
-            s.hook(dispatched, slot.start, n);
+            s.hook(s.admittedAt, dispatched, slot.start, n);
     }
 
     ++_batches;
@@ -111,11 +124,29 @@ CoalescingDiscipline::drain()
 {
     // Between measurement windows: discard the half-built batch.
     // Members are stale by definition (their senders were reset), so
-    // they are dropped without completion; a traced member's slot is
-    // reclaimed when the recorder clears (bounded to one batch per
-    // engine).
+    // they are dropped without service — but each member's `dropped`
+    // callback fires so a traced member's recorder slot is reclaimed
+    // immediately instead of leaking until the recorder is destroyed.
     ++_timerGen;
+    for (Submission &s : _pending) {
+        if (s.dropped)
+            s.dropped();
+    }
     _pending.clear();
+
+    // A drain is a window boundary: the aggregate counters restart so
+    // the next window's BatchingSnapshot excludes warmup traffic.
+    resetBatchingStats();
+}
+
+void
+CoalescingDiscipline::resetBatchingStats()
+{
+    _batches = 0;
+    _members = 0;
+    _fullDispatches = 0;
+    _timerDispatches = 0;
+    _maxOccupancy = 0;
 }
 
 BatchingSnapshot

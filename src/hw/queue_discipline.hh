@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,9 @@ using Completion = std::function<void()>;
  * (when the submission leaves the discipline for a worker). Purely
  * observational — attaching one never changes the event schedule.
  *
+ * @param admitted     tick the submission cleared the doorbell and
+ *                     entered the discipline (== the submit tick
+ *                     unless the ring was full and it was parked).
  * @param dispatched   tick the submission left the discipline.
  * @param serviceStart tick its worker actually begins the service
  *                     (>= dispatched when the worker has a backlog).
@@ -57,8 +61,23 @@ using Completion = std::function<void()>;
  *                     Immediate).
  */
 using DispatchHook =
-    std::function<void(sim::Tick dispatched, sim::Tick serviceStart,
-                       unsigned batchSize)>;
+    std::function<void(sim::Tick admitted, sim::Tick dispatched,
+                       sim::Tick serviceStart, unsigned batchSize)>;
+
+/**
+ * Optional admission hook, invoked only when a submission was parked
+ * in the doorbell wait-list and later admitted. This is the
+ * backpressure-propagation point: the upstream stage charges the
+ * stall to whoever was blocked on the doorbell (an Arm core spinning
+ * on a DOCA job post). Observational from the engine's point of view
+ * — the callee may occupy *other* platforms, never this one.
+ *
+ * @param parkedAt   tick the submitter rang the doorbell (submit).
+ * @param admittedAt tick the ring had room and the submission entered
+ *                   the discipline.
+ */
+using AdmissionHook =
+    std::function<void(sim::Tick parkedAt, sim::Tick admittedAt)>;
 
 /** One queued unit of work. */
 struct Submission
@@ -67,8 +86,20 @@ struct Submission
     std::uint64_t flowHash = 0;
     Completion done;
     DispatchHook hook;
-    /** Tick the submission entered the discipline. */
+    /** Invoked only when parked: the doorbell admitted this
+     *  submission after a stall (see AdmissionHook). */
+    AdmissionHook onAdmitted;
+    /** Invoked instead of @ref done when the submission is discarded
+     *  without service: drained between windows, dropped from the
+     *  doorbell by a reset, or its completion straddled a
+     *  drainAndReset() epoch. Lets traced senders reclaim recorder
+     *  slots for work that will never complete. */
+    Completion dropped;
+    /** Tick the submission entered the platform (rang the doorbell). */
     sim::Tick enqueuedAt = 0;
+    /** Tick the submission entered the discipline (== enqueuedAt
+     *  unless it was parked behind a full ring). */
+    sim::Tick admittedAt = 0;
 };
 
 /**
@@ -95,12 +126,35 @@ struct BatchConfig
      *  the per-request amortized figure. */
     double batchedPipelineNs = -1.0;
 
+    /** Sentinel: no descriptor-ring limit. */
+    static constexpr unsigned unboundedDepth =
+        std::numeric_limits<unsigned>::max();
+
+    /**
+     * Descriptor-ring (doorbell) capacity: the maximum pending +
+     * in-service occupancy the engine accepts before submitters are
+     * parked in the platform's doorbell wait-list. The unbounded
+     * default preserves the seed event schedule bit-for-bit; 0 is
+     * invalid (rejected at install time).
+     */
+    unsigned queueDepth = unboundedDepth;
+
     /** Whether this config coalesces at all. */
     bool
     enabled() const
     {
         return maxBatch > 1 || coalesceWindowNs > 0.0;
     }
+
+    /** Whether the descriptor ring is finite. */
+    bool bounded() const { return queueDepth != unboundedDepth; }
+};
+
+/** One interval during which an engine's descriptor ring was full. */
+struct RingFullSpan
+{
+    sim::Tick begin = 0;
+    sim::Tick end = 0;
 };
 
 /** Aggregate batching behaviour of one discipline. */
@@ -143,16 +197,29 @@ class QueueDiscipline
 
     /**
      * Discard any half-built batch (between measurement windows).
-     * Pending members are dropped without completion — their senders
-     * are stale by definition when this is called.
+     * Pending members are dropped without service — each member's
+     * `dropped` callback fires so traced senders can reclaim their
+     * recorder slots — and the aggregate batching counters reset so
+     * the next window's BatchingSnapshot is window-accurate.
      */
     virtual void drain() {}
 
     /** Batching behaviour so far (zeroes for Immediate). */
     virtual BatchingSnapshot batching() const { return {}; }
 
+    /** Zero the aggregate batching counters without touching pending
+     *  members (at a measurement-window boundary mid-run, where a
+     *  drain would perturb the schedule). */
+    virtual void resetBatchingStats() {}
+
     /** Members currently coalescing (0 for Immediate). */
     virtual unsigned pending() const { return 0; }
+
+    /** Descriptor-ring capacity (unbounded for Immediate). */
+    virtual unsigned queueDepth() const
+    {
+        return BatchConfig::unboundedDepth;
+    }
 
   protected:
     ExecutionPlatform &platform() const { return *_platform; }
@@ -180,20 +247,24 @@ class ImmediateDiscipline final : public QueueDiscipline
 class CoalescingDiscipline final : public QueueDiscipline
 {
   public:
-    explicit CoalescingDiscipline(BatchConfig config)
-        : _config(config)
-    {}
+    /** Validates @p config: maxBatch == 0 and queueDepth == 0 are
+     *  fatal (they would silently degenerate to per-arrival dispatch
+     *  or a ring that can never admit anything). */
+    explicit CoalescingDiscipline(BatchConfig config);
 
     const char *name() const override { return "coalescing"; }
     void enqueue(Submission &&sub) override;
     void drain() override;
     BatchingSnapshot batching() const override;
+    void resetBatchingStats() override;
 
     unsigned
     pending() const override
     {
         return static_cast<unsigned>(_pending.size());
     }
+
+    unsigned queueDepth() const override { return _config.queueDepth; }
 
     const BatchConfig &config() const { return _config; }
 

@@ -433,3 +433,151 @@ TEST(TraceHop, CauseIntervalsClampInsteadOfUnderflowing)
     EXPECT_EQ(hop.queueWait(), 0u);
     EXPECT_EQ(hop.serviceTime(), 0u);
 }
+
+TEST(TraceHop, DefaultAdmissionMarkNeverUnderflowsBatchStall)
+{
+    // A default-constructed hop carries admitted == 0; the batch
+    // stall must measure from entry, not wrap on (dispatched -
+    // admitted), and the backpressure interval clamps to zero.
+    TraceHop hop;
+    hop.entered = 1000;
+    hop.admitted = 0;
+    hop.dispatched = 1100;
+    hop.serviceStarted = 1100;
+    hop.exited = 1200;
+    EXPECT_EQ(hop.backpressureStall(), 0u);
+    EXPECT_EQ(hop.batchStall(), 100u);
+    EXPECT_EQ(hop.serviceTime(), 100u);
+}
+
+TEST(TailAttribution, BackpressureIsADistinctCauseBucket)
+{
+    // One stage-3 hop of 400 ticks: 120 parked behind a full ring,
+    // 80 waiting for the batch to form, 50 queued for the worker and
+    // 150 in service. The four buckets partition the residency.
+    RequestTrace t = syntheticTrace({{0, 100}, {3, 400}});
+    t.hops[1].admitted = t.hops[1].entered + 120;
+    t.hops[1].dispatched = t.hops[1].entered + 200;
+    t.hops[1].serviceStarted = t.hops[1].entered + 250;
+    const TailAttribution a = attributeTail({t});
+    EXPECT_EQ(a.stage, 3);
+    EXPECT_DOUBLE_EQ(a.backpressureShare, 120.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.batchStallShare, 80.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.queueShare, 50.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.serviceShare, 150.0 / 400.0);
+    EXPECT_DOUBLE_EQ(a.backpressureShare + a.batchStallShare +
+                         a.queueShare + a.serviceShare,
+                     1.0);
+}
+
+// --- Ring-full / upstream-residency correlation -----------------
+
+TEST(BackpressureCorrelation, EmptyInputsCorrelateNothing)
+{
+    const std::vector<hw::RingFullSpan> spans{{1000, 1500}};
+    const BackpressureCorrelation no_traces =
+        correlateRingFull({}, spans, 3);
+    EXPECT_EQ(no_traces.ringStage, 3);
+    EXPECT_EQ(no_traces.ringFullTicks, 500u);
+    EXPECT_EQ(no_traces.stage, -1);
+    EXPECT_DOUBLE_EQ(no_traces.share, 0.0);
+
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{2, 400}})};
+    const BackpressureCorrelation no_spans =
+        correlateRingFull(traces, {}, 3);
+    EXPECT_EQ(no_spans.ringFullTicks, 0u);
+    EXPECT_EQ(no_spans.stage, -1);
+}
+
+TEST(BackpressureCorrelation, OverlapExcludesTheRingStageItself)
+{
+    // Hops back-to-back from tick 1000: stage 0 [1000,1100), stage 2
+    // [1100,1250), stage 3 [1250,1600). The ring was full over
+    // [1100,1300): stage 2's 150 ticks sit entirely inside, stage 0
+    // misses it, and stage 3 — the ring's own stage — is excluded
+    // even though it overlaps by 50.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{0, 100}, {2, 150}, {3, 350}})};
+    const std::vector<hw::RingFullSpan> spans{{1100, 1300}};
+    const BackpressureCorrelation c =
+        correlateRingFull(traces, spans, 3);
+    EXPECT_EQ(c.ringStage, 3);
+    EXPECT_EQ(c.ringFullTicks, 200u);
+    EXPECT_EQ(c.stage, 2);
+    EXPECT_DOUBLE_EQ(c.share, 1.0);
+    ASSERT_EQ(c.overlapShare.size(), 3u);
+    EXPECT_DOUBLE_EQ(c.overlapShare[0], 0.0);
+    EXPECT_DOUBLE_EQ(c.overlapShare[2], 1.0);
+}
+
+TEST(BackpressureCorrelation, WinnerIsPickedByOverlappedTicks)
+{
+    // Stage 1 overlaps the spans by 200 of its 400 ticks; stage 2 by
+    // 150 of 150. The dominant cause is the larger absolute overlap
+    // (stage 1), not the larger fraction — a stage with trivial
+    // residency should not win on a perfect ratio.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{1, 400}, {2, 150}})};
+    const std::vector<hw::RingFullSpan> spans{{1200, 1550}};
+    const BackpressureCorrelation c =
+        correlateRingFull(traces, spans, 3);
+    EXPECT_EQ(c.stage, 1);
+    EXPECT_DOUBLE_EQ(c.share, 0.5);
+    ASSERT_EQ(c.overlapShare.size(), 3u);
+    EXPECT_DOUBLE_EQ(c.overlapShare[2], 1.0);
+}
+
+TEST(BackpressureCorrelation, DisjointSpansAccumulatePerHop)
+{
+    // One stage-2 hop [1000,1400) against two disjoint full spans:
+    // [900,1100) contributes 100, [1300,1500) contributes another
+    // 100 — overlap sums across spans within a single hop.
+    const std::vector<RequestTrace> traces{
+        syntheticTrace({{2, 400}})};
+    const std::vector<hw::RingFullSpan> spans{{900, 1100},
+                                              {1300, 1500}};
+    const BackpressureCorrelation c =
+        correlateRingFull(traces, spans, 3);
+    EXPECT_EQ(c.ringFullTicks, 400u);
+    EXPECT_EQ(c.stage, 2);
+    EXPECT_DOUBLE_EQ(c.share, 0.5);
+}
+
+// --- Recorder slot reclamation across windows -------------------
+
+TEST(Pipeline, TracedWindowsReclaimEveryRecorderSlot)
+{
+    // Two traced measurement windows, then let the pipeline empty:
+    // every begun trace must have been completed or discarded (stale
+    // drops, drained batch members, swallowed completions), so the
+    // pool's free list holds every slot again.
+    auto bed = makeBed("micro_udp_1024", hw::Platform::HostCpu);
+    bed.enableTracing(4);
+    const auto m1 = bed.measure(20.0, sim::msToTicks(1.0),
+                                sim::msToTicks(2.0));
+    const auto m2 = bed.measure(20.0, sim::msToTicks(1.0),
+                                sim::msToTicks(2.0));
+    bed.sim().runAll();
+
+    const TraceRecorder *rec = bed.tracer();
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->begun(), 0u);
+    EXPECT_GT(rec->poolSize(), 0u);
+    EXPECT_EQ(rec->freeCount(), rec->poolSize());
+
+    // And the kept timelines are fully closed — no half-open hops.
+    for (const Measurement *m : {&m1, &m2}) {
+        ASSERT_FALSE(m->slowestTraces.empty());
+        for (const RequestTrace &t : m->slowestTraces) {
+            EXPECT_GT(t.completedAt, t.createdAt);
+            for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+                const TraceHop &hop = t.hops[i];
+                EXPECT_LE(hop.entered, hop.exited);
+                EXPECT_EQ(hop.backpressureStall() + hop.batchStall() +
+                              hop.queueWait() + hop.serviceTime(),
+                          hop.residency());
+            }
+        }
+    }
+}

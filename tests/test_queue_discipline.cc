@@ -19,10 +19,21 @@
  *     rises monotonically with batch size and the throughput
  *     ceiling lands in the paper's ~50 Gbps band, emergent from
  *     queueing rather than baked into per-request constants.
+ *
+ *  4. Doorbell backpressure — a bounded descriptor ring parks
+ *     submitters FIFO, charges the stall upstream, and reports the
+ *     ring-full spans; a bounded-but-never-full ring stays bitwise
+ *     identical to the unbounded path.
+ *
+ *  5. Reset-path correctness — drains reset the aggregate batching
+ *     counters, completions that straddle a drainAndReset() are
+ *     swallowed (never double-counted), and traced windows reclaim
+ *     every recorder slot.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cctype>
 #include <string>
 #include <vector>
@@ -419,13 +430,15 @@ TEST(CoalescingUnit, DispatchHookReportsFormationAndServiceStart)
 
     struct Obs
     {
+        sim::Tick admitted;
         sim::Tick dispatched;
         sim::Tick serviceStart;
         unsigned batch;
     };
     std::vector<Obs> obs;
-    auto hook = [&](sim::Tick d, sim::Tick s, unsigned n) {
-        obs.push_back({d, s, n});
+    auto hook = [&](sim::Tick a, sim::Tick d, sim::Tick s,
+                    unsigned n) {
+        obs.push_back({a, d, s, n});
     };
 
     // Fill one batch at t=0 so the hooked batch queues behind it:
@@ -442,7 +455,10 @@ TEST(CoalescingUnit, DispatchHookReportsFormationAndServiceStart)
     ASSERT_EQ(obs.size(), 2u);
     // Both members observe the same dispatch instant (t=60 ns, when
     // the batch filled) and the same deferred service start (t=250,
-    // behind the in-flight first batch).
+    // behind the in-flight first batch). With an unbounded ring each
+    // admission is the member's own submit tick.
+    EXPECT_EQ(obs[0].admitted, sim::nsToTicks(40.0));
+    EXPECT_EQ(obs[1].admitted, sim::nsToTicks(60.0));
     EXPECT_EQ(obs[0].dispatched, sim::nsToTicks(60.0));
     EXPECT_EQ(obs[1].dispatched, sim::nsToTicks(60.0));
     EXPECT_EQ(obs[0].serviceStart, sim::nsToTicks(250.0));
@@ -628,4 +644,481 @@ TEST(CoalescedStats, WindowResetClearsHalfBuiltBatches)
     EXPECT_NEAR(second.p99Us(), base.p99Us(), base.p99Us() * 0.15);
     EXPECT_NEAR(second.achievedGbps, base.achievedGbps,
                 base.achievedGbps * 0.05);
+}
+
+// --- Doorbell backpressure on a bare platform -------------------
+
+TEST(DoorbellUnit, FullRingParksAndAdmitsInFifoOrder)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.queueDepth = 2;  // maxBatch 1, window 0: immediate, bounded
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    // Four submissions at t=0 on one worker charging 150 ns each
+    // (inherited 50 ns setup + 100 ns message): the first two hold
+    // the ring, the last two park at the doorbell.
+    std::vector<int> order;
+    std::array<sim::Tick, 4> done{};
+    struct Adm
+    {
+        sim::Tick parked;
+        sim::Tick admitted;
+    };
+    std::vector<Adm> adm;
+    for (int i = 0; i < 4; ++i) {
+        p.submit(oneMessage(), 0,
+                 [&, i] {
+                     order.push_back(i);
+                     done[static_cast<std::size_t>(i)] = sim.now();
+                 },
+                 nullptr, nullptr,
+                 [&](sim::Tick parked_at, sim::Tick admitted_at) {
+                     adm.push_back({parked_at, admitted_at});
+                 });
+    }
+    EXPECT_EQ(p.ringOccupancy(), 2u);
+    {
+        const hw::RingSnapshot s = p.ringSnapshot();
+        EXPECT_EQ(s.waitingNow, 2u);
+        EXPECT_EQ(s.maxWaiting, 2u);
+    }
+    sim.runAll();
+
+    // FIFO admission: each completion frees one slot for the oldest
+    // parked submission, so service strictly serializes.
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(done[0], sim::nsToTicks(150.0));
+    EXPECT_EQ(done[1], sim::nsToTicks(300.0));
+    EXPECT_EQ(done[2], sim::nsToTicks(450.0));
+    EXPECT_EQ(done[3], sim::nsToTicks(600.0));
+
+    // The admission hook reports each parked submission's stall.
+    ASSERT_EQ(adm.size(), 2u);
+    EXPECT_EQ(adm[0].parked, 0u);
+    EXPECT_EQ(adm[0].admitted, sim::nsToTicks(150.0));
+    EXPECT_EQ(adm[1].parked, 0u);
+    EXPECT_EQ(adm[1].admitted, sim::nsToTicks(300.0));
+
+    const hw::RingSnapshot s = p.ringSnapshot();
+    EXPECT_TRUE(s.bounded());
+    EXPECT_EQ(s.depth, 2u);
+    EXPECT_EQ(s.admissions, 4u);
+    EXPECT_EQ(s.parked, 2u);
+    EXPECT_DOUBLE_EQ(s.parkedShare(), 0.5);
+    EXPECT_EQ(s.waitingNow, 0u);
+    EXPECT_EQ(s.stall.count(), 2u);
+    EXPECT_EQ(s.stall.min(), sim::nsToTicks(150.0));
+    EXPECT_EQ(s.stall.max(), sim::nsToTicks(300.0));
+    // Ring full from the second admission until the third completion
+    // frees a slot for good: [0,150] + [150,300] + [300,450].
+    EXPECT_EQ(s.fullTicks, sim::nsToTicks(450.0));
+    const auto spans = p.ringFullSpans();
+    ASSERT_EQ(spans.size(), 3u);
+    sim::Tick sum = 0;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_LT(spans[i].begin, spans[i].end);
+        if (i)
+            EXPECT_LE(spans[i - 1].end, spans[i].begin);
+        sum += spans[i].end - spans[i].begin;
+    }
+    EXPECT_EQ(sum, s.fullTicks);
+}
+
+TEST(DoorbellUnit, UnboundedRingNeverParks)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.coalesceWindowNs = 1000.0;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    unsigned admitted_hook_fired = 0;
+    for (int i = 0; i < 16; ++i) {
+        p.submit(oneMessage(), 0, nullptr, nullptr, nullptr,
+                 [&](sim::Tick, sim::Tick) { ++admitted_hook_fired; });
+    }
+    sim.runAll();
+
+    const hw::RingSnapshot s = p.ringSnapshot();
+    EXPECT_FALSE(s.bounded());
+    EXPECT_EQ(s.admissions, 16u);
+    EXPECT_EQ(s.parked, 0u);
+    EXPECT_EQ(s.maxWaiting, 0u);
+    EXPECT_EQ(s.stall.count(), 0u);
+    EXPECT_EQ(s.fullTicks, 0u);
+    EXPECT_TRUE(p.ringFullSpans().empty());
+    // The admission hook only fires for parked submissions.
+    EXPECT_EQ(admitted_hook_fired, 0u);
+    EXPECT_EQ(p.completedCount(), 16u);
+}
+
+TEST(DoorbellUnit, ChargeStallOccupiesAWorkerWithoutCompleting)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+
+    const double idle = p.busyIntegral();
+    p.chargeStall(0, sim::nsToTicks(400.0));
+    // The charge holds the worker but never completes a request —
+    // exactly a core spinning on a blocked doorbell.
+    p.submit(oneMessage(), 0, nullptr);
+    sim.runAll();
+    EXPECT_EQ(p.completedCount(), 1u);
+    // 400 ns stall + 150 ns real service of busy time.
+    EXPECT_NEAR(p.busyIntegral() - idle,
+                sim::ticksToSec(sim::nsToTicks(550.0)), 1e-12);
+
+    // Zero-length stalls are free.
+    const double before = p.busyIntegral();
+    p.chargeStall(0, 0);
+    EXPECT_DOUBLE_EQ(p.busyIntegral(), before);
+}
+
+TEST(DoorbellUnit, DrainDropsParkedSubmissionsAndSwallowsInFlight)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.queueDepth = 1;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    unsigned completions = 0;
+    unsigned drops = 0;
+    auto done = [&] { ++completions; };
+    auto dropped = [&] { ++drops; };
+    p.submit(oneMessage(), 0, done, nullptr, dropped);  // in service
+    p.submit(oneMessage(), 0, done, nullptr, dropped);  // parked
+    EXPECT_EQ(p.ringSnapshot().waitingNow, 1u);
+
+    p.drainAndReset();
+    // The parked submission is dropped synchronously; the in-flight
+    // completion is swallowed when its event fires.
+    EXPECT_EQ(drops, 1u);
+    sim.runAll();
+    EXPECT_EQ(drops, 2u);
+    EXPECT_EQ(completions, 0u);
+    EXPECT_EQ(p.completedCount(), 0u);
+    EXPECT_EQ(p.ringSnapshot().waitingNow, 0u);
+
+    // The drained platform admits and serves fresh work normally.
+    sim::Tick fresh_done = 0;
+    p.submit(oneMessage(), 0, [&] { fresh_done = sim.now(); });
+    sim.runAll();
+    EXPECT_EQ(p.completedCount(), 1u);
+    EXPECT_GT(fresh_done, 0u);
+}
+
+TEST(DoorbellUnit, ResetRingStatsIsStatsOnly)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.queueDepth = 1;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    std::vector<sim::Tick> done;
+    for (int i = 0; i < 3; ++i)
+        p.submit(oneMessage(), 0, [&] { done.push_back(sim.now()); });
+    // Mid-run stats reset: the parked submissions and the event
+    // schedule are untouched; only the counters restart (and the
+    // wait-list high-water re-anchors to the current backlog).
+    p.resetRingStats();
+    const hw::RingSnapshot mid = p.ringSnapshot();
+    EXPECT_EQ(mid.admissions, 0u);
+    EXPECT_EQ(mid.parked, 0u);
+    EXPECT_EQ(mid.waitingNow, 2u);
+    EXPECT_EQ(mid.maxWaiting, 2u);
+
+    sim.runAll();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], sim::nsToTicks(150.0));
+    EXPECT_EQ(done[1], sim::nsToTicks(300.0));
+    EXPECT_EQ(done[2], sim::nsToTicks(450.0));
+    // Both parked admissions happened after the reset, so the new
+    // window observed them.
+    const hw::RingSnapshot s = p.ringSnapshot();
+    EXPECT_EQ(s.admissions, 2u);
+    EXPECT_EQ(s.parked, 2u);
+    EXPECT_EQ(s.stall.count(), 2u);
+}
+
+// --- Reset-path correctness (the two bugfix satellites) ---------
+
+TEST(ResetPathUnit, DrainResetsAggregateBatchingCounters)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.coalesceWindowNs = 1e6;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    // Warmup traffic: one full batch dispatched.
+    p.submit(oneMessage(), 0, nullptr);
+    p.submit(oneMessage(), 0, nullptr);
+    EXPECT_EQ(p.discipline().batching().batches, 1u);
+    EXPECT_EQ(p.discipline().batching().fullDispatches, 1u);
+
+    // The window boundary drains — and must also reset the aggregate
+    // counters, or the next window's snapshot double-counts warmup.
+    p.drainAndReset();
+    {
+        const hw::BatchingSnapshot s = p.discipline().batching();
+        EXPECT_EQ(s.batches, 0u);
+        EXPECT_EQ(s.members, 0u);
+        EXPECT_EQ(s.fullDispatches, 0u);
+        EXPECT_EQ(s.timerDispatches, 0u);
+        EXPECT_EQ(s.maxOccupancy, 0u);
+    }
+
+    // Measure: the snapshot reflects this window only.
+    p.submit(oneMessage(), 0, nullptr);
+    p.submit(oneMessage(), 0, nullptr);
+    sim.runAll();
+    const hw::BatchingSnapshot s = p.discipline().batching();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.members, 2u);
+    EXPECT_EQ(s.fullDispatches, 1u);
+}
+
+TEST(ResetPathUnit, ResetBatchingStatsKeepsPendingMembers)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.coalesceWindowNs = 1e6;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    // A half-built batch straddles the stats reset: the member must
+    // survive (stats-only reset, no schedule perturbation) and count
+    // toward the batch formed after the boundary.
+    p.submit(oneMessage(), 0, nullptr);
+    p.discipline().resetBatchingStats();
+    EXPECT_EQ(p.discipline().pending(), 1u);
+    p.submit(oneMessage(), 0, nullptr);
+    sim.runAll();
+    const hw::BatchingSnapshot s = p.discipline().batching();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.members, 2u);
+    EXPECT_EQ(p.completedCount(), 2u);
+}
+
+TEST(ResetPathUnit, StraddlingCompletionIsSwallowed)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+
+    // An Immediate-path completion in flight at the reset: the epoch
+    // guard swallows it (dropped, not done), so completedCount()
+    // counts only the new window's work.
+    unsigned completions = 0;
+    unsigned drops = 0;
+    p.submit(oneMessage(), 0, [&] { ++completions; }, nullptr,
+             [&] { ++drops; });
+    sim.runUntil(sim::nsToTicks(50.0));
+    p.drainAndReset();
+
+    sim::Tick fresh_done = 0;
+    p.submit(oneMessage(), 0, [&] { fresh_done = sim.now(); });
+    sim.runAll();
+    EXPECT_EQ(drops, 1u);
+    EXPECT_EQ(completions, 0u);
+    EXPECT_EQ(p.completedCount(), 1u);
+    // The fresh submission found a zeroed worker horizon.
+    EXPECT_EQ(fresh_done, sim::nsToTicks(50.0 + 150.0));
+}
+
+TEST(ResetPathUnit, StraddlingBatchCompletionIsSwallowed)
+{
+    sim::Simulation sim;
+    auto p = makeUnitPlatform(sim);
+    hw::BatchConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.coalesceWindowNs = 1e6;
+    p.setDiscipline(hw::makeCoalescing(cfg));
+
+    // A dispatched batch (fan-out at 250 ns: 50 setup + 2 x 100)
+    // straddles a drain at 100 ns: both members are swallowed via
+    // their dropped callbacks and nothing is counted.
+    unsigned completions = 0;
+    unsigned drops = 0;
+    for (int i = 0; i < 2; ++i) {
+        p.submit(oneMessage(), 0, [&] { ++completions; }, nullptr,
+                 [&] { ++drops; });
+    }
+    sim.runUntil(sim::nsToTicks(100.0));
+    p.drainAndReset();
+    sim.runAll();
+    EXPECT_EQ(drops, 2u);
+    EXPECT_EQ(completions, 0u);
+    EXPECT_EQ(p.completedCount(), 0u);
+}
+
+// --- BatchConfig validation at install --------------------------
+
+TEST(BatchConfigDeath, ZeroMaxBatchIsRejectedAtInstall)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    hw::BatchConfig cfg;
+    cfg.maxBatch = 0;
+    EXPECT_EXIT({ auto d = hw::makeCoalescing(cfg); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(BatchConfigDeath, ZeroQueueDepthIsRejectedAtInstall)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    hw::BatchConfig cfg;
+    cfg.queueDepth = 0;
+    EXPECT_EXIT({ auto d = hw::makeCoalescing(cfg); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+// --- Bounded-ring identity and the REM backpressure shape -------
+
+TEST(CoalescingIdentity, BoundedButNeverFullRingIsBitwiseIdentity)
+{
+    // A descriptor ring far deeper than the occupancy ever reaches
+    // must replay the unbounded schedule bit-for-bit: the admission
+    // path is identical, only the (untaken) park branch differs.
+    auto run = [](unsigned ring_depth) {
+        TestbedConfig cfg;
+        cfg.workloadId = "rem_exe_mtu";
+        cfg.platform = hw::Platform::SnicAccel;
+        cfg.accelRingDepth = ring_depth;
+        Testbed bed(cfg);
+        return bed.measure(40.0, sim::msToTicks(1.0),
+                           sim::msToTicks(5.0));
+    };
+    const Measurement a = run(0);         // unbounded default
+    const Measurement b = run(1u << 20);  // bounded, never full
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.p50(), b.latency.p50());
+    EXPECT_EQ(a.latency.p99(), b.latency.p99());
+    EXPECT_EQ(a.latency.mean(), b.latency.mean());
+    EXPECT_EQ(a.achievedGbps, b.achievedGbps);
+    EXPECT_EQ(a.goodputGbps, b.goodputGbps);
+    // And the ring reporting reflects the non-event.
+    EXPECT_TRUE(b.accelRing.bounded());
+    EXPECT_EQ(b.accelRing.parked, 0u);
+    EXPECT_EQ(b.accelRing.fullTicks, 0u);
+    EXPECT_FALSE(a.accelRing.bounded());
+}
+
+TEST(RemBackpressureShape, FiniteRingParksAndNamesUpstreamCause)
+{
+    // Past the knee with a finite ring, submissions must park, the
+    // stall must be charged upstream, and the cross-stage correlation
+    // must name the app stage (the serving cores that sat blocked on
+    // the doorbell) as where the tail residency piled up during the
+    // ring-full spans.
+    TestbedConfig cfg;
+    cfg.workloadId = "rem_exe_mtu";
+    cfg.platform = hw::Platform::SnicAccel;
+    cfg.accelRingDepth = 64;
+    Testbed bed(cfg);
+    bed.enableTracing(16);
+    const Measurement m = bed.measure(55.0, sim::msToTicks(1.0),
+                                      sim::msToTicks(5.0));
+
+    ASSERT_TRUE(m.accelRing.bounded());
+    EXPECT_EQ(m.accelRing.depth, 64u);
+    EXPECT_GT(m.accelRing.parked, 0u);
+    EXPECT_GT(m.accelRing.parkedShare(), 0.0);
+    EXPECT_GT(m.accelRing.fullTicks, 0u);
+    EXPECT_GT(m.accelRing.stall.count(), 0u);
+    EXPECT_GT(m.accelRing.stall.mean(), 0.0);
+
+    // The traced tail shows time parked behind the full ring.
+    ASSERT_FALSE(m.slowestTraces.empty());
+    const TailAttribution a = attributeTail(m.slowestTraces);
+    const double sum = a.backpressureShare + a.batchStallShare +
+                       a.queueShare + a.serviceShare;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Correlation: the accelerator's full ring coincides with
+    // upstream (app-stage) residency — queueing caused elsewhere.
+    EXPECT_EQ(m.backpressure.ringStage, 3);
+    EXPECT_GT(m.backpressure.ringFullTicks, 0u);
+    EXPECT_EQ(m.backpressure.stage, 2);
+    EXPECT_GT(m.backpressure.share, 0.0);
+    ASSERT_EQ(m.backpressure.overlapShare.size(), 5u);
+    EXPECT_DOUBLE_EQ(m.backpressure.overlapShare[3], 0.0);
+}
+
+TEST(RemBackpressureShape, P99KneeShiftsLeftAsRingShrinks)
+{
+    // Fig. 5 with --ring-depth: at a fixed near-knee load, shrinking
+    // the descriptor ring moves the p99 knee left — each smaller
+    // ring parks more submissions and burns more upstream CPU on
+    // stalls, so the same offered load sits deeper into saturation.
+    auto p99_at = [](unsigned ring_depth) {
+        TestbedConfig cfg;
+        cfg.workloadId = "rem_exe_mtu";
+        cfg.platform = hw::Platform::SnicAccel;
+        cfg.accelRingDepth = ring_depth;
+        Testbed bed(cfg);
+        const Measurement m = bed.measure(45.0, sim::msToTicks(1.0),
+                                          sim::msToTicks(5.0));
+        return m.p99Us();
+    };
+    const double unbounded = p99_at(0);
+    const double deep = p99_at(256);
+    const double mid = p99_at(96);
+    const double shallow = p99_at(48);
+    EXPECT_GE(deep, unbounded * 0.999);
+    EXPECT_GE(mid, deep);
+    EXPECT_GE(shallow, mid);
+    // The smallest ring is materially worse than no ring at all.
+    EXPECT_GT(shallow, unbounded * 1.05);
+}
+
+// --- Traced windows reclaim every recorder slot -----------------
+
+TEST(CoalescedTracing, WindowsReclaimTraceSlotsAndCloseAllHops)
+{
+    // Two hot traced windows with a finite ring: batch drains, parked
+    // drops and straddling completions all discard their traces, so
+    // once the pipeline empties every pool slot is back on the free
+    // list and every kept hop is fully closed.
+    TestbedConfig cfg;
+    cfg.workloadId = "rem_exe_mtu";
+    cfg.platform = hw::Platform::SnicAccel;
+    cfg.accelRingDepth = 64;
+    Testbed bed(cfg);
+    bed.enableTracing(8);
+    const Measurement m1 = bed.measure(55.0, sim::msToTicks(1.0),
+                                       sim::msToTicks(2.0));
+    const Measurement m2 = bed.measure(55.0, sim::msToTicks(1.0),
+                                       sim::msToTicks(2.0));
+    bed.sim().runAll();
+
+    const TraceRecorder *rec = bed.tracer();
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->begun(), 0u);
+    EXPECT_GT(rec->poolSize(), 0u);
+    EXPECT_EQ(rec->freeCount(), rec->poolSize());
+
+    for (const Measurement *m : {&m1, &m2}) {
+        ASSERT_FALSE(m->slowestTraces.empty());
+        for (const RequestTrace &t : m->slowestTraces) {
+            EXPECT_GT(t.completedAt, t.createdAt);
+            for (std::uint8_t i = 0; i < t.hopCount; ++i) {
+                const TraceHop &hop = t.hops[i];
+                EXPECT_LE(hop.entered, hop.exited);
+                EXPECT_LE(hop.admitted, hop.exited);
+                EXPECT_LE(hop.dispatched, hop.exited);
+                // The four intervals tile the residency exactly.
+                EXPECT_EQ(hop.backpressureStall() + hop.batchStall() +
+                              hop.queueWait() + hop.serviceTime(),
+                          hop.residency());
+            }
+        }
+    }
 }
