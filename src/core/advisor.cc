@@ -11,9 +11,13 @@
 
 #include "core/advisor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "core/chain.hh"
+#include "core/tco.hh"
+#include "core/throughput_search.hh"
 #include "hw/specs.hh"
 
 namespace snic::core {
@@ -147,6 +151,358 @@ adviseOffload(const std::string &workload_id, const SloConstraint &slo,
         advice.recommended = best_any;
         why << "no platform meets the SLO; highest-capacity fallback: "
             << hw::platformName(best_any);
+    }
+    advice.rationale = why.str();
+    return advice;
+}
+
+// --- Chain placement ---
+
+namespace {
+
+/** Engine lanes per kind (specs; no ServerModel needed). */
+unsigned
+engineLanes(hw::AccelKind kind)
+{
+    switch (kind) {
+      case hw::AccelKind::Rem:
+        return hw::specs::rem_accel::lanes;
+      case hw::AccelKind::Pka:
+        return hw::specs::pka_accel::lanes;
+      case hw::AccelKind::Compression:
+        return hw::specs::comp_accel::lanes;
+    }
+    return 1;
+}
+
+// Resource-cost weights for the Meili resource key: host CPU time is
+// the expensive resource (big OoO cores, most of the server's price
+// and power); SNIC Arm time and engine time are progressively
+// cheaper. The heuristic therefore drifts toward engines — which is
+// exactly the latency-blindness the DES evaluation corrects.
+constexpr double kHostCostWeight = 1.0;
+constexpr double kSnicCostWeight = 0.4;
+constexpr double kEngineCostWeight = 0.15;
+
+// Combination weights after cross-candidate min-max normalization.
+constexpr double kLocationWeight = 0.25;
+constexpr double kBandwidthWeight = 0.45;
+constexpr double kResourceWeight = 0.30;
+
+/** Resolve the hw::Placement vector for a candidate. */
+std::vector<hw::Placement>
+resolvePlacements(const std::vector<workloads::FunctionProfile> &profiles,
+                  const std::vector<hw::Platform> &where)
+{
+    std::vector<hw::Placement> out;
+    out.reserve(where.size());
+    for (std::size_t k = 0; k < where.size(); ++k)
+        out.push_back({where[k], profiles[k].accel});
+    return out;
+}
+
+/** Analytic capacity (requests/s) implied by a bandwidth key. */
+double
+analyticRps(double bandwidth_key)
+{
+    return bandwidth_key > 0.0 ? 1.0 / bandwidth_key : 1e18;
+}
+
+} // anonymous namespace
+
+PlacementKey
+placementKey(const std::vector<workloads::FunctionProfile> &profiles,
+             const std::vector<hw::Platform> &where)
+{
+    PlacementKey key;
+    const auto placements = resolvePlacements(profiles, where);
+
+    // Location: PCIe crossings between consecutive functions.
+    key.location = pcieCrossings(placements);
+
+    // Per-request demand on every resource, in ns.
+    double host_ns = 0.0, snic_ns = 0.0;
+    double engine_ns[3] = {0.0, 0.0, 0.0};
+    double crossing_bytes = 0.0;
+    double in_bytes = profiles.empty()
+                          ? 0.0
+                          : profiles.front().meanRequestBytes;
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+        const workloads::FunctionProfile &p = profiles[k];
+        switch (where[k]) {
+          case hw::Platform::HostCpu:
+            host_ns += p.hostCpuNs;
+            break;
+          case hw::Platform::SnicCpu:
+            snic_ns += p.snicCpuNs;
+            break;
+          case hw::Platform::SnicAccel:
+            snic_ns += p.accelStagingNs;
+            engine_ns[static_cast<int>(p.accel)] += p.engineNs;
+            break;
+        }
+        if (k > 0 && hw::crossesPcie(placements[k - 1], placements[k]))
+            crossing_bytes += in_bytes;
+        if (p.meanResponseBytes > 0.0)
+            in_bytes = p.meanResponseBytes;
+    }
+
+    // Bandwidth: utilization the request inflicts on its most loaded
+    // resource — the inverse of the placement's analytic capacity.
+    double bw = host_ns / 1e9 / hw::specs::hostCoresUsed;
+    bw = std::max(bw, snic_ns / 1e9 / hw::specs::snicCores);
+    for (int e = 0; e < 3; ++e) {
+        if (engine_ns[e] > 0.0) {
+            const unsigned lanes =
+                engineLanes(static_cast<hw::AccelKind>(e));
+            bw = std::max(bw, engine_ns[e] / 1e9 / lanes);
+        }
+    }
+    if (crossing_bytes > 0.0)
+        bw = std::max(bw, crossing_bytes / (hw::specs::pcieGBps * 1e9));
+    key.bandwidth = bw;
+
+    // Resource: cost-weighted time consumed, in CPU-equivalent us.
+    key.resource = (kHostCostWeight * host_ns +
+                    kSnicCostWeight * snic_ns +
+                    kEngineCostWeight *
+                        (engine_ns[0] + engine_ns[1] + engine_ns[2])) /
+                   1e3;
+    return key;
+}
+
+ChainAdvice
+adviseChainPlacement(const std::vector<std::string> &function_ids,
+                     const SloConstraint &slo,
+                     const ChainAdvisorOptions &opts)
+{
+    ChainAdvice advice;
+    advice.functions = function_ids;
+    if (function_ids.empty()) {
+        advice.rationale = "empty chain";
+        return advice;
+    }
+
+    // Profile every function once (the metadata the whole search
+    // runs on).
+    std::vector<workloads::FunctionProfile> profiles;
+    profiles.reserve(function_ids.size());
+    for (const std::string &id : function_ids)
+        profiles.push_back(workloads::functionProfile(id, opts.seed));
+
+    // Enumerate every Table 3-valid placement vector.
+    std::vector<std::vector<hw::Platform>> options;
+    for (const workloads::FunctionProfile &p : profiles) {
+        std::vector<hw::Platform> o;
+        if (p.supportsHost)
+            o.push_back(hw::Platform::HostCpu);
+        if (p.supportsSnicCpu)
+            o.push_back(hw::Platform::SnicCpu);
+        if (p.supportsAccel)
+            o.push_back(hw::Platform::SnicAccel);
+        if (o.empty()) {
+            advice.rationale =
+                "function " + p.id + " runs on no platform";
+            return advice;
+        }
+        options.push_back(std::move(o));
+    }
+    std::vector<std::size_t> idx(function_ids.size(), 0);
+    for (;;) {
+        ChainPlacementCandidate c;
+        c.where.reserve(function_ids.size());
+        for (std::size_t k = 0; k < idx.size(); ++k)
+            c.where.push_back(options[k][idx[k]]);
+        c.key = placementKey(profiles, c.where);
+        c.analyticGbps = analyticRps(c.key.bandwidth) *
+                         profiles.front().meanRequestBytes * 8.0 / 1e9;
+        advice.candidates.push_back(std::move(c));
+        std::size_t k = 0;
+        while (k < idx.size() && ++idx[k] == options[k].size()) {
+            idx[k] = 0;
+            ++k;
+        }
+        if (k == idx.size())
+            break;
+    }
+
+    // Min-max normalize the key components across the candidate set,
+    // combine, and sort (heuristic's ranking; ties broken by the
+    // placement vector for determinism).
+    auto norm = [&](auto get) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto &c : advice.candidates) {
+            lo = std::min(lo, get(c.key));
+            hi = std::max(hi, get(c.key));
+        }
+        const double span = hi - lo;
+        return [lo, span, get](const PlacementKey &k) {
+            return span > 0.0 ? (get(k) - lo) / span : 0.0;
+        };
+    };
+    auto nloc = norm([](const PlacementKey &k) { return k.location; });
+    auto nbw = norm([](const PlacementKey &k) { return k.bandwidth; });
+    auto nres = norm([](const PlacementKey &k) { return k.resource; });
+    for (auto &c : advice.candidates) {
+        c.key.combined = kLocationWeight * nloc(c.key) +
+                         kBandwidthWeight * nbw(c.key) +
+                         kResourceWeight * nres(c.key);
+    }
+    std::sort(advice.candidates.begin(), advice.candidates.end(),
+              [](const ChainPlacementCandidate &a,
+                 const ChainPlacementCandidate &b) {
+                  if (a.key.combined != b.key.combined)
+                      return a.key.combined < b.key.combined;
+                  return a.where < b.where;
+              });
+
+    // The Meili-style baseline pick: best combined key among
+    // candidates whose *analytic* throughput clears the SLO — the
+    // heuristic never sees latency.
+    advice.heuristicPick = 0;
+    for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+        if (slo.minGbps <= 0.0 ||
+            advice.candidates[i].analyticGbps >= slo.minGbps) {
+            advice.heuristicPick = static_cast<int>(i);
+            break;
+        }
+    }
+
+    // DES-backed evaluation: spend the budget on the heuristic's
+    // best candidates, always including the all-host and (when
+    // valid) all-SNIC-CPU fallbacks — the safe corners a key-driven
+    // ranking tends to starve.
+    std::vector<std::size_t> eval_order;
+    auto enqueue = [&](std::size_t i) {
+        if (std::find(eval_order.begin(), eval_order.end(), i) ==
+            eval_order.end()) {
+            eval_order.push_back(i);
+        }
+    };
+    auto enqueue_uniform = [&](hw::Platform p) {
+        for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+            const auto &w = advice.candidates[i].where;
+            if (std::all_of(w.begin(), w.end(),
+                            [p](hw::Platform x) { return x == p; })) {
+                enqueue(i);
+                return;
+            }
+        }
+    };
+    enqueue(static_cast<std::size_t>(advice.heuristicPick));
+    enqueue_uniform(hw::Platform::HostCpu);
+    enqueue_uniform(hw::Platform::SnicCpu);
+    for (std::size_t i = 0; i < advice.candidates.size() &&
+                            eval_order.size() <
+                                static_cast<std::size_t>(std::max(
+                                    opts.desBudget, 1));
+         ++i) {
+        enqueue(i);
+    }
+
+    ExperimentOptions eo;
+    eo.seed = opts.seed;
+    eo.loadFactor = opts.loadFactor;
+    eo.targetSamples = opts.targetSamples;
+    eo.warmup = sim::msToTicks(1.0);
+    eo.minWindow = sim::msToTicks(2.0);
+
+    for (std::size_t i : eval_order) {
+        ChainPlacementCandidate &c = advice.candidates[i];
+        ChainSpec chain;
+        for (std::size_t k = 0; k < function_ids.size(); ++k)
+            chain.then(function_ids[k], c.where[k]);
+        TestbedConfig cfg;
+        cfg.chain = chain;
+        cfg.seed = opts.seed;
+        Testbed bed(cfg);
+
+        const Capacity cap = findCapacity(bed, eo);
+        c.evaluated = true;
+        c.capacityGbps = cap.requestGbps;
+        c.capacityRps = cap.rps;
+
+        const double rate = cap.requestGbps * opts.loadFactor;
+        const Measurement m = bed.measure(
+            rate, eo.warmup, windowFor(cap.rps * opts.loadFactor, eo));
+        c.p99Us = m.p99Us();
+        c.serverWatts = m.energy.avgServerWatts;
+
+        const double per_server = cap.requestGbps * opts.loadFactor;
+        c.serversForDemand =
+            per_server > 0.0
+                ? static_cast<unsigned>(
+                      std::ceil(opts.demandGbps / per_server))
+                : 0;
+        const bool with_snic = std::any_of(
+            c.where.begin(), c.where.end(), [](hw::Platform p) {
+                return p != hw::Platform::HostCpu;
+            });
+        c.tco5yrUsd =
+            static_cast<double>(c.serversForDemand) *
+            computeColumn(1, c.serverWatts, with_snic).fiveYearTcoUsd;
+        c.meetsSlo =
+            (slo.p99UsMax <= 0.0 || c.p99Us <= slo.p99UsMax) &&
+            (slo.minGbps <= 0.0 || per_server >= slo.minGbps);
+    }
+
+    // DES pick: the SLO-meeting evaluated candidate with the lowest
+    // fleet TCO; fall back to the lowest measured p99.
+    int best = -1;
+    for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+        const ChainPlacementCandidate &c = advice.candidates[i];
+        if (!c.evaluated)
+            continue;
+        if (best < 0) {
+            best = static_cast<int>(i);
+            continue;
+        }
+        const ChainPlacementCandidate &b =
+            advice.candidates[static_cast<std::size_t>(best)];
+        if (c.meetsSlo != b.meetsSlo) {
+            if (c.meetsSlo)
+                best = static_cast<int>(i);
+            continue;
+        }
+        if (c.meetsSlo ? c.tco5yrUsd < b.tco5yrUsd
+                       : c.p99Us < b.p99Us) {
+            best = static_cast<int>(i);
+        }
+    }
+    advice.desPick = best;
+    advice.sloFeasible =
+        best >= 0 &&
+        advice.candidates[static_cast<std::size_t>(best)].meetsSlo;
+
+    std::ostringstream why;
+    auto describe = [&](int i) -> std::string {
+        if (i < 0)
+            return "(none)";
+        std::ostringstream s;
+        const auto &w =
+            advice.candidates[static_cast<std::size_t>(i)].where;
+        for (std::size_t k = 0; k < w.size(); ++k)
+            s << (k ? "+" : "") << hw::platformName(w[k]);
+        return s.str();
+    };
+    if (advice.sloFeasible) {
+        why << "DES-backed pick " << describe(advice.desPick)
+            << " meets the SLO";
+        const auto &h = advice.candidates[static_cast<std::size_t>(
+            advice.heuristicPick)];
+        if (!h.evaluated || !h.meetsSlo) {
+            why << "; the heuristic baseline "
+                << describe(advice.heuristicPick)
+                << " does not";
+        } else if (advice.desPick != advice.heuristicPick) {
+            why << " at lower TCO than the heuristic baseline "
+                << describe(advice.heuristicPick);
+        } else {
+            why << " (agrees with the heuristic baseline)";
+        }
+    } else {
+        why << "no evaluated placement meets the SLO; lowest-p99 "
+            << "fallback: " << describe(advice.desPick);
     }
     advice.rationale = why.str();
     return advice;

@@ -55,6 +55,102 @@ Advice adviseOffload(const std::string &workload_id,
                      const SloConstraint &slo,
                      std::uint64_t seed = 1);
 
+// --- Chain placement (service chains, core/chain.hh) ---
+
+/** The Meili-style placement key: three normalized components,
+ *  lower is better. Latency-blind by construction — that is the
+ *  baseline's documented weakness. */
+struct PlacementKey
+{
+    /** Data-movement locality: PCIe crossings between consecutive
+     *  functions. */
+    double location = 0.0;
+    /** Bottleneck pressure: per-request demand on the most loaded
+     *  resource, normalized by that resource's capacity (the inverse
+     *  of the placement's analytic capacity). */
+    double bandwidth = 0.0;
+    /** Cost-weighted resource consumption: host CPU time is the
+     *  expensive resource; SNIC CPU and engine time are cheap. */
+    double resource = 0.0;
+    /** Weighted combination over the candidate set (filled by the
+     *  advisor after cross-candidate normalization). */
+    double combined = 0.0;
+};
+
+/** One candidate placement of a chain. */
+struct ChainPlacementCandidate
+{
+    /** Per-function execution platform (engine kind comes from the
+     *  function's own Spec::accel). */
+    std::vector<hw::Platform> where;
+    PlacementKey key;
+    /** Analytic per-server capacity (the heuristic's view). */
+    double analyticGbps = 0.0;
+
+    // DES-backed evaluation (filled for candidates the advisor
+    // simulated; the heuristic never sees these).
+    bool evaluated = false;
+    double capacityGbps = 0.0;
+    double capacityRps = 0.0;
+    double p99Us = 0.0;            ///< measured at the load point
+    double serverWatts = 0.0;      ///< measured at the load point
+    unsigned serversForDemand = 0; ///< fleet size for demandGbps
+    double tco5yrUsd = 0.0;        ///< fleet 5-year TCO
+    bool meetsSlo = false;
+};
+
+/** Chain advisor knobs. */
+struct ChainAdvisorOptions
+{
+    std::uint64_t seed = 1;
+    /** Operating point as a fraction of measured capacity. */
+    double loadFactor = 0.7;
+    /** Fleet demand the TCO sizing must serve (request Gbps). */
+    double demandGbps = 100.0;
+    /** DES evaluations the advisor may spend (in heuristic-key
+     *  order; the search stops early once an SLO-meeting candidate
+     *  cannot be improved within the budget). */
+    int desBudget = 8;
+    /** Samples per DES measurement window (small: the advisor runs
+     *  many candidates). */
+    std::uint64_t targetSamples = 4000;
+};
+
+/** The chain advisor's verdict. */
+struct ChainAdvice
+{
+    std::vector<std::string> functions;
+    /** Every feasible placement, sorted by heuristic key (best
+     *  first). */
+    std::vector<ChainPlacementCandidate> candidates;
+    /** Index into candidates of the Meili-key baseline's pick
+     *  (always 0 when any candidate is feasible). */
+    int heuristicPick = -1;
+    /** Index into candidates of the DES-backed pick. */
+    int desPick = -1;
+    bool sloFeasible = false;
+    std::string rationale;
+};
+
+/**
+ * Compute the raw (un-normalized) Meili-style key components for
+ * placing @p profiles at @p where. Exposed for tests and benches.
+ */
+PlacementKey placementKey(
+    const std::vector<workloads::FunctionProfile> &profiles,
+    const std::vector<hw::Platform> &where);
+
+/**
+ * Advise on placing the function chain @p function_ids under @p slo:
+ * enumerate every Table 3-valid placement vector, rank with the
+ * Meili location/bandwidth/resource key (the heuristic baseline),
+ * then spend the DES budget simulating candidates to find the
+ * placement that actually meets the SLO at the lowest fleet TCO.
+ */
+ChainAdvice adviseChainPlacement(
+    const std::vector<std::string> &function_ids,
+    const SloConstraint &slo, const ChainAdvisorOptions &opts = {});
+
 } // namespace snic::core
 
 #endif // SNIC_CORE_ADVISOR_HH

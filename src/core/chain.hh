@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Service chains: a request path composed of N workload functions,
+ * each bound to a Placement (host CPU pool, SNIC CPU pool, or a
+ * fixed-function engine), with explicit inter-stage transfers that
+ * pay real PCIe round-trips when consecutive functions sit on
+ * opposite sides of the bus and cheap shared-memory hops otherwise.
+ *
+ * The ChainSpec is what a Testbed assembles; ChainStageRuntime is
+ * the assembled form the pipeline stages consume. A 1-function chain
+ * is the paper's original single-function datapath — the Testbed
+ * builds exactly the seed's 5-stage pipeline for it, so every
+ * existing measurement is a chain measurement already.
+ */
+
+#ifndef SNIC_CORE_CHAIN_HH
+#define SNIC_CORE_CHAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/server.hh"
+#include "workloads/workload.hh"
+
+namespace snic::core {
+
+/** One function of a chain: which workload, and where it runs. */
+struct FunctionStageSpec
+{
+    std::string workloadId;
+    hw::Platform where = hw::Platform::HostCpu;
+};
+
+/** An ordered chain of functions a request flows through. */
+struct ChainSpec
+{
+    std::vector<FunctionStageSpec> stages;
+
+    /** The single-function chain equivalent to the seed testbed. */
+    static ChainSpec
+    single(std::string workload_id, hw::Platform where)
+    {
+        ChainSpec c;
+        c.stages.push_back({std::move(workload_id), where});
+        return c;
+    }
+
+    /** Builder convenience: chain.then("rem_kb", SnicAccel)... */
+    ChainSpec &
+    then(std::string workload_id, hw::Platform where)
+    {
+        stages.push_back({std::move(workload_id), where});
+        return *this;
+    }
+
+    bool empty() const { return stages.empty(); }
+    std::size_t size() const { return stages.size(); }
+};
+
+/**
+ * One assembled chain stage: the workload instance (owned by the
+ * Testbed), its resolved placement (engine kind comes from the
+ * workload's Spec::accel), and a unique per-instance name — repeated
+ * functions get distinct "#k" suffixes so StageStats, attributeTail
+ * and correlateRingFull buckets never merge two instances.
+ */
+struct ChainStageRuntime
+{
+    workloads::Workload *workload = nullptr;
+    hw::Placement placement;
+    std::string name;
+};
+
+/**
+ * Plan every stage of the chain for one request, front to back, on
+ * one RNG stream. Stage k's input bytes are stage k-1's response
+ * bytes; filter-style functions that emit no response (responseBytes
+ * == 0) pass their input payload through unchanged.
+ */
+std::vector<workloads::RequestPlan>
+planChain(const std::vector<ChainStageRuntime> &chain,
+          std::uint32_t request_bytes, sim::Random &rng);
+
+/** PCIe crossings a request pays between consecutive placements. */
+unsigned pcieCrossings(const std::vector<hw::Placement> &placements);
+
+/** Same, over an assembled chain. */
+unsigned chainPcieCrossings(const std::vector<ChainStageRuntime> &chain);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_CHAIN_HH

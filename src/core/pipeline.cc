@@ -40,8 +40,8 @@ IngressStage::process(PipelineRequest &&req)
         drop(std::move(req));
         return;
     }
-    req.plan = _ctx.workload.plan(req.packet.sizeBytes, _ctx.platform,
-                                  _ctx.sim.rng());
+    req.plans =
+        planChain(*_ctx.chain, req.packet.sizeBytes, _ctx.sim.rng());
     forward(std::move(req));
 }
 
@@ -51,12 +51,18 @@ StackStage::process(PipelineRequest &&req)
     const workloads::Spec &spec = _ctx.workload.spec();
     const bool network = spec.drive == workloads::Drive::Network;
     if (network && !spec.dataPlaneOffload) {
-        req.plan.cpuWork += _ctx.stack.rxWork(req.packet.sizeBytes);
-        if (req.plan.responseBytes > 0)
-            req.plan.cpuWork += _ctx.stack.txWork(req.plan.responseBytes);
+        // rx lands on the first function's serving CPU; tx on the
+        // last function's (the one that emits the response).
+        req.plans.front().cpuWork +=
+            _ctx.stack.rxWork(req.packet.sizeBytes);
+        if (req.plans.back().responseBytes > 0) {
+            req.plans.back().cpuWork +=
+                _ctx.stack.txWork(req.plans.back().responseBytes);
+        }
     }
 
-    if (spec.dataPlaneOffload && req.plan.cpuWork.empty() && _bypass) {
+    if (spec.dataPlaneOffload && req.plans.front().cpuWork.empty() &&
+        _bypass) {
         // eSwitch-forwarded packet: the CPU never runs; respond
         // straight off the data plane.
         forwardTo(*_bypass, std::move(req));
@@ -68,7 +74,7 @@ StackStage::process(PipelineRequest &&req)
 void
 AppStage::process(PipelineRequest &&req)
 {
-    const alg::WorkCounters work = req.plan.cpuWork;
+    const alg::WorkCounters work = req.plans[_planIndex].cpuWork;
     const std::uint64_t flow = req.packet.flowHash;
     // CPU dispatch is always Immediate; the hook only splits the
     // traced timeline into worker-queueing vs service, so untraced
@@ -87,24 +93,24 @@ AppStage::process(PipelineRequest &&req)
             tracer->discard(trace);
         };
     }
-    _ctx.servingCpu.submit(work, flow,
-                           [this, req = std::move(req)]() mutable {
-                               forward(std::move(req));
-                           },
-                           std::move(hook), std::move(dropped));
+    _cpu.submit(work, flow,
+                [this, req = std::move(req)]() mutable {
+                    forward(std::move(req));
+                },
+                std::move(hook), std::move(dropped));
 }
 
 void
 AcceleratorStage::process(PipelineRequest &&req)
 {
     if (req.packet.createdAt < _ctx.epochStart ||
-        req.plan.accelWork.empty()) {
+        req.plans[_planIndex].accelWork.empty()) {
         // Stale (must not occupy the engine in the new window) or
         // CPU-only plan: pass through.
         forward(std::move(req));
         return;
     }
-    const alg::WorkCounters work = req.plan.accelWork;
+    const alg::WorkCounters work = req.plans[_planIndex].accelWork;
     const std::uint64_t flow = req.packet.flowHash;
     // The hook fires when the engine's discipline posts the job —
     // immediately under Immediate, at batch formation under
@@ -138,17 +144,36 @@ AcceleratorStage::process(PipelineRequest &&req)
     // stage's platform instead of letting it hide in an unbounded
     // pend list.
     hw::AdmissionHook on_admitted =
-        [cpu = &_ctx.servingCpu, flow](sim::Tick parked_at,
-                                       sim::Tick admitted_at) {
+        [cpu = &_chargeCpu, flow](sim::Tick parked_at,
+                                  sim::Tick admitted_at) {
             cpu->chargeStall(flow, admitted_at - parked_at);
         };
-    _ctx.server.accel(_ctx.workload.spec().accel)
-        .submit(work, flow,
-                [this, req = std::move(req)]() mutable {
-                    forward(std::move(req));
-                },
-                std::move(hook), std::move(dropped),
-                std::move(on_admitted));
+    _engine.submit(work, flow,
+                   [this, req = std::move(req)]() mutable {
+                       forward(std::move(req));
+                   },
+                   std::move(hook), std::move(dropped),
+                   std::move(on_admitted));
+}
+
+void
+TransferStage::process(PipelineRequest &&req)
+{
+    if (req.packet.createdAt < _ctx.epochStart) {
+        // Stale leftovers must not book bus time inside the new
+        // measurement window.
+        forward(std::move(req));
+        return;
+    }
+    const std::uint32_t bytes = req.plans[_toPlanIndex].requestBytes;
+    const sim::Tick delay = _ctx.server.transferTicks(_from, _to, bytes);
+    if (delay == 0) {
+        forward(std::move(req));
+        return;
+    }
+    _ctx.sim.after(delay, [this, req = std::move(req)]() mutable {
+        forward(std::move(req));
+    });
 }
 
 void
@@ -159,18 +184,20 @@ EgressStage::process(PipelineRequest &&req)
         drop(std::move(req));
         return;
     }
-    _sink.onServed(req.packet, req.plan);
+    _sink.onServed(req.packet, req.plans.back());
 
     const workloads::Spec &spec = _ctx.workload.spec();
-    double extra_ns = req.plan.extraLatencyNs;
+    double extra_ns = req.plans.front().extraLatencyNs;
+    for (std::size_t k = 1; k < req.plans.size(); ++k)
+        extra_ns += req.plans[k].extraLatencyNs;
     const bool network = spec.drive == workloads::Drive::Network;
     if (network && !spec.dataPlaneOffload)
         extra_ns += sim::ticksToNs(_ctx.stack.fixedLatency(_ctx.platform));
 
-    if (req.plan.responseBytes > 0) {
+    if (req.plans.back().responseBytes > 0) {
         net::Packet response;
         response.id = req.packet.id;
-        response.sizeBytes = req.plan.responseBytes;
+        response.sizeBytes = req.plans.back().responseBytes;
         response.proto = req.packet.proto;
         response.createdAt = req.packet.createdAt;
         response.flowHash = req.packet.flowHash;
@@ -192,23 +219,72 @@ Pipeline::Pipeline(const PipelineContext &ctx, net::Link &down_link,
                    EgressSink &sink)
     : _ctx(ctx)
 {
-    auto ingress = std::make_unique<IngressStage>(_ctx);
-    auto stack = std::make_unique<StackStage>(_ctx);
-    auto app = std::make_unique<AppStage>(_ctx);
-    auto accel = std::make_unique<AcceleratorStage>(_ctx);
-    auto egress = std::make_unique<EgressStage>(_ctx, down_link, sink);
+    const std::vector<ChainStageRuntime> &chain = *_ctx.chain;
 
-    ingress->setNext(stack.get());
-    stack->setNext(app.get());
-    stack->setBypass(egress.get());
-    app->setNext(accel.get());
-    accel->setNext(egress.get());
+    if (chain.size() == 1) {
+        // The seed's standard 5-stage datapath: the single-function
+        // chain keeps the original stage names and event ordering
+        // (the accelerator stage is a pass-through for CPU plans).
+        const ChainStageRuntime &fn = chain.front();
+        auto ingress = std::make_unique<IngressStage>(_ctx);
+        auto stack = std::make_unique<StackStage>(_ctx);
+        auto app = std::make_unique<AppStage>(_ctx, "app",
+                                              _ctx.servingCpu, 0);
+        auto accel = std::make_unique<AcceleratorStage>(
+            _ctx, "accelerator",
+            _ctx.server.accel(fn.workload->spec().accel),
+            _ctx.servingCpu, 0);
+        auto egress =
+            std::make_unique<EgressStage>(_ctx, down_link, sink);
 
-    _stages.push_back(std::move(ingress));
-    _stages.push_back(std::move(stack));
-    _stages.push_back(std::move(app));
-    _stages.push_back(std::move(accel));
-    _stages.push_back(std::move(egress));
+        ingress->setNext(stack.get());
+        stack->setNext(app.get());
+        stack->setBypass(egress.get());
+        app->setNext(accel.get());
+        accel->setNext(egress.get());
+
+        _stages.push_back(std::move(ingress));
+        _stages.push_back(std::move(stack));
+        _stages.push_back(std::move(app));
+        _stages.push_back(std::move(accel));
+        _stages.push_back(std::move(egress));
+    } else {
+        // Composable chain: one CPU stage per function (its staging
+        // work when an engine executes it), an engine stage for
+        // engine placements, and a transfer between consecutive
+        // functions. No data-plane bypass — chains always run CPUs.
+        auto ingress = std::make_unique<IngressStage>(_ctx);
+        auto stack = std::make_unique<StackStage>(_ctx);
+        ingress->setNext(stack.get());
+        _stages.push_back(std::move(ingress));
+        _stages.push_back(std::move(stack));
+
+        Stage *tail = _stages.back().get();
+        auto append = [&](std::unique_ptr<Stage> s) {
+            tail->setNext(s.get());
+            tail = s.get();
+            _stages.push_back(std::move(s));
+        };
+
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            const ChainStageRuntime &fn = chain[k];
+            if (k > 0) {
+                append(std::make_unique<TransferStage>(
+                    _ctx, "xfer#" + std::to_string(k),
+                    chain[k - 1].placement, fn.placement, k));
+            }
+            append(std::make_unique<AppStage>(
+                _ctx, fn.name,
+                _ctx.server.cpuFor(fn.placement.kind), k));
+            if (fn.placement.kind == hw::Platform::SnicAccel) {
+                append(std::make_unique<AcceleratorStage>(
+                    _ctx, fn.name + ".engine",
+                    _ctx.server.accel(fn.placement.engine),
+                    _ctx.server.cpuFor(fn.placement.kind), k));
+            }
+        }
+        append(std::make_unique<EgressStage>(_ctx, down_link, sink));
+    }
 
     for (std::size_t i = 0; i < _stages.size(); ++i)
         _stages[i]->setIndex(static_cast<std::uint8_t>(i));

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/chain.hh"
 #include "core/trace.hh"
 #include "hw/server.hh"
 #include "net/link.hh"
@@ -40,8 +41,10 @@ namespace snic::core {
 struct PipelineRequest
 {
     net::Packet packet;
-    /** Filled by IngressStage; amended by StackStage. */
-    workloads::RequestPlan plan;
+    /** One plan per chain function, all filled by IngressStage
+     *  (front to back, one RNG stream) and amended by StackStage;
+     *  a single-function chain carries exactly one. */
+    std::vector<workloads::RequestPlan> plans;
     /** Tick the request entered the current stage (residency). */
     sim::Tick stageEntered = 0;
     /** Per-request timeline, owned by the TraceRecorder; null when
@@ -124,9 +127,11 @@ struct PipelineContext
 {
     sim::Simulation &sim;
     hw::ServerModel &server;
+    /** The chain's first (primary) function — the one whose Spec
+     *  drives traffic generation, the stack, and egress framing. */
     workloads::Workload &workload;
     stack::StackModel &stack;
-    /** The CPU platform serving this configuration. */
+    /** The CPU platform serving the chain's first function. */
     hw::ExecutionPlatform &servingCpu;
     hw::Platform platform;
     /** Requests created before this tick are stale leftovers from a
@@ -134,6 +139,9 @@ struct PipelineContext
     sim::Tick epochStart = 0;
     /** Per-request trace recorder; null disables tracing entirely. */
     TraceRecorder *tracer = nullptr;
+    /** The assembled chain (owned by the Testbed; always at least
+     *  one stage). */
+    const std::vector<ChainStageRuntime> *chain = nullptr;
 };
 
 /**
@@ -285,7 +293,8 @@ class Stage
 
 /**
  * Ingress: epoch-filter arriving packets and plan the request
- * against the workload (the application-dispatch decision).
+ * against every chain function (the application-dispatch decision),
+ * front to back on one RNG stream.
  */
 class IngressStage : public Stage
 {
@@ -319,32 +328,80 @@ class StackStage : public Stage
 };
 
 /**
- * App: occupy the serving CPU for the request's (stack + function)
+ * App: occupy a CPU pool for one chain function's (stack + function)
  * work. Residency in this stage is CPU queueing plus service time.
+ * The single-function chain names its instance "app"; longer chains
+ * get one instance per function, named "<id>#<k>".
  */
 class AppStage : public Stage
 {
   public:
-    explicit AppStage(PipelineContext &ctx) : Stage(ctx, "app") {}
-
-  protected:
-    void process(PipelineRequest &&req) override;
-};
-
-/**
- * Accelerator: occupy the engine for plans that carry accelerator
- * work; a pass-through otherwise. Stale requests skip the engine so
- * leftovers never occupy it inside a new measurement window.
- */
-class AcceleratorStage : public Stage
-{
-  public:
-    explicit AcceleratorStage(PipelineContext &ctx)
-        : Stage(ctx, "accelerator")
+    AppStage(PipelineContext &ctx, std::string name,
+             hw::ExecutionPlatform &cpu, std::size_t plan_index)
+        : Stage(ctx, std::move(name)), _cpu(cpu),
+          _planIndex(plan_index)
     {}
 
   protected:
     void process(PipelineRequest &&req) override;
+
+  private:
+    hw::ExecutionPlatform &_cpu;
+    const std::size_t _planIndex;
+};
+
+/**
+ * Accelerator: occupy one engine for plans that carry accelerator
+ * work; a pass-through otherwise. Stale requests skip the engine so
+ * leftovers never occupy it inside a new measurement window.
+ * Doorbell backpressure is charged to @p charge_cpu — the staging
+ * cores that sit spinning on the job post.
+ */
+class AcceleratorStage : public Stage
+{
+  public:
+    AcceleratorStage(PipelineContext &ctx, std::string name,
+                     hw::ExecutionPlatform &engine,
+                     hw::ExecutionPlatform &charge_cpu,
+                     std::size_t plan_index)
+        : Stage(ctx, std::move(name)), _engine(engine),
+          _chargeCpu(charge_cpu), _planIndex(plan_index)
+    {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+
+  private:
+    hw::ExecutionPlatform &_engine;
+    hw::ExecutionPlatform &_chargeCpu;
+    const std::size_t _planIndex;
+};
+
+/**
+ * Transfer: hand the payload between consecutive chain functions.
+ * A PCIe crossing books real time on the shared PcieLink (latency
+ * plus serialization behind every other transfer on the bus); a
+ * same-side hop is a fixed descriptor handoff plus a bandwidth-
+ * limited copy. Stale requests pass through without booking bus
+ * time, mirroring the accelerator stage's stale bypass.
+ */
+class TransferStage : public Stage
+{
+  public:
+    TransferStage(PipelineContext &ctx, std::string name,
+                  hw::Placement from, hw::Placement to,
+                  std::size_t to_plan_index)
+        : Stage(ctx, std::move(name)), _from(from), _to(to),
+          _toPlanIndex(to_plan_index)
+    {}
+
+  protected:
+    void process(PipelineRequest &&req) override;
+
+  private:
+    const hw::Placement _from;
+    const hw::Placement _to;
+    const std::size_t _toPlanIndex;
 };
 
 /**
@@ -376,7 +433,15 @@ class EgressStage : public Stage
 class Pipeline
 {
   public:
-    /** Assemble the standard 5-stage datapath. */
+    /**
+     * Assemble the datapath for ctx.chain. A single-function chain
+     * builds the seed's standard 5-stage pipeline (ingress, stack,
+     * app, accelerator, egress — event-for-event the original
+     * datapath); longer chains build ingress, stack, then per
+     * function a CPU stage (plus an engine stage for engine
+     * placements) with transfer stages between functions, then
+     * egress.
+     */
     Pipeline(const PipelineContext &ctx, net::Link &down_link,
              EgressSink &sink);
 

@@ -47,48 +47,134 @@ Testbed::Testbed(const TestbedConfig &config, sim::Simulation &shared)
 void
 Testbed::assemble()
 {
-    _workload = workloads::makeWorkload(_config.workloadId);
-    const workloads::Spec &spec = _workload->spec();
-
-    if (!_workload->supports(_config.platform)) {
-        sim::fatal("Testbed: workload %s does not run on %s (Table 3)",
-                   _config.workloadId.c_str(),
-                   hw::platformName(_config.platform));
+    // Resolve the chain: an empty ChainSpec means the classic
+    // single-function testbed described by workloadId/platform.
+    ChainSpec chain_spec = _config.chain;
+    if (chain_spec.empty()) {
+        if (_config.workloadId.empty()) {
+            sim::fatal("Testbed: empty chain — no chain stages and "
+                       "no workloadId");
+        }
+        chain_spec =
+            ChainSpec::single(_config.workloadId, _config.platform);
     }
 
-    const unsigned host_cores = _config.hostCoresOverride
-                                    ? _config.hostCoresOverride
-                                    : spec.hostCores;
-    _server = std::make_unique<hw::ServerModel>(*_sim, host_cores,
-                                                spec.snicCores);
+    // Build and validate every chain function. makeWorkload is fatal
+    // on unknown ids; supports() rejects placements Table 3 doesn't
+    // list — including engine placement for a function with no
+    // engine model.
+    _chainWorkloads.clear();
+    for (const FunctionStageSpec &fs : chain_spec.stages) {
+        if (fs.workloadId.empty())
+            sim::fatal("Testbed: chain stage with empty workload id");
+        auto wl = workloads::makeWorkload(fs.workloadId);
+        if (!wl->supports(fs.where)) {
+            sim::fatal(
+                "Testbed: workload %s does not run on %s (Table 3)",
+                fs.workloadId.c_str(), hw::platformName(fs.where));
+        }
+        if (chain_spec.size() > 1 && wl->spec().dataPlaneOffload) {
+            sim::fatal("Testbed: data-plane-offload function %s "
+                       "cannot be chained (it bypasses the CPUs)",
+                       fs.workloadId.c_str());
+        }
+        _chainWorkloads.push_back(std::move(wl));
+    }
+    _workload = _chainWorkloads.front().get();
 
-    // Engine queue discipline: the workload's hardware batching
+    // Normalize the legacy fields to the chain's first function so
+    // every platform()/workloadId consumer sees the chain front.
+    _config.workloadId = chain_spec.stages.front().workloadId;
+    _config.platform = chain_spec.stages.front().where;
+
+    // Assemble the runtime chain: resolved placements (engine kind
+    // from the function's Spec::accel) and unique instance names —
+    // repeated functions get distinct "#k" suffixes so StageStats /
+    // attributeTail / correlateRingFull buckets never merge.
+    _chain.clear();
+    for (std::size_t k = 0; k < chain_spec.size(); ++k) {
+        ChainStageRuntime rt;
+        rt.workload = _chainWorkloads[k].get();
+        rt.placement.kind = chain_spec.stages[k].where;
+        rt.placement.engine = _chainWorkloads[k]->spec().accel;
+        rt.name = chain_spec.stages[k].workloadId + "#" +
+                  std::to_string(k);
+        _chain.push_back(std::move(rt));
+    }
+
+    const workloads::Spec &spec = _workload->spec();
+
+    unsigned host_cores = 0, snic_cores = 0;
+    for (const auto &wl : _chainWorkloads) {
+        host_cores = std::max(host_cores, wl->spec().hostCores);
+        snic_cores = std::max(snic_cores, wl->spec().snicCores);
+    }
+    if (_config.hostCoresOverride)
+        host_cores = _config.hostCoresOverride;
+    _server = std::make_unique<hw::ServerModel>(*_sim, host_cores,
+                                                snic_cores);
+
+    // Engine queue discipline: each function's hardware batching
     // defaults unless this run forces a policy. ForceImmediate keeps
     // the pre-installed Immediate discipline (the identity datapath).
     // A ring-depth override bounds the engine's descriptor ring; a
     // Coalescing{1, 0} discipline is bitwise the Immediate path, so
     // bounding the ring of a non-batching engine costs nothing else.
-    switch (_config.accelQueueing) {
-      case AccelQueueing::WorkloadDefault: {
-        hw::BatchConfig cfg = spec.accelBatch;
-        if (_config.accelRingDepth)
-            cfg.queueDepth = _config.accelRingDepth;
-        if (cfg.enabled() || cfg.bounded()) {
-            _server->accel(spec.accel).setDiscipline(
+    // When two chain functions reference the same engine, the first
+    // one's configuration wins.
+    bool engine_configured[3] = {false, false, false};
+    for (const auto &wl : _chainWorkloads) {
+        const workloads::Spec &s = wl->spec();
+        bool &configured = engine_configured[static_cast<int>(s.accel)];
+        if (configured)
+            continue;
+        configured = true;
+        switch (_config.accelQueueing) {
+          case AccelQueueing::WorkloadDefault: {
+            hw::BatchConfig cfg = s.accelBatch;
+            if (_config.accelRingDepth)
+                cfg.queueDepth = _config.accelRingDepth;
+            if (cfg.enabled() || cfg.bounded()) {
+                _server->accel(s.accel).setDiscipline(
+                    hw::makeCoalescing(cfg));
+            }
+            break;
+          }
+          case AccelQueueing::ForceImmediate:
+            break;
+          case AccelQueueing::ForceCoalescing: {
+            hw::BatchConfig cfg = _config.accelBatchOverride;
+            if (_config.accelRingDepth)
+                cfg.queueDepth = _config.accelRingDepth;
+            _server->accel(s.accel).setDiscipline(
                 hw::makeCoalescing(cfg));
+            break;
+          }
         }
-        break;
-      }
-      case AccelQueueing::ForceImmediate:
-        break;
-      case AccelQueueing::ForceCoalescing: {
-        hw::BatchConfig cfg = _config.accelBatchOverride;
-        if (_config.accelRingDepth)
-            cfg.queueDepth = _config.accelRingDepth;
-        _server->accel(spec.accel).setDiscipline(
-            hw::makeCoalescing(cfg));
-        break;
-      }
+    }
+
+    // The platforms the chain touches, chain order, deduplicated —
+    // the window reset/drain set. Engines follow each function's
+    // Spec::accel (like the seed, even for CPU placements: draining
+    // an idle engine is free).
+    _cpus.clear();
+    _engines.clear();
+    _accelStageName = _chain.size() == 1 ? "accelerator" : "";
+    for (const ChainStageRuntime &st : _chain) {
+        hw::ExecutionPlatform *cpu =
+            &_server->cpuFor(st.placement.kind);
+        if (std::find(_cpus.begin(), _cpus.end(), cpu) == _cpus.end())
+            _cpus.push_back(cpu);
+        hw::ExecutionPlatform *eng =
+            &_server->accel(st.workload->spec().accel);
+        if (std::find(_engines.begin(), _engines.end(), eng) ==
+            _engines.end()) {
+            _engines.push_back(eng);
+        }
+        if (_accelStageName.empty() &&
+            st.placement.kind == hw::Platform::SnicAccel) {
+            _accelStageName = st.name + ".engine";
+        }
     }
 
     _power = std::make_unique<power::ServerPowerModel>(*_server);
@@ -108,7 +194,8 @@ Testbed::assemble()
     const PipelineContext ctx{*_sim,     *_server,
                               *_workload, *_stack,
                               servingCpu(), _config.platform,
-                              /*epochStart=*/0};
+                              /*epochStart=*/0,
+                              /*tracer=*/nullptr, &_chain};
     // The conversion to the privately-inherited EgressSink must
     // happen here, inside the class's own scope.
     EgressSink &sink_self = *this;
@@ -153,7 +240,11 @@ Testbed::assemble()
             protoFor(spec.stack));
     }
 
-    _workload->setup(_sim->rng());
+    // Set up the chain's datasets front to back on the one RNG
+    // stream (a single-function chain consumes exactly what the
+    // seed's lone setup call did).
+    for (auto &wl : _chainWorkloads)
+        wl->setup(_sim->rng());
 }
 
 Testbed::~Testbed() = default;
@@ -167,7 +258,7 @@ Testbed::servingCpu()
 hw::ExecutionPlatform &
 Testbed::accelEngine()
 {
-    return _server->accel(_workload->spec().accel);
+    return *_engines.front();
 }
 
 void
@@ -182,8 +273,10 @@ Testbed::resetWindowObservers()
     // and RingSnapshot count the window's traffic only — not the
     // warmup's (there is no drain between warmup and window; a drain
     // here would perturb the schedule).
-    accelEngine().resetRingStats();
-    accelEngine().discipline().resetBatchingStats();
+    for (hw::ExecutionPlatform *engine : _engines) {
+        engine->resetRingStats();
+        engine->discipline().resetBatchingStats();
+    }
 }
 
 void
@@ -196,8 +289,10 @@ Testbed::enableTracing(std::size_t keepSlowest)
 void
 Testbed::resetDatapath()
 {
-    servingCpu().drainAndReset();
-    accelEngine().drainAndReset();
+    for (hw::ExecutionPlatform *cpu : _cpus)
+        cpu->drainAndReset();
+    for (hw::ExecutionPlatform *engine : _engines)
+        engine->drainAndReset();
     _server->pcie().reset();
     _upLink->reset();
     _downLink->reset();
@@ -290,7 +385,7 @@ Testbed::collect(sim::Tick warmup, sim::Tick window,
     m.accelBatching = accelEngine().discipline().batching();
     m.accelRing = accelEngine().ringSnapshot();
     if (!m.slowestTraces.empty() && m.accelRing.bounded()) {
-        const Stage *accel_stage = _pipeline->stage("accelerator");
+        const Stage *accel_stage = _pipeline->stage(_accelStageName);
         m.backpressure = correlateRingFull(
             m.slowestTraces, accelEngine().ringFullSpans(),
             accel_stage ? accel_stage->index() : -1);
@@ -433,35 +528,69 @@ Testbed::estimateCapacityRps(int samples)
 {
     const workloads::Spec &spec = _workload->spec();
     sim::Random rng(_config.seed + 7777);
-    double cpu_total = 0.0, accel_total = 0.0;
+
+    // Per-platform demand accumulators in first-use order: a
+    // single-function chain reproduces the seed estimator's two
+    // (serving CPU, engine) bit for bit; longer chains add one slot
+    // per distinct platform they touch.
+    std::vector<hw::ExecutionPlatform *> plats;
+    std::vector<double> totals;
+    auto charge = [&](hw::ExecutionPlatform &p, double ns) {
+        for (std::size_t i = 0; i < plats.size(); ++i) {
+            if (plats[i] == &p) {
+                totals[i] += ns;
+                return;
+            }
+        }
+        plats.push_back(&p);
+        totals.push_back(ns);
+    };
+
+    const bool network = spec.drive == workloads::Drive::Network &&
+                         !spec.dataPlaneOffload;
+    double crossing_bytes = 0.0;  // PCIe payload per-sample total
     for (int i = 0; i < samples; ++i) {
         const auto bytes = spec.sizes.sample(rng);
-        auto plan = _workload->plan(bytes, _config.platform, rng);
-        alg::WorkCounters cpu_work = plan.cpuWork;
-        if (spec.drive == workloads::Drive::Network &&
-            !spec.dataPlaneOffload) {
-            cpu_work += _stack->rxWork(bytes);
-            if (plan.responseBytes > 0)
+        std::uint32_t in_bytes = bytes;
+        for (std::size_t k = 0; k < _chain.size(); ++k) {
+            const ChainStageRuntime &st = _chain[k];
+            auto plan =
+                st.workload->plan(in_bytes, st.placement.kind, rng);
+            alg::WorkCounters cpu_work = plan.cpuWork;
+            if (network && k == 0)
+                cpu_work += _stack->rxWork(bytes);
+            if (network && k == _chain.size() - 1 &&
+                plan.responseBytes > 0) {
                 cpu_work += _stack->txWork(plan.responseBytes);
-        }
-        cpu_total += servingCpu().serviceNs(cpu_work);
-        if (!plan.accelWork.empty()) {
-            accel_total +=
-                _server->accel(spec.accel).serviceNs(plan.accelWork);
+            }
+            charge(_server->cpuFor(st.placement.kind),
+                   _server->cpuFor(st.placement.kind)
+                       .serviceNs(cpu_work));
+            if (!plan.accelWork.empty()) {
+                hw::ExecutionPlatform &engine =
+                    _server->accel(st.workload->spec().accel);
+                charge(engine, engine.serviceNs(plan.accelWork));
+            }
+            if (k > 0 &&
+                hw::crossesPcie(_chain[k - 1].placement, st.placement))
+                crossing_bytes += in_bytes;
+            if (plan.responseBytes > 0)
+                in_bytes = plan.responseBytes;
         }
     }
     const double n = static_cast<double>(samples);
-    const double cpu_ns = cpu_total / n;
-    const double accel_ns = accel_total / n;
     double capacity = 1e18;  // effectively unbounded
-    if (cpu_ns > 0.0) {
-        capacity = std::min(
-            capacity, servingCpu().numWorkers() * 1e9 / cpu_ns);
+    for (std::size_t i = 0; i < plats.size(); ++i) {
+        const double mean_ns = totals[i] / n;
+        if (mean_ns > 0.0) {
+            capacity = std::min(
+                capacity, plats[i]->numWorkers() * 1e9 / mean_ns);
+        }
     }
-    if (accel_ns > 0.0) {
+    // Inter-stage PCIe crossings bound chains that straddle the bus.
+    if (crossing_bytes > 0.0) {
         capacity = std::min(
-            capacity, _server->accel(spec.accel).numWorkers() * 1e9 /
-                          accel_ns);
+            capacity, hw::specs::pcieGBps * 1e9 / (crossing_bytes / n));
     }
     // The wire bounds network drives.
     if (spec.drive == workloads::Drive::Network) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "core/chain.hh"
 #include "core/pipeline.hh"
 #include "hw/server.hh"
 #include "net/link.hh"
@@ -57,6 +58,13 @@ struct TestbedConfig
 {
     std::string workloadId;
     hw::Platform platform = hw::Platform::HostCpu;
+    /**
+     * The service chain to assemble. Empty (the default) means the
+     * classic single-function testbed: ChainSpec::single(workloadId,
+     * platform). When set, it takes precedence and workloadId /
+     * platform are normalized to the chain's first function.
+     */
+    ChainSpec chain;
     std::uint64_t seed = 1;
     /** Override the host core count (0 = workload default). */
     unsigned hostCoresOverride = 0;
@@ -93,8 +101,10 @@ struct Measurement
     /** Served bytes per bin during replaySchedule (Fig. 7's measured
      *  rate-over-time series); empty for plain measurements. */
     std::vector<double> servedGbpsSeries;
-    /** Per-stage flow/queue/latency stats for the window (pipeline
-     *  order: ingress, stack, app, accelerator, egress). */
+    /** Per-stage flow/queue/latency stats for the window, pipeline
+     *  order (single-function chains: ingress, stack, app,
+     *  accelerator, egress; longer chains interleave per-function
+     *  CPU/engine stages and transfer stages). */
     std::vector<StageSnapshot> stageStats;
     /** Slowest completed request timelines (slowest first), empty
      *  unless Testbed::enableTracing was called. Hop stage indices
@@ -177,7 +187,14 @@ class Testbed : private EgressSink
     /** The attached recorder (null when tracing is disabled). */
     const TraceRecorder *tracer() const { return _tracer.get(); }
 
+    /** The chain's first (primary) function. */
     const workloads::Workload &workload() const { return *_workload; }
+    /** The assembled chain, front to back (length 1 for classic
+     *  single-function configs). */
+    const std::vector<ChainStageRuntime> &chain() const
+    {
+        return _chain;
+    }
     hw::ServerModel &server() { return *_server; }
     hw::Platform platform() const { return _config.platform; }
     sim::Simulation &sim() { return *_sim; }
@@ -201,7 +218,21 @@ class Testbed : private EgressSink
     std::unique_ptr<net::Link> _upLink;    ///< client -> server
     std::unique_ptr<net::Link> _downLink;  ///< server -> client
     std::unique_ptr<net::TrafficGen> _gen;
-    std::unique_ptr<workloads::Workload> _workload;
+    /** The chain's workload instances, front to back. */
+    std::vector<workloads::WorkloadPtr> _chainWorkloads;
+    /** The assembled chain (placements + unique instance names). */
+    std::vector<ChainStageRuntime> _chain;
+    /** The primary (first) function — owned by _chainWorkloads. */
+    workloads::Workload *_workload = nullptr;
+    /** Distinct CPU platforms the chain runs on, chain order. */
+    std::vector<hw::ExecutionPlatform *> _cpus;
+    /** Distinct engines referenced by the chain's function specs,
+     *  chain order (always at least one — the primary's). */
+    std::vector<hw::ExecutionPlatform *> _engines;
+    /** Stage name correlateRingFull anchors to ("accelerator" for
+     *  single-function chains; the first engine-placed stage's
+     *  engine instance otherwise; empty when no engine stage). */
+    std::string _accelStageName;
     std::unique_ptr<stack::StackModel> _stack;
     std::unique_ptr<Pipeline> _pipeline;
     /** Per-request trace recorder (allocated by enableTracing). */

@@ -96,7 +96,10 @@ struct TraceHop
  */
 struct RequestTrace
 {
-    static constexpr std::size_t maxHops = 8;
+    /** Generous for service chains: a 3-function all-engine chain
+     *  visits 11 stages (ingress, stack, 3x(transfer? + CPU +
+     *  engine), egress). */
+    static constexpr std::size_t maxHops = 16;
 
     std::uint64_t requestId = 0;
     std::uint64_t sizeBytes = 0;

@@ -24,6 +24,14 @@ platformName(Platform p)
     sim::panic("platformName: bad platform");
 }
 
+std::string
+placementName(const Placement &p)
+{
+    if (p.kind == Platform::SnicAccel)
+        return std::string("engine:") + accelName(p.engine);
+    return platformName(p.kind);
+}
+
 ServerModel::ServerModel(sim::Simulation &sim, unsigned host_cores,
                          unsigned snic_cores)
     : _sim(sim),
@@ -56,6 +64,19 @@ const ExecutionPlatform &
 ServerModel::accel(AccelKind kind) const
 {
     return const_cast<ServerModel *>(this)->accel(kind);
+}
+
+sim::Tick
+ServerModel::transferTicks(const Placement &from, const Placement &to,
+                           std::uint32_t bytes)
+{
+    if (crossesPcie(from, to))
+        return _pcie->transferDelay(bytes);
+    const bool host_side = from.onHostSide();
+    const double hop_ns = host_side ? specs::hostHopNs : specs::snicHopNs;
+    const double gbps = host_side ? specs::hostHopGBps : specs::snicHopGBps;
+    const double copy_ns = double(bytes) / gbps;  // GB/s == bytes/ns
+    return sim::nsToTicks(hop_ns + copy_ns);
 }
 
 ExecutionPlatform &

@@ -9,6 +9,7 @@
 #define SNIC_HW_SERVER_HH
 
 #include <memory>
+#include <string>
 
 #include "hw/accelerator.hh"
 #include "hw/cpu_platform.hh"
@@ -28,6 +29,32 @@ enum class Platform
 
 /** Display name ("host", "snic_cpu", "snic_accel"). */
 const char *platformName(Platform p);
+
+/**
+ * Where one service-chain stage executes: the host CPU pool, the
+ * SNIC CPU pool, or a named fixed-function engine (whose staging
+ * cores are the SNIC CPUs). The engine field is meaningful only when
+ * kind == Platform::SnicAccel.
+ */
+struct Placement
+{
+    Platform kind = Platform::HostCpu;
+    AccelKind engine = AccelKind::Rem;
+
+    /** Host side of the PCIe bus? (SNIC CPUs and all engines share
+     *  the SNIC side.) */
+    bool onHostSide() const { return kind == Platform::HostCpu; }
+};
+
+/** Whether a payload handed from @p from to @p to crosses PCIe. */
+inline bool
+crossesPcie(const Placement &from, const Placement &to)
+{
+    return from.onHostSide() != to.onHostSide();
+}
+
+/** Display name ("host", "snic_cpu", "engine:rem", ...). */
+std::string placementName(const Placement &p);
 
 /**
  * The composed server model.
@@ -56,6 +83,16 @@ class ServerModel
 
     /** The CPU platform for @p p (SnicAccel staging uses SNIC CPU). */
     ExecutionPlatform &cpuFor(Platform p);
+
+    /**
+     * Delay for handing a @p bytes payload from stage placement
+     * @p from to @p to. A PCIe crossing books real time on the shared
+     * PcieLink (latency + serialization behind every other transfer);
+     * a same-side hop is a fixed descriptor handoff plus a
+     * DDR-bandwidth-limited copy and books nothing on the bus.
+     */
+    sim::Tick transferTicks(const Placement &from, const Placement &to,
+                            std::uint32_t bytes);
 
     sim::Simulation &sim() { return _sim; }
 

@@ -146,6 +146,24 @@ constexpr double coalesceWindowNs = 0.0;
  *  when idle (l3fwd-power-style adaptive polling parks the rest). */
 constexpr unsigned dpdkPollCores = 2;
 
+// --- Service-chain inter-stage transfers ---
+//
+// When consecutive chain stages execute on the same side of the PCIe
+// bus the payload moves through shared memory (a descriptor handoff
+// plus a DDR-bandwidth-limited copy); when they sit on opposite sides
+// the payload is DMAed across the real PcieLink, paying its posted
+// latency and serializing behind every other transfer on the bus.
+
+/** Same-side handoff on the SNIC: descriptor write + cache/DDR4 hop
+ *  between Arm cores and engines sharing the 16 GB DRAM. */
+constexpr double snicHopNs = 250.0;
+/** Same-side handoff on the host: LLC-resident queue pair. */
+constexpr double hostHopNs = 120.0;
+/** Effective single-stream copy bandwidth for same-side payload
+ *  movement (SNIC single-channel DDR4 vs host six-channel DDR4). */
+constexpr double snicHopGBps = 12.0;
+constexpr double hostHopGBps = 60.0;
+
 // --- eSwitch / ConnectX bump-in-the-wire functions ---
 
 constexpr double eswitchLatencyNs = 350.0;

@@ -169,4 +169,84 @@ allWorkloadIds()
     return ids;
 }
 
+double
+FunctionProfile::cpuNsAt(hw::Platform where) const
+{
+    switch (where) {
+      case hw::Platform::HostCpu:
+        return hostCpuNs;
+      case hw::Platform::SnicCpu:
+        return snicCpuNs;
+      case hw::Platform::SnicAccel:
+        return accelStagingNs;
+    }
+    return 0.0;
+}
+
+FunctionProfile
+functionProfile(const std::string &id, std::uint64_t seed, int samples)
+{
+    // A scratch simulation prices the sampled plans; nothing is
+    // scheduled, so this costs one ServerModel construction.
+    sim::Simulation sim(seed);
+    hw::ServerModel server(sim);
+    WorkloadPtr wl = makeWorkload(id);
+    sim::Random rng(seed + 4242);
+    wl->setup(rng);
+
+    const Spec &spec = wl->spec();
+    FunctionProfile p;
+    p.id = id;
+    p.supportsHost = spec.supportsHost;
+    p.supportsSnicCpu = spec.supportsSnicCpu;
+    p.supportsAccel = spec.supportsAccel;
+    p.accel = spec.accel;
+
+    double resp_samples = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const auto bytes = spec.sizes.sample(rng);
+        p.meanRequestBytes += bytes;
+        // One plan per supported platform; all draw from the same
+        // stream, which is fine — the profile is a mean, not a
+        // paired comparison.
+        if (spec.supportsHost) {
+            const auto plan =
+                wl->plan(bytes, hw::Platform::HostCpu, rng);
+            p.hostCpuNs += server.hostCpu().serviceNs(plan.cpuWork);
+            p.meanResponseBytes += plan.responseBytes;
+            resp_samples += 1.0;
+        }
+        if (spec.supportsSnicCpu) {
+            const auto plan =
+                wl->plan(bytes, hw::Platform::SnicCpu, rng);
+            p.snicCpuNs += server.snicCpu().serviceNs(plan.cpuWork);
+            if (!spec.supportsHost) {
+                p.meanResponseBytes += plan.responseBytes;
+                resp_samples += 1.0;
+            }
+        }
+        if (spec.supportsAccel) {
+            const auto plan =
+                wl->plan(bytes, hw::Platform::SnicAccel, rng);
+            p.accelStagingNs +=
+                server.snicCpu().serviceNs(plan.cpuWork);
+            p.engineNs +=
+                server.accel(spec.accel).serviceNs(plan.accelWork);
+            if (!spec.supportsHost && !spec.supportsSnicCpu) {
+                p.meanResponseBytes += plan.responseBytes;
+                resp_samples += 1.0;
+            }
+        }
+    }
+    const double n = static_cast<double>(samples);
+    p.meanRequestBytes /= n;
+    if (resp_samples > 0.0)
+        p.meanResponseBytes /= resp_samples;
+    p.hostCpuNs /= n;
+    p.snicCpuNs /= n;
+    p.accelStagingNs /= n;
+    p.engineNs /= n;
+    return p;
+}
+
 } // namespace snic::workloads

@@ -35,6 +35,44 @@ Fig4Lineup fig4Lineup();
 /** Every known configuration id. */
 std::vector<std::string> allWorkloadIds();
 
+/**
+ * Per-function service-demand metadata: the mean request-plan cost
+ * of one configuration priced on each platform Table 3 lists for it.
+ * This is what a chain-placement search consumes — demand per stage
+ * without assembling a testbed per candidate.
+ */
+struct FunctionProfile
+{
+    std::string id;
+    bool supportsHost = false;
+    bool supportsSnicCpu = false;
+    bool supportsAccel = false;
+    /** The engine serving accel placements (meaningful only when
+     *  supportsAccel). */
+    hw::AccelKind accel = hw::AccelKind::Rem;
+    double meanRequestBytes = 0.0;
+    double meanResponseBytes = 0.0;
+    /** Mean CPU service demand per request (ns) for CPU placements. */
+    double hostCpuNs = 0.0;
+    double snicCpuNs = 0.0;
+    /** Engine placement: SNIC-CPU staging demand + engine demand. */
+    double accelStagingNs = 0.0;
+    double engineNs = 0.0;
+
+    /** CPU-side demand (ns/request) of placing this function at
+     *  @p where (staging demand for engine placements). */
+    double cpuNsAt(hw::Platform where) const;
+};
+
+/**
+ * Profile one configuration by sampling @p samples request plans per
+ * supported platform (deterministic given @p seed). Fatal on unknown
+ * ids.
+ */
+FunctionProfile functionProfile(const std::string &id,
+                                std::uint64_t seed = 1,
+                                int samples = 64);
+
 } // namespace snic::workloads
 
 #endif // SNIC_WORKLOADS_REGISTRY_HH

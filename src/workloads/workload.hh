@@ -88,6 +88,10 @@ struct RequestPlan
     alg::WorkCounters accelWork;
     /** Response payload size. */
     std::uint32_t responseBytes = 0;
+    /** Wire size of the request this plan was made for — the payload
+     *  a downstream chain stage receives (chains feed a stage's
+     *  output into the next stage's planner). */
+    std::uint32_t requestBytes = 0;
     /** Extra path latency (ns) beyond CPU/accelerator service —
      *  completion hops that differ per platform (fio's read/write
      *  asymmetry). */

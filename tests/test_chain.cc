@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for composable service chains: ChainSpec validation at
+ * Testbed construction, inter-stage transfer-cost accounting (PCIe
+ * crossings vs same-side hops), unique per-instance stage names,
+ * single-function-chain equivalence with the seed datapath, and the
+ * chain-placement advisor's building blocks (FunctionProfile,
+ * placementKey).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hh"
+#include "core/chain.hh"
+#include "core/experiment.hh"
+#include "core/testbed.hh"
+#include "hw/specs.hh"
+#include "workloads/registry.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+hw::Placement
+at(hw::Platform p, hw::AccelKind engine = hw::AccelKind::Rem)
+{
+    hw::Placement pl;
+    pl.kind = p;
+    pl.engine = engine;
+    return pl;
+}
+
+Testbed
+makeChainBed(const ChainSpec &chain, std::uint64_t seed = 1)
+{
+    TestbedConfig cfg;
+    cfg.chain = chain;
+    cfg.seed = seed;
+    return Testbed(cfg);
+}
+
+const StageSnapshot &
+stageNamed(const Measurement &m, const std::string &name)
+{
+    for (const auto &s : m.stageStats) {
+        if (s.name == name)
+            return s;
+    }
+    ADD_FAILURE() << "no stage named " << name;
+    static const StageSnapshot none;
+    return none;
+}
+
+/** The decompress -> REM scan -> KVS store chain used throughout. */
+ChainSpec
+decScanStore(hw::Platform dec, hw::Platform scan, hw::Platform store)
+{
+    ChainSpec c;
+    c.then("comp_app_dec", dec).then("rem_exe", scan).then("redis_a",
+                                                           store);
+    return c;
+}
+
+} // anonymous namespace
+
+// --- Transfer-cost model (satellite: crossing accounting) ---
+
+TEST(Chain, PcieCrossingCountsPerPlacementVector)
+{
+    const auto host = at(hw::Platform::HostCpu);
+    const auto snic = at(hw::Platform::SnicCpu);
+    const auto eng = at(hw::Platform::SnicAccel);
+
+    EXPECT_EQ(pcieCrossings({host}), 0u);
+    EXPECT_EQ(pcieCrossings({host, host}), 0u);
+    EXPECT_EQ(pcieCrossings({host, eng}), 1u);
+    EXPECT_EQ(pcieCrossings({eng, host}), 1u);
+    // SNIC CPU and the engines share the SNIC side of the bus.
+    EXPECT_EQ(pcieCrossings({snic, eng}), 0u);
+    EXPECT_EQ(pcieCrossings({eng, eng, snic}), 0u);
+    // Ping-pong placements pay per hop.
+    EXPECT_EQ(pcieCrossings({host, eng, host}), 2u);
+    EXPECT_EQ(pcieCrossings({host, snic, host}), 2u);
+    EXPECT_EQ(pcieCrossings({snic, host, eng, host}), 3u);
+}
+
+TEST(Chain, TransferTicksChargePcieOnlyOnCrossings)
+{
+    sim::Simulation s(1);
+    hw::ServerModel server(s);
+    const auto host = at(hw::Platform::HostCpu);
+    const auto snic = at(hw::Platform::SnicCpu);
+    const auto eng = at(hw::Platform::SnicAccel);
+    const sim::Tick pcie_floor = sim::nsToTicks(hw::specs::pcieLatencyNs);
+
+    // Crossing the bus pays at least the PCIe posted latency.
+    EXPECT_GE(server.transferTicks(host, eng, 1024), pcie_floor);
+    EXPECT_GE(server.transferTicks(eng, host, 1024), pcie_floor);
+    EXPECT_GE(server.transferTicks(host, snic, 1024), pcie_floor);
+
+    // Same-side hops are cheap but never free.
+    const sim::Tick snic_hop = server.transferTicks(snic, eng, 1024);
+    EXPECT_GT(snic_hop, 0u);
+    EXPECT_LT(snic_hop, pcie_floor);
+
+    // Same-side hop cost is the deterministic fixed + per-byte model.
+    const sim::Tick host_hop = server.transferTicks(host, host, 1024);
+    EXPECT_EQ(host_hop,
+              sim::nsToTicks(hw::specs::hostHopNs +
+                             1024.0 / hw::specs::hostHopGBps));
+    EXPECT_EQ(snic_hop,
+              sim::nsToTicks(hw::specs::snicHopNs +
+                             1024.0 / hw::specs::snicHopGBps));
+
+    // Bigger payloads serialize longer on every path.
+    EXPECT_GT(server.transferTicks(host, eng, 64 * 1024),
+              server.transferTicks(host, eng, 64));
+}
+
+TEST(Chain, ChainRunChargesTransfersMatchingCrossingCount)
+{
+    // host -> engine -> host: both inter-function hops cross PCIe,
+    // so every transfer stage's residency carries at least the
+    // posted-latency floor.
+    auto crossing = makeChainBed(decScanStore(hw::Platform::HostCpu,
+                                              hw::Platform::SnicAccel,
+                                              hw::Platform::HostCpu));
+    const auto mc = crossing.measure(4.0, sim::msToTicks(1.0),
+                                     sim::msToTicks(5.0));
+    const double pcie_us = hw::specs::pcieLatencyNs / 1e3;
+    unsigned xfers = 0;
+    for (const auto &s : mc.stageStats) {
+        if (s.name.rfind("xfer#", 0) != 0)
+            continue;
+        ++xfers;
+        EXPECT_GT(s.accepted, 10u) << s.name;
+        EXPECT_GE(s.meanResidencyUs, pcie_us) << s.name;
+    }
+    EXPECT_EQ(xfers, 2u);
+    EXPECT_EQ(chainPcieCrossings(crossing.chain()), 2u);
+
+    // Same function pair on the same side vs straddling the bus. The
+    // KVS payloads are small, so the fixed per-hop costs dominate
+    // and the PCIe floor cleanly separates the two cases (large
+    // payloads would not: the SNIC's slower memory path serializes
+    // 64 KB longer than PCIe does).
+    ChainSpec same;
+    same.then("redis_a", hw::Platform::SnicCpu)
+        .then("redis_a", hw::Platform::SnicCpu);
+    auto local = makeChainBed(same);
+    const auto ml = local.measure(2.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(5.0));
+    const auto &same_hop = stageNamed(ml, "xfer#1");
+    EXPECT_GT(same_hop.accepted, 1000u);
+    EXPECT_GT(same_hop.meanResidencyUs, 0.0);
+    EXPECT_LT(same_hop.meanResidencyUs, pcie_us);
+    EXPECT_EQ(chainPcieCrossings(local.chain()), 0u);
+
+    ChainSpec split;
+    split.then("redis_a", hw::Platform::HostCpu)
+        .then("redis_a", hw::Platform::SnicCpu);
+    auto straddle = makeChainBed(split);
+    const auto ms = straddle.measure(2.0, sim::msToTicks(1.0),
+                                     sim::msToTicks(5.0));
+    const auto &cross_hop = stageNamed(ms, "xfer#1");
+    EXPECT_GT(cross_hop.accepted, 1000u);
+    EXPECT_GE(cross_hop.meanResidencyUs, pcie_us);
+    EXPECT_EQ(chainPcieCrossings(straddle.chain()), 1u);
+}
+
+// --- Plan propagation ---
+
+TEST(Chain, PlanChainPropagatesBytesFrontToBack)
+{
+    auto bed = makeChainBed(decScanStore(hw::Platform::HostCpu,
+                                         hw::Platform::HostCpu,
+                                         hw::Platform::HostCpu));
+    ASSERT_EQ(bed.chain().size(), 3u);
+    sim::Random rng(99);
+    const auto plans = planChain(bed.chain(), 1024, rng);
+    ASSERT_EQ(plans.size(), 3u);
+    EXPECT_EQ(plans[0].requestBytes, 1024u);
+    for (std::size_t k = 1; k < plans.size(); ++k) {
+        // Stage k consumes stage k-1's response; filters that emit
+        // nothing pass their input through.
+        const std::uint32_t expect = plans[k - 1].responseBytes > 0
+                                         ? plans[k - 1].responseBytes
+                                         : plans[k - 1].requestBytes;
+        EXPECT_EQ(plans[k].requestBytes, expect) << "stage " << k;
+    }
+}
+
+// --- Seed equivalence (the 1-function chain IS the seed datapath) ---
+
+TEST(Chain, SingleFunctionChainIsBitwiseIdenticalToLegacyConfig)
+{
+    TestbedConfig legacy;
+    legacy.workloadId = "rem_exe_mtu";
+    legacy.platform = hw::Platform::SnicAccel;
+    legacy.seed = 7;
+    Testbed a(legacy);
+
+    TestbedConfig chained;
+    chained.chain = ChainSpec::single("rem_exe_mtu",
+                                      hw::Platform::SnicAccel);
+    chained.seed = 7;
+    Testbed b(chained);
+
+    const auto ma = a.measure(10.0, sim::msToTicks(1.0),
+                              sim::msToTicks(5.0));
+    const auto mb = b.measure(10.0, sim::msToTicks(1.0),
+                              sim::msToTicks(5.0));
+    // Bitwise: the chain path must not perturb a single RNG draw or
+    // FP accumulation relative to the seed datapath.
+    EXPECT_EQ(ma.achievedGbps, mb.achievedGbps);
+    EXPECT_EQ(ma.completed, mb.completed);
+    EXPECT_EQ(ma.latency.p99(), mb.latency.p99());
+    EXPECT_EQ(ma.latency.mean(), mb.latency.mean());
+
+    // And it keeps the seed's 5 stage names.
+    ASSERT_EQ(mb.stageStats.size(), 5u);
+    EXPECT_EQ(mb.stageStats[0].name, "ingress");
+    EXPECT_EQ(mb.stageStats[2].name, "app");
+    EXPECT_EQ(mb.stageStats[3].name, "accelerator");
+}
+
+// --- Unique stage-instance names (satellite: repeated functions) ---
+
+TEST(Chain, RepeatedFunctionGetsDistinctStageInstances)
+{
+    ChainSpec c;
+    c.then("redis_a", hw::Platform::HostCpu)
+        .then("redis_a", hw::Platform::HostCpu);
+    auto bed = makeChainBed(c);
+    const auto m = bed.measure(3.0, sim::msToTicks(1.0),
+                               sim::msToTicks(5.0));
+
+    // Both instances appear, under distinct #k names, with their own
+    // stats buckets — the second instance must not fold into the
+    // first.
+    const auto &first = stageNamed(m, "redis_a#0");
+    const auto &second = stageNamed(m, "redis_a#1");
+    EXPECT_GT(first.accepted, 1000u);
+    EXPECT_GT(second.accepted, 1000u);
+    EXPECT_LE(second.accepted, first.accepted);
+
+    std::set<std::string> names;
+    for (const auto &s : m.stageStats)
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate stage name " << s.name;
+}
+
+// --- Traced/untraced A/B (satellite: tracing stays free) ---
+
+TEST(Chain, TracingDoesNotPerturbAThreeFunctionChain)
+{
+    const ChainSpec c = decScanStore(hw::Platform::HostCpu,
+                                     hw::Platform::SnicAccel,
+                                     hw::Platform::SnicCpu);
+    auto plain = makeChainBed(c, /*seed=*/3);
+    auto traced = makeChainBed(c, /*seed=*/3);
+    traced.enableTracing(8);
+
+    const auto mp = plain.measure(6.0, sim::msToTicks(1.0),
+                                  sim::msToTicks(5.0));
+    const auto mt = traced.measure(6.0, sim::msToTicks(1.0),
+                                   sim::msToTicks(5.0));
+    EXPECT_EQ(mp.achievedGbps, mt.achievedGbps);
+    EXPECT_EQ(mp.completed, mt.completed);
+    EXPECT_EQ(mp.latency.p99(), mt.latency.p99());
+    EXPECT_EQ(mp.latency.mean(), mt.latency.mean());
+
+    // The traced run actually recorded timelines, and the chain's
+    // longer hop list fits the recorder (maxHops).
+    ASSERT_FALSE(mt.slowestTraces.empty());
+    EXPECT_TRUE(mp.slowestTraces.empty());
+    EXPECT_GT(mt.slowestTraces.front().hopCount, 5u);
+}
+
+// --- Capacity estimation over chains ---
+
+TEST(Chain, AnalyticCapacityIsPositiveAndCrossingsSlowTheEstimate)
+{
+    auto all_host = makeChainBed(decScanStore(hw::Platform::HostCpu,
+                                              hw::Platform::HostCpu,
+                                              hw::Platform::HostCpu));
+    EXPECT_GT(all_host.estimateCapacityRps(), 0.0);
+
+    auto engines = makeChainBed(decScanStore(hw::Platform::SnicAccel,
+                                             hw::Platform::SnicAccel,
+                                             hw::Platform::SnicCpu));
+    EXPECT_GT(engines.estimateCapacityRps(), 0.0);
+}
+
+// --- Advisor building blocks ---
+
+TEST(Chain, FunctionProfilePricesEachSupportedPlatform)
+{
+    const auto rem = workloads::functionProfile("rem_exe");
+    EXPECT_TRUE(rem.supportsHost);
+    EXPECT_FALSE(rem.supportsSnicCpu);
+    EXPECT_TRUE(rem.supportsAccel);
+    EXPECT_GT(rem.hostCpuNs, 0.0);
+    EXPECT_GT(rem.engineNs, 0.0);
+    EXPECT_GT(rem.accelStagingNs, 0.0);
+    EXPECT_GT(rem.meanRequestBytes, 0.0);
+    EXPECT_EQ(rem.cpuNsAt(hw::Platform::HostCpu), rem.hostCpuNs);
+    EXPECT_EQ(rem.cpuNsAt(hw::Platform::SnicAccel),
+              rem.accelStagingNs);
+
+    const auto redis = workloads::functionProfile("redis_a");
+    EXPECT_TRUE(redis.supportsHost);
+    EXPECT_TRUE(redis.supportsSnicCpu);
+    EXPECT_FALSE(redis.supportsAccel);
+    EXPECT_GT(redis.meanResponseBytes, 0.0);
+    // The wimpy Arm cores price the same work higher.
+    EXPECT_GT(redis.snicCpuNs, redis.hostCpuNs);
+}
+
+TEST(Chain, PlacementKeyLocationCountsCrossingsAndResourceFavorsEngines)
+{
+    std::vector<workloads::FunctionProfile> profiles{
+        workloads::functionProfile("comp_app_dec"),
+        workloads::functionProfile("rem_exe"),
+        workloads::functionProfile("redis_a")};
+
+    const auto all_host = placementKey(
+        profiles, {hw::Platform::HostCpu, hw::Platform::HostCpu,
+                   hw::Platform::HostCpu});
+    const auto ping_pong = placementKey(
+        profiles, {hw::Platform::HostCpu, hw::Platform::SnicAccel,
+                   hw::Platform::HostCpu});
+    const auto snic_side = placementKey(
+        profiles, {hw::Platform::SnicAccel, hw::Platform::SnicAccel,
+                   hw::Platform::SnicCpu});
+
+    EXPECT_EQ(all_host.location, 0.0);
+    EXPECT_EQ(ping_pong.location, 2.0);
+    EXPECT_EQ(snic_side.location, 0.0);
+
+    // Cost-weighted resource: host CPU time is the expensive input,
+    // so the engine-heavy placement must look cheaper by this key.
+    EXPECT_GT(all_host.resource, snic_side.resource);
+
+    // Every key sees some bottleneck pressure.
+    EXPECT_GT(all_host.bandwidth, 0.0);
+    EXPECT_GT(snic_side.bandwidth, 0.0);
+}
+
+// --- Construction validation (satellite: death tests) ---
+
+TEST(ChainDeath, EmptyChainWithoutWorkloadIdIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            TestbedConfig cfg;  // no workloadId, no chain
+            Testbed bed(cfg);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ChainDeath, UnknownFunctionIdIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            TestbedConfig cfg;
+            cfg.chain = ChainSpec::single("no_such_function",
+                                          hw::Platform::HostCpu);
+            Testbed bed(cfg);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ChainDeath, EmptyWorkloadIdInChainStageIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            TestbedConfig cfg;
+            cfg.chain.then("redis_a", hw::Platform::HostCpu)
+                .then("", hw::Platform::HostCpu);
+            Testbed bed(cfg);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ChainDeath, EnginePlacementWithoutEngineModelIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            TestbedConfig cfg;
+            // redis has no fixed-function engine (Table 3).
+            cfg.chain = ChainSpec::single("redis_a",
+                                          hw::Platform::SnicAccel);
+            Testbed bed(cfg);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ChainDeath, DataPlaneOffloadFunctionCannotBeChained)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            TestbedConfig cfg;
+            // OvS megaflow hits bypass the CPUs entirely; a chain
+            // stage after it could never run.
+            cfg.chain.then("ovs_100", hw::Platform::SnicCpu)
+                .then("redis_a", hw::Platform::SnicCpu);
+            Testbed bed(cfg);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
