@@ -1,0 +1,405 @@
+/**
+ * @file
+ * sim_speed — raw simulator speed harness (the repo's perf
+ * trajectory, see ROADMAP "fleet-scale sweeps").
+ *
+ * Replays representative cells from the paper benches — a Fig-4
+ * function testbed, a Fig-5 REM point (accelerator + coalescing),
+ * and rack_scaleout at M=8/32 — at a fixed offered load, and reports
+ * **events/sec and requests/sec** into BENCH_sim_speed.json. The
+ * headline cell is rack_m32: a 32-member rack on one shared timeline,
+ * the shape every fleet-scale sweep is built from.
+ *
+ * The committed bench/sim_speed_baseline.json records two things per
+ * cell: `pre_pr_events_per_sec`, the binary-heap scheduler measured
+ * by this same harness before the timer-wheel landed (frozen history
+ * — the denominator of the speedup column), and
+ * `expected_events_per_sec`, the current scheduler on the reference
+ * dev machine derated 2x so slower CI runners don't trip it. With
+ * --check the run fails when any cell drops below 80 % of expected —
+ * the >20 % regression gate CI enforces.
+ *
+ * Modes:
+ *   sim_speed                 full windows, 3 reps, best-of
+ *   sim_speed --quick         short windows, 1 rep (CI)
+ *   sim_speed --out F         write the JSON report to F
+ *   sim_speed --baseline F    read baseline numbers from F
+ *   sim_speed --write-baseline F  emit a fresh baseline file
+ *   sim_speed --check         exit 1 on >20 % regression vs expected
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rack.hh"
+#include "core/testbed.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+struct CellResult
+{
+    std::string name;
+    std::string what;
+    std::uint64_t events = 0;
+    std::uint64_t requests = 0;
+    double wallSec = 0.0;
+    double eventsPerSec = 0.0;
+    double requestsPerSec = 0.0;
+    /** From the baseline file (0 = not found). */
+    double prePrEventsPerSec = 0.0;
+    double expectedEventsPerSec = 0.0;
+
+    double
+    speedupVsPrePr() const
+    {
+        return prePrEventsPerSec > 0.0
+                   ? eventsPerSec / prePrEventsPerSec
+                   : 0.0;
+    }
+};
+
+/** Wall-clock one run of @p body, which must return (events fired,
+ *  requests completed) for the window it simulated. */
+template <typename Body>
+CellResult
+timeCell(const char *name, const char *what, int reps, Body &&body)
+{
+    CellResult best;
+    best.name = name;
+    best.what = what;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto [events, requests] = body();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double sec =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double eps =
+            sec > 0.0 ? static_cast<double>(events) / sec : 0.0;
+        if (eps > best.eventsPerSec) {
+            best.events = events;
+            best.requests = requests;
+            best.wallSec = sec;
+            best.eventsPerSec = eps;
+            best.requestsPerSec =
+                sec > 0.0 ? static_cast<double>(requests) / sec : 0.0;
+        }
+    }
+    std::printf("  %-22s %9.3fs  %12llu ev  %8.3g ev/s  %8.3g req/s\n",
+                name, best.wallSec,
+                static_cast<unsigned long long>(best.events),
+                best.eventsPerSec, best.requestsPerSec);
+    return best;
+}
+
+/** One single-server testbed cell at a fixed offered load. */
+std::pair<std::uint64_t, std::uint64_t>
+runTestbedCell(const std::string &workload, hw::Platform platform,
+               double gbps, sim::Tick window)
+{
+    TestbedConfig cfg;
+    cfg.workloadId = workload;
+    cfg.platform = platform;
+    Testbed bed(cfg);
+    const Measurement m =
+        bed.measure(gbps, sim::msToTicks(1.0), window);
+    return {bed.sim().events().numFired(), m.completed};
+}
+
+/** One rack cell at a fixed aggregate load. */
+std::pair<std::uint64_t, std::uint64_t>
+runRackCell(unsigned servers, net::DispatchPolicy policy,
+            double per_server_gbps, sim::Tick window)
+{
+    RackConfig cfg;
+    cfg.workloadId = "micro_udp_1024";
+    cfg.platform = hw::Platform::HostCpu;
+    cfg.servers = servers;
+    cfg.policy = policy;
+    Rack rack(cfg);
+    const RackMeasurement m = rack.measure(
+        per_server_gbps * servers, sim::msToTicks(1.0), window);
+    return {rack.sim().events().numFired(), m.aggregate.completed};
+}
+
+/**
+ * Scheduler-only churn: no datapath, just the EventQueue under a
+ * fleet-shaped op mix — a few thousand events pending, mixed horizons
+ * (mostly short, some microsecond-scale, a rare far tail), a cancel
+ * for ~2 % of schedules. This is the cell that isolates the scheduler
+ * rewrite itself; the testbed cells above measure it diluted by the
+ * modelled datapath. The op sequence is a fixed LCG, so the fired
+ * count is one more cross-implementation determinism check.
+ *
+ * Returns (events fired, events scheduled).
+ */
+std::pair<std::uint64_t, std::uint64_t>
+runSchedChurn(std::uint64_t target_fires)
+{
+    sim::EventQueue q;
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    auto rnd = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    std::vector<sim::EventId> cancelable;
+    std::uint64_t scheduled = 0;
+    while (q.numFired() < target_fires) {
+        while (q.numPending() < 4096) {
+            const std::uint64_t r = rnd();
+            sim::Tick horizon;
+            switch (r & 7) {
+              case 0:  // ~µs at 1 ps/tick: the link/service scale
+                horizon = 1 + (r >> 8) % 1000000;
+                break;
+              case 1:  // far tail (timeouts, sensors)
+                horizon = 1 + (r >> 8) % 100000000;
+                break;
+              default:  // short: typical inter-event distance
+                horizon = 1 + (r >> 8) % 4000;
+                break;
+            }
+            const sim::EventId id =
+                q.schedule(q.curTick() + horizon, [] {});
+            ++scheduled;
+            if ((r & 63) == 5)
+                cancelable.push_back(id);
+        }
+        for (const sim::EventId id : cancelable)
+            q.deschedule(id);
+        cancelable.clear();
+        q.runUntil(q.curTick() + 50000);
+    }
+    return {q.numFired(), scheduled};
+}
+
+/** Pull `"cell": { ... "key": <num> ... }` out of a baseline file
+ *  written by --write-baseline (rigid format, no general JSON). */
+double
+baselineNumber(const std::string &text, const std::string &cell,
+               const std::string &key)
+{
+    const auto cell_at = text.find("\"" + cell + "\"");
+    if (cell_at == std::string::npos)
+        return 0.0;
+    const auto end = text.find('}', cell_at);
+    const auto key_at = text.find("\"" + key + "\"", cell_at);
+    if (key_at == std::string::npos || key_at > end)
+        return 0.0;
+    const auto colon = text.find(':', key_at);
+    if (colon == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+
+    bool quick = false;
+    bool check = false;
+    std::string out = "BENCH_sim_speed.json";
+    std::string baseline_path = "bench/sim_speed_baseline.json";
+    std::string write_baseline;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                sim::fatal("sim_speed: %s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--check")
+            check = true;
+        else if (arg == "--out")
+            out = value("--out");
+        else if (arg == "--baseline")
+            baseline_path = value("--baseline");
+        else if (arg == "--write-baseline")
+            write_baseline = value("--write-baseline");
+        else if (arg == "--only")
+            only = value("--only");
+        else
+            sim::fatal("sim_speed: unknown argument %s", arg.c_str());
+    }
+
+    const int reps = quick ? 1 : 3;
+    const sim::Tick bed_window =
+        quick ? sim::msToTicks(5.0) : sim::msToTicks(25.0);
+    const sim::Tick rack_window =
+        quick ? sim::msToTicks(2.0) : sim::msToTicks(10.0);
+
+    std::printf("sim_speed (%s): events/sec and requests/sec per "
+                "cell, best of %d\n",
+                quick ? "quick" : "full", reps);
+
+    std::vector<CellResult> cells;
+    auto addCell = [&](const char *name, const char *what,
+                       auto &&body) {
+        if (!only.empty() && only != name)
+            return;
+        cells.push_back(timeCell(name, what, reps, body));
+    };
+    addCell("fig4_micro_udp_host",
+            "Fig-4 micro_udp_1024 on the host CPU, 6 Gbps open loop",
+            [&] {
+                return runTestbedCell("micro_udp_1024",
+                                      hw::Platform::HostCpu, 6.0,
+                                      bed_window);
+            });
+    addCell("fig5_rem_snic",
+            "Fig-5 rem_img_mtu on the SNIC engine (coalescing), "
+            "20 Gbps",
+            [&] {
+                return runTestbedCell("rem_img_mtu",
+                                      hw::Platform::SnicAccel, 20.0,
+                                      bed_window);
+            });
+    addCell("rack_m8", "rack_scaleout M=8 round_robin, 6 Gbps/server",
+            [&] {
+                return runRackCell(8, net::DispatchPolicy::RoundRobin,
+                                   6.0, rack_window);
+            });
+    addCell("rack_m32",
+            "rack_scaleout M=32 round_robin, 6 Gbps/server",
+            [&] {
+                return runRackCell(32, net::DispatchPolicy::RoundRobin,
+                                   6.0, rack_window);
+            });
+    addCell("sched_churn",
+            "scheduler-only: 4k pending, mixed horizons, 2% cancels "
+            "(no datapath)",
+            [&] {
+                return runSchedChurn(quick ? 300000ull : 2000000ull);
+            });
+    addCell("rack_m32_least_queue",
+            "rack_scaleout M=32 least_queue (probe-heavy), "
+            "6 Gbps/server",
+            [&] {
+                return runRackCell(32, net::DispatchPolicy::LeastQueue,
+                                   6.0, rack_window);
+            });
+
+    // Attach baseline numbers (absent file: columns stay 0/omitted).
+    const std::string baseline = readFile(baseline_path);
+    for (CellResult &c : cells) {
+        c.prePrEventsPerSec =
+            baselineNumber(baseline, c.name, "pre_pr_events_per_sec");
+        c.expectedEventsPerSec = baselineNumber(
+            baseline, c.name, "expected_events_per_sec");
+    }
+
+    {
+        std::ofstream j(out);
+        if (!j)
+            sim::fatal("sim_speed: cannot write %s", out.c_str());
+        j << "{\n  \"bench\": \"sim_speed\",\n";
+        j << "  \"mode\": \"" << (quick ? "quick" : "full")
+          << "\",\n  \"cells\": [\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const CellResult &c = cells[i];
+            char buf[1024];
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"name\": \"%s\",\n"
+                "     \"what\": \"%s\",\n"
+                "     \"events\": %llu, \"requests\": %llu,\n"
+                "     \"wall_sec\": %.6f,\n"
+                "     \"events_per_sec\": %.6g,\n"
+                "     \"requests_per_sec\": %.6g",
+                c.name.c_str(), c.what.c_str(),
+                static_cast<unsigned long long>(c.events),
+                static_cast<unsigned long long>(c.requests),
+                c.wallSec, c.eventsPerSec, c.requestsPerSec);
+            j << buf;
+            if (c.prePrEventsPerSec > 0.0) {
+                std::snprintf(
+                    buf, sizeof buf,
+                    ",\n     \"pre_pr_events_per_sec\": %.6g,\n"
+                    "     \"speedup_vs_pre_pr\": %.3f",
+                    c.prePrEventsPerSec, c.speedupVsPrePr());
+                j << buf;
+            }
+            j << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+        }
+        j << "  ]\n}\n";
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    if (!write_baseline.empty()) {
+        std::ofstream j(write_baseline);
+        if (!j)
+            sim::fatal("sim_speed: cannot write %s",
+                       write_baseline.c_str());
+        j << "{\n  \"note\": \"pre_pr = binary-heap scheduler "
+             "(frozen); expected = current scheduler on the "
+             "reference machine / 2 (CI hardware headroom)\",\n"
+             "  \"cells\": {\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const CellResult &c = cells[i];
+            char buf[512];
+            std::snprintf(
+                buf, sizeof buf,
+                "    \"%s\": {\"pre_pr_events_per_sec\": %.6g, "
+                "\"expected_events_per_sec\": %.6g}%s\n",
+                c.name.c_str(),
+                c.prePrEventsPerSec > 0.0 ? c.prePrEventsPerSec
+                                          : c.eventsPerSec,
+                c.eventsPerSec / 2.0,
+                i + 1 < cells.size() ? "," : "");
+            j << buf;
+        }
+        j << "  }\n}\n";
+        std::printf("wrote %s\n", write_baseline.c_str());
+    }
+
+    if (check) {
+        bool ok = true;
+        for (const CellResult &c : cells) {
+            if (c.expectedEventsPerSec <= 0.0) {
+                std::printf("check: %s has no expected baseline — "
+                            "skipping\n",
+                            c.name.c_str());
+                continue;
+            }
+            const double floor = 0.8 * c.expectedEventsPerSec;
+            if (c.eventsPerSec < floor) {
+                std::printf("check: REGRESSION %s: %.3g ev/s < 80%% "
+                            "of expected %.3g\n",
+                            c.name.c_str(), c.eventsPerSec,
+                            c.expectedEventsPerSec);
+                ok = false;
+            }
+        }
+        if (!ok)
+            return 1;
+        std::printf("check: all cells within 20%% of baseline\n");
+    }
+    return 0;
+}

@@ -12,7 +12,17 @@ planChain(const std::vector<ChainStageRuntime> &chain,
           std::uint32_t request_bytes, sim::Random &rng)
 {
     std::vector<workloads::RequestPlan> plans;
-    plans.reserve(chain.size());
+    planChainInto(chain, request_bytes, rng, plans);
+    return plans;
+}
+
+void
+planChainInto(const std::vector<ChainStageRuntime> &chain,
+              std::uint32_t request_bytes, sim::Random &rng,
+              std::vector<workloads::RequestPlan> &out)
+{
+    out.clear();
+    out.reserve(chain.size());
     std::uint32_t in_bytes = request_bytes;
     for (const ChainStageRuntime &stage : chain) {
         workloads::RequestPlan plan =
@@ -22,9 +32,8 @@ planChain(const std::vector<ChainStageRuntime> &chain,
         // through to the next function.
         if (plan.responseBytes > 0)
             in_bytes = plan.responseBytes;
-        plans.push_back(std::move(plan));
+        out.push_back(std::move(plan));
     }
-    return plans;
 }
 
 unsigned

@@ -82,6 +82,12 @@ std::vector<workloads::RequestPlan>
 planChain(const std::vector<ChainStageRuntime> &chain,
           std::uint32_t request_bytes, sim::Random &rng);
 
+/** planChain into a caller-owned vector (cleared first, capacity
+ *  retained) — the pooled-request path replans allocation-free. */
+void planChainInto(const std::vector<ChainStageRuntime> &chain,
+                   std::uint32_t request_bytes, sim::Random &rng,
+                   std::vector<workloads::RequestPlan> &out);
+
 /** PCIe crossings a request pays between consecutive placements. */
 unsigned pcieCrossings(const std::vector<hw::Placement> &placements);
 

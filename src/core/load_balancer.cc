@@ -172,13 +172,15 @@ class BalancerBed
             const sim::Tick dma =
                 _server.pcie().transferDelay(pkt.sizeBytes);
             const sim::Tick created = pkt.createdAt;
-            _sim.after(dma, [this, work, created, pkt] {
-                _server.hostCpu().submit(work, pkt.flowHash,
-                                         [this, created, pkt] {
-                                             complete(created, pkt,
-                                                      false);
-                                         });
-            });
+            _sim.after(
+                dma,
+                [this, work, created, pkt] {
+                    _server.hostCpu().submit(
+                        work, pkt.flowHash, [this, created, pkt] {
+                            complete(created, pkt, false);
+                        });
+                },
+                "load-balancer.host-dma");
         } else {
             ++_toSnic;
             auto plan = _workload.plan(pkt.sizeBytes,

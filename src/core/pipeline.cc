@@ -33,35 +33,37 @@ Stage::snapshot() const
 }
 
 void
-IngressStage::process(PipelineRequest &&req)
+IngressStage::process(ReqRef req)
 {
-    if (req.packet.createdAt < _ctx.epochStart) {
+    if (req->packet.createdAt < _ctx.epochStart) {
         // Stale leftover from a previous measurement window.
         drop(std::move(req));
         return;
     }
-    req.plans =
-        planChain(*_ctx.chain, req.packet.sizeBytes, _ctx.sim.rng());
+    // Plan into the recycled record's vector: after warmup the
+    // datapath replans into retained capacity, allocation-free.
+    planChainInto(*_ctx.chain, req->packet.sizeBytes, _ctx.sim.rng(),
+                  req->plans);
     forward(std::move(req));
 }
 
 void
-StackStage::process(PipelineRequest &&req)
+StackStage::process(ReqRef req)
 {
     const workloads::Spec &spec = _ctx.workload.spec();
     const bool network = spec.drive == workloads::Drive::Network;
     if (network && !spec.dataPlaneOffload) {
         // rx lands on the first function's serving CPU; tx on the
         // last function's (the one that emits the response).
-        req.plans.front().cpuWork +=
-            _ctx.stack.rxWork(req.packet.sizeBytes);
-        if (req.plans.back().responseBytes > 0) {
-            req.plans.back().cpuWork +=
-                _ctx.stack.txWork(req.plans.back().responseBytes);
+        req->plans.front().cpuWork +=
+            _ctx.stack.rxWork(req->packet.sizeBytes);
+        if (req->plans.back().responseBytes > 0) {
+            req->plans.back().cpuWork +=
+                _ctx.stack.txWork(req->plans.back().responseBytes);
         }
     }
 
-    if (spec.dataPlaneOffload && req.plans.front().cpuWork.empty() &&
+    if (spec.dataPlaneOffload && req->plans.front().cpuWork.empty() &&
         _bypass) {
         // eSwitch-forwarded packet: the CPU never runs; respond
         // straight off the data plane.
@@ -72,24 +74,24 @@ StackStage::process(PipelineRequest &&req)
 }
 
 void
-AppStage::process(PipelineRequest &&req)
+AppStage::process(ReqRef req)
 {
-    const alg::WorkCounters work = req.plans[_planIndex].cpuWork;
-    const std::uint64_t flow = req.packet.flowHash;
+    const alg::WorkCounters work = req->plans[_planIndex].cpuWork;
+    const std::uint64_t flow = req->packet.flowHash;
     // CPU dispatch is always Immediate; the hook only splits the
     // traced timeline into worker-queueing vs service, so untraced
     // requests skip it entirely.
     hw::DispatchHook hook;
     hw::Completion dropped;
-    if (req.trace) {
-        hook = [trace = req.trace](sim::Tick admitted,
-                                   sim::Tick dispatched,
-                                   sim::Tick service_start, unsigned) {
+    if (req->trace) {
+        hook = [trace = req->trace](sim::Tick admitted,
+                                    sim::Tick dispatched,
+                                    sim::Tick service_start, unsigned) {
             trace->markDispatch(admitted, dispatched, service_start);
         };
         // If the platform discards the request (window drain or a
         // completion straddling a reset), reclaim its recorder slot.
-        dropped = [tracer = _ctx.tracer, trace = req.trace] {
+        dropped = [tracer = _ctx.tracer, trace = req->trace] {
             tracer->discard(trace);
         };
     }
@@ -101,17 +103,17 @@ AppStage::process(PipelineRequest &&req)
 }
 
 void
-AcceleratorStage::process(PipelineRequest &&req)
+AcceleratorStage::process(ReqRef req)
 {
-    if (req.packet.createdAt < _ctx.epochStart ||
-        req.plans[_planIndex].accelWork.empty()) {
+    if (req->packet.createdAt < _ctx.epochStart ||
+        req->plans[_planIndex].accelWork.empty()) {
         // Stale (must not occupy the engine in the new window) or
         // CPU-only plan: pass through.
         forward(std::move(req));
         return;
     }
-    const alg::WorkCounters work = req.plans[_planIndex].accelWork;
-    const std::uint64_t flow = req.packet.flowHash;
+    const alg::WorkCounters work = req->plans[_planIndex].accelWork;
+    const std::uint64_t flow = req->packet.flowHash;
     // The hook fires when the engine's discipline posts the job —
     // immediately under Immediate, at batch formation under
     // Coalescing — and records the batch occupancy plus how long
@@ -123,7 +125,7 @@ AcceleratorStage::process(PipelineRequest &&req)
     // window drain never fire (the discipline drops them
     // undispatched); the dropped callback reclaims their trace slots.
     hw::DispatchHook hook =
-        [this, entered = req.stageEntered, trace = req.trace](
+        [this, entered = req->stageEntered, trace = req->trace](
             sim::Tick admitted, sim::Tick dispatched,
             sim::Tick service_start, unsigned batch_size) {
             recordDispatch(entered, admitted, dispatched, batch_size);
@@ -132,8 +134,8 @@ AcceleratorStage::process(PipelineRequest &&req)
                                     service_start);
         };
     hw::Completion dropped;
-    if (req.trace) {
-        dropped = [tracer = _ctx.tracer, trace = req.trace] {
+    if (req->trace) {
+        dropped = [tracer = _ctx.tracer, trace = req->trace] {
             tracer->discard(trace);
         };
     }
@@ -157,50 +159,53 @@ AcceleratorStage::process(PipelineRequest &&req)
 }
 
 void
-TransferStage::process(PipelineRequest &&req)
+TransferStage::process(ReqRef req)
 {
-    if (req.packet.createdAt < _ctx.epochStart) {
+    if (req->packet.createdAt < _ctx.epochStart) {
         // Stale leftovers must not book bus time inside the new
         // measurement window.
         forward(std::move(req));
         return;
     }
-    const std::uint32_t bytes = req.plans[_toPlanIndex].requestBytes;
+    const std::uint32_t bytes = req->plans[_toPlanIndex].requestBytes;
     const sim::Tick delay = _ctx.server.transferTicks(_from, _to, bytes);
     if (delay == 0) {
         forward(std::move(req));
         return;
     }
-    _ctx.sim.after(delay, [this, req = std::move(req)]() mutable {
-        forward(std::move(req));
-    });
+    _ctx.sim.after(
+        delay,
+        [this, req = std::move(req)]() mutable {
+            forward(std::move(req));
+        },
+        name().c_str());
 }
 
 void
-EgressStage::process(PipelineRequest &&req)
+EgressStage::process(ReqRef req)
 {
-    if (req.packet.createdAt < _ctx.epochStart) {
+    if (req->packet.createdAt < _ctx.epochStart) {
         _sink.onStale();
         drop(std::move(req));
         return;
     }
-    _sink.onServed(req.packet, req.plans.back());
+    _sink.onServed(req->packet, req->plans.back());
 
     const workloads::Spec &spec = _ctx.workload.spec();
-    double extra_ns = req.plans.front().extraLatencyNs;
-    for (std::size_t k = 1; k < req.plans.size(); ++k)
-        extra_ns += req.plans[k].extraLatencyNs;
+    double extra_ns = req->plans.front().extraLatencyNs;
+    for (std::size_t k = 1; k < req->plans.size(); ++k)
+        extra_ns += req->plans[k].extraLatencyNs;
     const bool network = spec.drive == workloads::Drive::Network;
     if (network && !spec.dataPlaneOffload)
         extra_ns += sim::ticksToNs(_ctx.stack.fixedLatency(_ctx.platform));
 
-    if (req.plans.back().responseBytes > 0) {
+    if (req->plans.back().responseBytes > 0) {
         net::Packet response;
-        response.id = req.packet.id;
-        response.sizeBytes = req.plans.back().responseBytes;
-        response.proto = req.packet.proto;
-        response.createdAt = req.packet.createdAt;
-        response.flowHash = req.packet.flowHash;
+        response.id = req->packet.id;
+        response.sizeBytes = req->plans.back().responseBytes;
+        response.proto = req->packet.proto;
+        response.createdAt = req->packet.createdAt;
+        response.flowHash = req->packet.flowHash;
         response.extraNs = extra_ns;
         _downLink.send(response);
         forward(std::move(req));
@@ -209,7 +214,7 @@ EgressStage::process(PipelineRequest &&req)
 
     // No response traffic (IDS sinks, local crypto): latency is the
     // processing completion itself.
-    const sim::Tick lat = _ctx.sim.now() - req.packet.createdAt +
+    const sim::Tick lat = _ctx.sim.now() - req->packet.createdAt +
                           sim::nsToTicks(extra_ns);
     _sink.onTerminal(lat);
     forward(std::move(req));
@@ -320,10 +325,7 @@ Pipeline::snapshot() const
 std::uint64_t
 Pipeline::inFlight() const
 {
-    std::uint64_t sum = 0;
-    for (const auto &s : _stages)
-        sum += s->stats().inFlight();
-    return sum;
+    return _ctx.liveRequests;
 }
 
 } // namespace snic::core

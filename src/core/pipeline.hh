@@ -37,7 +37,8 @@
 
 namespace snic::core {
 
-/** One request flowing through the stage chain. */
+/** One request flowing through the stage chain. Requests are pooled
+ *  (see RequestPool) and passed between stages as ReqRef handles. */
 struct PipelineRequest
 {
     net::Packet packet;
@@ -50,6 +51,138 @@ struct PipelineRequest
     /** Per-request timeline, owned by the TraceRecorder; null when
      *  tracing is disabled (the null-object fast path). */
     RequestTrace *trace = nullptr;
+    /** Free-list link while parked in the pool. */
+    PipelineRequest *poolNext = nullptr;
+};
+
+/**
+ * Recycling store for PipelineRequest records.
+ *
+ * A request used to travel the stage chain *by value*, moved into
+ * every asynchronous closure along the way. That put one heap
+ * allocation per request in the hot path (the plans vector) and
+ * pushed the closures past the platform Completion's inline buffer —
+ * a second allocation. Pooling fixes both: release() keeps the plans
+ * vector's capacity, so a recycled request replans into the same
+ * storage, and the closures capture a 16-byte ReqRef instead of the
+ * whole record.
+ *
+ * The pool is intrusively refcounted (single-threaded, non-atomic):
+ * each outstanding ReqRef holds a reference, so handles still parked
+ * in scheduled events or coalescing queues at teardown return their
+ * record to live storage no matter the destruction order of the
+ * Pipeline, the platforms, and the shared EventQueue.
+ */
+class RequestPool
+{
+  public:
+    /** Heap-allocate a pool with one reference (the creator's). */
+    static RequestPool *create() { return new RequestPool; }
+
+    void ref() { ++_refs; }
+    void
+    unref()
+    {
+        if (--_refs == 0)
+            delete this;
+    }
+
+    PipelineRequest *
+    acquire()
+    {
+        if (_free != nullptr) {
+            PipelineRequest *req = _free;
+            _free = req->poolNext;
+            return req;
+        }
+        _slabs.push_back(std::make_unique<PipelineRequest>());
+        return _slabs.back().get();
+    }
+
+    void
+    release(PipelineRequest *req)
+    {
+        req->plans.clear();  // destroys plans, keeps capacity
+        req->trace = nullptr;
+        req->poolNext = _free;
+        _free = req;
+    }
+
+    /** Records ever allocated — bounded by peak in-flight requests,
+     *  not by request volume (every completion recycles). */
+    std::size_t size() const { return _slabs.size(); }
+
+  private:
+    RequestPool() = default;
+    ~RequestPool() = default;
+
+    std::vector<std::unique_ptr<PipelineRequest>> _slabs;
+    PipelineRequest *_free = nullptr;
+    std::size_t _refs = 1;
+};
+
+/**
+ * Move-only owning handle to a pooled PipelineRequest. Destroying a
+ * live handle returns the record to its pool — including handles
+ * sitting in closures that a window drain destroys without invoking —
+ * so a request can never leak, only recycle.
+ */
+class ReqRef
+{
+  public:
+    ReqRef() = default;
+
+    /** Acquire a recycled (or fresh) record from @p pool. */
+    explicit ReqRef(RequestPool &pool)
+        : _req(pool.acquire()), _pool(&pool)
+    {
+        pool.ref();
+    }
+
+    ReqRef(ReqRef &&other) noexcept
+        : _req(other._req), _pool(other._pool)
+    {
+        other._req = nullptr;
+        other._pool = nullptr;
+    }
+
+    ReqRef &
+    operator=(ReqRef &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            _req = other._req;
+            _pool = other._pool;
+            other._req = nullptr;
+            other._pool = nullptr;
+        }
+        return *this;
+    }
+
+    ~ReqRef() { reset(); }
+
+    ReqRef(const ReqRef &) = delete;
+    ReqRef &operator=(const ReqRef &) = delete;
+
+    PipelineRequest *operator->() const { return _req; }
+    PipelineRequest &operator*() const { return *_req; }
+    explicit operator bool() const { return _req != nullptr; }
+
+    /** Return the record to the pool now (no-op when empty). */
+    void
+    reset()
+    {
+        if (_req != nullptr) {
+            _pool->release(_req);
+            _pool->unref();
+            _req = nullptr;
+            _pool = nullptr;
+        }
+    }
+
+  private:
+    PipelineRequest *_req = nullptr;
+    RequestPool *_pool = nullptr;
 };
 
 /** Per-stage flow and residency statistics. */
@@ -139,6 +272,12 @@ struct PipelineContext
     sim::Tick epochStart = 0;
     /** Per-request trace recorder; null disables tracing entirely. */
     TraceRecorder *tracer = nullptr;
+    /** Requests currently inside the stage chain: the sum of every
+     *  stage's StageStats::inFlight(), maintained by delta at each
+     *  accept/exit/drop so Pipeline::inFlight() — the rack's
+     *  least-queue probe, called per arriving request — is O(1)
+     *  instead of a walk over the stages. */
+    std::uint64_t liveRequests = 0;
     /** The assembled chain (owned by the Testbed; always at least
      *  one stage). */
     const std::vector<ChainStageRuntime> *chain = nullptr;
@@ -188,7 +327,13 @@ class Stage
     Stage *next() const { return _next; }
     const std::string &name() const { return _name; }
     const StageStats &stats() const { return _stats; }
-    void resetStats() { _stats.reset(); }
+
+    void
+    resetStats()
+    {
+        _ctx.liveRequests -= _stats.inFlight();
+        _stats.reset();
+    }
 
     /** Position in the pipeline's stage vector (trace hop ids). */
     void setIndex(std::uint8_t index) { _index = index; }
@@ -196,15 +341,21 @@ class Stage
 
     /** Entry point: stat accounting, then process(). */
     void
-    accept(PipelineRequest &&req)
+    accept(ReqRef req)
     {
-        if (req.trace) {
+        if (req->trace) {
             // Queue depth *before* this request is counted in.
-            req.trace->enter(_index, _ctx.sim.now(),
-                             _stats.inFlight());
+            req->trace->enter(_index, _ctx.sim.now(),
+                              _stats.inFlight());
         }
+        // Delta-maintain the pipeline-wide aggregate through the
+        // same saturating arithmetic as the per-stage counter, so
+        // the two can never disagree (a leftover request from before
+        // a reset must not move the aggregate either).
+        const std::uint64_t before = _stats.inFlight();
         ++_stats.accepted;
-        req.stageEntered = _ctx.sim.now();
+        _ctx.liveRequests += _stats.inFlight() - before;
+        req->stageEntered = _ctx.sim.now();
         process(std::move(req));
     }
 
@@ -212,7 +363,7 @@ class Stage
     StageSnapshot snapshot() const;
 
   protected:
-    virtual void process(PipelineRequest &&req) = 0;
+    virtual void process(ReqRef req) = 0;
 
     /** Record one dispatch observation from a platform hook: the
      *  batch the request rode in, how long it sat parked behind a
@@ -232,34 +383,38 @@ class Stage
     /** Complete this stage and hand to the next (if any); leaving
      *  the last stage completes the request's trace. */
     void
-    forward(PipelineRequest &&req)
+    forward(ReqRef req)
     {
-        exit_(req);
+        exit_(*req);
         if (_next) {
             _next->accept(std::move(req));
             return;
         }
-        if (req.trace)
-            _ctx.tracer->complete(req.trace, _ctx.sim.now());
+        if (req->trace)
+            _ctx.tracer->complete(req->trace, _ctx.sim.now());
     }
 
     /** Complete this stage and hand to an explicit target (bypass). */
     void
-    forwardTo(Stage &to, PipelineRequest &&req)
+    forwardTo(Stage &to, ReqRef req)
     {
-        exit_(req);
+        exit_(*req);
         to.accept(std::move(req));
     }
 
-    /** Discard a stale request (its timeline with it). */
+    /** Discard a stale request (its timeline with it); the handle
+     *  recycles the record on return. */
     void
-    drop(PipelineRequest &&req)
+    drop(ReqRef req)
     {
-        if (req.stageEntered >= _ctx.epochStart)
+        if (req->stageEntered >= _ctx.epochStart) {
+            const std::uint64_t before = _stats.inFlight();
             ++_stats.dropped;
-        if (req.trace) {
-            _ctx.tracer->discard(req.trace);
-            req.trace = nullptr;
+            _ctx.liveRequests -= before - _stats.inFlight();
+        }
+        if (req->trace) {
+            _ctx.tracer->discard(req->trace);
+            req->trace = nullptr;
         }
     }
 
@@ -282,7 +437,9 @@ class Stage
         if (req.stageEntered < _ctx.epochStart)
             return;
         _stats.residency.record(_ctx.sim.now() - req.stageEntered);
+        const std::uint64_t before = _stats.inFlight();
         ++_stats.forwarded;
+        _ctx.liveRequests -= before - _stats.inFlight();
     }
 
     std::string _name;
@@ -304,7 +461,7 @@ class IngressStage : public Stage
     {}
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 };
 
 /**
@@ -321,7 +478,7 @@ class StackStage : public Stage
     void setBypass(Stage *egress) { _bypass = egress; }
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 
   private:
     Stage *_bypass = nullptr;
@@ -343,7 +500,7 @@ class AppStage : public Stage
     {}
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 
   private:
     hw::ExecutionPlatform &_cpu;
@@ -369,7 +526,7 @@ class AcceleratorStage : public Stage
     {}
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 
   private:
     hw::ExecutionPlatform &_engine;
@@ -396,7 +553,7 @@ class TransferStage : public Stage
     {}
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 
   private:
     const hw::Placement _from;
@@ -419,7 +576,7 @@ class EgressStage : public Stage
     {}
 
   protected:
-    void process(PipelineRequest &&req) override;
+    void process(ReqRef req) override;
 
   private:
     net::Link &_downLink;
@@ -445,14 +602,16 @@ class Pipeline
     Pipeline(const PipelineContext &ctx, net::Link &down_link,
              EgressSink &sink);
 
+    ~Pipeline() { _pool->unref(); }
+
     /** Inject one request at the front stage. */
     void
     inject(const net::Packet &pkt)
     {
-        PipelineRequest req;
-        req.packet = pkt;
+        ReqRef req(*_pool);
+        req->packet = pkt;
         if (_ctx.tracer)
-            req.trace = _ctx.tracer->begin(pkt);
+            req->trace = _ctx.tracer->begin(pkt);
         _stages.front()->accept(std::move(req));
     }
 
@@ -485,8 +644,13 @@ class Pipeline
      *  queue-depth signal the rack's load-aware dispatch observes. */
     std::uint64_t inFlight() const;
 
+    /** Request-pool footprint in records (see RequestPool::size). */
+    std::size_t requestPoolSize() const { return _pool->size(); }
+
   private:
     PipelineContext _ctx;
+    /** Refcounted: outstanding ReqRefs keep it alive past us. */
+    RequestPool *_pool = RequestPool::create();
     std::vector<std::unique_ptr<Stage>> _stages;
 };
 

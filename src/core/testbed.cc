@@ -195,7 +195,8 @@ Testbed::assemble()
                               *_workload, *_stack,
                               servingCpu(), _config.platform,
                               /*epochStart=*/0,
-                              /*tracer=*/nullptr, &_chain};
+                              /*tracer=*/nullptr,
+                              /*liveRequests=*/0, &_chain};
     // The conversion to the privately-inherited EgressSink must
     // happen here, inside the class's own scope.
     EgressSink &sink_self = *this;

@@ -38,7 +38,9 @@ ESwitch::ingress(const net::Packet &pkt)
             sim::panic("ESwitch: no SNIC CPU sink");
         _snicPkts.inc();
         net::Packet copy = pkt;
-        sim().after(switch_delay, [this, copy] { _toSnic(copy); });
+        sim().after(
+            switch_delay, [this, copy] { _toSnic(copy); },
+            name().c_str());
         return;
       }
       case SteerTarget::HostCpu: {
@@ -47,7 +49,9 @@ ESwitch::ingress(const net::Packet &pkt)
         _hostPkts.inc();
         const sim::Tick dma = _pcie.transferDelay(pkt.sizeBytes);
         net::Packet copy = pkt;
-        sim().after(switch_delay + dma, [this, copy] { _toHost(copy); });
+        sim().after(
+            switch_delay + dma, [this, copy] { _toHost(copy); },
+            name().c_str());
         return;
       }
     }

@@ -186,7 +186,8 @@ ExecutionPlatform::chargeStall(std::uint64_t flowHash,
                                    /*pipeline=*/0);
     // No completion event rides on a stall charge; sample the busy
     // tracker when the worker frees so the integral stays exact.
-    sim().at(slot.busyDone, [this] { trackBusy(); });
+    sim().at(slot.busyDone, [this] { trackBusy(); },
+             name().c_str());
 }
 
 WorkerSlot
@@ -212,7 +213,8 @@ ExecutionPlatform::occupy(std::uint64_t flowHash, sim::Tick service,
     // Keep the busy-time integral exact: the worker frees at
     // busy_done even though the request completes after the pipeline.
     if (pipeline > 0)
-        sim().at(busy_done, [this] { trackBusy(); });
+        sim().at(busy_done, [this] { trackBusy(); },
+                 name().c_str());
 
     return {w, start, busy_done};
 }
@@ -224,7 +226,7 @@ ExecutionPlatform::completeAt(sim::Tick when, Completion done,
     ++_inService;
     const std::uint64_t epoch = _completionEpoch;
     sim().at(when, [this, epoch, done = std::move(done),
-                    dropped = std::move(dropped)] {
+                    dropped = std::move(dropped)]() mutable {
         if (epoch != _completionEpoch) {
             // The platform was reset while this completion was in
             // flight: the sender is stale, swallow it (the
@@ -239,7 +241,7 @@ ExecutionPlatform::completeAt(sim::Tick when, Completion done,
         if (done)
             done();
         pollDoorbell();
-    });
+    }, name().c_str());
 }
 
 void
@@ -265,7 +267,7 @@ ExecutionPlatform::completeBatchAt(sim::Tick when,
                 m.done();
         }
         pollDoorbell();
-    });
+    }, name().c_str());
 }
 
 void

@@ -63,13 +63,16 @@ CoalescingDiscipline::enqueue(Submission &&sub)
         const auto window = static_cast<sim::Tick>(
             _config.coalesceWindowNs * 1e3 + 0.5);
         const std::uint64_t gen = _timerGen;
-        p.sim().after(window, [this, gen] {
-            // Stale fire: the batch already dispatched (full) or was
-            // drained between windows.
-            if (gen != _timerGen || _pending.empty())
-                return;
-            dispatchPending(/*by_timer=*/true);
-        });
+        p.sim().after(
+            window,
+            [this, gen] {
+                // Stale fire: the batch already dispatched (full) or
+                // was drained between windows.
+                if (gen != _timerGen || _pending.empty())
+                    return;
+                dispatchPending(/*by_timer=*/true);
+            },
+            p.name().c_str());
     }
 }
 

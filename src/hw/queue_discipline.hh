@@ -31,20 +31,23 @@
 #define SNIC_HW_QUEUE_DISCIPLINE_HH
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
 
 #include "alg/workcount.hh"
+#include "sim/inline_fn.hh"
 #include "sim/types.hh"
 
 namespace snic::hw {
 
 class ExecutionPlatform;
 
-/** Completion callback; invoked when service (+ pipeline) finishes. */
-using Completion = std::function<void()>;
+/** Completion callback; invoked when service (+ pipeline) finishes.
+ *  Move-only with 64 bytes of inline capture (a stage `this` plus a
+ *  handful of words), so the per-request completion chain never
+ *  allocates — see sim/inline_fn.hh. */
+using Completion = sim::InlineFn<void(), 64>;
 
 /**
  * Optional observation hook, invoked synchronously at dispatch time
@@ -61,8 +64,9 @@ using Completion = std::function<void()>;
  *                     Immediate).
  */
 using DispatchHook =
-    std::function<void(sim::Tick admitted, sim::Tick dispatched,
-                       sim::Tick serviceStart, unsigned batchSize)>;
+    sim::InlineFn<void(sim::Tick admitted, sim::Tick dispatched,
+                       sim::Tick serviceStart, unsigned batchSize),
+                  48>;
 
 /**
  * Optional admission hook, invoked only when a submission was parked
@@ -77,7 +81,7 @@ using DispatchHook =
  *                   the discipline.
  */
 using AdmissionHook =
-    std::function<void(sim::Tick parkedAt, sim::Tick admittedAt)>;
+    sim::InlineFn<void(sim::Tick parkedAt, sim::Tick admittedAt), 48>;
 
 /** One queued unit of work. */
 struct Submission

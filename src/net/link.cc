@@ -46,11 +46,14 @@ Link::send(const Packet &pkt)
 
     const sim::Tick deliver_at = _nextFree + _latency;
     Packet copy = pkt;
-    sim().at(deliver_at, [this, copy] {
-        _delivered.inc();
-        _bytes.add(copy.sizeBytes);
-        _sink(copy);
-    });
+    sim().at(
+        deliver_at,
+        [this, copy] {
+            _delivered.inc();
+            _bytes.add(copy.sizeBytes);
+            _sink(copy);
+        },
+        name().c_str());
     return true;
 }
 

@@ -7,7 +7,7 @@
 #ifndef SNIC_NET_LINK_HH
 #define SNIC_NET_LINK_HH
 
-#include <functional>
+#include "sim/inline_fn.hh"
 
 #include "net/packet.hh"
 #include "sim/simulation.hh"
@@ -16,7 +16,10 @@
 namespace snic::net {
 
 /** Callback receiving delivered packets. */
-using PacketSink = std::function<void(const Packet &)>;
+/** Receiving side of a link. InlineFn, not std::function: the sink
+ *  runs once per delivered packet, and every sink in the tree is a
+ *  small single-owner lambda (a `this` plus at most a few words). */
+using PacketSink = sim::InlineFn<void(const Packet &), 32>;
 
 /**
  * A unidirectional link.

@@ -71,7 +71,7 @@ TorSwitch::forwardNs() const
 }
 
 std::uint64_t
-TorSwitch::load(unsigned member) const
+TorSwitch::load(unsigned member)
 {
     return _probe ? _probe(member) : 0;
 }

@@ -23,7 +23,7 @@
 #define SNIC_NET_TOR_SWITCH_HH
 
 #include <cstdint>
-#include <functional>
+#include "sim/inline_fn.hh"
 #include <vector>
 
 #include "net/packet.hh"
@@ -68,7 +68,7 @@ struct TorConfig
 
 /** Queue-depth observer for the load-aware policies: requests
  *  currently inside member @p i's server pipeline. */
-using LoadProbe = std::function<std::uint64_t(unsigned member)>;
+using LoadProbe = sim::InlineFn<std::uint64_t(unsigned member), 24>;
 
 /**
  * The dispatcher. pick() returns the member index for one packet and
@@ -111,7 +111,7 @@ class TorSwitch
     std::vector<std::uint64_t> _dispatched;
     LoadProbe _probe;
 
-    std::uint64_t load(unsigned member) const;
+    std::uint64_t load(unsigned member);
 };
 
 } // namespace snic::net

@@ -74,8 +74,9 @@ TrafficGen::emitNext(std::uint64_t chain)
         const sim::Tick next_window =
             _scheduleStart +
             ((now() - _scheduleStart) / _window + 1) * _window;
-        sim().at(std::min(next_window, _until),
-                 [this, chain] { emitNext(chain); });
+        sim().at(
+            std::min(next_window, _until),
+            [this, chain] { emitNext(chain); }, name().c_str());
         return;
     }
 
@@ -95,8 +96,9 @@ TrafficGen::emitNext(std::uint64_t chain)
                                ? sim().rng().exponential(1.0 / pkts_per_sec)
                                : 1.0 / pkts_per_sec;
     const auto gap = static_cast<sim::Tick>(gap_sec * 1e12 + 0.5);
-    sim().after(std::max<sim::Tick>(gap, 1),
-                [this, chain] { emitNext(chain); });
+    sim().after(
+        std::max<sim::Tick>(gap, 1),
+        [this, chain] { emitNext(chain); }, name().c_str());
 }
 
 } // namespace snic::net

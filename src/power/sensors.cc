@@ -38,7 +38,8 @@ PowerSensor::takeSample()
     watts += sim().rng().uniform(-_noise, _noise);
     watts = std::round(watts / _resolution) * _resolution;
     _samples.emplace_back(now(), watts);
-    sim().after(_interval, [this] { takeSample(); });
+    sim().after(_interval, [this] { takeSample(); },
+                name().c_str());
 }
 
 double

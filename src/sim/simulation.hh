@@ -32,18 +32,22 @@ class Simulation
     /** Current simulated time. */
     Tick now() const { return _events.curTick(); }
 
-    /** Schedule @p fn at absolute tick @p when. */
+    /** Schedule @p fn at absolute tick @p when. The optional @p label
+     *  (usually the owning component's name) is kept with the event
+     *  and printed by the scheduler's fatal paths. */
+    template <typename F>
     EventId
-    at(Tick when, std::function<void()> fn)
+    at(Tick when, F &&fn, const char *label = nullptr)
     {
-        return _events.schedule(when, std::move(fn));
+        return _events.schedule(when, std::forward<F>(fn), label);
     }
 
     /** Schedule @p fn @p delay ticks from now. */
+    template <typename F>
     EventId
-    after(Tick delay, std::function<void()> fn)
+    after(Tick delay, F &&fn, const char *label = nullptr)
     {
-        return _events.scheduleIn(delay, std::move(fn));
+        return _events.scheduleIn(delay, std::forward<F>(fn), label);
     }
 
     /** Cancel a pending event. */

@@ -25,22 +25,6 @@ Histogram::Histogram(unsigned sub_bucket_bits)
     _buckets.assign((64 - _subBits + 2) * _subCount, 0);
 }
 
-std::size_t
-Histogram::indexFor(std::uint64_t value) const
-{
-    // Values below _subCount land in magnitude 0 with exact
-    // (linear) resolution; above that, each magnitude m holds
-    // values [2^(m+subBits-1), 2^(m+subBits)) in _subCount/2
-    // distinct sub-buckets.
-    if (value < _subCount)
-        return static_cast<std::size_t>(value);
-    const unsigned msb = 63 - std::countl_zero(value);
-    const unsigned magnitude = msb - _subBits + 1;
-    const std::uint64_t sub = (value >> magnitude) & _subMask;
-    return static_cast<std::size_t>(magnitude * _subCount + sub +
-                                    _subCount);
-}
-
 std::uint64_t
 Histogram::valueFor(std::size_t index) const
 {
@@ -56,31 +40,6 @@ Histogram::valueFor(std::size_t index) const
     const std::uint64_t lo = sub << magnitude;
     const std::uint64_t width = std::uint64_t(1) << magnitude;
     return lo + width / 2;
-}
-
-void
-Histogram::record(std::uint64_t value)
-{
-    record(value, 1);
-}
-
-void
-Histogram::record(std::uint64_t value, std::uint64_t count)
-{
-    if (count == 0)
-        return;
-    const std::size_t idx = indexFor(value);
-    assert(idx < _buckets.size());
-    _buckets[idx] += count;
-    _count += count;
-    if (value < _min)
-        _min = value;
-    if (value > _max)
-        _max = value;
-    const double v = static_cast<double>(value);
-    const double c = static_cast<double>(count);
-    _sum += v * c;
-    _sumSq += v * v * c;
 }
 
 double

@@ -12,6 +12,8 @@
 #ifndef SNIC_STATS_HISTOGRAM_HH
 #define SNIC_STATS_HISTOGRAM_HH
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -29,11 +31,30 @@ class Histogram
      */
     explicit Histogram(unsigned sub_bucket_bits = 7);
 
-    /** Record one sample. */
-    void record(std::uint64_t value);
+    /** Record one sample. Inline: the simulator records several
+     *  samples per event (stage residencies, queue depths), so this
+     *  sits squarely on the DES hot path. */
+    void record(std::uint64_t value) { record(value, 1); }
 
     /** Record @p count identical samples. */
-    void record(std::uint64_t value, std::uint64_t count);
+    void
+    record(std::uint64_t value, std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        const std::size_t idx = indexFor(value);
+        assert(idx < _buckets.size());
+        _buckets[idx] += count;
+        _count += count;
+        if (value < _min)
+            _min = value;
+        if (value > _max)
+            _max = value;
+        const double v = static_cast<double>(value);
+        const double c = static_cast<double>(count);
+        _sum += v * c;
+        _sumSq += v * v * c;
+    }
 
     /** Total number of recorded samples. */
     std::uint64_t count() const { return _count; }
@@ -84,7 +105,22 @@ class Histogram
     double _sum = 0.0;
     double _sumSq = 0.0;
 
-    std::size_t indexFor(std::uint64_t value) const;
+    std::size_t
+    indexFor(std::uint64_t value) const
+    {
+        // Values below _subCount land in magnitude 0 with exact
+        // (linear) resolution; above that, each magnitude m holds
+        // values [2^(m+subBits-1), 2^(m+subBits)) in _subCount/2
+        // distinct sub-buckets.
+        if (value < _subCount)
+            return static_cast<std::size_t>(value);
+        const unsigned msb = 63 - std::countl_zero(value);
+        const unsigned magnitude = msb - _subBits + 1;
+        const std::uint64_t sub = (value >> magnitude) & _subMask;
+        return static_cast<std::size_t>(magnitude * _subCount + sub +
+                                        _subCount);
+    }
+
     std::uint64_t valueFor(std::size_t index) const;
 };
 

@@ -157,3 +157,370 @@ TEST(Types, TimeConversionsRoundTrip)
     EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(12.5)), 12.5);
     EXPECT_DOUBLE_EQ(ticksToSec(secToTicks(2.0)), 2.0);
 }
+
+// ---------------------------------------------------------------------------
+// Timer-wheel regression suite.
+//
+// The EventQueue used to be a lazy-deletion binary heap; the timer
+// wheel that replaced it must be behaviourally indistinguishable:
+// identical fire order (when, then insertion seq), identical runUntil
+// window semantics, identical deschedule results. RefQueue below is a
+// file-local reimplementation of the old heap semantics, and the A/B
+// harness drives both queues through the same randomized scripts.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace {
+
+/** Reference scheduler: min-heap ordered by (when, seq) with
+ *  cancelled-flag lazy deletion — the semantics of the binary-heap
+ *  EventQueue the timer wheel replaced. */
+class RefQueue
+{
+  public:
+    EventId
+    schedule(Tick when, std::function<void()> fn)
+    {
+        auto rec = std::make_unique<Rec>();
+        const EventId id = _nextId++;
+        rec->when = when;
+        rec->seq = _nextSeq++;
+        rec->id = id;
+        rec->fn = std::move(fn);
+        _heap.push_back(rec.get());
+        std::push_heap(_heap.begin(), _heap.end(), Later{});
+        _live.emplace(id, std::move(rec));
+        return id;
+    }
+
+    bool
+    deschedule(EventId id)
+    {
+        auto it = _live.find(id);
+        if (it == _live.end())
+            return false;
+        // Lazy deletion: flag it and park ownership until the heap
+        // pops it.
+        it->second->cancelled = true;
+        _graveyard.emplace(id, std::move(it->second));
+        _live.erase(it);
+        return true;
+    }
+
+    bool
+    runNext()
+    {
+        Rec *rec = popLive();
+        if (rec == nullptr)
+            return false;
+        fire(rec);
+        return true;
+    }
+
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t fired = 0;
+        while (Rec *rec = popLive()) {
+            if (rec->when > limit) {
+                // Old behaviour: pop then push back the not-yet-due
+                // record (the wheel peeks instead; same observable
+                // result).
+                _heap.push_back(rec);
+                std::push_heap(_heap.begin(), _heap.end(), Later{});
+                _curTick = limit;
+                return fired;
+            }
+            fire(rec);
+            ++fired;
+        }
+        _curTick = std::max(_curTick, limit);
+        return fired;
+    }
+
+    std::uint64_t
+    runAll()
+    {
+        std::uint64_t fired = 0;
+        while (runNext())
+            ++fired;
+        return fired;
+    }
+
+    Tick curTick() const { return _curTick; }
+    std::size_t numPending() const { return _live.size(); }
+
+  private:
+    struct Rec
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        EventId id = 0;
+        bool cancelled = false;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Rec *a, const Rec *b) const
+        {
+            return a->when != b->when ? a->when > b->when
+                                      : a->seq > b->seq;
+        }
+    };
+
+    /** Pop the earliest non-cancelled record, discarding garbage. */
+    Rec *
+    popLive()
+    {
+        while (!_heap.empty()) {
+            std::pop_heap(_heap.begin(), _heap.end(), Later{});
+            Rec *rec = _heap.back();
+            _heap.pop_back();
+            if (!rec->cancelled)
+                return rec;
+            delete_cancelled(rec);
+        }
+        return nullptr;
+    }
+
+    void
+    delete_cancelled(Rec *rec)
+    {
+        _graveyard.erase(rec->id);
+    }
+
+    void
+    fire(Rec *rec)
+    {
+        _curTick = rec->when;
+        std::function<void()> fn = std::move(rec->fn);
+        auto it = _live.find(rec->id);
+        // Move ownership out before invoking, mirroring the wheel's
+        // free-before-fire so callbacks may schedule freely.
+        std::unique_ptr<Rec> owned = std::move(it->second);
+        _live.erase(it);
+        fn();
+    }
+
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 1;
+    EventId _nextId = 1;
+    std::vector<Rec *> _heap;
+    std::unordered_map<EventId, std::unique_ptr<Rec>> _live;
+    std::unordered_map<EventId, std::unique_ptr<Rec>> _graveyard;
+};
+
+/** Deterministic 64-bit LCG (same recurrence the bench harness
+ *  uses), so the A/B scripts are reproducible. */
+struct Lcg
+{
+    std::uint64_t state;
+    std::uint64_t
+    operator()()
+    {
+        state = state * 6364136223846793005ull +
+                1442695040888963407ull;
+        return state >> 33;
+    }
+};
+
+} // namespace
+
+TEST(EventQueueWheel, MatchesHeapReferenceOnRandomScripts)
+{
+    // Drive the wheel and the heap reference through identical
+    // randomized scripts — schedule bursts at mixed horizons
+    // (including ~2^40-tick ones that exercise the deep wheel levels
+    // and multi-step cascades), cancels of arbitrary (possibly
+    // already-fired) handles, and runUntil windows — and demand
+    // identical fire sequences, clocks, and pending counts.
+    for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+        Lcg rnd{seed * 0x9e3779b97f4a7c15ull + 1};
+        EventQueue wheel;
+        RefQueue ref;
+        std::vector<std::uint64_t> firedWheel;
+        std::vector<std::uint64_t> firedRef;
+        // Parallel handle lists: entry i names the same logical event
+        // in both queues.
+        std::vector<std::pair<EventId, EventId>> handles;
+        std::uint64_t tag = 0;
+
+        for (int step = 0; step < 3000; ++step) {
+            switch (rnd() % 8) {
+            case 6: {  // cancel a random (maybe stale) handle
+                if (handles.empty())
+                    break;
+                const std::size_t i = rnd() % handles.size();
+                const bool w = wheel.deschedule(handles[i].first);
+                const bool r = ref.deschedule(handles[i].second);
+                ASSERT_EQ(w, r) << "deschedule diverged at step "
+                                << step;
+                break;
+            }
+            case 7: {  // run a window
+                const Tick limit = wheel.curTick() + rnd() % 300000;
+                const std::uint64_t fw = wheel.runUntil(limit);
+                const std::uint64_t fr = ref.runUntil(limit);
+                ASSERT_EQ(fw, fr) << "fired-count diverged at step "
+                                  << step;
+                ASSERT_EQ(wheel.curTick(), ref.curTick());
+                break;
+            }
+            default: {  // schedule a small burst
+                const unsigned burst = 1 + rnd() % 4;
+                for (unsigned k = 0; k < burst; ++k) {
+                    const std::uint64_t r = rnd();
+                    Tick horizon;
+                    switch (r & 7) {
+                    case 0:  // far: deep levels, long cascades
+                        horizon = 1 + (r >> 8) % (Tick(1) << 40);
+                        break;
+                    case 1:  // mid: a few milliseconds
+                        horizon = 1 + (r >> 8) % 100000000;
+                        break;
+                    default:  // near: inside / just past level 0
+                        horizon = (r >> 8) % 6000;
+                        break;
+                    }
+                    const Tick when = wheel.curTick() + horizon;
+                    const std::uint64_t t = tag++;
+                    handles.emplace_back(
+                        wheel.schedule(when,
+                                       [&firedWheel, t] {
+                                           firedWheel.push_back(t);
+                                       }),
+                        ref.schedule(when, [&firedRef, t] {
+                            firedRef.push_back(t);
+                        }));
+                }
+                break;
+            }
+            }
+            ASSERT_EQ(wheel.numPending(), ref.numPending())
+                << "pending diverged at step " << step;
+            ASSERT_EQ(firedWheel.size(), firedRef.size());
+        }
+        EXPECT_EQ(wheel.runAll(), ref.runAll());
+        EXPECT_EQ(wheel.curTick(), ref.curTick());
+        EXPECT_EQ(firedWheel, firedRef)
+            << "fire order diverged for seed " << seed;
+    }
+}
+
+TEST(EventQueueWheel, FarHorizonsFireInOrderWithExactClock)
+{
+    // A deterministic sweep across every wheel level: horizons from
+    // one tick to beyond 2^52 must fire in time order with the clock
+    // landing exactly on each scheduled tick.
+    EventQueue q;
+    const Tick horizons[] = {
+        (Tick(1) << 52) + 11, 1,    (Tick(1) << 40) + 7,
+        4096,                 3,    (Tick(1) << 21) + 5,
+        (Tick(1) << 30) + 1,  4095,
+    };
+    std::vector<Tick> fired;
+    for (Tick h : horizons)
+        q.schedule(h, [&fired, h, &q] {
+            fired.push_back(h);
+            EXPECT_EQ(q.curTick(), h);
+        });
+    EXPECT_EQ(q.runAll(), 8u);
+    std::vector<Tick> expect(std::begin(horizons),
+                             std::end(horizons));
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueueWheel, StaleHandleToReusedSlotIsRejected)
+{
+    // Cancel frees the slot eagerly; the next schedule reuses it. The
+    // old handle must not be able to cancel the new tenant.
+    EventQueue q;
+    const EventId stale = q.schedule(10, [] {});
+    EXPECT_TRUE(q.deschedule(stale));
+    int fired = 0;
+    q.schedule(20, [&fired] { ++fired; });
+    EXPECT_FALSE(q.deschedule(stale));
+    EXPECT_EQ(q.numPending(), 1u);
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+
+    // Same for a handle gone stale by firing rather than by cancel.
+    const EventId firedId = q.schedule(30, [] {});
+    q.runAll();
+    q.schedule(40, [&fired] { ++fired; });
+    EXPECT_FALSE(q.deschedule(firedId));
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueWheel, CancelledSlotsAreReclaimedEagerly)
+{
+    // The bug this PR fixes: the heap kept cancelled records (and
+    // their closures) until they percolated to the top, so a
+    // schedule/cancel-heavy run accumulated garbage without bound.
+    // Pool growth must track peak *live* events only: a million
+    // schedule/cancel pairs with at most two live events must stay
+    // within the first slab chunk.
+    EventQueue q;
+    EventId prev = invalidEventId;
+    for (int i = 0; i < 1000000; ++i) {
+        const EventId id =
+            q.schedule(q.curTick() + 1 + i % 4096, [] {});
+        if (prev != invalidEventId)
+            q.deschedule(prev);
+        prev = id;
+    }
+    EXPECT_EQ(q.numPending(), 1u);
+    EXPECT_LE(q.poolSlots(), 512u);
+}
+
+TEST(EventQueueWheel, DrainedThenResumedPreservesOrder)
+{
+    // Repeated runUntil window boundaries (the sweep driver's idle
+    // polling pattern) must not perturb (when, seq) order among
+    // events scheduled before, between, and after the windows.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(100, [&] { order.push_back(1); });
+    q.schedule(100, [&] { order.push_back(2); });
+    EXPECT_EQ(q.runUntil(50), 0u);  // peeks, fires nothing
+    EXPECT_EQ(q.curTick(), 50u);
+    q.schedule(100, [&] { order.push_back(3); });  // same-tick tie
+    EXPECT_EQ(q.runUntil(60), 0u);
+    q.schedule(75, [&] { order.push_back(0); });
+    EXPECT_EQ(q.runUntil(99), 1u);
+    EXPECT_EQ(q.runAll(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 100u);
+
+    // Draining completely and resuming must behave the same way.
+    q.schedule(200, [&] { order.push_back(4); });
+    q.schedule(200, [&] { order.push_back(5); });
+    EXPECT_EQ(q.runUntil(300), 2u);
+    EXPECT_EQ(q.curTick(), 300u);
+    q.schedule(350, [&] { order.push_back(6); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(EventQueueWheelDeathTest, PastTickScheduleAbortsWithLabel)
+{
+    // Scheduling into the past is a hard bug in the caller; it must
+    // abort loudly and name the offending component.
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    ASSERT_EQ(q.curTick(), 100u);
+    EXPECT_DEATH(q.schedule(50, [] {}, "nic-dma-engine"),
+                 "scheduling into the past.*nic-dma-engine");
+    EXPECT_DEATH(q.schedule(99, [] {}),
+                 "scheduling into the past.*unlabeled");
+}
