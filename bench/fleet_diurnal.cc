@@ -1,0 +1,221 @@
+/**
+ * @file
+ * E19 — fleet-scale diurnal serving: autoscaler policy x fleet mix,
+ * TCO-per-SLO curves over a compressed 24 h synthetic day.
+ *
+ * Table 5 prices fleets at one steady operating point; a real fleet
+ * lives a diurnal day where the night trough is a fraction of the
+ * peak. This sweep replays the net/dc_trace day against three fleet
+ * mixes (host-only, SNIC-only, mixed) under three autoscaling
+ * policies (static peak provisioning, reactive utilization
+ * thresholds, p99-SLO feedback), and reports what each combination
+ * actually costs: per-rack energy of the represented day, the
+ * minutes spent outside the p99 budget, and the 5-year TCO.
+ *
+ * The question the sweep answers: does SLO-aware scale-down buy TCO
+ * without giving back SLO attainment — and on which side of the
+ * PCIe bus is the win bigger?
+ *
+ * --smoke runs a compressed 1 h trace (CI-sized).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hh"
+#include "core/runner.hh"
+#include "net/dc_trace.hh"
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+struct Mix
+{
+    const char *name;
+    std::vector<hw::Platform> rackPlatforms;
+};
+
+struct Policy
+{
+    const char *name;
+    AutoscalerKind kind;
+};
+
+/** Per-member sustainable rate (Gbps) from the analytic estimator —
+ *  used only to size the trace, not as a measurement. */
+double
+perMemberGbps(const std::string &workload, hw::Platform platform)
+{
+    RackConfig rc;
+    rc.workloadId = workload;
+    rc.platform = platform;
+    rc.servers = 1;
+    rc.policy = net::DispatchPolicy::PassThrough;
+    Rack probe(rc);
+    return probe.estimateCapacityRps() * probe.meanRequestBytes() *
+           8.0 / 1e9;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    const std::string workload = "micro_udp_1024";
+    const unsigned members_per_rack = 4;
+
+    // The synthetic day, one rate series per rack. Bursts are kept
+    // at 2x so a scaled-down rack with one spare member of headroom
+    // can ride them out — the regime where policy quality, not raw
+    // provisioning, decides the SLO.
+    const std::size_t bins = smoke ? 12 : 72;
+    const double real_day_secs = smoke ? 3600.0 : 86400.0;
+    const sim::Tick bin_ticks =
+        smoke ? sim::msToTicks(2.0) : sim::msToTicks(10.0);
+
+    const std::vector<Mix> mixes{
+        {"host-only", {hw::Platform::HostCpu, hw::Platform::HostCpu}},
+        {"snic-only", {hw::Platform::SnicCpu, hw::Platform::SnicCpu}},
+        {"mixed", {hw::Platform::HostCpu, hw::Platform::SnicCpu}},
+    };
+    const std::vector<Policy> policies{
+        {"static", AutoscalerKind::Static},
+        {"reactive_util", AutoscalerKind::ReactiveUtilization},
+        {"p99_feedback", AutoscalerKind::P99Feedback},
+    };
+
+    std::vector<FleetCell> cells;
+    for (const Mix &mix : mixes) {
+        // Size the day to the weakest rack of the mix: mean at 45 %
+        // of its full-rack capacity, so the trough invites sleep and
+        // the peak still fits.
+        double weakest = 1e18;
+        for (hw::Platform p : mix.rackPlatforms)
+            weakest = std::min(weakest, perMemberGbps(workload, p));
+        const double rack_capacity = weakest * members_per_rack;
+
+        net::DcTraceParams tp;
+        tp.meanGbps = 0.45 * rack_capacity;
+        tp.diurnalSwing = 0.6;
+        tp.noiseSigma = 0.10;
+        tp.burstProbability = 0.05;
+        tp.burstMultiplier = 2.0;
+        tp.peakGbps = 0.85 * rack_capacity;
+        tp.bins = bins;
+        sim::Random trace_rng(42);
+        const std::vector<double> trace = makeDcTrace(tp, trace_rng);
+
+        for (const Policy &pol : policies) {
+            FleetCell cell;
+            FleetConfig &fc = cell.config;
+            for (hw::Platform p : mix.rackPlatforms) {
+                RackConfig rc;
+                rc.workloadId = workload;
+                rc.platform = p;
+                rc.servers = members_per_rack;
+                rc.policy = net::DispatchPolicy::LeastQueue;
+                rc.seed = 1;
+                fc.racks.push_back(rc);
+            }
+            fc.autoscaler.kind = pol.kind;
+            fc.autoscaler.minMembers = 1;
+            fc.autoscaler.upUtil = 0.65;
+            fc.autoscaler.downUtil = 0.30;
+            fc.autoscaler.p99BudgetUs = 500.0;
+            fc.autoscaler.p99LowFraction = 0.5;
+            // Cover the 2x microbursts plus the lognormal noise: the
+            // p99 policy keeps that much spare capacity awake.
+            fc.autoscaler.burstHeadroom = 2.2;
+            fc.autoscaler.hysteresisBins = 1;
+            fc.autoscaler.cooldownBins = 3;
+            fc.traceGbps = trace;
+            fc.binTicks = bin_ticks;
+            fc.realSecondsPerBin =
+                real_day_secs / static_cast<double>(bins);
+            fc.sloP99BudgetUs = 500.0;
+            fc.wakeLatencyUs = 1000.0;
+            fc.seed = 1;
+            cell.costHint = pol.kind == AutoscalerKind::Static
+                                ? 2.0  // most members awake: most events
+                                : 1.0;
+            cells.push_back(cell);
+        }
+    }
+
+    ExperimentRunner runner;
+    const std::vector<FleetResult> results = runner.runFleetCells(cells);
+
+    stats::Table t(std::string("Fleet diurnal day — ") + workload +
+                   (smoke ? " (smoke: 1 h trace)" : " (24 h trace)"));
+    t.setHeader({"mix", "policy", "completed", "SLO viol min",
+                 "kWh/day", "mean pow", "asleep %", "scale evts",
+                 "capex $", "energy $/5y", "TCO $/5y"});
+
+    std::size_t idx = 0;
+    // TCO-per-SLO dominance check: per mix, does p99_feedback beat
+    // static on TCO at equal-or-better SLO attainment?
+    int dominated_mixes = 0;
+    for (const Mix &mix : mixes) {
+        double static_tco = 0.0, static_viol = 0.0;
+        double p99_tco = 0.0, p99_viol = 0.0;
+        for (const Policy &pol : policies) {
+            const FleetResult &r = results[idx++];
+            double mean_pow = 0.0, asleep_ticks = 0.0;
+            for (const FleetRackResult &rr : r.racks) {
+                mean_pow += rr.meanDispatchable;
+                asleep_ticks += static_cast<double>(rr.asleepTicks);
+            }
+            const double member_day_ticks =
+                static_cast<double>(bin_ticks) *
+                static_cast<double>(bins) *
+                static_cast<double>(r.racks.size() *
+                                    members_per_rack);
+            const double asleep_pct =
+                member_day_ticks > 0.0
+                    ? 100.0 * asleep_ticks / member_day_ticks
+                    : 0.0;
+            t.addRow({mix.name, pol.name,
+                      std::to_string(r.completed),
+                      stats::Table::num(r.sloViolationMinutes, 1),
+                      stats::Table::num(r.realKwh, 2),
+                      stats::Table::num(mean_pow, 2),
+                      stats::Table::num(asleep_pct, 1),
+                      std::to_string(r.events.size()),
+                      stats::Table::num(r.capexUsd, 0),
+                      stats::Table::num(r.energyUsd5yr, 0),
+                      stats::Table::num(r.tcoUsd5yr, 0)});
+            if (pol.kind == AutoscalerKind::Static) {
+                static_tco = r.tcoUsd5yr;
+                static_viol = r.sloViolationMinutes;
+            } else if (pol.kind == AutoscalerKind::P99Feedback) {
+                p99_tco = r.tcoUsd5yr;
+                p99_viol = r.sloViolationMinutes;
+            }
+        }
+        if (p99_tco < static_tco && p99_viol <= static_viol)
+            ++dominated_mixes;
+    }
+    t.print();
+
+    std::printf(
+        "p99_feedback dominates static (lower TCO, no worse SLO "
+        "minutes) in %d of %zu mixes. The gap is the datacenter tax "
+        "of peak provisioning: every member the policy dares to put "
+        "to sleep through the trough is idle power Table 5's "
+        "steady-state arithmetic charges forever.\n",
+        dominated_mixes, mixes.size());
+    return 0;
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Fleet implementation: the compressed day, the per-bin observe/scale
+ * loop, and the energy/SLO/TCO rollup.
+ */
+
+#include "core/fleet.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snic::core {
+
+Fleet::Fleet(const FleetConfig &config)
+    : _config(config)
+{
+    if (_config.racks.empty())
+        sim::fatal("Fleet: needs at least one rack");
+    if (_config.traceGbps.empty())
+        sim::fatal("Fleet: empty trace — nothing to serve");
+    if (_config.binTicks == 0)
+        sim::fatal("Fleet: binTicks must be positive");
+    if (_config.realSecondsPerBin <= 0.0)
+        sim::fatal("Fleet: realSecondsPerBin must be positive");
+    if (_config.wakeLatencyUs < 0.0) {
+        sim::fatal("Fleet: wake latency %.1f us is negative",
+                   _config.wakeLatencyUs);
+    }
+
+    _sim = std::make_unique<sim::Simulation>(_config.seed);
+    _racks.reserve(_config.racks.size());
+    _scalers.reserve(_config.racks.size());
+    for (RackConfig rc : _config.racks) {
+        rc.powerSpecs.wakeLatency =
+            sim::usToTicks(_config.wakeLatencyUs);
+        _racks.push_back(std::make_unique<Rack>(rc, *_sim));
+        AutoscalerConfig ac = _config.autoscaler;
+        ac.maxMembers = rc.servers;
+        // Every member starts powered: the day opens provisioned for
+        // peak and the policy earns its keep by scaling down.
+        _scalers.emplace_back(ac, rc.servers);
+    }
+}
+
+Fleet::~Fleet() = default;
+
+void
+Fleet::applyDesired(unsigned rack_idx, unsigned desired,
+                    std::uint64_t bin, std::vector<ScaleEvent> &events)
+{
+    Rack &r = *_racks[rack_idx];
+    const unsigned owned = r.servers();
+    unsigned cur = r.dispatchableMembers();
+    while (cur < desired) {
+        // Wake the lowest-index parked member, preferring one still
+        // draining (cancel is free — the box never slept).
+        unsigned pick = owned;
+        for (unsigned m = 0; m < owned && pick == owned; ++m) {
+            if (r.memberState(m) == power::PowerState::Draining)
+                pick = m;
+        }
+        for (unsigned m = 0; m < owned && pick == owned; ++m) {
+            if (r.memberState(m) == power::PowerState::Asleep)
+                pick = m;
+        }
+        if (pick == owned)
+            break;
+        r.wakeMember(pick);
+        events.push_back({bin, _sim->now(), rack_idx, pick, true});
+        ++cur;
+    }
+    while (cur > desired && cur > 1) {
+        // Drain the highest-index Active member (member 0 is the
+        // last to go, so long days converge on a stable survivor
+        // set instead of rotating sleepers).
+        unsigned pick = owned;
+        for (unsigned m = owned; m-- > 0;) {
+            if (r.memberState(m) == power::PowerState::Active) {
+                pick = m;
+                break;
+            }
+        }
+        if (pick == owned)
+            break;
+        r.sleepMember(pick);
+        events.push_back({bin, _sim->now(), rack_idx, pick, false});
+        --cur;
+    }
+}
+
+FleetResult
+Fleet::run()
+{
+    if (_ran)
+        sim::fatal("Fleet::run: a fleet lives one day — construct a "
+                   "fresh one to rerun");
+    _ran = true;
+
+    const std::size_t n_racks = _racks.size();
+    const std::size_t bins = _config.traceGbps.size();
+    const sim::Tick ts = _sim->now();
+    const double bin_secs = sim::ticksToSec(_config.binTicks);
+    /** simulated-to-represented energy scale (time compression). */
+    const double scale = _config.realSecondsPerBin / bin_secs;
+
+    // Per-member capacity (Gbps) prices the utilization signal.
+    std::vector<double> per_member_gbps(n_racks);
+    // Base-energy baselines so run() is insensitive to construction
+    // time.
+    std::vector<std::vector<double>> base0(n_racks);
+    for (std::size_t r = 0; r < n_racks; ++r) {
+        Rack &rack = *_racks[r];
+        per_member_gbps[r] = rack.estimateCapacityRps() /
+                             static_cast<double>(rack.servers()) *
+                             rack.meanRequestBytes() * 8.0 / 1e9;
+        base0[r].reserve(rack.servers());
+        for (unsigned m = 0; m < rack.servers(); ++m) {
+            base0[r].push_back(
+                rack.memberPower(m).energy().totalJoules(ts));
+        }
+    }
+
+    FleetResult out;
+    out.racks.resize(n_racks);
+    for (std::size_t r = 0; r < n_racks; ++r) {
+        out.racks[r].binP99Us.reserve(bins);
+        out.racks[r].binMembers.reserve(bins);
+    }
+
+    for (auto &rack : _racks)
+        rack->beginTrace(_config.traceGbps, _config.binTicks);
+
+    const power::PowerSpecs pspecs;  // the members' metering specs
+    for (std::size_t b = 0; b < bins; ++b) {
+        for (auto &rack : _racks)
+            rack->beginBin();
+        _sim->runUntil(ts + static_cast<sim::Tick>(b + 1) *
+                                _config.binTicks);
+        for (std::size_t r = 0; r < n_racks; ++r) {
+            Rack &rack = *_racks[r];
+            FleetRackResult &rr = out.racks[r];
+            const RackBinStats bs = rack.endBin(_config.binTicks);
+
+            rr.completed += bs.completed;
+            rr.latency.merge(bs.latency);
+            for (const power::EnergyReading &er : bs.memberEnergy) {
+                // The adder above the idle floor; the floor itself
+                // (and the sleep/wake draws) comes from the state
+                // machines' base integrals. The small zero-load DRAM
+                // term a gated member still shows is kept — that is
+                // self-refresh, which suspend-to-RAM really pays.
+                rr.activityJoules += std::max(
+                    0.0, er.activeServerWatts(pspecs)) * er.seconds;
+            }
+            const double p99 = bs.completed > 0 ? bs.p99Us() : 0.0;
+            rr.binP99Us.push_back(p99);
+            const bool violated =
+                (bs.generated > 0 && bs.completed == 0) ||
+                (bs.completed > 0 && p99 > _config.sloP99BudgetUs);
+            if (violated) {
+                rr.sloViolationMinutes +=
+                    _config.realSecondsPerBin / 60.0;
+            }
+
+            const unsigned awake = rack.dispatchableMembers();
+            AutoscalerObservation obs;
+            obs.utilization =
+                per_member_gbps[r] > 0.0 && awake > 0
+                    ? bs.achievedGbps / (per_member_gbps[r] * awake)
+                    : 0.0;
+            obs.p99Us = p99;
+            obs.completed = bs.completed;
+            obs.generated = bs.generated;
+            const unsigned desired = _scalers[r].observe(obs);
+            applyDesired(static_cast<unsigned>(r), desired, b,
+                         out.events);
+            rr.binMembers.push_back(rack.dispatchableMembers());
+        }
+    }
+
+    for (auto &rack : _racks)
+        rack->stopTrace();
+    const sim::Tick te = _sim->now();
+
+    for (std::size_t r = 0; r < n_racks; ++r) {
+        Rack &rack = *_racks[r];
+        FleetRackResult &rr = out.racks[r];
+        for (unsigned m = 0; m < rack.servers(); ++m) {
+            const power::PowerStateMachine &psm = rack.memberPower(m);
+            rr.baseJoules +=
+                psm.energy().totalJoules(te) - base0[r][m];
+            rr.asleepTicks +=
+                psm.residency(power::PowerState::Asleep, te);
+        }
+        double members_sum = 0.0;
+        for (unsigned v : rr.binMembers)
+            members_sum += v;
+        rr.meanDispatchable =
+            rr.binMembers.empty()
+                ? 0.0
+                : members_sum /
+                      static_cast<double>(rr.binMembers.size());
+        rr.realKwh = (rr.baseJoules + rr.activityJoules) * scale /
+                     3.6e6;
+
+        out.completed += rr.completed;
+        out.realKwh += rr.realKwh;
+        out.sloViolationMinutes += rr.sloViolationMinutes;
+
+        const RackConfig &rc = _config.racks[r];
+        const double per_server =
+            _config.tco.serverBaseUsd +
+            (rc.platform == hw::Platform::HostCpu ? _config.tco.nicUsd
+                                                  : _config.tco.snicUsd);
+        out.capexUsd += rc.servers * per_server;
+    }
+
+    // The represented day, every day, for the lifetime.
+    out.energyUsd5yr = out.realKwh * 365.0 * _config.tco.years *
+                       _config.tco.usdPerKwh;
+    out.tcoUsd5yr = out.capexUsd + out.energyUsd5yr;
+    return out;
+}
+
+FleetResult
+runFleetDay(const FleetConfig &config)
+{
+    Fleet fleet(config);
+    return fleet.run();
+}
+
+} // namespace snic::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fleet-scale diurnal serving: N racks on one shared Simulation,
+ * each fed the synthetic datacenter day (net/dc_trace) by its own
+ * aggregate client, with an Autoscaler policy powering rack members
+ * up and down through the power-state machinery.
+ *
+ * This closes the loop the paper's Table 5 arithmetic leaves open:
+ * instead of pricing a fleet at one steady operating point, the fleet
+ * lives through a compressed 24 h day — diurnal swing, noise and
+ * microbursts — and pays for exactly the states its members were in:
+ * active/draining base draw plus the metered activity adder while
+ * awake, boot-level draw while waking (with admissions stalling),
+ * suspend draw while asleep. The deliverable is TCO-per-SLO: 5-year
+ * cost next to the minutes the day spent outside the p99 budget.
+ *
+ * Time compression: simulating a real day event-by-event at
+ * production rates is infeasible, so each trace bin runs for
+ * binTicks of simulated time but *represents* realSecondsPerBin of
+ * wall clock (e.g. 300 bins x 288 s = 24 h). Powers are physical, so
+ * energy scales linearly: realJoules = simJoules x
+ * (realSecondsPerBin / binSeconds). SLO violations are counted in
+ * represented minutes the same way.
+ */
+
+#ifndef SNIC_CORE_FLEET_HH
+#define SNIC_CORE_FLEET_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/autoscaler.hh"
+#include "core/rack.hh"
+#include "core/tco.hh"
+
+namespace snic::core {
+
+/** Fleet construction options. */
+struct FleetConfig
+{
+    /** The rack mix: one RackConfig per rack (servers = the member
+     *  count the rack *owns*; the autoscaler decides how many are
+     *  powered). A mixed fleet lists racks of different platforms. */
+    std::vector<RackConfig> racks;
+    /** The per-rack policy. maxMembers is overridden per rack to the
+     *  rack's owned member count; minMembers is kept. */
+    AutoscalerConfig autoscaler;
+    /** Per-rack offered rate schedule (Gbps per bin) — every rack
+     *  replays this day with its own client. */
+    std::vector<double> traceGbps;
+    /** Simulated duration of one trace bin. */
+    sim::Tick binTicks = sim::msToTicks(20.0);
+    /** Wall-clock seconds one bin represents (300 bins x 288 s is a
+     *  24 h day). */
+    double realSecondsPerBin = 288.0;
+    /** The SLO: a bin whose p99 exceeds this (or that served nothing
+     *  while traffic arrived) counts its represented minutes as
+     *  violated. */
+    double sloP99BudgetUs = 100.0;
+    /** Wake latency applied to every rack's power specs (micro-
+     *  seconds; validated non-negative — the classic sign bug). */
+    double wakeLatencyUs = 1000.0;
+    std::uint64_t seed = 1;
+    TcoInputs tco;
+};
+
+/** One autoscaler action, as executed by the fleet. */
+struct ScaleEvent
+{
+    std::uint64_t bin = 0;   ///< trace bin index the decision closed
+    sim::Tick at = 0;        ///< simulated time of the action
+    unsigned rack = 0;
+    unsigned member = 0;
+    bool up = false;         ///< wake (true) or drain-to-sleep
+};
+
+/** One rack's day. */
+struct FleetRackResult
+{
+    /** Power-state base-draw energy over the simulated day (J). */
+    double baseJoules = 0.0;
+    /** Metered activity above the idle floor while powered (J). */
+    double activityJoules = 0.0;
+    /** Energy of the *represented* day (kWh). */
+    double realKwh = 0.0;
+    double sloViolationMinutes = 0.0;
+    std::uint64_t completed = 0;
+    /** Whole-day merged latency distribution (ticks). */
+    stats::Histogram latency;
+    /** Mean powered (dispatchable) members across bins. */
+    double meanDispatchable = 0.0;
+    /** Summed member ticks spent Asleep. */
+    sim::Tick asleepTicks = 0;
+    /** Per-bin p99 (us) and powered-member series (diagnostics and
+     *  the flapping tests). */
+    std::vector<double> binP99Us;
+    std::vector<unsigned> binMembers;
+};
+
+/** The fleet's day: per-rack outcomes plus the cost rollup. */
+struct FleetResult
+{
+    std::vector<FleetRackResult> racks;
+    std::vector<ScaleEvent> events;
+    std::uint64_t completed = 0;
+    double realKwh = 0.0;
+    double sloViolationMinutes = 0.0;   ///< summed across racks
+    /** 5-year rollup: capex on owned members, energy at the
+     *  represented-day rate. */
+    double capexUsd = 0.0;
+    double energyUsd5yr = 0.0;
+    double tcoUsd5yr = 0.0;
+};
+
+/**
+ * The assembled fleet. Construct, run() once.
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(const FleetConfig &config);
+    ~Fleet();
+
+    unsigned racks() const
+    {
+        return static_cast<unsigned>(_racks.size());
+    }
+    Rack &rack(unsigned i) { return *_racks.at(i); }
+    sim::Simulation &sim() { return *_sim; }
+    const FleetConfig &config() const { return _config; }
+
+    /** Live the day: replay the trace bin by bin, observe, scale.
+     *  One call per Fleet. */
+    FleetResult run();
+
+  private:
+    FleetConfig _config;
+    std::unique_ptr<sim::Simulation> _sim;
+    std::vector<std::unique_ptr<Rack>> _racks;
+    std::vector<Autoscaler> _scalers;
+    bool _ran = false;
+
+    /** Execute one rack's desired member count: wake lowest-index
+     *  non-dispatchable members / drain highest-index Active ones,
+     *  recording the actions. */
+    void applyDesired(unsigned rack_idx, unsigned desired,
+                      std::uint64_t bin,
+                      std::vector<ScaleEvent> &events);
+};
+
+/** Build-and-run convenience. */
+FleetResult runFleetDay(const FleetConfig &config);
+
+} // namespace snic::core
+
+#endif // SNIC_CORE_FLEET_HH

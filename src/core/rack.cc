@@ -18,10 +18,25 @@ namespace snic::core {
 Rack::Rack(const RackConfig &config)
     : _config(config)
 {
+    _ownedSim = std::make_unique<sim::Simulation>(config.seed);
+    _sim = _ownedSim.get();
+    assemble();
+}
+
+Rack::Rack(const RackConfig &config, sim::Simulation &shared)
+    : _config(config)
+{
+    _sim = &shared;
+    assemble();
+}
+
+void
+Rack::assemble()
+{
+    const RackConfig &config = _config;
     if (config.servers == 0)
         sim::fatal("Rack: needs at least one server");
 
-    _sim = std::make_unique<sim::Simulation>(config.seed);
     _members.reserve(config.servers);
     for (unsigned i = 0; i < config.servers; ++i) {
         TestbedConfig tc;
@@ -31,6 +46,10 @@ Rack::Rack(const RackConfig &config)
         tc.hostCoresOverride = config.hostCoresOverride;
         _members.push_back(std::make_unique<Testbed>(tc, *_sim));
     }
+    _memberPower.reserve(config.servers);
+    for (unsigned i = 0; i < config.servers; ++i)
+        _memberPower.emplace_back(config.powerSpecs, _sim->now());
+    _memberWakeDone.assign(config.servers, 0);
 
     const workloads::Spec &spec = _members.front()->workload().spec();
     if (spec.drive != workloads::Drive::Network) {
@@ -62,7 +81,17 @@ Rack::Rack(const RackConfig &config)
         const Testbed &bed = *_members[m];
         const std::uint64_t held =
             bed._upLink->inFlight() + bed.pipeline().inFlight();
-        return bed._upLink->backlog() + held * mean_wire_ticks;
+        std::uint64_t load =
+            bed._upLink->backlog() + held * mean_wire_ticks;
+        // A waking member's remaining boot time is outstanding work
+        // too: without pricing it, the member advertises an empty
+        // queue the moment it rejoins and a queue-aware policy herds
+        // traffic into its admission stall.
+        const sim::Tick wake_done = _memberWakeDone[m];
+        const sim::Tick t = _sim->now();
+        if (wake_done > t)
+            load += wake_done - t;
+        return load;
     });
 
     // The single aggregate client: every emitted packet takes one
@@ -71,15 +100,158 @@ Rack::Rack(const RackConfig &config)
     _gen = std::make_unique<net::TrafficGen>(
         *_sim, "rack-client",
         net::PacketSink([this](const net::Packet &pkt) {
-            const unsigned m = _tor->pick(pkt);
-            net::Packet p = pkt;
-            p.extraNs += _tor->forwardNs();
-            _members[m]->upLink().send(p);
+            dispatch(pkt);
         }),
         spec.sizes, protoFor(spec.stack));
 }
 
 Rack::~Rack() = default;
+
+void
+Rack::dispatch(const net::Packet &pkt)
+{
+    const unsigned m = _tor->pick(pkt);
+    net::Packet p = pkt;
+    p.extraNs += _tor->forwardNs();
+    const sim::Tick wake_done = _memberWakeDone[m];
+    if (wake_done > _sim->now()) {
+        // Admission stall: the member is still powering up, so the
+        // packet parks at its NIC and enters the uplink when the box
+        // is live. Latency runs from createdAt, so the stall is
+        // charged to this request — the SLO cost of the wake.
+        _sim->at(wake_done, [this, m, p] {
+            _members[m]->upLink().send(p);
+        }, "rack-wake-stall");
+        return;
+    }
+    _members[m]->upLink().send(p);
+}
+
+void
+Rack::sleepMember(unsigned m)
+{
+    // beginDrain is fatal unless the member is Active; setLive is
+    // fatal when it would empty the dispatch set — both are
+    // autoscaler bugs, not runtime conditions.
+    _memberPower.at(m).beginDrain(_sim->now());
+    _tor->setLive(m, false);
+    pollDrain(m);
+}
+
+void
+Rack::pollDrain(unsigned m)
+{
+    power::PowerStateMachine &psm = _memberPower[m];
+    if (psm.state() != power::PowerState::Draining)
+        return;  // a scale-up canceled the drain
+    if (memberQuiescent(m)) {
+        psm.completeDrain(_sim->now());
+        _members[m]->server().setPowerGated(true);
+        return;
+    }
+    _sim->after(_config.drainPollTicks, [this, m] { pollDrain(m); },
+                "rack-drain-poll");
+}
+
+void
+Rack::wakeMember(unsigned m)
+{
+    power::PowerStateMachine &psm = _memberPower.at(m);
+    switch (psm.state()) {
+      case power::PowerState::Active:
+      case power::PowerState::Waking:
+        return;
+      case power::PowerState::Draining:
+        // Caught before it slept: no wake latency, rejoin directly.
+        psm.cancelDrain(_sim->now());
+        _tor->setLive(m, true);
+        return;
+      case power::PowerState::Asleep: {
+        _members[m]->server().setPowerGated(false);
+        const sim::Tick done = psm.beginWake(_sim->now());
+        _memberWakeDone[m] = done;
+        // Dispatchable right away — arrivals stall until wake-done.
+        _tor->setLive(m, true);
+        _sim->at(done, [this, m] {
+            if (_memberPower[m].state() == power::PowerState::Waking)
+                _memberPower[m].completeWake(_sim->now());
+        }, "rack-wake");
+        return;
+      }
+    }
+}
+
+bool
+Rack::memberQuiescent(unsigned m) const
+{
+    const Testbed &bed = *_members.at(m);
+    return bed._upLink->inFlight() == 0 &&
+           bed._pipeline->inFlight() == 0 &&
+           bed._downLink->inFlight() == 0;
+}
+
+void
+Rack::beginTrace(const std::vector<double> &rates_gbps, sim::Tick bin)
+{
+    for (auto &m : _members) {
+        m->beginWindow();
+        m->_closedLoopActive = false;
+    }
+    _tor->resetStats();
+    _gen->startSchedule(rates_gbps, bin);
+}
+
+void
+Rack::stopTrace()
+{
+    _gen->stop();
+}
+
+void
+Rack::beginBin()
+{
+    for (auto &m : _members) {
+        // Stats only: no epoch advance, no datapath reset — requests
+        // straddling the bin boundary stay in flight and record in
+        // the bin they complete in.
+        m->_latency.reset();
+        m->_completed = 0;
+        m->_generatedInWindow = 0;
+        m->_bytesServed = 0.0;
+        m->_goodputBytes = 0.0;
+        m->_wireBytes = 0.0;
+        m->_recording = true;
+    }
+    _binMeters.clear();
+    _binMeters.reserve(_members.size());
+    for (auto &m : _members) {
+        _binMeters.emplace_back(*m->_server, *m->_power);
+        _binMeters.back().begin();
+    }
+}
+
+RackBinStats
+Rack::endBin(sim::Tick bin_ticks)
+{
+    if (_binMeters.size() != _members.size())
+        sim::fatal("Rack::endBin without a matching beginBin");
+    RackBinStats bs;
+    bs.memberEnergy.reserve(_members.size());
+    bs.memberCompleted.reserve(_members.size());
+    const double secs = sim::ticksToSec(bin_ticks);
+    double bytes_served = 0.0;
+    for (std::size_t i = 0; i < _members.size(); ++i) {
+        Testbed &m = *_members[i];
+        bs.completed += m._completed;
+        bs.generated += m._generatedInWindow;
+        bytes_served += m._bytesServed;
+        bs.latency.merge(m._latency);
+        bs.memberCompleted.push_back(m._completed);
+        bs.memberEnergy.push_back(_binMeters[i].end(m._wireBytes / 2.0));
+    }
+    bs.achievedGbps = bytes_served * 8.0 / secs / 1e9;
+    return bs;
+}
 
 double
 Rack::meanRequestBytes() const

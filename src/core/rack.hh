@@ -31,6 +31,7 @@
 #include "core/experiment.hh"
 #include "core/testbed.hh"
 #include "net/tor_switch.hh"
+#include "power/power_state.hh"
 
 namespace snic::core {
 
@@ -48,6 +49,10 @@ struct RackConfig
     /** FlowHash knobs (see TorConfig). */
     unsigned flowCount = 64;
     double hotFlowFraction = 0.0;
+    /** Member power-state electricals (fleet autoscaling). */
+    power::PowerStateSpecs powerSpecs;
+    /** How often a draining member is re-checked for quiescence. */
+    sim::Tick drainPollTicks = sim::usToTicks(10.0);
 };
 
 /** One rack measurement window: the merged view plus every member. */
@@ -67,12 +72,41 @@ struct RackMeasurement
 };
 
 /**
+ * One trace bin's rack-level outcome (the fleet's operator view:
+ * completions and latency are recorded in the bin they *finish* in,
+ * so straddling requests land where a dashboard would put them).
+ */
+struct RackBinStats
+{
+    std::uint64_t completed = 0;
+    std::uint64_t generated = 0;
+    /** Served request-byte throughput over the bin. */
+    double achievedGbps = 0.0;
+    /** Merged end-to-end latency distribution (ticks). */
+    stats::Histogram latency;
+    /** Per-member metered window (activity power above the base). */
+    std::vector<power::EnergyReading> memberEnergy;
+    std::vector<std::uint64_t> memberCompleted;
+
+    double p99Us() const { return sim::ticksToUs(latency.p99()); }
+    double meanUs() const { return sim::ticksToUs(latency.mean()); }
+};
+
+/**
  * The assembled rack.
  */
 class Rack
 {
   public:
     explicit Rack(const RackConfig &config);
+
+    /**
+     * Assemble onto an externally owned Simulation — the fleet
+     * composition, where N racks share one timeline. The caller keeps
+     * @p shared alive for the rack's lifetime.
+     */
+    Rack(const RackConfig &config, sim::Simulation &shared);
+
     ~Rack();
 
     unsigned servers() const
@@ -98,13 +132,99 @@ class Rack
     /** Mean request bytes of the (shared) workload spec. */
     double meanRequestBytes() const;
 
+    // ------------------------------------------------------------------
+    // Fleet day-driving API. The fleet feeds the rack a whole rate
+    // schedule, then walks it bin by bin: beginBin()/endBin() reset and
+    // read *stats only* — never the pipeline epoch or the datapath —
+    // so requests straddling a bin boundary complete normally and are
+    // recorded in the bin they finish in.
+    // ------------------------------------------------------------------
+
+    /** Start a day: fresh windows on every member, then the aggregate
+     *  client replays @p rates_gbps at @p bin ticks per bin. */
+    void beginTrace(const std::vector<double> &rates_gbps,
+                    sim::Tick bin);
+
+    /** Stop the aggregate client (end of day). */
+    void stopTrace();
+
+    /** Open a stats bin: zero the member window counters and snap the
+     *  energy meters. Call at each bin boundary after runUntil. */
+    void beginBin();
+
+    /** Close the bin opened by beginBin(): merged latency/completions
+     *  plus per-member metered energy over @p bin_ticks. */
+    RackBinStats endBin(sim::Tick bin_ticks);
+
+    // ------------------------------------------------------------------
+    // Member power control (the autoscaler's levers).
+    // ------------------------------------------------------------------
+
+    /**
+     * Order member @p m down. The member leaves the dispatch set
+     * immediately, finishes its in-flight requests (Draining), and
+     * drops to the sleep draw once quiescent. Fatal if it is the last
+     * dispatchable member or not Active.
+     */
+    void sleepMember(unsigned m);
+
+    /**
+     * Order member @p m up. A Draining member cancels its drain (it
+     * never slept — no wake latency); an Asleep member starts its
+     * wake and rejoins the dispatch set immediately, with every
+     * packet sent to it stalled at admission until wake-done.
+     * No-op when already Active or Waking.
+     */
+    void wakeMember(unsigned m);
+
+    /** Member @p m holds no requests anywhere (uplink wire, pipeline,
+     *  response wire). */
+    bool memberQuiescent(unsigned m) const;
+
+    power::PowerState memberState(unsigned m) const
+    {
+        return _memberPower.at(m).state();
+    }
+
+    /** The member's power-state machine (residency and base-draw
+     *  energy accounting). */
+    const power::PowerStateMachine &memberPower(unsigned m) const
+    {
+        return _memberPower.at(m);
+    }
+
+    /** Dispatchable members (Active + Waking). */
+    unsigned dispatchableMembers() const { return _tor->liveCount(); }
+
   private:
+    /** Shared constructor body. */
+    void assemble();
+
+    /** One dispatch decision: pick a member, charge the ToR forward
+     *  latency, and send — parked until wake-done when the member is
+     *  still powering up (the admission stall). */
+    void dispatch(const net::Packet &pkt);
+
+    /** Drain poll: put a quiescent Draining member to sleep, else
+     *  re-check after drainPollTicks. */
+    void pollDrain(unsigned m);
+
     RackConfig _config;
-    std::unique_ptr<sim::Simulation> _sim;
+    /** Set when this rack owns its Simulation; empty when assembled
+     *  onto a shared (fleet) one. */
+    std::unique_ptr<sim::Simulation> _ownedSim;
+    sim::Simulation *_sim = nullptr;
     std::vector<std::unique_ptr<Testbed>> _members;
     std::unique_ptr<net::TorSwitch> _tor;
     /** The rack's single aggregate client. */
     std::unique_ptr<net::TrafficGen> _gen;
+    /** Per-member power-state machines, ToR order. */
+    std::vector<power::PowerStateMachine> _memberPower;
+    /** Tick each member's in-progress wake completes (0 = not
+     *  waking; inert once now passes it). */
+    std::vector<sim::Tick> _memberWakeDone;
+    /** Per-member energy meters of the open stats bin. */
+    std::vector<power::EnergyMeter> _binMeters;
 };
 
 /** Fleet sizing answers: arithmetic vs simulated (Sec. 6 as a

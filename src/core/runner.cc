@@ -186,4 +186,15 @@ ExperimentRunner::runRackCells(const std::vector<RackCell> &cells)
     return out;
 }
 
+std::vector<FleetResult>
+ExperimentRunner::runFleetCells(const std::vector<FleetCell> &cells)
+{
+    std::vector<FleetResult> out(cells.size());
+    parallelForOrdered(longestFirstOrder(costHints(cells)),
+                       [&](std::size_t i) {
+                           out[i] = runFleetDay(cells[i].config);
+                       });
+    return out;
+}
+
 } // namespace snic::core

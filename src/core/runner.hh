@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/fleet.hh"
 #include "core/rack.hh"
 
 namespace snic::core {
@@ -56,6 +57,15 @@ struct RackCell
 {
     RackConfig config;
     ExperimentOptions opts;
+    double costHint = 0.0;  ///< see ExperimentCell::costHint
+};
+
+/** One fleet-day cell (policy x mix sweeps). Each cell builds its
+ *  own Simulation + Fleet, so a sweep is bitwise identical serial
+ *  or parallel — the property the golden scale-event tests pin. */
+struct FleetCell
+{
+    FleetConfig config;
     double costHint = 0.0;  ///< see ExperimentCell::costHint
 };
 
@@ -135,6 +145,10 @@ class ExperimentRunner
      *  cells. */
     std::vector<RackRunResult>
     runRackCells(const std::vector<RackCell> &cells);
+
+    /** runFleetDay over every cell; results indexed like cells. */
+    std::vector<FleetResult>
+    runFleetCells(const std::vector<FleetCell> &cells);
 
   private:
     void workerLoop();

@@ -66,6 +66,23 @@ ServerModel::accel(AccelKind kind) const
     return const_cast<ServerModel *>(this)->accel(kind);
 }
 
+void
+ServerModel::setPowerGated(bool gated)
+{
+    if (gated == _gated)
+        return;
+    _gated = gated;
+    if (gated) {
+        _savedBusyPoll[0] = _hostCpu->busyPolling();
+        _savedBusyPoll[1] = _snicCpu->busyPolling();
+        _hostCpu->setBusyPolling(false);
+        _snicCpu->setBusyPolling(false);
+    } else {
+        _hostCpu->setBusyPolling(_savedBusyPoll[0]);
+        _snicCpu->setBusyPolling(_savedBusyPoll[1]);
+    }
+}
+
 sim::Tick
 ServerModel::transferTicks(const Placement &from, const Placement &to,
                            std::uint32_t bytes)

@@ -94,10 +94,23 @@ class ServerModel
     sim::Tick transferTicks(const Placement &from, const Placement &to,
                             std::uint32_t bytes);
 
+    /**
+     * Power-gate the box (fleet scale-down hook). Gating remembers
+     * and clears the CPU platforms' busy-polling flags so a parked
+     * DPDK deployment stops burning its PMD poll floor while asleep;
+     * ungating restores them. Idempotent; gating performs no queue
+     * or schedule work — the fleet drains members before gating.
+     */
+    void setPowerGated(bool gated);
+    bool powerGated() const { return _gated; }
+
     sim::Simulation &sim() { return _sim; }
 
   private:
     sim::Simulation &_sim;
+    bool _gated = false;
+    /** Busy-polling flags saved across a power gate (host, snic). */
+    bool _savedBusyPoll[2] = {false, false};
     std::unique_ptr<PcieLink> _pcie;
     std::unique_ptr<ExecutionPlatform> _hostCpu;
     std::unique_ptr<ExecutionPlatform> _snicCpu;

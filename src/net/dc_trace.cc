@@ -19,8 +19,10 @@ makeDcTrace(const DcTraceParams &params, sim::Random &rng)
         const double phase = 2.0 * M_PI * static_cast<double>(i) / n;
         // Diurnal base: raised sine.
         double r = 1.0 + params.diurnalSwing * std::sin(phase);
-        // Multiplicative noise.
-        r *= std::exp(rng.normal(0.0, 0.25));
+        // Multiplicative noise (the normal draw happens even at
+        // sigma 0 so the burst coin flips see the same RNG stream
+        // whatever the noise setting).
+        r *= std::exp(rng.normal(0.0, params.noiseSigma));
         // Microbursts.
         if (rng.chance(params.burstProbability))
             r *= params.burstMultiplier;
@@ -59,6 +61,34 @@ tracePeak(const std::vector<double> &rates)
     for (double r : rates)
         peak = std::max(peak, r);
     return peak;
+}
+
+std::vector<double>
+traceWindowedMeans(const std::vector<double> &rates, std::size_t window)
+{
+    std::vector<double> means;
+    if (window == 0 || rates.empty())
+        return means;
+    for (std::size_t i = 0; i < rates.size(); i += window) {
+        const std::size_t end = std::min(i + window, rates.size());
+        double sum = 0.0;
+        for (std::size_t j = i; j < end; ++j)
+            sum += rates[j];
+        means.push_back(sum / static_cast<double>(end - i));
+    }
+    return means;
+}
+
+std::vector<double>
+diurnalProfile(std::size_t bins, double swing, double mean_gbps)
+{
+    std::vector<double> profile(bins);
+    const double n = static_cast<double>(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        const double phase = 2.0 * M_PI * static_cast<double>(i) / n;
+        profile[i] = mean_gbps * (1.0 + swing * std::sin(phase));
+    }
+    return profile;
 }
 
 } // namespace snic::net

@@ -28,6 +28,9 @@ struct DcTraceParams
     double burstMultiplier = 8.0;    ///< burst rate over the base
     double peakGbps = 12.0;      ///< clamp (Fig. 7's y-axis scale)
     std::size_t bins = 300;      ///< number of rate windows
+    /** Lognormal noise sigma on the diurnal base (0 disables noise —
+     *  the statistical-shape tests pin amplitudes exactly). */
+    double noiseSigma = 0.25;
 };
 
 /**
@@ -43,6 +46,22 @@ double traceMean(const std::vector<double> &rates);
 
 /** Peak of a rate series. */
 double tracePeak(const std::vector<double> &rates);
+
+/**
+ * Means of consecutive @p window-bin groups (the last group may be
+ * shorter). Smoothing bursts and noise away like this is how the
+ * shape tests — and the autoscaler's offered-rate view — compare a
+ * generated trace against its diurnal profile.
+ */
+std::vector<double> traceWindowedMeans(const std::vector<double> &rates,
+                                       std::size_t window);
+
+/** The noiseless diurnal base profile the generator modulates:
+ *  bin i of @p bins is 1 + swing * sin(2*pi*i/bins), scaled to
+ *  @p mean_gbps. Exposed so tests and the autoscaler can compare a
+ *  generated trace against its own ideal shape. */
+std::vector<double> diurnalProfile(std::size_t bins, double swing,
+                                   double mean_gbps);
 
 } // namespace snic::net
 

@@ -49,7 +49,9 @@ mix64(std::uint64_t x)
 TorSwitch::TorSwitch(const TorConfig &config)
     : _config(config),
       _rng(config.seed * 0x9e3779b97f4a7c15ULL + 0x7045ULL),
-      _dispatched(config.members, 0)
+      _dispatched(config.members, 0),
+      _live(config.members, true),
+      _liveCount(config.members)
 {
     if (_config.members == 0)
         sim::fatal("TorSwitch: a rack needs at least one member");
@@ -76,9 +78,88 @@ TorSwitch::load(unsigned member)
     return _probe ? _probe(member) : 0;
 }
 
+void
+TorSwitch::setLive(unsigned m, bool live)
+{
+    if (m >= _config.members)
+        sim::fatal("TorSwitch: setLive(%u) of %u members", m,
+                   _config.members);
+    if (_live[m] == live)
+        return;
+    if (!live && _liveCount == 1)
+        sim::fatal("TorSwitch: cannot remove the last live member");
+    _live[m] = live;
+    _liveCount += live ? 1u : -1u;
+    _liveList.clear();
+    if (_liveCount != _config.members) {
+        _liveList.reserve(_liveCount);
+        for (unsigned i = 0; i < _config.members; ++i) {
+            if (_live[i])
+                _liveList.push_back(i);
+        }
+    }
+}
+
+unsigned
+TorSwitch::pickFiltered(const Packet &pkt)
+{
+    // The same policies, restricted to the live members. RoundRobin
+    // keeps its rotation counter so re-awakened members rejoin the
+    // rotation seamlessly; FlowHash re-hashes flows onto the live
+    // list (the ECMP rehash a real ToR performs when a next-hop is
+    // withdrawn); the load-aware policies never probe a dead member.
+    const unsigned n = _liveCount;
+    unsigned target = _liveList[0];
+    switch (_config.policy) {
+      case DispatchPolicy::PassThrough:
+        // Pass-through is the 1-server identity wiring; its only
+        // member can never be removed (last-live guard above).
+        break;
+      case DispatchPolicy::RoundRobin:
+        target = _liveList[static_cast<unsigned>(_rrNext++ % n)];
+        break;
+      case DispatchPolicy::Random:
+        target = _liveList[static_cast<unsigned>(
+            _rng.uniformInt(0, n - 1))];
+        break;
+      case DispatchPolicy::Random2Choice: {
+        const unsigned a = _liveList[static_cast<unsigned>(
+            _rng.uniformInt(0, n - 1))];
+        const unsigned b = _liveList[static_cast<unsigned>(
+            _rng.uniformInt(0, n - 1))];
+        target = load(b) < load(a) ? b : a;
+        break;
+      }
+      case DispatchPolicy::FlowHash: {
+        std::uint64_t flow = pkt.flowHash % _config.flowCount;
+        if (_config.hotFlowFraction > 0.0 &&
+            _rng.chance(_config.hotFlowFraction)) {
+            flow = 0;
+        }
+        target = _liveList[static_cast<unsigned>(mix64(flow) % n)];
+        break;
+      }
+      case DispatchPolicy::LeastQueue: {
+        std::uint64_t best = load(_liveList[0]);
+        for (unsigned i = 1; i < n; ++i) {
+            const std::uint64_t l = load(_liveList[i]);
+            if (l < best) {
+                best = l;
+                target = _liveList[i];
+            }
+        }
+        break;
+      }
+    }
+    ++_dispatched[target];
+    return target;
+}
+
 unsigned
 TorSwitch::pick(const Packet &pkt)
 {
+    if (_liveCount != _config.members)
+        return pickFiltered(pkt);
     const unsigned m = _config.members;
     unsigned target = 0;
     switch (_config.policy) {

@@ -83,6 +83,23 @@ class TorSwitch
      *  and LeastQueue; ignored by the oblivious policies). */
     void setLoadProbe(LoadProbe probe) { _probe = std::move(probe); }
 
+    /**
+     * Mark member @p m (in)eligible for dispatch. Drained or asleep
+     * rack members must not appear in any policy's candidate or
+     * probe set — a least_queue probe would otherwise read the
+     * sleeping member's empty queue and herd the whole rack onto a
+     * box that serves nothing. Fatal if the last live member is
+     * removed. With every member live (the default) each policy runs
+     * its original code path, bit for bit.
+     */
+    void setLive(unsigned m, bool live);
+
+    /** Is member @p m currently dispatchable? */
+    bool live(unsigned m) const { return _live.at(m); }
+
+    /** Number of dispatchable members. */
+    unsigned liveCount() const { return _liveCount; }
+
     /** Choose the member for @p pkt. */
     unsigned pick(const Packet &pkt);
 
@@ -110,8 +127,16 @@ class TorSwitch
     std::uint64_t _rrNext = 0;
     std::vector<std::uint64_t> _dispatched;
     LoadProbe _probe;
+    /** Eligibility mask (all true by default). */
+    std::vector<bool> _live;
+    unsigned _liveCount;
+    /** Indices of the live members, ascending — rebuilt by setLive
+     *  so pick() never scans the mask. */
+    std::vector<unsigned> _liveList;
 
     std::uint64_t load(unsigned member);
+    /** pick() over a partially-live rack (any policy). */
+    unsigned pickFiltered(const Packet &pkt);
 };
 
 } // namespace snic::net

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * PowerStateMachine implementation.
+ */
+
+#include "power/power_state.hh"
+
+#include "sim/logging.hh"
+
+namespace snic::power {
+
+const char *
+powerStateName(PowerState s)
+{
+    switch (s) {
+      case PowerState::Active:
+        return "active";
+      case PowerState::Draining:
+        return "draining";
+      case PowerState::Asleep:
+        return "asleep";
+      case PowerState::Waking:
+        return "waking";
+    }
+    sim::panic("powerStateName: bad state");
+}
+
+PowerStateMachine::PowerStateMachine(const PowerStateSpecs &specs,
+                                     sim::Tick now, PowerState initial)
+    : _specs(specs),
+      _state(initial),
+      _enteredAt(now),
+      _energy(0.0, now)
+{
+    if (_specs.sleepWatts < 0.0 || _specs.wakeWatts < 0.0 ||
+        _specs.activeIdleWatts < 0.0) {
+        sim::fatal("PowerStateMachine: negative state draw");
+    }
+    _energy.setPower(now, wattsFor(initial));
+}
+
+double
+PowerStateMachine::wattsFor(PowerState s) const
+{
+    switch (s) {
+      case PowerState::Active:
+      case PowerState::Draining:
+        return _specs.activeIdleWatts;
+      case PowerState::Asleep:
+        return _specs.sleepWatts;
+      case PowerState::Waking:
+        return _specs.wakeWatts;
+    }
+    sim::panic("PowerStateMachine: bad state");
+}
+
+void
+PowerStateMachine::transitionTo(PowerState next, sim::Tick now)
+{
+    _residency[static_cast<int>(_state)] += now - _enteredAt;
+    _state = next;
+    _enteredAt = now;
+    ++_transitions;
+    _energy.setPower(now, wattsFor(next));
+}
+
+void
+PowerStateMachine::beginDrain(sim::Tick now)
+{
+    if (_state != PowerState::Active) {
+        sim::fatal("PowerStateMachine: beginDrain from %s",
+                   powerStateName(_state));
+    }
+    transitionTo(PowerState::Draining, now);
+}
+
+void
+PowerStateMachine::completeDrain(sim::Tick now)
+{
+    if (_state != PowerState::Draining) {
+        sim::fatal("PowerStateMachine: completeDrain from %s",
+                   powerStateName(_state));
+    }
+    transitionTo(PowerState::Asleep, now);
+}
+
+void
+PowerStateMachine::cancelDrain(sim::Tick now)
+{
+    if (_state != PowerState::Draining) {
+        sim::fatal("PowerStateMachine: cancelDrain from %s",
+                   powerStateName(_state));
+    }
+    transitionTo(PowerState::Active, now);
+}
+
+sim::Tick
+PowerStateMachine::beginWake(sim::Tick now)
+{
+    if (_state != PowerState::Asleep) {
+        sim::fatal("PowerStateMachine: beginWake from %s",
+                   powerStateName(_state));
+    }
+    transitionTo(PowerState::Waking, now);
+    return now + _specs.wakeLatency;
+}
+
+void
+PowerStateMachine::completeWake(sim::Tick now)
+{
+    if (_state != PowerState::Waking) {
+        sim::fatal("PowerStateMachine: completeWake from %s",
+                   powerStateName(_state));
+    }
+    transitionTo(PowerState::Active, now);
+}
+
+sim::Tick
+PowerStateMachine::residency(PowerState s, sim::Tick now) const
+{
+    sim::Tick r = _residency[static_cast<int>(s)];
+    if (s == _state && now > _enteredAt)
+        r += now - _enteredAt;
+    return r;
+}
+
+} // namespace snic::power

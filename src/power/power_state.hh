@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-server power-state machine for fleet-scale autoscaling.
+ *
+ * The paper prices servers at steady load; a diurnal fleet spends
+ * most of the night idle, so what a scale-down actually buys depends
+ * on the machinery here: a member ordered to sleep first *drains*
+ * (serves its in-flight requests, accepting nothing new), then drops
+ * to a suspend-to-RAM draw; a member ordered awake pays a wake
+ * latency during which it burns boot-level power and every request
+ * dispatched to it stalls at admission (charged by the rack's
+ * dispatch path). Residency in every state is tracked in ticks and
+ * priced through an EnergyIntegral, so a 24 h run yields exact
+ * per-member joules across all transitions.
+ */
+
+#ifndef SNIC_POWER_POWER_STATE_HH
+#define SNIC_POWER_POWER_STATE_HH
+
+#include "power/energy.hh"
+#include "sim/types.hh"
+
+namespace snic::power {
+
+/** Fleet-visible member states. */
+enum class PowerState
+{
+    Active,    ///< serving; dispatchable
+    Draining,  ///< finishing in-flight work; not dispatchable
+    Asleep,    ///< suspended; not dispatchable
+    Waking,    ///< powering up; dispatchable, admissions stall
+};
+
+/** Display name ("active", "draining", "asleep", "waking"). */
+const char *powerStateName(PowerState s);
+
+/** Electrical and timing parameters of the state machine. */
+struct PowerStateSpecs
+{
+    /** Suspend-to-RAM draw of the whole box (PSU + standby rails +
+     *  the SNIC's always-on management complex). */
+    double sleepWatts = 10.5;
+    /** Draw while powering back up (boot-level, no useful work). */
+    double wakeWatts = 252.0;
+    /** Base draw while awake (Active/Draining); the load-dependent
+     *  adder above this floor is accounted separately from the
+     *  utilization integrals. */
+    double activeIdleWatts = 252.0;
+    /** Resume-from-suspend latency. */
+    sim::Tick wakeLatency = sim::msToTicks(1.0);
+};
+
+/**
+ * One member's power-state machine.
+ *
+ * Transitions are driven by the fleet (begin/complete pairs so the
+ * drain and wake durations are decided by the simulation, not by this
+ * class); every transition re-points the EnergyIntegral at the new
+ * state's base draw. Invalid transitions are fatal — the autoscaler
+ * must never order a sleeping member to drain.
+ */
+class PowerStateMachine
+{
+  public:
+    PowerStateMachine(const PowerStateSpecs &specs, sim::Tick now,
+                      PowerState initial = PowerState::Active);
+
+    PowerState state() const { return _state; }
+    const PowerStateSpecs &specs() const { return _specs; }
+
+    /** May the dispatcher send this member traffic? (Waking members
+     *  accept traffic — it stalls at admission until wake-done.) */
+    bool
+    dispatchable() const
+    {
+        return _state == PowerState::Active ||
+               _state == PowerState::Waking;
+    }
+
+    /** Is the box powered (Active or Draining)? */
+    bool
+    awake() const
+    {
+        return _state == PowerState::Active ||
+               _state == PowerState::Draining;
+    }
+
+    /** Active -> Draining: stop accepting, finish in-flight work. */
+    void beginDrain(sim::Tick now);
+
+    /** Draining -> Asleep: the member is quiescent. */
+    void completeDrain(sim::Tick now);
+
+    /** Draining -> Active: a scale-up caught the member before it
+     *  finished draining; it never slept, so no wake latency. */
+    void cancelDrain(sim::Tick now);
+
+    /** Asleep -> Waking. @return the tick the member becomes Active
+     *  (now + wakeLatency); the caller schedules completeWake there
+     *  and stalls admissions until then. */
+    sim::Tick beginWake(sim::Tick now);
+
+    /** Waking -> Active. */
+    void completeWake(sim::Tick now);
+
+    /** Ticks spent in @p s, including the open residency up to
+     *  @p now. */
+    sim::Tick residency(PowerState s, sim::Tick now) const;
+
+    /** State transitions performed so far. */
+    unsigned transitions() const { return _transitions; }
+
+    /** The exact base-draw energy account (windowJoules /
+     *  resetWindow are the fleet's per-bin accounting boundary). */
+    EnergyIntegral &energy() { return _energy; }
+    const EnergyIntegral &energy() const { return _energy; }
+
+  private:
+    PowerStateSpecs _specs;
+    PowerState _state;
+    sim::Tick _enteredAt;
+    sim::Tick _residency[4] = {0, 0, 0, 0};
+    unsigned _transitions = 0;
+    EnergyIntegral _energy;
+
+    double wattsFor(PowerState s) const;
+    void transitionTo(PowerState next, sim::Tick now);
+};
+
+} // namespace snic::power
+
+#endif // SNIC_POWER_POWER_STATE_HH

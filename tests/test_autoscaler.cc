@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the autoscaler decision kernel and the fleet composition
+ * around it: policy semantics (thresholds, hysteresis streaks,
+ * cooldown, the p99 pre-wake and survivor guard), golden determinism
+ * of the scale-event sequence across serial and parallel runners,
+ * flap damping under a bursty trace, the no-autoscaler fleet-of-one
+ * identity against a standalone Rack, and the config death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fleet.hh"
+#include "core/runner.hh"
+#include "net/dc_trace.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+constexpr const char *kWorkload = "micro_udp_1024";
+
+AutoscalerConfig
+scalerConfig(AutoscalerKind kind, unsigned min_m, unsigned max_m)
+{
+    AutoscalerConfig c;
+    c.kind = kind;
+    c.minMembers = min_m;
+    c.maxMembers = max_m;
+    c.upUtil = 0.70;
+    c.downUtil = 0.30;
+    c.hysteresisBins = 1;
+    c.cooldownBins = 0;
+    return c;
+}
+
+AutoscalerObservation
+utilObs(double util)
+{
+    AutoscalerObservation o;
+    o.utilization = util;
+    o.completed = 1000;
+    o.generated = 1000;
+    o.p99Us = 50.0;
+    return o;
+}
+
+/** Per-member sustainable Gbps for sizing the test traces. */
+double
+perMemberGbps()
+{
+    RackConfig rc;
+    rc.workloadId = kWorkload;
+    rc.platform = hw::Platform::HostCpu;
+    rc.servers = 1;
+    rc.policy = net::DispatchPolicy::PassThrough;
+    Rack probe(rc);
+    return probe.estimateCapacityRps() * probe.meanRequestBytes() *
+           8.0 / 1e9;
+}
+
+/** A small single-rack fleet over an explicit rate series. */
+FleetConfig
+fleetConfig(AutoscalerKind kind, std::vector<double> trace)
+{
+    FleetConfig fc;
+    RackConfig rc;
+    rc.workloadId = kWorkload;
+    rc.platform = hw::Platform::HostCpu;
+    rc.servers = 3;
+    rc.policy = net::DispatchPolicy::LeastQueue;
+    rc.seed = 1;
+    fc.racks.push_back(rc);
+    fc.autoscaler = scalerConfig(kind, 1, 3);
+    fc.autoscaler.p99BudgetUs = 500.0;
+    fc.traceGbps = std::move(trace);
+    fc.binTicks = sim::msToTicks(1.0);
+    fc.realSecondsPerBin = 60.0;
+    fc.sloP99BudgetUs = 500.0;
+    fc.wakeLatencyUs = 100.0;
+    fc.seed = 1;
+    return fc;
+}
+
+void
+expectEventsBitwiseEqual(const std::vector<ScaleEvent> &a,
+                         const std::vector<ScaleEvent> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].bin, b[i].bin) << "event " << i;
+        EXPECT_EQ(a[i].at, b[i].at) << "event " << i;
+        EXPECT_EQ(a[i].rack, b[i].rack) << "event " << i;
+        EXPECT_EQ(a[i].member, b[i].member) << "event " << i;
+        EXPECT_EQ(a[i].up, b[i].up) << "event " << i;
+    }
+}
+
+} // anonymous namespace
+
+TEST(Autoscaler, StaticPinsToTheMaximum)
+{
+    Autoscaler a(scalerConfig(AutoscalerKind::Static, 1, 4), 2);
+    EXPECT_EQ(a.observe(utilObs(0.0)), 4u);
+    EXPECT_EQ(a.observe(utilObs(0.99)), 4u);
+    EXPECT_EQ(a.current(), 4u);
+}
+
+TEST(Autoscaler, ReactiveThresholdsMoveOneMemberPerDecision)
+{
+    Autoscaler a(
+        scalerConfig(AutoscalerKind::ReactiveUtilization, 1, 4), 2);
+    EXPECT_EQ(a.observe(utilObs(0.80)), 3u);  // hysteresis 1: act now
+    EXPECT_EQ(a.observe(utilObs(0.80)), 4u);
+    EXPECT_EQ(a.observe(utilObs(0.80)), 4u);  // clamped at max
+    EXPECT_EQ(a.observe(utilObs(0.50)), 4u);  // inside the band
+    EXPECT_EQ(a.observe(utilObs(0.10)), 3u);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 2u);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 1u);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 1u);  // clamped at min
+}
+
+TEST(Autoscaler, HysteresisNeedsConsecutivePressuredBins)
+{
+    AutoscalerConfig c =
+        scalerConfig(AutoscalerKind::ReactiveUtilization, 1, 4);
+    c.hysteresisBins = 2;
+    Autoscaler a(c, 2);
+    EXPECT_EQ(a.observe(utilObs(0.80)), 2u);  // streak 1 of 2
+    EXPECT_EQ(a.observe(utilObs(0.50)), 2u);  // interrupted: reset
+    EXPECT_EQ(a.observe(utilObs(0.80)), 2u);  // streak 1 again
+    EXPECT_EQ(a.observe(utilObs(0.80)), 3u);  // streak 2: move
+}
+
+TEST(Autoscaler, CooldownQuietsScaleDownsOnly)
+{
+    AutoscalerConfig c =
+        scalerConfig(AutoscalerKind::ReactiveUtilization, 1, 4);
+    c.cooldownBins = 3;
+    Autoscaler a(c, 3);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 2u);  // down; cooldown armed
+    EXPECT_EQ(a.observe(utilObs(0.10)), 2u);  // cooling
+    EXPECT_EQ(a.observe(utilObs(0.10)), 2u);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 2u);
+    EXPECT_EQ(a.observe(utilObs(0.10)), 1u);  // cooldown expired
+
+    // A fresh scale-down arms the cooldown again, but an SLO
+    // emergency jumps the queue: scale-ups are cooldown-exempt.
+    Autoscaler b(c, 3);
+    EXPECT_EQ(b.observe(utilObs(0.10)), 2u);
+    EXPECT_EQ(b.observe(utilObs(0.90)), 3u);
+}
+
+TEST(Autoscaler, P99PreWakeFiresOnBurstAdjustedUtilization)
+{
+    AutoscalerConfig c =
+        scalerConfig(AutoscalerKind::P99Feedback, 1, 4);
+    c.p99BudgetUs = 500.0;
+    c.upUtil = 0.65;
+    c.burstHeadroom = 2.0;
+    Autoscaler a(c, 2);
+    // p99 healthy, raw utilization under the threshold — but a 2x
+    // burst would not fit, so the pre-wake fires.
+    AutoscalerObservation o = utilObs(0.40);
+    o.p99Us = 100.0;
+    EXPECT_EQ(a.observe(o), 3u);
+    // Comfortably under even the adjusted threshold: no move (the
+    // p99 sits above p99LowFraction x budget, so no scale-down
+    // either).
+    AutoscalerObservation quiet = utilObs(0.30);
+    quiet.p99Us = 300.0;
+    EXPECT_EQ(a.observe(quiet), 3u);
+}
+
+TEST(Autoscaler, P99BudgetBlowoutAndOutageScaleUp)
+{
+    AutoscalerConfig c =
+        scalerConfig(AutoscalerKind::P99Feedback, 1, 4);
+    c.p99BudgetUs = 500.0;
+    Autoscaler a(c, 1);
+    AutoscalerObservation blown = utilObs(0.20);
+    blown.p99Us = 900.0;
+    EXPECT_EQ(a.observe(blown), 2u);
+
+    // A bin that generated but completed nothing is the strongest
+    // tail signal of all, whatever the (meaningless) utilization.
+    AutoscalerObservation outage;
+    outage.generated = 500;
+    outage.completed = 0;
+    EXPECT_EQ(a.observe(outage), 3u);
+
+    // An idle bin (nothing offered, nothing served) is NOT an
+    // outage, and must not be read as a healthy tail either.
+    AutoscalerObservation idle;
+    EXPECT_EQ(a.observe(idle), 3u);
+}
+
+TEST(Autoscaler, P99SurvivorGuardBlocksRiskyScaleDowns)
+{
+    AutoscalerConfig c =
+        scalerConfig(AutoscalerKind::P99Feedback, 1, 4);
+    c.p99BudgetUs = 500.0;
+    c.p99LowFraction = 0.5;
+    c.upUtil = 0.65;
+    Autoscaler a(c, 2);
+    // Tail is fine (100 < 250), but one survivor would run at 0.80:
+    // the guard refuses.
+    AutoscalerObservation tempting = utilObs(0.40);
+    tempting.p99Us = 100.0;
+    EXPECT_EQ(a.observe(tempting), 2u);
+    // At 0.25 the survivor runs at 0.50 < 0.9 x 0.65: shrink.
+    AutoscalerObservation safe = utilObs(0.25);
+    safe.p99Us = 100.0;
+    EXPECT_EQ(a.observe(safe), 1u);
+    // And never below one member, however quiet.
+    EXPECT_EQ(a.observe(safe), 1u);
+}
+
+TEST(FleetScale, GoldenScaleEventsSerialEqualsParallel)
+{
+    // The golden determinism property: the same trace + policy must
+    // produce the bitwise-identical scale-event sequence whether the
+    // cells run serially (runFleetDay one by one) or through the
+    // parallel sweep runner, in any interleaving.
+    const double member_gbps = perMemberGbps();
+    std::vector<double> trace;
+    for (int i = 0; i < 12; ++i) {
+        // A ramp down and back up across the scaling thresholds.
+        const double frac = (i < 6) ? 0.15 : 0.55;
+        trace.push_back(frac * 3.0 * member_gbps);
+    }
+
+    std::vector<FleetCell> cells;
+    for (AutoscalerKind kind : {AutoscalerKind::Static,
+                                AutoscalerKind::ReactiveUtilization,
+                                AutoscalerKind::P99Feedback}) {
+        FleetCell cell;
+        cell.config = fleetConfig(kind, trace);
+        cells.push_back(cell);
+    }
+
+    std::vector<FleetResult> serial;
+    for (const FleetCell &cell : cells)
+        serial.push_back(runFleetDay(cell.config));
+
+    ExperimentRunner runner;
+    const std::vector<FleetResult> parallel =
+        runner.runFleetCells(cells);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectEventsBitwiseEqual(serial[i].events,
+                                 parallel[i].events);
+        EXPECT_EQ(serial[i].completed, parallel[i].completed);
+        EXPECT_EQ(serial[i].sloViolationMinutes,
+                  parallel[i].sloViolationMinutes);
+        EXPECT_EQ(serial[i].realKwh, parallel[i].realKwh);
+        EXPECT_EQ(serial[i].tcoUsd5yr, parallel[i].tcoUsd5yr);
+    }
+    // The autoscaled policies actually scaled on this trace —
+    // otherwise the golden comparison above pinned nothing.
+    EXPECT_TRUE(serial[0].events.empty());  // Static never moves
+    EXPECT_FALSE(serial[1].events.empty());
+    EXPECT_FALSE(serial[2].events.empty());
+}
+
+TEST(FleetScale, HysteresisPreventsFlappingUnderBursts)
+{
+    // A trace alternating across both thresholds every bin. The
+    // twitchy config (streak 1, no cooldown) chases it; the damped
+    // config (streak 2 + cooldown) must sit still — alternating
+    // pressure never builds a streak.
+    const double member_gbps = perMemberGbps();
+    std::vector<double> trace;
+    for (int i = 0; i < 16; ++i) {
+        const double frac = (i % 2 == 0) ? 0.20 : 0.60;
+        trace.push_back(frac * 3.0 * member_gbps);
+    }
+
+    FleetConfig twitchy =
+        fleetConfig(AutoscalerKind::ReactiveUtilization, trace);
+    twitchy.autoscaler.hysteresisBins = 1;
+    twitchy.autoscaler.cooldownBins = 0;
+    FleetConfig damped =
+        fleetConfig(AutoscalerKind::ReactiveUtilization, trace);
+    damped.autoscaler.hysteresisBins = 2;
+    damped.autoscaler.cooldownBins = 3;
+
+    const FleetResult rt = runFleetDay(twitchy);
+    const FleetResult rd = runFleetDay(damped);
+
+    // The twitchy config flaps: adjacent opposite-direction moves.
+    ASSERT_GE(rt.events.size(), 4u);
+    bool twitchy_flapped = false;
+    for (std::size_t i = 1; i < rt.events.size(); ++i) {
+        if (rt.events[i].up != rt.events[i - 1].up &&
+            rt.events[i].bin <= rt.events[i - 1].bin + 1)
+            twitchy_flapped = true;
+    }
+    EXPECT_TRUE(twitchy_flapped);
+
+    // Damping wins: strictly fewer moves, and never an immediate
+    // reversal.
+    EXPECT_LT(rd.events.size(), rt.events.size());
+    for (std::size_t i = 1; i < rd.events.size(); ++i) {
+        if (rd.events[i].up != rd.events[i - 1].up)
+            EXPECT_GT(rd.events[i].bin, rd.events[i - 1].bin + 1);
+    }
+}
+
+TEST(FleetScale, StaticFleetOfOneMatchesStandaloneRack)
+{
+    // The composition identity: a 1-rack fleet under the Static
+    // policy adds no events, so driving the same rack standalone
+    // through the same beginTrace/beginBin cadence must reproduce
+    // the fleet's numbers bitwise.
+    const double member_gbps = perMemberGbps();
+    std::vector<double> trace;
+    for (int i = 0; i < 6; ++i)
+        trace.push_back(0.4 * 3.0 * member_gbps);
+
+    FleetConfig fc = fleetConfig(AutoscalerKind::Static, trace);
+    const FleetResult fleet = runFleetDay(fc);
+    ASSERT_EQ(fleet.racks.size(), 1u);
+    EXPECT_TRUE(fleet.events.empty());
+
+    RackConfig rc = fc.racks[0];
+    rc.powerSpecs.wakeLatency = sim::usToTicks(fc.wakeLatencyUs);
+    Rack rack(rc);
+    rack.beginTrace(trace, fc.binTicks);
+    std::uint64_t completed = 0;
+    std::vector<double> bin_p99;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        rack.beginBin();
+        rack.sim().runUntil(fc.binTicks *
+                            static_cast<sim::Tick>(i + 1));
+        const RackBinStats bin = rack.endBin(fc.binTicks);
+        completed += bin.completed;
+        bin_p99.push_back(bin.p99Us());
+    }
+    rack.stopTrace();
+
+    EXPECT_EQ(fleet.racks[0].completed, completed);
+    ASSERT_EQ(fleet.racks[0].binP99Us.size(), bin_p99.size());
+    for (std::size_t i = 0; i < bin_p99.size(); ++i)
+        EXPECT_DOUBLE_EQ(fleet.racks[0].binP99Us[i], bin_p99[i])
+            << "bin " << i;
+}
+
+TEST(AutoscalerDeath, ConfigValidationIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            Autoscaler a(
+                scalerConfig(AutoscalerKind::ReactiveUtilization, 3, 2),
+                3);
+        },
+        ::testing::ExitedWithCode(1), "minMembers 3 > maxMembers 2");
+    EXPECT_EXIT(
+        {
+            Autoscaler a(
+                scalerConfig(AutoscalerKind::ReactiveUtilization, 0, 2),
+                1);
+        },
+        ::testing::ExitedWithCode(1), "minMembers must be >= 1");
+    EXPECT_EXIT(
+        {
+            AutoscalerConfig c = scalerConfig(
+                AutoscalerKind::ReactiveUtilization, 1, 4);
+            c.downUtil = 0.80;  // above upUtil: no hysteresis band
+            Autoscaler a(c, 2);
+        },
+        ::testing::ExitedWithCode(1), "no hysteresis band");
+    EXPECT_EXIT(
+        {
+            Autoscaler a(
+                scalerConfig(AutoscalerKind::ReactiveUtilization, 1, 4),
+                5);  // start outside [min, max]
+        },
+        ::testing::ExitedWithCode(1), "outside");
+}
+
+TEST(AutoscalerDeath, NegativeWakeLatencyIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            FleetConfig fc =
+                fleetConfig(AutoscalerKind::Static, {1.0, 1.0});
+            fc.wakeLatencyUs = -1.0;  // the classic sign bug
+            Fleet fleet(fc);
+        },
+        ::testing::ExitedWithCode(1), "negative");
+}

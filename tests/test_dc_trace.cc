@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Shape tests for the synthetic datacenter day (net/dc_trace): the
+ * noiseless trace IS the diurnal profile, windowed means track the
+ * profile through noise and bursts, burst amplitude and frequency
+ * match their knobs exactly, and a fixed seed pins both the rate
+ * series and the generator's inter-arrival stream against silent
+ * drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "net/dc_trace.hh"
+#include "net/traffic_gen.hh"
+#include "sim/simulation.hh"
+
+using namespace snic;
+using namespace snic::net;
+
+namespace {
+
+DcTraceParams
+quietParams(std::size_t bins)
+{
+    DcTraceParams p;
+    p.meanGbps = 4.0;
+    p.diurnalSwing = 0.6;
+    p.noiseSigma = 0.0;
+    p.burstProbability = 0.0;
+    p.burstMultiplier = 8.0;
+    p.peakGbps = 1000.0;  // far above any bin: the clamp never fires
+    p.bins = bins;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(DcTraceShape, NoiselessTraceIsTheDiurnalProfile)
+{
+    // With sigma 0 and no bursts the generator's only job is the
+    // raised sine plus the mean normalization — bin for bin it must
+    // reproduce diurnalProfile().
+    const DcTraceParams p = quietParams(48);
+    sim::Random rng(7);
+    const std::vector<double> trace = makeDcTrace(p, rng);
+    const std::vector<double> profile =
+        diurnalProfile(p.bins, p.diurnalSwing, p.meanGbps);
+
+    ASSERT_EQ(trace.size(), profile.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_NEAR(trace[i], profile[i], 1e-9 * p.meanGbps)
+            << "bin " << i;
+    EXPECT_NEAR(traceMean(trace), p.meanGbps, 1e-9);
+}
+
+TEST(DcTraceShape, WindowedMeansTrackTheProfileThroughNoise)
+{
+    // The autoscaler's view: noise and microbursts ride on top, but
+    // window-averaged offered rate must still follow the diurnal
+    // curve. 6-bin windows over a 72-bin day, 35 % tolerance — wide
+    // enough for lognormal noise, far too tight for a flat or
+    // phase-shifted trace to sneak through.
+    DcTraceParams p = quietParams(72);
+    p.noiseSigma = 0.10;
+    p.burstProbability = 0.05;
+    p.burstMultiplier = 2.0;
+    sim::Random rng(11);
+    const std::vector<double> trace = makeDcTrace(p, rng);
+    const std::vector<double> profile =
+        diurnalProfile(p.bins, p.diurnalSwing, p.meanGbps);
+
+    const std::size_t window = 6;
+    const std::vector<double> got = traceWindowedMeans(trace, window);
+    const std::vector<double> want =
+        traceWindowedMeans(profile, window);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 0.35 * want[i]) << "window " << i;
+
+    // And the swing survives smoothing: the day half (sin > 0) must
+    // clearly out-rate the night half.
+    const std::size_t half = got.size() / 2;
+    double day = 0.0, night = 0.0;
+    for (std::size_t i = 0; i < half; ++i)
+        day += got[i];
+    for (std::size_t i = half; i < got.size(); ++i)
+        night += got[i];
+    EXPECT_GT(day, 1.5 * night);
+}
+
+TEST(DcTraceShape, BurstAmplitudeAndCountMatchTheKnobs)
+{
+    // With noise off, every bin is either base or base x multiplier;
+    // dividing the trace by the unit profile collapses it to exactly
+    // two levels whose ratio is the multiplier.
+    DcTraceParams p = quietParams(600);
+    p.burstProbability = 0.2;
+    p.burstMultiplier = 4.0;
+    sim::Random rng(13);
+    const std::vector<double> trace = makeDcTrace(p, rng);
+    const std::vector<double> unit =
+        diurnalProfile(p.bins, p.diurnalSwing, 1.0);
+
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const double ratio = trace[i] / unit[i];
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_NEAR(hi / lo, p.burstMultiplier, 1e-9);
+
+    // Burst count: Bernoulli(0.2) over 600 bins has mean 120 and
+    // sigma ~9.8; six sigmas of slack still rejects a broken coin.
+    std::size_t bursts = 0;
+    const double cut = lo * 0.5 * (1.0 + p.burstMultiplier);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i] / unit[i] > cut)
+            ++bursts;
+    }
+    EXPECT_GE(bursts, 60u);
+    EXPECT_LE(bursts, 180u);
+}
+
+TEST(DcTraceShape, PeakClampCapsBurstsWithoutInflatingTheMean)
+{
+    DcTraceParams p = quietParams(300);
+    p.burstProbability = 0.1;
+    p.burstMultiplier = 8.0;
+    p.peakGbps = 1.3 * p.meanGbps;  // bites both bursts and the crest
+    sim::Random rng(17);
+    const std::vector<double> trace = makeDcTrace(p, rng);
+
+    EXPECT_LE(tracePeak(trace), p.peakGbps * (1.0 + 1e-12));
+    // Clamping can only lose mass; the renormalization claws back
+    // what it can but must never overshoot the requested mean.
+    EXPECT_LE(traceMean(trace), p.meanGbps * (1.0 + 1e-12));
+    EXPECT_GE(traceMean(trace), 0.8 * p.meanGbps);
+}
+
+TEST(DcTraceShape, EdgeCasesStayFinite)
+{
+    sim::Random rng(19);
+    DcTraceParams p = quietParams(1);
+    const std::vector<double> one = makeDcTrace(p, rng);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0], p.meanGbps);
+
+    EXPECT_DOUBLE_EQ(traceMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(tracePeak({}), 0.0);
+    EXPECT_TRUE(traceWindowedMeans({}, 4).empty());
+    EXPECT_TRUE(traceWindowedMeans({1.0, 2.0}, 0).empty());
+    // Short final group averages only its own bins.
+    const std::vector<double> m =
+        traceWindowedMeans({2.0, 4.0, 6.0}, 2);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0], 3.0);
+    EXPECT_DOUBLE_EQ(m[1], 6.0);
+}
+
+TEST(DcTraceGolden, FixedSeedTraceIsPinned)
+{
+    // Regression pin: seed 42 with the bench's trace shape. If any
+    // of these change, every golden fleet number downstream moves —
+    // this test names the culprit.
+    DcTraceParams p;
+    p.meanGbps = 2.0;
+    p.diurnalSwing = 0.6;
+    p.noiseSigma = 0.10;
+    p.burstProbability = 0.05;
+    p.burstMultiplier = 2.0;
+    p.peakGbps = 4.0;
+    p.bins = 72;
+    sim::Random rng(42);
+    const std::vector<double> trace = makeDcTrace(p, rng);
+    ASSERT_EQ(trace.size(), 72u);
+
+    const std::array<double, 8> golden{
+        1.6494618736037756, 2.3778393070406221, 2.1435635325592015,
+        2.2108854899314068, 2.1912713888930488, 2.3416139894903507,
+        2.4479228911393212, 2.7664072923092116,
+    };
+    for (std::size_t i = 0; i < golden.size(); ++i)
+        EXPECT_DOUBLE_EQ(trace[i], golden[i]) << "bin " << i;
+}
+
+TEST(DcTraceGolden, FixedSeedInterArrivalsArePinned)
+{
+    // The full chain: trace -> schedule -> Poisson generator. Pin the
+    // first 64 inter-arrival gaps (ticks) of the packet stream a
+    // fixed-seed simulation produces — the same stream every fleet
+    // replay consumes.
+    DcTraceParams p;
+    p.meanGbps = 2.0;
+    p.diurnalSwing = 0.6;
+    p.noiseSigma = 0.10;
+    p.burstProbability = 0.05;
+    p.burstMultiplier = 2.0;
+    p.peakGbps = 4.0;
+    p.bins = 72;
+    sim::Random trace_rng(42);
+    const std::vector<double> trace = makeDcTrace(p, trace_rng);
+
+    sim::Simulation s(5);
+    std::vector<sim::Tick> times;
+    TrafficGen gen(
+        s, "gen",
+        net::PacketSink([&](const Packet &) { times.push_back(s.now()); }),
+        SizeDist::fixed(1024), Proto::Udp);
+    gen.startSchedule(trace, sim::usToTicks(50.0));
+    s.runUntil(sim::usToTicks(50.0) * 72);
+    ASSERT_GE(times.size(), 65u);
+
+    const std::array<sim::Tick, 64> golden{
+        2519793ull,  976220ull,   1205253ull, 1054752ull, 4793166ull,
+        6873289ull,  1493391ull,  681074ull,  958312ull,  1631660ull,
+        4026896ull,  558933ull,   717495ull,  10463296ull, 1006845ull,
+        5228780ull,  4680904ull,  2560791ull, 1578864ull, 1859675ull,
+        1793296ull,  6718096ull,  5133124ull, 11586709ull, 3288961ull,
+        11411698ull, 1890573ull,  1061045ull, 2955892ull, 747599ull,
+        2254180ull,  3225353ull,  5189319ull, 885720ull,  9804ull,
+        5327632ull,  29656ull,    268787ull,  609046ull,  15468446ull,
+        7526ull,     2253460ull,  7158603ull, 8565260ull, 4424554ull,
+        1161961ull,  8998388ull,  5283636ull, 3132762ull, 6519240ull,
+        1656793ull,  18613975ull, 5179554ull, 1030926ull, 64777ull,
+        5704490ull,  4388766ull,  2717500ull, 5132203ull, 3415617ull,
+        1295595ull,  3068600ull,  564917ull,  7392544ull,
+    };
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(times[i + 1] - times[i], golden[i]) << "gap " << i;
+}

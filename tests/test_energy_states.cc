@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the exact power-state energy machinery: EnergyIntegral
+ * (piecewise-constant integration, window resets mid-segment) and
+ * PowerStateMachine (transition legality, residency accounting, and
+ * hand-computed joules for a scripted sleep/wake day).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_state.hh"
+
+using namespace snic;
+using namespace snic::power;
+
+namespace {
+
+/** The machine specs the hand-computed scripts below assume. */
+PowerStateSpecs
+specs()
+{
+    PowerStateSpecs s;
+    s.sleepWatts = 10.5;
+    s.wakeWatts = 300.0;
+    s.activeIdleWatts = 252.0;
+    s.wakeLatency = sim::msToTicks(1.0);
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(EnergyIntegral, ConstantDrawIsWattsTimesSeconds)
+{
+    EnergyIntegral e(100.0, 0);
+    const sim::Tick t = sim::msToTicks(10.0);
+    EXPECT_DOUBLE_EQ(e.windowJoules(t), 100.0 * sim::ticksToSec(t));
+    EXPECT_DOUBLE_EQ(e.totalJoules(t), 100.0 * sim::ticksToSec(t));
+    // Reads do not mutate: asking twice gives the same answer.
+    EXPECT_DOUBLE_EQ(e.windowJoules(t), e.windowJoules(t));
+}
+
+TEST(EnergyIntegral, PiecewiseSegmentsSumExactly)
+{
+    // 100 W for 1 ms, 10 W for 2 ms, 0 W for 5 ms, 300 W for 1 ms.
+    EnergyIntegral e(100.0, 0);
+    e.setPower(sim::msToTicks(1.0), 10.0);
+    e.setPower(sim::msToTicks(3.0), 0.0);
+    e.setPower(sim::msToTicks(8.0), 300.0);
+    const sim::Tick end = sim::msToTicks(9.0);
+
+    const double expected = 100.0 * sim::ticksToSec(sim::msToTicks(1.0)) +
+                            10.0 * sim::ticksToSec(sim::msToTicks(2.0)) +
+                            0.0 * sim::ticksToSec(sim::msToTicks(5.0)) +
+                            300.0 * sim::ticksToSec(sim::msToTicks(1.0));
+    EXPECT_DOUBLE_EQ(e.totalJoules(end), expected);
+}
+
+TEST(EnergyIntegral, WindowResetMidSegmentSplitsTheStraddler)
+{
+    // A segment that straddles the window boundary must be split
+    // exactly: the pre-reset part stays in the old window, the
+    // post-reset part accrues into the new one.
+    EnergyIntegral e(100.0, 0);
+    const sim::Tick half = sim::usToTicks(500.0);
+    const sim::Tick end = sim::usToTicks(1000.0);
+
+    const double before = e.windowJoules(half);
+    e.resetWindow(half);
+    EXPECT_DOUBLE_EQ(e.windowJoules(half), 0.0);
+    EXPECT_EQ(e.windowStart(), half);
+
+    const double after = e.windowJoules(end);
+    EXPECT_DOUBLE_EQ(before, 100.0 * sim::ticksToSec(half));
+    EXPECT_DOUBLE_EQ(after, 100.0 * sim::ticksToSec(end - half));
+    // The total never loses the straddler.
+    EXPECT_DOUBLE_EQ(e.totalJoules(end),
+                     100.0 * sim::ticksToSec(end));
+}
+
+TEST(EnergyIntegral, WindowResetAcrossAPowerSwitchStaysExact)
+{
+    // Switch draw, then reset mid-way through the *new* segment: the
+    // window must contain only the new draw's post-reset share.
+    EnergyIntegral e(50.0, 0);
+    e.setPower(sim::usToTicks(100.0), 200.0);
+    e.resetWindow(sim::usToTicks(150.0));
+    const double w = e.windowJoules(sim::usToTicks(250.0));
+    EXPECT_DOUBLE_EQ(w,
+                     200.0 * sim::ticksToSec(sim::usToTicks(100.0)));
+    const double total = e.totalJoules(sim::usToTicks(250.0));
+    EXPECT_DOUBLE_EQ(total,
+                     50.0 * sim::ticksToSec(sim::usToTicks(100.0)) +
+                         200.0 * sim::ticksToSec(sim::usToTicks(150.0)));
+}
+
+TEST(PowerStateMachine, ScriptedDayMatchesHandComputedJoules)
+{
+    // Active 1 ms -> Draining 2 ms -> Asleep 7 ms -> Waking 1 ms ->
+    // Active 9 ms. Each state's base draw integrates exactly.
+    const PowerStateSpecs s = specs();
+    PowerStateMachine m(s, 0);
+
+    m.beginDrain(sim::msToTicks(1.0));
+    m.completeDrain(sim::msToTicks(3.0));
+    const sim::Tick wake_done = m.beginWake(sim::msToTicks(10.0));
+    EXPECT_EQ(wake_done, sim::msToTicks(10.0) + s.wakeLatency);
+    m.completeWake(wake_done);
+    const sim::Tick end = sim::msToTicks(20.0);
+
+    const double expected =
+        s.activeIdleWatts * sim::ticksToSec(sim::msToTicks(1.0)) +
+        s.activeIdleWatts * sim::ticksToSec(sim::msToTicks(2.0)) +
+        s.sleepWatts * sim::ticksToSec(sim::msToTicks(7.0)) +
+        s.wakeWatts * sim::ticksToSec(s.wakeLatency) +
+        s.activeIdleWatts * sim::ticksToSec(end - wake_done);
+    EXPECT_DOUBLE_EQ(m.energy().totalJoules(end), expected);
+
+    // Residency bookkeeping, open state included.
+    EXPECT_EQ(m.residency(PowerState::Active, end),
+              sim::msToTicks(1.0) + (end - wake_done));
+    EXPECT_EQ(m.residency(PowerState::Draining, end),
+              sim::msToTicks(2.0));
+    EXPECT_EQ(m.residency(PowerState::Asleep, end),
+              sim::msToTicks(7.0));
+    EXPECT_EQ(m.residency(PowerState::Waking, end), s.wakeLatency);
+    EXPECT_EQ(m.transitions(), 4u);
+    EXPECT_EQ(m.state(), PowerState::Active);
+}
+
+TEST(PowerStateMachine, WindowResetMidTransitionStaysWindowAccurate)
+{
+    // Reset the energy window in the middle of the Waking segment:
+    // the window must hold only the post-reset share of the wake
+    // draw plus what follows — the straddler pattern at the fleet's
+    // bin boundary.
+    const PowerStateSpecs s = specs();
+    PowerStateMachine m(s, 0);
+    m.beginDrain(sim::msToTicks(1.0));
+    m.completeDrain(sim::msToTicks(1.0));  // instant drain (idle box)
+    const sim::Tick wake_done = m.beginWake(sim::msToTicks(5.0));
+
+    const sim::Tick mid_wake = sim::msToTicks(5.0) + s.wakeLatency / 2;
+    m.energy().resetWindow(mid_wake);
+    m.completeWake(wake_done);
+    const sim::Tick end = wake_done + sim::msToTicks(2.0);
+
+    const double expected_window =
+        s.wakeWatts * sim::ticksToSec(wake_done - mid_wake) +
+        s.activeIdleWatts * sim::ticksToSec(end - wake_done);
+    EXPECT_DOUBLE_EQ(m.energy().windowJoules(end), expected_window);
+}
+
+TEST(PowerStateMachine, DispatchabilityFollowsTheStates)
+{
+    PowerStateMachine m(specs(), 0);
+    EXPECT_TRUE(m.dispatchable());
+    EXPECT_TRUE(m.awake());
+
+    m.beginDrain(1);
+    EXPECT_FALSE(m.dispatchable());  // draining accepts nothing new
+    EXPECT_TRUE(m.awake());
+
+    m.completeDrain(2);
+    EXPECT_FALSE(m.dispatchable());
+    EXPECT_FALSE(m.awake());
+
+    m.beginWake(3);
+    EXPECT_TRUE(m.dispatchable());  // admissions stall, but accepted
+    EXPECT_FALSE(m.awake());
+}
+
+TEST(PowerStateMachine, CancelDrainReturnsToActiveWithoutWakeCost)
+{
+    const PowerStateSpecs s = specs();
+    PowerStateMachine m(s, 0);
+    m.beginDrain(sim::msToTicks(1.0));
+    m.cancelDrain(sim::msToTicks(2.0));
+    EXPECT_EQ(m.state(), PowerState::Active);
+    EXPECT_EQ(m.residency(PowerState::Waking, sim::msToTicks(3.0)),
+              0u);
+    // Draining burns the active base draw, so the canceled drain
+    // costs exactly nothing extra.
+    EXPECT_DOUBLE_EQ(
+        m.energy().totalJoules(sim::msToTicks(3.0)),
+        s.activeIdleWatts * sim::ticksToSec(sim::msToTicks(3.0)));
+}
+
+TEST(PowerStateDeath, IllegalTransitionsAreFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            PowerStateMachine m(specs(), 0);
+            m.completeDrain(1);  // not draining
+        },
+        ::testing::ExitedWithCode(1), "completeDrain from active");
+    EXPECT_EXIT(
+        {
+            PowerStateMachine m(specs(), 0);
+            m.beginWake(1);  // not asleep
+        },
+        ::testing::ExitedWithCode(1), "beginWake from active");
+    EXPECT_EXIT(
+        {
+            PowerStateMachine m(specs(), 0);
+            m.beginDrain(1);
+            m.beginDrain(2);  // already draining
+        },
+        ::testing::ExitedWithCode(1), "beginDrain from draining");
+}
+
+TEST(PowerStateDeath, NegativeDrawIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            PowerStateSpecs s;
+            s.sleepWatts = -1.0;
+            PowerStateMachine m(s, 0);
+        },
+        ::testing::ExitedWithCode(1), "negative state draw");
+}
