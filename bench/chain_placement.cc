@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -145,12 +146,175 @@ advisorShowdown(const std::vector<std::string> &functions,
     std::printf("rationale: %s\n", advice.rationale.c_str());
 }
 
+std::string
+rackLabel(const std::vector<hw::Platform> &where,
+          const std::vector<unsigned> &member)
+{
+    std::string s;
+    for (std::size_t k = 0; k < where.size(); ++k) {
+        if (k)
+            s += "+";
+        switch (where[k]) {
+          case hw::Platform::HostCpu:
+            s += "host";
+            break;
+          case hw::Platform::SnicCpu:
+            s += "snic";
+            break;
+          case hw::Platform::SnicAccel:
+            s += "engine";
+            break;
+        }
+        s += "@";
+        s += std::to_string(member[k]);
+    }
+    return s;
+}
+
+void
+rackShowdown(const char *title, const std::vector<std::string> &functions,
+             const SloConstraint &slo, const RackChainAdvisorOptions &opts)
+{
+    std::printf("\n== rack advisor: %s ==\n", title);
+    std::printf("   SLO: p99 <= %.0f us, unit >= %.1f Gbps; demand %.0f "
+                "Gbps; <= %u members\n",
+                slo.p99UsMax, slo.minGbps, opts.demandGbps,
+                opts.maxMembers);
+    const RackChainAdvice advice =
+        adviseRackChainPlacement(functions, slo, opts);
+
+    std::printf("   %zu placements enumerated, %zu DES-eligible after "
+                "key-rank pruning, DES budget %d\n",
+                advice.enumerated, advice.desEligible, opts.desBudget);
+    std::printf("%-28s %4s %8s %9s %9s %5s %11s %6s\n", "candidate",
+                "mbrs", "key", "cap Gbps", "p99 us", "srv", "5yr TCO $",
+                "SLO");
+    for (const auto &c : advice.candidates) {
+        if (!c.evaluated) {
+            std::printf("%-28s %4u %8.3f (not DES-evaluated)\n",
+                        rackLabel(c.where, c.member).c_str(),
+                        c.membersUsed, c.key.combined);
+            continue;
+        }
+        std::printf("%-28s %4u %8.3f %9.2f %9.1f %5u %11.0f %6s\n",
+                    rackLabel(c.where, c.member).c_str(), c.membersUsed,
+                    c.key.combined, c.capacityGbps, c.p99Us,
+                    c.serversForDemand, c.tco5yrUsd,
+                    c.meetsSlo ? "meets" : "MISS");
+    }
+    if (advice.heuristicPick >= 0) {
+        const auto &heur = advice.candidates[static_cast<std::size_t>(
+            advice.heuristicPick)];
+        std::printf("heuristic (key) pick: %s\n",
+                    rackLabel(heur.where, heur.member).c_str());
+    }
+    if (advice.desPick >= 0) {
+        const auto &des =
+            advice.candidates[static_cast<std::size_t>(advice.desPick)];
+        std::printf("DES-backed pick:      %s (%s, %u members)\n",
+                    rackLabel(des.where, des.member).c_str(),
+                    des.meetsSlo ? "meets SLO" : "misses SLO",
+                    des.membersUsed);
+        // Contrast against the best DES-evaluated single-member unit.
+        const RackChainPlacementCandidate *best_single = nullptr;
+        for (const auto &c : advice.candidates) {
+            if (!c.evaluated || c.membersUsed != 1)
+                continue;
+            if (!best_single || (c.meetsSlo && !best_single->meetsSlo) ||
+                (c.meetsSlo == best_single->meetsSlo &&
+                 c.tco5yrUsd < best_single->tco5yrUsd))
+                best_single = &c;
+        }
+        if (best_single && best_single != &des) {
+            std::printf(
+                "vs best single-member: %s (%s, unit %.2f Gbps, "
+                "TCO $%.0f)\n",
+                rackLabel(best_single->where, best_single->member).c_str(),
+                best_single->meetsSlo ? "meets SLO" : "misses SLO",
+                best_single->capacityGbps, best_single->tco5yrUsd);
+        }
+    }
+    std::printf("rationale: %s\n", advice.rationale.c_str());
+}
+
+/**
+ * --rack mode: rack-level placement search, where the advisor may
+ * spread chain stages across rack members and pays for every
+ * cross-member hop through the ToR.
+ *
+ * The headline chain is a double REM scan (two rulesets over the
+ * same stream). On one member both scans share the one RXP engine,
+ * halving unit throughput; shipping the second scan to the
+ * neighbor's idle engine restores it, at the price of a ToR hop
+ * (forwarding + wire serialization + queueing) on every record.
+ *
+ * Scenario 1 (spanning wins): a per-unit throughput floor no single
+ * member can sustain, with a loose p99 budget. Only the spanning
+ * placement meets the SLO — and because its two members run their
+ * scans on engines (hosts nearly idle), its 5-yr TCO undercuts
+ * every single-member candidate too.
+ *
+ * Scenario 2 (spanning correctly rejected): same chain, tight p99
+ * budget. The hop's ~4 us of ToR forwarding plus wire queueing
+ * pushes the spanning placement past the budget; the DES sees what
+ * the latency-blind key cannot and keeps the chain on one member.
+ *
+ * Scenario 3 (fat-payload hop priced out at the key level): a
+ * decompress stage inflates each record to 64 KiB before a REM
+ * scan; candidates that ship the decompressed stream across the
+ * rack pay 5.2 us of wire serialization per record in the key's
+ * bandwidth term, so they rank below the single-member splits
+ * before any DES budget is spent.
+ */
+void
+rackMode(bool smoke)
+{
+    RackChainAdvisorOptions opts;
+    opts.loadFactor = 0.7;
+    opts.maxMembers = 2;
+    opts.desBudget = smoke ? 4 : 8;
+    opts.targetSamples = smoke ? 800 : 4000;
+
+    const std::vector<std::string> scan_pair{"rem_img", "rem_img"};
+    RackChainAdvisorOptions pair_opts = opts;
+    pair_opts.demandGbps = 26.0;
+    rackShowdown("double REM scan, per-unit floor, loose p99",
+                 scan_pair, SloConstraint{150.0, 25.0}, pair_opts);
+    rackShowdown("double REM scan, tight p99 (hop over budget)",
+                 scan_pair, SloConstraint{49.0, 12.0}, pair_opts);
+
+    const std::vector<std::string> inflate_scan{
+        "micro_udp_1024", "comp_app_dec", "rem_exe"};
+    RackChainAdvisorOptions local_opts = opts;
+    local_opts.demandGbps = 10.0;
+    rackShowdown("decompress-inflated scan (64 KiB hop payload)",
+                 inflate_scan, SloConstraint{2000.0, 0.5}, local_opts);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+
+    bool rack = false;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--rack") == 0)
+            rack = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--rack [--smoke]]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (rack) {
+        rackMode(smoke);
+        return 0;
+    }
 
     // Decompress -> REM scan -> KVS store: the offload chain where
     // every function has somewhere else it could run.

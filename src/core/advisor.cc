@@ -12,10 +12,12 @@
 #include "core/advisor.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <sstream>
 
 #include "core/chain.hh"
+#include "core/rack.hh"
 #include "core/tco.hh"
 #include "core/throughput_search.hh"
 #include "hw/specs.hh"
@@ -494,6 +496,400 @@ adviseChainPlacement(const std::vector<std::string> &function_ids,
             why << "; the heuristic baseline "
                 << describe(advice.heuristicPick)
                 << " does not";
+        } else if (advice.desPick != advice.heuristicPick) {
+            why << " at lower TCO than the heuristic baseline "
+                << describe(advice.heuristicPick);
+        } else {
+            why << " (agrees with the heuristic baseline)";
+        }
+    } else {
+        why << "no evaluated placement meets the SLO; lowest-p99 "
+            << "fallback: " << describe(advice.desPick);
+    }
+    advice.rationale = why.str();
+    return advice;
+}
+
+// --- Rack-level chain placement ---
+
+PlacementKey
+rackPlacementKey(const std::vector<workloads::FunctionProfile> &profiles,
+                 const std::vector<hw::Platform> &where,
+                 const std::vector<unsigned> &member,
+                 double member_hop_weight)
+{
+    PlacementKey key;
+    const auto placements = resolvePlacements(profiles, where);
+    const unsigned members =
+        member.empty()
+            ? 1u
+            : *std::max_element(member.begin(), member.end()) + 1;
+
+    // Per-member resource demand: the bandwidth bottleneck is the
+    // most loaded resource on any ONE member — spreading a chain is
+    // exactly the act of splitting these accumulators.
+    std::vector<double> host_ns(members, 0.0), snic_ns(members, 0.0);
+    std::vector<std::array<double, 3>> engine_ns(
+        members, {0.0, 0.0, 0.0});
+    std::vector<double> crossing_bytes(members, 0.0);
+    /** Hop payload into each member's ingress wire. */
+    std::vector<double> hop_bytes(members, 0.0);
+    unsigned pcie_crossings = 0, member_hops = 0;
+
+    double in_bytes = profiles.empty()
+                          ? 0.0
+                          : profiles.front().meanRequestBytes;
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+        const workloads::FunctionProfile &p = profiles[k];
+        const unsigned m = member[k];
+        switch (where[k]) {
+          case hw::Platform::HostCpu:
+            host_ns[m] += p.hostCpuNs;
+            break;
+          case hw::Platform::SnicCpu:
+            snic_ns[m] += p.snicCpuNs;
+            break;
+          case hw::Platform::SnicAccel:
+            snic_ns[m] += p.accelStagingNs;
+            engine_ns[m][static_cast<int>(p.accel)] += p.engineNs;
+            break;
+        }
+        if (k > 0) {
+            if (m != member[k - 1]) {
+                // A cross-member hop serializes on the destination's
+                // ingress wire; any PCIe crossing is subsumed by it.
+                ++member_hops;
+                hop_bytes[m] += in_bytes;
+            } else if (hw::crossesPcie(placements[k - 1],
+                                       placements[k])) {
+                ++pcie_crossings;
+                crossing_bytes[m] += in_bytes;
+            }
+        }
+        if (p.meanResponseBytes > 0.0)
+            in_bytes = p.meanResponseBytes;
+    }
+
+    key.location =
+        pcie_crossings + member_hop_weight * member_hops;
+
+    double bw = 0.0;
+    for (unsigned m = 0; m < members; ++m) {
+        bw = std::max(bw, host_ns[m] / 1e9 / hw::specs::hostCoresUsed);
+        bw = std::max(bw, snic_ns[m] / 1e9 / hw::specs::snicCores);
+        for (int e = 0; e < 3; ++e) {
+            if (engine_ns[m][e] > 0.0) {
+                const unsigned lanes =
+                    engineLanes(static_cast<hw::AccelKind>(e));
+                bw = std::max(bw, engine_ns[m][e] / 1e9 / lanes);
+            }
+        }
+        if (crossing_bytes[m] > 0.0) {
+            bw = std::max(bw, crossing_bytes[m] /
+                                  (hw::specs::pcieGBps * 1e9));
+        }
+        if (hop_bytes[m] > 0.0) {
+            bw = std::max(bw, hop_bytes[m] /
+                                  (hw::specs::lineRateGbps * 1e9 / 8.0));
+        }
+    }
+    key.bandwidth = bw;
+
+    double host_total = 0.0, snic_total = 0.0, engine_total = 0.0;
+    for (unsigned m = 0; m < members; ++m) {
+        host_total += host_ns[m];
+        snic_total += snic_ns[m];
+        engine_total +=
+            engine_ns[m][0] + engine_ns[m][1] + engine_ns[m][2];
+    }
+    key.resource = (kHostCostWeight * host_total +
+                    kSnicCostWeight * snic_total +
+                    kEngineCostWeight * engine_total) /
+                   1e3;
+    return key;
+}
+
+RackChainAdvice
+adviseRackChainPlacement(const std::vector<std::string> &function_ids,
+                         const SloConstraint &slo,
+                         const RackChainAdvisorOptions &opts)
+{
+    RackChainAdvice advice;
+    advice.functions = function_ids;
+    if (function_ids.empty()) {
+        advice.rationale = "empty chain";
+        return advice;
+    }
+    const unsigned max_members = std::max(opts.maxMembers, 1u);
+
+    std::vector<workloads::FunctionProfile> profiles;
+    profiles.reserve(function_ids.size());
+    for (const std::string &id : function_ids)
+        profiles.push_back(workloads::functionProfile(id, opts.seed));
+
+    std::vector<std::vector<hw::Platform>> options;
+    for (const workloads::FunctionProfile &p : profiles) {
+        std::vector<hw::Platform> o;
+        if (p.supportsHost)
+            o.push_back(hw::Platform::HostCpu);
+        if (p.supportsSnicCpu)
+            o.push_back(hw::Platform::SnicCpu);
+        if (p.supportsAccel)
+            o.push_back(hw::Platform::SnicAccel);
+        if (o.empty()) {
+            advice.rationale =
+                "function " + p.id + " runs on no platform";
+            return advice;
+        }
+        options.push_back(std::move(o));
+    }
+
+    // Member vectors in restricted-growth form: member 0 first, and
+    // a stage may only open member j when members 0..j-1 are already
+    // in use. Identical racks make member labels interchangeable, so
+    // this enumerates each partition-with-order exactly once — the
+    // relabeling symmetry never costs key evaluations.
+    std::vector<std::vector<unsigned>> member_vectors;
+    std::vector<unsigned> mv(function_ids.size(), 0);
+    const auto grow = [&](auto &&self, std::size_t k,
+                          unsigned used) -> void {
+        if (k == mv.size()) {
+            member_vectors.push_back(mv);
+            return;
+        }
+        const unsigned limit = std::min(used + 1, max_members);
+        for (unsigned m = 0; m < limit; ++m) {
+            mv[k] = m;
+            self(self, k + 1, std::max(used, m + 1));
+        }
+    };
+    mv[0] = 0;
+    if (mv.size() == 1) {
+        member_vectors.push_back(mv);
+    } else {
+        grow(grow, 1, 1);
+    }
+
+    // Full enumeration: platforms x member vectors.
+    for (const std::vector<unsigned> &members : member_vectors) {
+        std::vector<std::size_t> idx(function_ids.size(), 0);
+        for (;;) {
+            RackChainPlacementCandidate c;
+            c.where.reserve(function_ids.size());
+            for (std::size_t k = 0; k < idx.size(); ++k)
+                c.where.push_back(options[k][idx[k]]);
+            c.member = members;
+            c.membersUsed = *std::max_element(members.begin(),
+                                              members.end()) +
+                            1;
+            c.key = rackPlacementKey(profiles, c.where, c.member,
+                                     opts.memberHopWeight);
+            c.analyticGbps =
+                analyticRps(c.key.bandwidth) *
+                profiles.front().meanRequestBytes * 8.0 / 1e9;
+            advice.candidates.push_back(std::move(c));
+            std::size_t k = 0;
+            while (k < idx.size() && ++idx[k] == options[k].size()) {
+                idx[k] = 0;
+                ++k;
+            }
+            if (k == idx.size())
+                break;
+        }
+    }
+    advice.enumerated = advice.candidates.size();
+
+    // Normalize, combine, and rank exactly like the per-server
+    // advisor (ties broken by placement then member vector).
+    auto norm = [&](auto get) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto &c : advice.candidates) {
+            lo = std::min(lo, get(c.key));
+            hi = std::max(hi, get(c.key));
+        }
+        const double span = hi - lo;
+        return [lo, span, get](const PlacementKey &k) {
+            return span > 0.0 ? (get(k) - lo) / span : 0.0;
+        };
+    };
+    auto nloc = norm([](const PlacementKey &k) { return k.location; });
+    auto nbw = norm([](const PlacementKey &k) { return k.bandwidth; });
+    auto nres = norm([](const PlacementKey &k) { return k.resource; });
+    for (auto &c : advice.candidates) {
+        c.key.combined = kLocationWeight * nloc(c.key) +
+                         kBandwidthWeight * nbw(c.key) +
+                         kResourceWeight * nres(c.key);
+    }
+    std::sort(advice.candidates.begin(), advice.candidates.end(),
+              [](const RackChainPlacementCandidate &a,
+                 const RackChainPlacementCandidate &b) {
+                  if (a.key.combined != b.key.combined)
+                      return a.key.combined < b.key.combined;
+                  if (a.where != b.where)
+                      return a.where < b.where;
+                  return a.member < b.member;
+              });
+
+    advice.desEligible = std::min(
+        advice.candidates.size(),
+        static_cast<std::size_t>(std::max(opts.maxCandidates, 1)));
+
+    advice.heuristicPick = 0;
+    for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+        if (slo.minGbps <= 0.0 ||
+            advice.candidates[i].analyticGbps >= slo.minGbps) {
+            advice.heuristicPick = static_cast<int>(i);
+            break;
+        }
+    }
+
+    // DES order: the heuristic pick, the single-member all-host and
+    // all-SNIC-CPU anchors, then the key ranking — but only
+    // key-rank-eligible candidates may spend budget (the prune).
+    std::vector<std::size_t> eval_order;
+    auto enqueue = [&](std::size_t i) {
+        if (i >= advice.desEligible)
+            return;
+        if (std::find(eval_order.begin(), eval_order.end(), i) ==
+            eval_order.end()) {
+            eval_order.push_back(i);
+        }
+    };
+    auto enqueue_uniform = [&](hw::Platform p) {
+        for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+            const RackChainPlacementCandidate &c = advice.candidates[i];
+            if (c.membersUsed != 1)
+                continue;
+            if (std::all_of(c.where.begin(), c.where.end(),
+                            [p](hw::Platform x) { return x == p; })) {
+                enqueue(i);
+                return;
+            }
+        }
+    };
+    enqueue(static_cast<std::size_t>(advice.heuristicPick));
+    enqueue_uniform(hw::Platform::HostCpu);
+    enqueue_uniform(hw::Platform::SnicCpu);
+    for (std::size_t i = 0; i < advice.desEligible &&
+                            eval_order.size() <
+                                static_cast<std::size_t>(std::max(
+                                    opts.desBudget, 1));
+         ++i) {
+        enqueue(i);
+    }
+
+    ExperimentOptions eo;
+    eo.seed = opts.seed;
+    eo.loadFactor = opts.loadFactor;
+    eo.targetSamples = opts.targetSamples;
+    eo.warmup = sim::msToTicks(1.0);
+    eo.minWindow = sim::msToTicks(2.0);
+
+    for (std::size_t i : eval_order) {
+        RackChainPlacementCandidate &c = advice.candidates[i];
+        RackConfig cfg;
+        for (std::size_t k = 0; k < function_ids.size(); ++k)
+            cfg.chain.then(function_ids[k], c.where[k], c.member[k]);
+        cfg.servers = c.membersUsed;
+        cfg.policy = c.membersUsed == 1
+                         ? net::DispatchPolicy::PassThrough
+                         : net::DispatchPolicy::RoundRobin;
+        cfg.seed = opts.seed;
+        Rack rack(cfg);
+
+        const Capacity cap = findCapacity(rack, eo);
+        c.evaluated = true;
+        c.capacityGbps = cap.requestGbps;
+        c.capacityRps = cap.rps;
+
+        const double rate = cap.requestGbps * opts.loadFactor;
+        const RackMeasurement rm = rack.measure(
+            rate, eo.warmup, windowFor(cap.rps * opts.loadFactor, eo));
+        c.p99Us = rm.aggregate.p99Us();
+        c.rackWatts = rm.aggregate.energy.avgServerWatts;
+
+        // TCO: ceil(demand / unit throughput) rack units; every unit
+        // prices all its members, with a SNIC only on members that
+        // host a SNIC-placed stage.
+        const double per_unit = cap.requestGbps * opts.loadFactor;
+        c.unitsForDemand =
+            per_unit > 0.0 ? static_cast<unsigned>(std::ceil(
+                                 opts.demandGbps / per_unit))
+                           : 0;
+        c.serversForDemand = c.unitsForDemand * c.membersUsed;
+        double unit_tco = 0.0;
+        for (unsigned m = 0; m < c.membersUsed; ++m) {
+            bool with_snic = false;
+            for (std::size_t k = 0; k < c.where.size(); ++k) {
+                if (c.member[k] == m &&
+                    c.where[k] != hw::Platform::HostCpu) {
+                    with_snic = true;
+                }
+            }
+            const double watts =
+                m < rm.perServer.size()
+                    ? rm.perServer[m].energy.avgServerWatts
+                    : 0.0;
+            unit_tco +=
+                computeColumn(1, watts, with_snic).fiveYearTcoUsd;
+        }
+        c.tco5yrUsd = static_cast<double>(c.unitsForDemand) * unit_tco;
+        c.meetsSlo =
+            (slo.p99UsMax <= 0.0 || c.p99Us <= slo.p99UsMax) &&
+            (slo.minGbps <= 0.0 || per_unit >= slo.minGbps);
+    }
+
+    int best = -1;
+    for (std::size_t i = 0; i < advice.candidates.size(); ++i) {
+        const RackChainPlacementCandidate &c = advice.candidates[i];
+        if (!c.evaluated)
+            continue;
+        if (best < 0) {
+            best = static_cast<int>(i);
+            continue;
+        }
+        const RackChainPlacementCandidate &b =
+            advice.candidates[static_cast<std::size_t>(best)];
+        if (c.meetsSlo != b.meetsSlo) {
+            if (c.meetsSlo)
+                best = static_cast<int>(i);
+            continue;
+        }
+        if (c.meetsSlo ? c.tco5yrUsd < b.tco5yrUsd
+                       : c.p99Us < b.p99Us) {
+            best = static_cast<int>(i);
+        }
+    }
+    advice.desPick = best;
+    advice.sloFeasible =
+        best >= 0 &&
+        advice.candidates[static_cast<std::size_t>(best)].meetsSlo;
+
+    std::ostringstream why;
+    auto describe = [&](int i) -> std::string {
+        if (i < 0)
+            return "(none)";
+        std::ostringstream s;
+        const RackChainPlacementCandidate &c =
+            advice.candidates[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < c.where.size(); ++k) {
+            s << (k ? "+" : "") << hw::platformName(c.where[k]) << "@"
+              << c.member[k];
+        }
+        return s.str();
+    };
+    if (advice.sloFeasible) {
+        const RackChainPlacementCandidate &d =
+            advice.candidates[static_cast<std::size_t>(advice.desPick)];
+        why << "DES-backed pick " << describe(advice.desPick)
+            << (d.membersUsed > 1 ? " (rack-spanning)" : "")
+            << " meets the SLO";
+        const RackChainPlacementCandidate &h =
+            advice.candidates[static_cast<std::size_t>(
+                advice.heuristicPick)];
+        if (!h.evaluated || !h.meetsSlo) {
+            why << "; the heuristic baseline "
+                << describe(advice.heuristicPick) << " does not";
         } else if (advice.desPick != advice.heuristicPick) {
             why << " at lower TCO than the heuristic baseline "
                 << describe(advice.heuristicPick);

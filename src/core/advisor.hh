@@ -151,6 +151,100 @@ ChainAdvice adviseChainPlacement(
     const std::vector<std::string> &function_ids,
     const SloConstraint &slo, const ChainAdvisorOptions &opts = {});
 
+// --- Rack-level chain placement (rack-spanning chains, §13) ---
+
+/** One candidate rack-level placement: per-function platform AND
+ *  rack member. Single-member candidates (all member 0) are exactly
+ *  the per-server search space of adviseChainPlacement. */
+struct RackChainPlacementCandidate
+{
+    std::vector<hw::Platform> where;
+    /** Per-function rack member, restricted-growth form (member 0
+     *  first; a new member may only follow all lower ones). */
+    std::vector<unsigned> member;
+    /** Distinct members the placement occupies (max(member) + 1). */
+    unsigned membersUsed = 1;
+    PlacementKey key;
+    double analyticGbps = 0.0;
+
+    // DES-backed evaluation (spanning candidates run on a Rack).
+    bool evaluated = false;
+    double capacityGbps = 0.0;   ///< per rack-unit request Gbps
+    double capacityRps = 0.0;
+    double p99Us = 0.0;
+    double rackWatts = 0.0;      ///< all occupied members, summed
+    /** Rack units, then servers (= units x membersUsed), sized for
+     *  demandGbps at the operating point. */
+    unsigned unitsForDemand = 0;
+    unsigned serversForDemand = 0;
+    double tco5yrUsd = 0.0;
+    bool meetsSlo = false;
+};
+
+/** Rack chain advisor knobs. */
+struct RackChainAdvisorOptions
+{
+    std::uint64_t seed = 1;
+    double loadFactor = 0.7;
+    double demandGbps = 100.0;
+    int desBudget = 8;
+    std::uint64_t targetSamples = 4000;
+    /** Rack members the search may spread a chain across. */
+    unsigned maxMembers = 2;
+    /** Key-rank cap on DES eligibility: only the top maxCandidates
+     *  by heuristic key may spend DES budget (pruning — the key is
+     *  cheap, the simulation is not). */
+    int maxCandidates = 32;
+    /** Location-key cost of one cross-member hop, in PCIe-crossing
+     *  equivalents (a ToR round trip dwarfs a PCIe DMA). */
+    double memberHopWeight = 2.0;
+};
+
+/** The rack chain advisor's verdict. */
+struct RackChainAdvice
+{
+    std::vector<std::string> functions;
+    /** Every enumerated placement, heuristic-key order (best
+     *  first). */
+    std::vector<RackChainPlacementCandidate> candidates;
+    int heuristicPick = -1;
+    int desPick = -1;
+    bool sloFeasible = false;
+    std::string rationale;
+    /** Search-telemetry: placements enumerated, and how many were
+     *  DES-eligible after the key-rank cap. */
+    std::size_t enumerated = 0;
+    std::size_t desEligible = 0;
+};
+
+/**
+ * Rack-level Meili-style key: like placementKey, but resources are
+ * accounted per member (the bandwidth bottleneck is the most loaded
+ * resource on any ONE member), cross-member hops charge the
+ * destination member's ingress wire, and the location component adds
+ * @p member_hop_weight per hop. An all-zero member vector reduces
+ * exactly to placementKey (asserted in tests).
+ */
+PlacementKey rackPlacementKey(
+    const std::vector<workloads::FunctionProfile> &profiles,
+    const std::vector<hw::Platform> &where,
+    const std::vector<unsigned> &member,
+    double member_hop_weight = 2.0);
+
+/**
+ * Advise on placing @p function_ids across up to opts.maxMembers
+ * rack members: enumerate platform x member placements (members in
+ * restricted-growth form — relabeling-symmetric duplicates are never
+ * generated), rank with rackPlacementKey, then spend the DES budget
+ * simulating the top candidates on real Racks. The SLO's minGbps is
+ * per rack *unit* (one ingress); TCO prices every occupied member,
+ * SNIC only on members hosting SNIC-placed stages.
+ */
+RackChainAdvice adviseRackChainPlacement(
+    const std::vector<std::string> &function_ids,
+    const SloConstraint &slo,
+    const RackChainAdvisorOptions &opts = {});
+
 } // namespace snic::core
 
 #endif // SNIC_CORE_ADVISOR_HH

@@ -23,13 +23,22 @@
 #include "hw/server.hh"
 #include "workloads/workload.hh"
 
+namespace snic::net {
+class Link;
+class TorSwitch;
+} // namespace snic::net
+
 namespace snic::core {
 
-/** One function of a chain: which workload, and where it runs. */
+/** One function of a chain: which workload, and where it runs. The
+ *  member index names a rack member; standalone Testbeds only accept
+ *  member 0 (cross-member placement needs a Rack to supply the ToR
+ *  path — assembly is fatal otherwise). */
 struct FunctionStageSpec
 {
     std::string workloadId;
     hw::Platform where = hw::Platform::HostCpu;
+    unsigned member = 0;
 };
 
 /** An ordered chain of functions a request flows through. */
@@ -46,16 +55,39 @@ struct ChainSpec
         return c;
     }
 
-    /** Builder convenience: chain.then("rem_kb", SnicAccel)... */
+    /** Builder convenience: chain.then("rem_kb", SnicAccel)...
+     *  The member index places the stage on a rack member (0 = the
+     *  ingress member, the only value standalone Testbeds accept). */
     ChainSpec &
-    then(std::string workload_id, hw::Platform where)
+    then(std::string workload_id, hw::Platform where, unsigned member = 0)
     {
-        stages.push_back({std::move(workload_id), where});
+        stages.push_back({std::move(workload_id), where, member});
         return *this;
     }
 
     bool empty() const { return stages.empty(); }
     std::size_t size() const { return stages.size(); }
+
+    /** Any stage placed off member 0? */
+    bool
+    usesMembers() const
+    {
+        for (const FunctionStageSpec &fs : stages)
+            if (fs.member != 0)
+                return true;
+        return false;
+    }
+
+    /** Consecutive-stage pairs that land on different members. */
+    unsigned
+    memberHops() const
+    {
+        unsigned hops = 0;
+        for (std::size_t k = 1; k < stages.size(); ++k)
+            if (stages[k].member != stages[k - 1].member)
+                ++hops;
+        return hops;
+    }
 };
 
 /**
@@ -70,6 +102,15 @@ struct ChainStageRuntime
     workloads::Workload *workload = nullptr;
     hw::Placement placement;
     std::string name;
+    /** Rack member hosting the stage (0 in standalone testbeds). */
+    unsigned member = 0;
+    /** Executing member's hardware; null means the assembling
+     *  testbed's own server (the single-member fast path). */
+    hw::ServerModel *server = nullptr;
+    /** For a stage entered via a cross-member hop: the destination
+     *  member's ingress wire and the rack's ToR. Null otherwise. */
+    net::Link *ingressWire = nullptr;
+    net::TorSwitch *tor = nullptr;
 };
 
 /**
@@ -93,6 +134,13 @@ unsigned pcieCrossings(const std::vector<hw::Placement> &placements);
 
 /** Same, over an assembled chain. */
 unsigned chainPcieCrossings(const std::vector<ChainStageRuntime> &chain);
+
+/** Cross-member hops an assembled chain pays (consecutive stages on
+ *  different rack members). */
+unsigned memberHops(const std::vector<ChainStageRuntime> &chain);
+
+/** Whether the assembled chain spans more than one rack member. */
+bool spansMembers(const std::vector<ChainStageRuntime> &chain);
 
 } // namespace snic::core
 

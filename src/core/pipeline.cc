@@ -7,6 +7,8 @@
 
 #include "core/pipeline.hh"
 
+#include "net/tor_switch.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace snic::core {
@@ -168,7 +170,7 @@ TransferStage::process(ReqRef req)
         return;
     }
     const std::uint32_t bytes = req->plans[_toPlanIndex].requestBytes;
-    const sim::Tick delay = _ctx.server.transferTicks(_from, _to, bytes);
+    const sim::Tick delay = _server.transferTicks(_from, _to, bytes);
     if (delay == 0) {
         forward(std::move(req));
         return;
@@ -177,6 +179,43 @@ TransferStage::process(ReqRef req)
         delay,
         [this, req = std::move(req)]() mutable {
             forward(std::move(req));
+        },
+        name().c_str());
+}
+
+void
+RackTransferStage::process(ReqRef req)
+{
+    if (req->packet.createdAt < _ctx.epochStart) {
+        // Stale leftovers must not book wire time inside the new
+        // measurement window.
+        forward(std::move(req));
+        return;
+    }
+    const std::uint32_t bytes = req->plans[_toPlanIndex].requestBytes;
+    const double fwd_ns = _tor.forwardChainHop(_toMember);
+    _ctx.sim.after(
+        sim::nsToTicks(fwd_ns),
+        [this, bytes, req = std::move(req)]() mutable {
+            // Book the payload on the destination member's ingress
+            // wire: it serializes behind — and delays — everything
+            // the ToR is already sending that member.
+            net::Packet hop = req->packet;
+            hop.sizeBytes = bytes;
+            const sim::Tick deliver_at = _wire.sendThrough(hop);
+            if (deliver_at == 0) {
+                // Tail-dropped at the ToR buffer: the request is
+                // lost, like any packet the wire declines.
+                drop(std::move(req));
+                return;
+            }
+            _ctx.sim.at(
+                deliver_at,
+                [this, bytes, req = std::move(req)]() mutable {
+                    _wire.completeTransfer(bytes);
+                    forward(std::move(req));
+                },
+                name().c_str());
         },
         name().c_str());
 }
@@ -273,19 +312,36 @@ Pipeline::Pipeline(const PipelineContext &ctx, net::Link &down_link,
 
         for (std::size_t k = 0; k < chain.size(); ++k) {
             const ChainStageRuntime &fn = chain[k];
+            // A rack-assembled spanning chain pins each stage to its
+            // member's own hardware; a null server is the standalone
+            // single-member path (the assembling testbed's own box).
+            hw::ServerModel &srv =
+                fn.server ? *fn.server : _ctx.server;
             if (k > 0) {
-                append(std::make_unique<TransferStage>(
-                    _ctx, "xfer#" + std::to_string(k),
-                    chain[k - 1].placement, fn.placement, k));
+                if (fn.member != chain[k - 1].member) {
+                    if (!fn.ingressWire || !fn.tor) {
+                        sim::fatal("Pipeline: chain stage %s on "
+                                   "member %u has no ToR path — "
+                                   "cross-member chains must be "
+                                   "assembled by a Rack",
+                                   fn.name.c_str(), fn.member);
+                    }
+                    append(std::make_unique<RackTransferStage>(
+                        _ctx, "xtor#" + std::to_string(k),
+                        *fn.ingressWire, *fn.tor, fn.member, k));
+                } else {
+                    append(std::make_unique<TransferStage>(
+                        _ctx, "xfer#" + std::to_string(k), srv,
+                        chain[k - 1].placement, fn.placement, k));
+                }
             }
             append(std::make_unique<AppStage>(
-                _ctx, fn.name,
-                _ctx.server.cpuFor(fn.placement.kind), k));
+                _ctx, fn.name, srv.cpuFor(fn.placement.kind), k));
             if (fn.placement.kind == hw::Platform::SnicAccel) {
                 append(std::make_unique<AcceleratorStage>(
                     _ctx, fn.name + ".engine",
-                    _ctx.server.accel(fn.placement.engine),
-                    _ctx.server.cpuFor(fn.placement.kind), k));
+                    srv.accel(fn.placement.engine),
+                    srv.cpuFor(fn.placement.kind), k));
             }
         }
         append(std::make_unique<EgressStage>(_ctx, down_link, sink));

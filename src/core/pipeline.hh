@@ -545,19 +545,53 @@ class AcceleratorStage : public Stage
 class TransferStage : public Stage
 {
   public:
+    /** @p server is the member whose bus/memory the hop books — the
+     *  executing member's own hardware when a chain spans a rack. */
     TransferStage(PipelineContext &ctx, std::string name,
-                  hw::Placement from, hw::Placement to,
-                  std::size_t to_plan_index)
-        : Stage(ctx, std::move(name)), _from(from), _to(to),
-          _toPlanIndex(to_plan_index)
+                  hw::ServerModel &server, hw::Placement from,
+                  hw::Placement to, std::size_t to_plan_index)
+        : Stage(ctx, std::move(name)), _server(server), _from(from),
+          _to(to), _toPlanIndex(to_plan_index)
     {}
 
   protected:
     void process(ReqRef req) override;
 
   private:
+    hw::ServerModel &_server;
     const hw::Placement _from;
     const hw::Placement _to;
+    const std::size_t _toPlanIndex;
+};
+
+/**
+ * Cross-member transfer: consecutive chain stages on *different* rack
+ * members hand the payload through the ToR — cut-through forwarding
+ * latency, then serialization + queueing on the destination member's
+ * own 100 GbE ingress wire (contending with whatever else the ToR is
+ * sending that member), then propagation. A priced network hop, not a
+ * teleport. Stale requests pass through without booking wire time,
+ * mirroring TransferStage's stale bypass.
+ */
+class RackTransferStage : public Stage
+{
+  public:
+    /** @p wire is the destination member's ingress link; @p tor the
+     *  rack's switch (both wired by the rack assembler). */
+    RackTransferStage(PipelineContext &ctx, std::string name,
+                      net::Link &wire, net::TorSwitch &tor,
+                      unsigned to_member, std::size_t to_plan_index)
+        : Stage(ctx, std::move(name)), _wire(wire), _tor(tor),
+          _toMember(to_member), _toPlanIndex(to_plan_index)
+    {}
+
+  protected:
+    void process(ReqRef req) override;
+
+  private:
+    net::Link &_wire;
+    net::TorSwitch &_tor;
+    const unsigned _toMember;
     const std::size_t _toPlanIndex;
 };
 

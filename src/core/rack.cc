@@ -37,11 +37,28 @@ Rack::assemble()
     if (config.servers == 0)
         sim::fatal("Rack: needs at least one server");
 
+    // A rack-level chain is assembled member-stripped everywhere:
+    // each member gets identical hardware and workload instances (so
+    // any member could host any stage), and the *spanning* runtime —
+    // which stage actually executes where — is overlaid on the
+    // ingress member's chain below.
+    ChainSpec stripped = config.chain;
+    for (FunctionStageSpec &fs : stripped.stages) {
+        if (fs.member >= config.servers) {
+            sim::fatal("Rack: chain stage %s placed on member %u of a "
+                       "%u-server rack",
+                       fs.workloadId.c_str(), fs.member,
+                       config.servers);
+        }
+        fs.member = 0;
+    }
+
     _members.reserve(config.servers);
     for (unsigned i = 0; i < config.servers; ++i) {
         TestbedConfig tc;
         tc.workloadId = config.workloadId;
         tc.platform = config.platform;
+        tc.chain = stripped;
         tc.seed = config.seed;
         tc.hostCoresOverride = config.hostCoresOverride;
         _members.push_back(std::make_unique<Testbed>(tc, *_sim));
@@ -65,6 +82,8 @@ Rack::assemble()
     tor.flowCount = config.flowCount;
     tor.hotFlowFraction = config.hotFlowFraction;
     tor.forwardNs = hw::specs::torLatencyNs;
+    tor.probes = config.dchoiceProbes;
+    tor.probeNs = hw::specs::torProbeNs;
     _tor = std::make_unique<net::TorSwitch>(tor);
     // Queue-aware policies compare members by outstanding work in
     // ticks: the uplink serialization backlog (where incast piles
@@ -93,6 +112,53 @@ Rack::assemble()
             load += wake_done - t;
         return load;
     });
+    // The batched form least_queue uses on its hot path: one pass
+    // over the live set, now() and the wake table read once, no
+    // per-member virtual-call round trip. Must compute the exact
+    // numbers of the scalar probe above (asserted in tests).
+    _tor->setBatchLoadProbe([this, mean_wire_ticks](
+                                const unsigned *members, unsigned n,
+                                std::uint64_t *out) {
+        const sim::Tick t = _sim->now();
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned m = members ? members[i] : i;
+            const Testbed &bed = *_members[m];
+            const std::uint64_t held =
+                bed._upLink->inFlight() + bed.pipeline().inFlight();
+            std::uint64_t load =
+                bed._upLink->backlog() + held * mean_wire_ticks;
+            const sim::Tick wake_done = _memberWakeDone[m];
+            if (wake_done > t)
+                load += wake_done - t;
+            out[i] = load;
+        }
+    });
+
+    // Spanning-chain overlay: copy the ingress member's assembled
+    // chain, pin each stage to its configured member's hardware, give
+    // hop-entered stages their ToR path (the destination member's
+    // ingress wire), and rebuild the ingress pipeline so the response
+    // leaves on the *last* stage's member's down link.
+    _chainMode = config.chain.usesMembers();
+    _chainPinned.assign(config.servers, false);
+    if (_chainMode) {
+        _chainIngress = config.chain.stages.front().member;
+        std::vector<ChainStageRuntime> rt =
+            _members[_chainIngress]->chain();
+        for (std::size_t k = 0; k < rt.size(); ++k) {
+            const unsigned m = config.chain.stages[k].member;
+            rt[k].member = m;
+            rt[k].server = &_members[m]->server();
+            _chainPinned[m] = true;
+            if (k > 0 && m != rt[k - 1].member) {
+                rt[k].ingressWire = &_members[m]->upLink();
+                rt[k].tor = _tor.get();
+            }
+        }
+        const unsigned last = config.chain.stages.back().member;
+        _members[_chainIngress]->installRackChain(
+            std::move(rt), *_members[last]->_downLink);
+    }
 
     // The single aggregate client: every emitted packet takes one
     // dispatch decision, then the chosen member's own uplink (where
@@ -110,7 +176,12 @@ Rack::~Rack() = default;
 void
 Rack::dispatch(const net::Packet &pkt)
 {
-    const unsigned m = _tor->pick(pkt);
+    // A spanning chain has one entry point: the first stage's member.
+    // The ToR still forwards (and counts) the packet, but no policy
+    // decision — and no policy RNG draw — happens.
+    const unsigned m = _chainMode
+                           ? _tor->pickChainIngress(_chainIngress)
+                           : _tor->pick(pkt);
     net::Packet p = pkt;
     p.extraNs += _tor->forwardNs();
     const sim::Tick wake_done = _memberWakeDone[m];
@@ -133,6 +204,10 @@ Rack::sleepMember(unsigned m)
     // beginDrain is fatal unless the member is Active; setLive is
     // fatal when it would empty the dispatch set — both are
     // autoscaler bugs, not runtime conditions.
+    if (m < _chainPinned.size() && _chainPinned[m]) {
+        sim::fatal("Rack: member %u hosts a chain stage — spanning-"
+                   "chain members cannot be slept", m);
+    }
     _memberPower.at(m).beginDrain(_sim->now());
     _tor->setLive(m, false);
     pollDrain(m);
@@ -262,6 +337,12 @@ Rack::meanRequestBytes() const
 double
 Rack::estimateCapacityRps(int samples)
 {
+    // A spanning chain is ONE replica: all traffic enters at the
+    // ingress member, whose (member-aware) estimator already prices
+    // every stage on its own member's hardware and bounds hops by
+    // each destination wire. Summing the members would double-count.
+    if (_chainMode)
+        return _members[_chainIngress]->estimateCapacityRps(samples);
     double sum = 0.0;
     for (auto &m : _members)
         sum += m->estimateCapacityRps(samples);

@@ -40,6 +40,17 @@ struct RackConfig
 {
     std::string workloadId;
     hw::Platform platform = hw::Platform::HostCpu;
+    /**
+     * Rack-level service chain. Empty means the classic composition
+     * (every member runs workloadId on platform, the ToR balances).
+     * When set, it takes precedence: every member is assembled with
+     * the *member-stripped* chain (identical hardware everywhere),
+     * and when any stage names a member != 0 the rack runs in
+     * spanning-chain mode — all traffic enters at the first stage's
+     * member and consecutive stages on different members pay a
+     * ToR-priced cross-member transfer (see DESIGN.md §13).
+     */
+    ChainSpec chain;
     /** Member servers behind the ToR. */
     unsigned servers = 1;
     net::DispatchPolicy policy = net::DispatchPolicy::RoundRobin;
@@ -49,6 +60,9 @@ struct RackConfig
     /** FlowHash knobs (see TorConfig). */
     unsigned flowCount = 64;
     double hotFlowFraction = 0.0;
+    /** Probe count for the RandomDChoice (JSQ(d)) policy; each probe
+     *  adds specs::torProbeNs to the forwarding charge. */
+    unsigned dchoiceProbes = 2;
     /** Member power-state electricals (fleet autoscaling). */
     power::PowerStateSpecs powerSpecs;
     /** How often a draining member is re-checked for quiescence. */
@@ -196,6 +210,11 @@ class Rack
     /** Dispatchable members (Active + Waking). */
     unsigned dispatchableMembers() const { return _tor->liveCount(); }
 
+    /** True when a spanning chain forces all ingress to one member. */
+    bool chainMode() const { return _chainMode; }
+    /** The ingress member of a spanning chain (0 otherwise). */
+    unsigned chainIngress() const { return _chainIngress; }
+
   private:
     /** Shared constructor body. */
     void assemble();
@@ -225,6 +244,12 @@ class Rack
     std::vector<sim::Tick> _memberWakeDone;
     /** Per-member energy meters of the open stats bin. */
     std::vector<power::EnergyMeter> _binMeters;
+    /** Spanning-chain mode: config.chain names members != 0. */
+    bool _chainMode = false;
+    /** All traffic enters at this member's uplink in chain mode. */
+    unsigned _chainIngress = 0;
+    /** Members hosting a chain stage — invalid sleep targets. */
+    std::vector<bool> _chainPinned;
 };
 
 /** Fleet sizing answers: arithmetic vs simulated (Sec. 6 as a

@@ -67,6 +67,14 @@ Testbed::assemble()
     for (const FunctionStageSpec &fs : chain_spec.stages) {
         if (fs.workloadId.empty())
             sim::fatal("Testbed: chain stage with empty workload id");
+        if (fs.member != 0) {
+            // Cross-member placement needs a ToR path and a second
+            // server — only the Rack assembler can provide them.
+            sim::fatal("Testbed: chain stage %s placed on rack "
+                       "member %u — cross-member chains must be "
+                       "assembled by a Rack",
+                       fs.workloadId.c_str(), fs.member);
+        }
         auto wl = workloads::makeWorkload(fs.workloadId);
         if (!wl->supports(fs.where)) {
             sim::fatal(
@@ -278,6 +286,29 @@ Testbed::resetWindowObservers()
         engine->resetRingStats();
         engine->discipline().resetBatchingStats();
     }
+}
+
+void
+Testbed::installRackChain(std::vector<ChainStageRuntime> chain,
+                          net::Link &egress_down)
+{
+    _chain = std::move(chain);
+    // Rebuild the pipeline over the spanning chain. The context is
+    // assembled exactly like assemble()'s: this member stays the
+    // ingress (its uplink, eSwitch and stack front the chain), while
+    // stages pinned to other members resolve their own hardware via
+    // ChainStageRuntime::server and the response serializes on the
+    // last member's down link.
+    const PipelineContext ctx{*_sim,     *_server,
+                              *_workload, *_stack,
+                              servingCpu(), _config.platform,
+                              /*epochStart=*/0,
+                              /*tracer=*/nullptr,
+                              /*liveRequests=*/0, &_chain};
+    EgressSink &sink_self = *this;
+    _pipeline = std::make_unique<Pipeline>(ctx, egress_down, sink_self);
+    if (_tracer)
+        _pipeline->setTracer(_tracer.get());
 }
 
 void
@@ -550,11 +581,18 @@ Testbed::estimateCapacityRps(int samples)
     const bool network = spec.drive == workloads::Drive::Network &&
                          !spec.dataPlaneOffload;
     double crossing_bytes = 0.0;  // PCIe payload per-sample total
+    // Cross-member hop payload per destination member: each hop
+    // serializes on that member's own ingress wire.
+    std::vector<double> hop_bytes;
     for (int i = 0; i < samples; ++i) {
         const auto bytes = spec.sizes.sample(rng);
         std::uint32_t in_bytes = bytes;
         for (std::size_t k = 0; k < _chain.size(); ++k) {
             const ChainStageRuntime &st = _chain[k];
+            // Rack-spanning chains price each stage on its own
+            // member's hardware (distinct platform slots), so a split
+            // chain's capacity adds up across members.
+            hw::ServerModel &srv = st.server ? *st.server : *_server;
             auto plan =
                 st.workload->plan(in_bytes, st.placement.kind, rng);
             alg::WorkCounters cpu_work = plan.cpuWork;
@@ -564,17 +602,25 @@ Testbed::estimateCapacityRps(int samples)
                 plan.responseBytes > 0) {
                 cpu_work += _stack->txWork(plan.responseBytes);
             }
-            charge(_server->cpuFor(st.placement.kind),
-                   _server->cpuFor(st.placement.kind)
-                       .serviceNs(cpu_work));
+            charge(srv.cpuFor(st.placement.kind),
+                   srv.cpuFor(st.placement.kind).serviceNs(cpu_work));
             if (!plan.accelWork.empty()) {
                 hw::ExecutionPlatform &engine =
-                    _server->accel(st.workload->spec().accel);
+                    srv.accel(st.workload->spec().accel);
                 charge(engine, engine.serviceNs(plan.accelWork));
             }
-            if (k > 0 &&
-                hw::crossesPcie(_chain[k - 1].placement, st.placement))
-                crossing_bytes += in_bytes;
+            if (k > 0) {
+                if (st.member != _chain[k - 1].member) {
+                    // The payload rides the ToR wire, not this
+                    // member's PCIe bus.
+                    if (hop_bytes.size() <= st.member)
+                        hop_bytes.resize(st.member + 1, 0.0);
+                    hop_bytes[st.member] += in_bytes;
+                } else if (hw::crossesPcie(_chain[k - 1].placement,
+                                           st.placement)) {
+                    crossing_bytes += in_bytes;
+                }
+            }
             if (plan.responseBytes > 0)
                 in_bytes = plan.responseBytes;
         }
@@ -592,6 +638,16 @@ Testbed::estimateCapacityRps(int samples)
     if (crossing_bytes > 0.0) {
         capacity = std::min(
             capacity, hw::specs::pcieGBps * 1e9 / (crossing_bytes / n));
+    }
+    // Cross-member hops bound spanning chains by each destination
+    // member's ingress wire.
+    for (double b : hop_bytes) {
+        if (b > 0.0) {
+            capacity = std::min(
+                capacity,
+                net::gbpsToBytesPerSec(hw::specs::lineRateGbps) /
+                    (b / n));
+        }
     }
     // The wire bounds network drives.
     if (spec.drive == workloads::Drive::Network) {

@@ -278,6 +278,17 @@ class Testbed : private EgressSink
     /** The engine platform serving this workload's accelerator work. */
     hw::ExecutionPlatform &accelEngine();
 
+    /**
+     * Install a rack-assembled spanning chain (called by the friend
+     * Rack on the ingress member): replaces this member's local chain
+     * with one whose stages carry per-member servers and ToR paths,
+     * and rebuilds the pipeline so the egress response leaves on the
+     * *last* stage's member's down link. Only the Rack can build such
+     * a chain — standalone assembly rejects member != 0 fatally.
+     */
+    void installRackChain(std::vector<ChainStageRuntime> chain,
+                          net::Link &egress_down);
+
     /** Restart the window-scoped observers (trace recorder, engine
      *  ring + batching stats) at the warmup/window boundary. Stats
      *  only — never touches queues or the event schedule. */

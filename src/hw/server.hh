@@ -53,6 +53,26 @@ crossesPcie(const Placement &from, const Placement &to)
     return from.onHostSide() != to.onHostSide();
 }
 
+/**
+ * Rack-level stage location: which rack member executes the stage,
+ * and where inside that member. Consecutive chain stages on the same
+ * member pay local transfer costs (PCIe crossing or same-side hop);
+ * stages on different members pay the ToR forwarding latency plus
+ * wire serialization through that member's ingress link.
+ */
+struct RackPlacement
+{
+    unsigned member = 0;
+    Placement local;
+
+    /** Whether a hop from @p from to @p to leaves the server. */
+    static bool
+    crossesMembers(const RackPlacement &from, const RackPlacement &to)
+    {
+        return from.member != to.member;
+    }
+};
+
 /** Display name ("host", "snic_cpu", "engine:rem", ...). */
 std::string placementName(const Placement &p);
 

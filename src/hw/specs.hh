@@ -176,6 +176,10 @@ constexpr double eswitchGbps = 100.0;
  *  (Tomahawk-class shallow-buffer ToR). */
 constexpr double torLatencyNs = 600.0;
 
+/** Per-probe queue-depth register read at the ToR (bounded-probe
+ *  JSQ(d) dispatch pays probes x this on top of forwarding). */
+constexpr double torProbeNs = 50.0;
+
 } // namespace snic::hw::specs
 
 #endif // SNIC_HW_SPECS_HH

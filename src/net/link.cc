@@ -57,4 +57,22 @@ Link::send(const Packet &pkt)
     return true;
 }
 
+sim::Tick
+Link::sendThrough(const Packet &pkt)
+{
+    const sim::Tick t = now();
+    if (backlog() > _dropHorizon) {
+        _dropped.inc();
+        return 0;
+    }
+
+    const double ser_sec =
+        static_cast<double>(pkt.sizeBytes) / gbpsToBytesPerSec(_gbps);
+    const auto ser = static_cast<sim::Tick>(ser_sec * 1e12 + 0.5);
+    const sim::Tick start = std::max(_nextFree, t);
+    _nextFree = start + ser;
+    _sent.inc();
+    return _nextFree + _latency;
+}
+
 } // namespace snic::net

@@ -52,6 +52,29 @@ class Link : public sim::Component
      */
     bool send(const Packet &pkt);
 
+    /**
+     * Book a transfer exactly like send() — same tail-drop horizon,
+     * serialization queueing and accounting — but deliver to no sink:
+     * the caller schedules its own continuation at the returned tick
+     * and calls completeTransfer() there. This lets a pipeline stage
+     * ship a payload through a member's ingress wire (contending with
+     * that member's dispatched traffic) while keeping ownership of
+     * the in-flight request.
+     *
+     * @return the delivery tick, or 0 when tail-dropped.
+     */
+    sim::Tick sendThrough(const Packet &pkt);
+
+    /** Delivery half of sendThrough(): the caller invokes this at the
+     *  returned tick so delivered()/inFlight()/bytesDelivered() see
+     *  pass-through transfers exactly like sink-delivered packets. */
+    void
+    completeTransfer(std::uint32_t bytes)
+    {
+        _delivered.inc();
+        _bytes.add(bytes);
+    }
+
     double gbps() const { return _gbps; }
     std::uint64_t delivered() const { return _delivered.value(); }
     std::uint64_t dropped() const { return _dropped.value(); }

@@ -27,6 +27,8 @@ dispatchPolicyName(DispatchPolicy p)
         return "flow_hash";
       case DispatchPolicy::LeastQueue:
         return "least_queue";
+      case DispatchPolicy::RandomDChoice:
+        return "random_dchoice";
     }
     sim::panic("dispatchPolicyName: bad policy");
 }
@@ -62,14 +64,23 @@ TorSwitch::TorSwitch(const TorConfig &config)
     }
     if (_config.flowCount == 0)
         _config.flowCount = 1;
+    if (_config.policy == DispatchPolicy::RandomDChoice &&
+        _config.probes == 0) {
+        sim::fatal("TorSwitch: random_dchoice needs at least one "
+                   "probe (d >= 1)");
+    }
 }
 
 double
 TorSwitch::forwardNs() const
 {
-    return _config.policy == DispatchPolicy::PassThrough
-               ? 0.0
-               : _config.forwardNs;
+    if (_config.policy == DispatchPolicy::PassThrough)
+        return 0.0;
+    // Bounded-probe JSQ(d) pays for the queue-depth reads it issues
+    // on top of the cut-through forwarding cost.
+    if (_config.policy == DispatchPolicy::RandomDChoice)
+        return _config.forwardNs + _config.probes * _config.probeNs;
+    return _config.forwardNs;
 }
 
 std::uint64_t
@@ -140,12 +151,39 @@ TorSwitch::pickFiltered(const Packet &pkt)
         break;
       }
       case DispatchPolicy::LeastQueue: {
+        if (_batchProbe) {
+            _loadScratch.resize(n);
+            _batchProbe(_liveList.data(), n, _loadScratch.data());
+            std::uint64_t best = _loadScratch[0];
+            for (unsigned i = 1; i < n; ++i) {
+                if (_loadScratch[i] < best) {
+                    best = _loadScratch[i];
+                    target = _liveList[i];
+                }
+            }
+            break;
+        }
         std::uint64_t best = load(_liveList[0]);
         for (unsigned i = 1; i < n; ++i) {
             const std::uint64_t l = load(_liveList[i]);
             if (l < best) {
                 best = l;
                 target = _liveList[i];
+            }
+        }
+        break;
+      }
+      case DispatchPolicy::RandomDChoice: {
+        target = _liveList[static_cast<unsigned>(
+            _rng.uniformInt(0, n - 1))];
+        std::uint64_t best = load(target);
+        for (unsigned p = 1; p < _config.probes; ++p) {
+            const unsigned c = _liveList[static_cast<unsigned>(
+                _rng.uniformInt(0, n - 1))];
+            const std::uint64_t l = load(c);
+            if (l < best) {
+                best = l;
+                target = c;
             }
         }
         break;
@@ -196,6 +234,18 @@ TorSwitch::pick(const Packet &pkt)
         break;
       }
       case DispatchPolicy::LeastQueue: {
+        if (_batchProbe) {
+            _loadScratch.resize(m);
+            _batchProbe(nullptr, m, _loadScratch.data());
+            std::uint64_t best = _loadScratch[0];
+            for (unsigned i = 1; i < m; ++i) {
+                if (_loadScratch[i] < best) {
+                    best = _loadScratch[i];
+                    target = i;
+                }
+            }
+            break;
+        }
         std::uint64_t best = load(0);
         for (unsigned i = 1; i < m; ++i) {
             const std::uint64_t l = load(i);
@@ -206,9 +256,54 @@ TorSwitch::pick(const Packet &pkt)
         }
         break;
       }
+      case DispatchPolicy::RandomDChoice: {
+        // d samples with replacement, keep the first minimum. With
+        // d=2 this draws and compares exactly like Random2Choice
+        // (target=a, challenger=b, strict-less replaces), so the two
+        // policies pick identically from the same RNG state; d=1 is
+        // one draw — Random's dispatch sequence bit for bit.
+        target = static_cast<unsigned>(_rng.uniformInt(0, m - 1));
+        std::uint64_t best = load(target);
+        for (unsigned p = 1; p < _config.probes; ++p) {
+            const auto c = static_cast<unsigned>(
+                _rng.uniformInt(0, m - 1));
+            const std::uint64_t l = load(c);
+            if (l < best) {
+                best = l;
+                target = c;
+            }
+        }
+        break;
+      }
     }
     ++_dispatched[target];
     return target;
+}
+
+unsigned
+TorSwitch::pickChainIngress(unsigned m)
+{
+    if (m >= _config.members)
+        sim::fatal("TorSwitch: chain ingress member %u of %u", m,
+                   _config.members);
+    if (!_live[m])
+        sim::fatal("TorSwitch: chain ingress member %u is not live", m);
+    ++_dispatched[m];
+    return m;
+}
+
+double
+TorSwitch::forwardChainHop(unsigned to_member)
+{
+    if (to_member >= _config.members)
+        sim::fatal("TorSwitch: chain hop to member %u of %u",
+                   to_member, _config.members);
+    if (!_live[to_member])
+        sim::fatal("TorSwitch: chain hop to member %u, which is "
+                   "draining or asleep — chain stages must stay on "
+                   "live members", to_member);
+    ++_chainForwards;
+    return _config.forwardNs;
 }
 
 double
@@ -230,6 +325,7 @@ void
 TorSwitch::resetStats()
 {
     std::fill(_dispatched.begin(), _dispatched.end(), 0);
+    _chainForwards = 0;
 }
 
 } // namespace snic::net

@@ -44,6 +44,12 @@ enum class DispatchPolicy
      *  sticky, so hot flows pin whole servers — the skew source. */
     FlowHash,
     LeastQueue,     ///< global shortest queue (ties: lowest index)
+    /** Bounded-probe JSQ(d): sample TorConfig::probes members with
+     *  replacement and keep the least loaded (first minimum wins on
+     *  ties). d=1 degenerates to Random, d=2 picks identically to
+     *  Random2Choice; unlike those, every probe's cost is charged to
+     *  the forwarding latency (probes x probeNs). */
+    RandomDChoice,
 };
 
 /** Display name ("pass_through", "round_robin", ...). */
@@ -64,11 +70,25 @@ struct TorConfig
     /** Cut-through forwarding latency charged per packet by every
      *  policy except PassThrough (which must stay cost-free). */
     double forwardNs = 600.0;
+    /** RandomDChoice: how many members to probe per packet (d). */
+    unsigned probes = 2;
+    /** RandomDChoice: queue-depth register read cost per probe (ns),
+     *  added to the forwarding latency — bounded-probe policies pay
+     *  for the information they use. */
+    double probeNs = 50.0;
 };
 
 /** Queue-depth observer for the load-aware policies: requests
  *  currently inside member @p i's server pipeline. */
 using LoadProbe = sim::InlineFn<std::uint64_t(unsigned member), 24>;
+
+/** Batched form: fill out[i] with the load of members[i] for i in
+ *  [0, n) in one pass (members == nullptr means the identity set
+ *  0..n-1). LeastQueue prefers this when installed — one call per
+ *  dispatch instead of one per member. */
+using BatchLoadProbe =
+    sim::InlineFn<void(const unsigned *members, unsigned n,
+                       std::uint64_t *out), 24>;
 
 /**
  * The dispatcher. pick() returns the member index for one packet and
@@ -79,9 +99,19 @@ class TorSwitch
   public:
     explicit TorSwitch(const TorConfig &config);
 
-    /** Attach the queue-depth observer (required for Random2Choice
-     *  and LeastQueue; ignored by the oblivious policies). */
+    /** Attach the queue-depth observer (required for Random2Choice,
+     *  RandomDChoice and LeastQueue; ignored by the oblivious
+     *  policies). */
     void setLoadProbe(LoadProbe probe) { _probe = std::move(probe); }
+
+    /** Attach the batched observer. Must report the same loads as the
+     *  scalar probe; LeastQueue picks are identical either way (the
+     *  argmin keeps the first minimum in both paths). */
+    void
+    setBatchLoadProbe(BatchLoadProbe probe)
+    {
+        _batchProbe = std::move(probe);
+    }
 
     /**
      * Mark member @p m (in)eligible for dispatch. Drained or asleep
@@ -102,6 +132,31 @@ class TorSwitch
 
     /** Choose the member for @p pkt. */
     unsigned pick(const Packet &pkt);
+
+    /**
+     * Dispatch for a rack-spanning service chain: every external
+     * packet enters at the chain's ingress member @p m, bypassing the
+     * policy (and its RNG), since mid-chain stages are pinned — the
+     * placement, not the dispatcher, decides where work runs. Counts
+     * into the per-member dispatch stats like pick().
+     */
+    unsigned pickChainIngress(unsigned m);
+
+    /**
+     * Mid-chain hop: a stage finishing on one member forwards the
+     * payload through the ToR to stage's member @p to_member. Unlike
+     * initial dispatch this is not a policy decision — the ToR just
+     * prices the forwarding. Fatal when the target is asleep or
+     * draining: the rack must never place chain stages on members it
+     * can power down.
+     *
+     * @return forwarding latency (ns) the hop pays before wire
+     *         serialization.
+     */
+    double forwardChainHop(unsigned to_member);
+
+    /** Mid-chain forwards priced since resetStats(). */
+    std::uint64_t chainForwards() const { return _chainForwards; }
 
     /** Forwarding latency charged per dispatched packet (ns). */
     double forwardNs() const;
@@ -126,7 +181,11 @@ class TorSwitch
     sim::Random _rng;
     std::uint64_t _rrNext = 0;
     std::vector<std::uint64_t> _dispatched;
+    std::uint64_t _chainForwards = 0;
     LoadProbe _probe;
+    BatchLoadProbe _batchProbe;
+    /** Scratch for the batched LeastQueue pass (no per-pick alloc). */
+    std::vector<std::uint64_t> _loadScratch;
     /** Eligibility mask (all true by default). */
     std::vector<bool> _live;
     unsigned _liveCount;
