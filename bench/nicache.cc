@@ -1,0 +1,155 @@
+/**
+ * @file
+ * nicache — the XDP in-NIC KVS front cache scenario.
+ *
+ * A GET service (nicache_get) runs over the XDP stack tier with an
+ * in-NIC front cache sized at 10 % of the keyspace. The cache's hit
+ * ratio is never configured: the verdict hook demand-fills on misses,
+ * so it *emerges* from key popularity — the same hot-key-collapse
+ * machinery the ToR's FlowHash dispatch uses, here driving which keys
+ * are hot. The host is offered 1.2x its standalone capacity, so every
+ * point of hit ratio the cache earns converts directly into host-path
+ * relief: goodput and p99 improve monotonically with the skew knob
+ * even though no knob sets the hit ratio itself.
+ *
+ * Modes:
+ *   nicache           full skew sweep, 10 ms windows
+ *   nicache --smoke   3 skews, 3 ms windows (CI)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "alg/kv/front_cache.hh"
+#include "core/testbed.hh"
+#include "net/tor_switch.hh"
+#include "sim/logging.hh"
+#include "workloads/nicache.hh"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+constexpr std::uint64_t kKeys = workloads::NicacheGet::records;
+constexpr std::size_t kCacheEntries = kKeys / 10;
+constexpr double kOverload = 1.2;
+
+struct Cell
+{
+    double skew = 0.0;
+    double hitRatio = 0.0;
+    double goodputGbps = 0.0;
+    double p99Us = 0.0;
+    std::uint64_t completed = 0;
+};
+
+Cell
+runCell(double skew, sim::Tick warmup, sim::Tick window)
+{
+    TestbedConfig tc;
+    tc.workloadId = "nicache_get";
+    tc.seed = 31;
+
+    auto cache = std::make_shared<alg::kv::FrontCache>(kCacheEntries);
+    auto rng = std::make_shared<sim::Random>(tc.seed + 1234567);
+    tc.xdpVerdict = [cache, rng, skew](const net::Packet &pkt) {
+        const std::uint64_t key =
+            net::hotKeyCollapse(pkt.flowHash, kKeys, skew, *rng);
+        XdpOutcome out;
+        if (const auto hit = cache->lookup(key)) {
+            out.verdict = XdpVerdict::NicServe;
+            out.responseBytes = 8 + *hit;
+        } else {
+            // XDP_PASS into the host KVS; the NIC map demand-fills
+            // with the value the host will serve.
+            cache->insert(key,
+                          static_cast<std::uint32_t>(
+                              workloads::NicacheGet::valueBytes));
+        }
+        return out;
+    };
+
+    Testbed bed(tc);
+    const double cap_rps = bed.estimateCapacityRps();
+    const double offered_gbps = kOverload * cap_rps * 64.0 * 8.0 / 1e9;
+
+    // First window warms the cache to its steady-state working set;
+    // the second is the measurement.
+    bed.measure(offered_gbps, warmup, window);
+    cache->resetStats();
+    const Measurement m = bed.measure(offered_gbps, warmup, window);
+
+    Cell c;
+    c.skew = skew;
+    c.hitRatio = cache->hitRatio();
+    c.goodputGbps = m.goodputGbps;
+    c.p99Us = m.p99Us();
+    c.completed = m.completed;
+    return c;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const sim::Tick warmup = sim::msToTicks(1.0);
+    const sim::Tick window =
+        smoke ? sim::msToTicks(3.0) : sim::msToTicks(10.0);
+    const std::vector<double> skews =
+        smoke ? std::vector<double>{0.0, 0.4, 0.8}
+              : std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8};
+
+    std::printf("nicache — in-NIC KVS front cache over the XDP tier "
+                "(%zu of %llu keys cached, host offered %.1fx "
+                "capacity)\n",
+                kCacheEntries,
+                static_cast<unsigned long long>(kKeys), kOverload);
+    std::printf("%6s %10s %12s %12s %10s\n", "skew", "hit ratio",
+                "completed", "goodput Gbps", "p99 us");
+
+    std::vector<Cell> cells;
+    for (const double skew : skews)
+        cells.push_back(runCell(skew, warmup, window));
+    for (const Cell &c : cells) {
+        std::printf("%6.2f %10.3f %12llu %12.3f %10.1f\n", c.skew,
+                    c.hitRatio,
+                    static_cast<unsigned long long>(c.completed),
+                    c.goodputGbps, c.p99Us);
+    }
+
+    // The acceptance shape: hit ratio tracks the popularity skew
+    // (uniform converges to the capacity fraction), and every earned
+    // hit relieves the overloaded host path.
+    // Strict on the emergent hit ratio; 2 % slack on goodput/p99,
+    // which plateau (with sub-µs jitter) once the earned hits have
+    // pulled the host path out of overload.
+    bool monotone = true;
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+        if (cells[i].hitRatio <= cells[i - 1].hitRatio ||
+            cells[i].goodputGbps < 0.98 * cells[i - 1].goodputGbps ||
+            cells[i].p99Us > 1.02 * cells[i - 1].p99Us)
+            monotone = false;
+    }
+    std::printf("anchor: uniform hit ratio %.3f vs capacity fraction "
+                "%.3f; monotone improvement with skew: %s\n",
+                cells.front().hitRatio,
+                static_cast<double>(kCacheEntries) / kKeys,
+                monotone ? "yes" : "NO");
+    return monotone ? 0 : 1;
+}

@@ -37,10 +37,13 @@
 #include <string>
 #include <vector>
 
+#include "alg/kv/front_cache.hh"
 #include "core/rack.hh"
 #include "core/testbed.hh"
+#include "net/tor_switch.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "workloads/nicache.hh"
 
 using namespace snic;
 using namespace snic::core;
@@ -147,6 +150,36 @@ runRackChainCell(double gbps, sim::Tick window)
     const RackMeasurement m =
         rack.measure(gbps, sim::msToTicks(1.0), window);
     return {rack.sim().events().numFired(), m.aggregate.completed};
+}
+
+/** The XDP front-cache cell: every packet runs the verdict hook
+ *  (NIC-side program dispatch + cache probe), hits exit through the
+ *  egress bypass, misses stack the kernel path on top — the XDP
+ *  tier's distinctive event mix. */
+std::pair<std::uint64_t, std::uint64_t>
+runNicacheCell(double gbps, sim::Tick window)
+{
+    TestbedConfig cfg;
+    cfg.workloadId = "nicache_get";
+    auto cache = std::make_shared<alg::kv::FrontCache>(
+        workloads::NicacheGet::records / 10);
+    auto rng = std::make_shared<sim::Random>(99);
+    cfg.xdpVerdict = [cache, rng](const net::Packet &pkt) {
+        const std::uint64_t key = net::hotKeyCollapse(
+            pkt.flowHash, workloads::NicacheGet::records, 0.5, *rng);
+        XdpOutcome out;
+        if (const auto hit = cache->lookup(key)) {
+            out.verdict = XdpVerdict::NicServe;
+            out.responseBytes = 8 + *hit;
+        } else {
+            cache->insert(key, workloads::NicacheGet::valueBytes);
+        }
+        return out;
+    };
+    Testbed bed(cfg);
+    const Measurement m =
+        bed.measure(gbps, sim::msToTicks(1.0), window);
+    return {bed.sim().events().numFired(), m.completed};
 }
 
 /**
@@ -326,6 +359,10 @@ main(int argc, char **argv)
             "2-member spanning REM chain (ToR hop per record), "
             "20 Gbps",
             [&] { return runRackChainCell(20.0, rack_window); });
+    addCell("nicache_hotkey",
+            "XDP in-NIC front cache, hot-key skew 0.5, 2 Gbps "
+            "of 64 B GETs",
+            [&] { return runNicacheCell(2.0, bed_window); });
 
     // Attach baseline numbers (absent file: columns stay 0/omitted).
     const std::string baseline = readFile(baseline_path);

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FrontCache implementation.
+ */
+
+#include "alg/kv/front_cache.hh"
+
+namespace snic::alg::kv {
+
+FrontCache::FrontCache(std::size_t capacity) : _capacity(capacity)
+{
+    _entries.reserve(capacity);
+}
+
+std::optional<std::uint32_t>
+FrontCache::lookup(std::uint64_t key)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return std::nullopt;
+    }
+    ++_hits;
+    _lru.splice(_lru.begin(), _lru, it->second);
+    return it->second->valueBytes;
+}
+
+void
+FrontCache::insert(std::uint64_t key, std::uint32_t value_bytes)
+{
+    auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        it->second->valueBytes = value_bytes;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return;
+    }
+    if (_capacity == 0)
+        return;
+    if (_entries.size() >= _capacity) {
+        _entries.erase(_lru.back().key);
+        _lru.pop_back();
+    }
+    _lru.push_front(Entry{key, value_bytes});
+    _entries.emplace(key, _lru.begin());
+}
+
+void
+FrontCache::resetStats()
+{
+    _hits = 0;
+    _misses = 0;
+}
+
+} // namespace snic::alg::kv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * NICACHE-style front cache: the BPF-map occupancy model behind the
+ * XDP in-NIC serve path.
+ *
+ * An LRU map from key to cached value size. The datapath consults it
+ * per GET (lookup == the priced BPF-map probe) and demand-fills on a
+ * miss once the host has served the value — so the hit ratio is never
+ * configured, it *emerges* from the key-popularity stream offered to
+ * lookup(): uniform popularity converges to capacity/keyspace, and a
+ * hot-key skew h converges to roughly h + (1-h) * capacity/keyspace.
+ */
+
+#ifndef SNIC_ALG_KV_FRONT_CACHE_HH
+#define SNIC_ALG_KV_FRONT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace snic::alg::kv {
+
+class FrontCache
+{
+  public:
+    /** @param capacity maximum number of cached keys (map entries). */
+    explicit FrontCache(std::size_t capacity);
+
+    /**
+     * Probe the cache for @p key. A hit refreshes the entry's LRU
+     * position and returns the cached value size; a miss returns
+     * nullopt. Both outcomes are counted.
+     */
+    std::optional<std::uint32_t> lookup(std::uint64_t key);
+
+    /**
+     * Demand-fill @p key with a @p value_bytes value (after the host
+     * served the miss), evicting the LRU entry when full. Refreshes
+     * the entry if the key is already present.
+     */
+    void insert(std::uint64_t key, std::uint32_t value_bytes);
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+    double
+    hitRatio() const
+    {
+        const std::uint64_t total = _hits + _misses;
+        return total ? static_cast<double>(_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Forget the hit/miss counters (steady-state measurement after a
+     *  warm-up drive); never touches cache contents. */
+    void resetStats();
+
+    std::size_t size() const { return _entries.size(); }
+    std::size_t capacity() const { return _capacity; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint32_t valueBytes;
+    };
+
+    std::size_t _capacity;
+    std::list<Entry> _lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        _entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace snic::alg::kv
+
+#endif // SNIC_ALG_KV_FRONT_CACHE_HH

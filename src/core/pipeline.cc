@@ -10,6 +10,7 @@
 #include "net/tor_switch.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
+#include "stack/xdp_stack.hh"
 
 namespace snic::core {
 
@@ -21,6 +22,7 @@ Stage::snapshot() const
     s.accepted = _stats.accepted;
     s.forwarded = _stats.forwarded;
     s.dropped = _stats.dropped;
+    s.droppedStale = _stats.droppedStale;
     s.inFlight = _stats.inFlight();
     // Keep the mean in double: sub-tick means would truncate to 0.
     s.meanResidencyUs = sim::ticksToUs(_stats.residency.mean());
@@ -39,7 +41,7 @@ IngressStage::process(ReqRef req)
 {
     if (req->packet.createdAt < _ctx.epochStart) {
         // Stale leftover from a previous measurement window.
-        drop(std::move(req));
+        dropStale(std::move(req));
         return;
     }
     // Plan into the recycled record's vector: after warmup the
@@ -51,6 +53,90 @@ IngressStage::process(ReqRef req)
 
 void
 StackStage::process(ReqRef req)
+{
+    const workloads::Spec &spec = _ctx.workload.spec();
+    if (spec.stack == stack::StackKind::Xdp &&
+        spec.drive == workloads::Drive::Network) {
+        processXdp(std::move(req));
+        return;
+    }
+    chargeStack(std::move(req));
+}
+
+void
+StackStage::processXdp(ReqRef req)
+{
+    // The eBPF program + map lookup runs on the NIC-side cores for
+    // *every* packet, whatever the verdict — a hostile flood burns
+    // real NIC datapath cycles even when every packet is dropped,
+    // so the NIC complex can itself become the bottleneck.
+    const auto &xdp =
+        static_cast<const stack::XdpStack &>(_ctx.stack);
+    XdpOutcome out;
+    if (_ctx.xdpVerdict)
+        out = _ctx.xdpVerdict(req->packet);
+    req->xdpVerdict = out.verdict;
+    alg::WorkCounters work = xdp.programWork();
+    if (out.verdict == XdpVerdict::NicServe) {
+        if (_bypass == nullptr) {
+            sim::fatal("stack: in-NIC serve needs the egress bypass "
+                       "(single-function chains only)");
+        }
+        // The reply is built here, on the NIC: price the header
+        // rewrite + value copy now and stamp the response the app
+        // will never get to shape.
+        work += xdp.nicServeWork(out.responseBytes);
+        req->plans.back().responseBytes = out.responseBytes;
+        req->plans.back().extraLatencyNs +=
+            sim::ticksToNs(xdp.nicServeLatency(_ctx.platform));
+        req->nicServed = true;
+    }
+    const std::uint64_t flow = req->packet.flowHash;
+    hw::DispatchHook hook;
+    hw::Completion dropped;
+    if (req->trace) {
+        hook = [trace = req->trace](sim::Tick admitted,
+                                    sim::Tick dispatched,
+                                    sim::Tick service_start, unsigned) {
+            trace->markDispatch(admitted, dispatched, service_start);
+        };
+        dropped = [tracer = _ctx.tracer, trace = req->trace] {
+            tracer->discard(trace);
+        };
+    }
+    _ctx.server.cpuFor(hw::Platform::SnicCpu)
+        .submit(work, flow,
+                [this, req = std::move(req)]() mutable {
+                    finishXdp(std::move(req));
+                },
+                std::move(hook), std::move(dropped));
+}
+
+void
+StackStage::finishXdp(ReqRef req)
+{
+    switch (req->xdpVerdict) {
+      case XdpVerdict::Drop:
+        // XDP_DROP: dies here, before the kernel crossing — no
+        // softirq, no app work, no response.
+        dropIntent(std::move(req));
+        return;
+      case XdpVerdict::NicServe:
+        // NICACHE hit: the reply was built NIC-side; exit through
+        // the egress bypass without ever touching the host stack.
+        forwardTo(*_bypass, std::move(req));
+        return;
+      case XdpVerdict::Pass:
+        // XDP_PASS: continue into the kernel, stacking the full
+        // UDP rx/tx cost on top of the already-paid program cost.
+        chargeStack(std::move(req));
+        return;
+    }
+    sim::panic("finishXdp: bad verdict");
+}
+
+void
+StackStage::chargeStack(ReqRef req)
 {
     const workloads::Spec &spec = _ctx.workload.spec();
     const bool network = spec.drive == workloads::Drive::Network;
@@ -202,17 +288,18 @@ RackTransferStage::process(ReqRef req)
             // the ToR is already sending that member.
             net::Packet hop = req->packet;
             hop.sizeBytes = bytes;
-            const sim::Tick deliver_at = _wire.sendThrough(hop);
-            if (deliver_at == 0) {
+            const net::TransferTicket ticket = _wire.sendThrough(hop);
+            if (!ticket) {
                 // Tail-dropped at the ToR buffer: the request is
-                // lost, like any packet the wire declines.
-                drop(std::move(req));
+                // lost, like any packet the wire declines — an
+                // intentional datapath drop, not a stale leftover.
+                dropIntent(std::move(req));
                 return;
             }
             _ctx.sim.at(
-                deliver_at,
-                [this, bytes, req = std::move(req)]() mutable {
-                    _wire.completeTransfer(bytes);
+                ticket.deliverAt,
+                [this, bytes, ticket, req = std::move(req)]() mutable {
+                    _wire.completeTransfer(ticket, bytes);
                     forward(std::move(req));
                 },
                 name().c_str());
@@ -225,7 +312,7 @@ EgressStage::process(ReqRef req)
 {
     if (req->packet.createdAt < _ctx.epochStart) {
         _sink.onStale();
-        drop(std::move(req));
+        dropStale(std::move(req));
         return;
     }
     _sink.onServed(req->packet, req->plans.back());
@@ -235,7 +322,9 @@ EgressStage::process(ReqRef req)
     for (std::size_t k = 1; k < req->plans.size(); ++k)
         extra_ns += req->plans[k].extraLatencyNs;
     const bool network = spec.drive == workloads::Drive::Network;
-    if (network && !spec.dataPlaneOffload)
+    // In-NIC serves never cross into the kernel: their turnaround
+    // latency was priced at the stack stage, not here.
+    if (network && !spec.dataPlaneOffload && !req->nicServed)
         extra_ns += sim::ticksToNs(_ctx.stack.fixedLatency(_ctx.platform));
 
     if (req->plans.back().responseBytes > 0) {

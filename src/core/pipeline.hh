@@ -23,6 +23,7 @@
 #define SNIC_CORE_PIPELINE_HH
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,11 +32,35 @@
 #include "core/trace.hh"
 #include "hw/server.hh"
 #include "net/link.hh"
+#include "sim/logging.hh"
 #include "stack/stack_model.hh"
 #include "stats/histogram.hh"
 #include "workloads/workload.hh"
 
 namespace snic::core {
+
+/** Verdict of the XDP program on one received packet (the three
+ *  datapath outcomes of the XDP tier; see stack::XdpStack). */
+enum class XdpVerdict
+{
+    Pass,      ///< continue into the kernel (XDP_PASS)
+    Drop,      ///< die before the kernel crossing (XDP_DROP)
+    NicServe,  ///< reply built on the NIC (NICACHE hit)
+};
+
+/** Outcome of the verdict hook: the verdict, plus the size of the
+ *  reply the NIC builds when the verdict is NicServe. */
+struct XdpOutcome
+{
+    XdpVerdict verdict = XdpVerdict::Pass;
+    std::uint32_t responseBytes = 0;
+};
+
+/** Per-packet verdict decision installed by the scenario (an ACL
+ *  table, a front cache). Consulted by StackStage only when the
+ *  configured stack is StackKind::Xdp; any RNG it needs must be its
+ *  own — the hook must not touch the simulation's stream. */
+using XdpVerdictHook = std::function<XdpOutcome(const net::Packet &)>;
 
 /** One request flowing through the stage chain. Requests are pooled
  *  (see RequestPool) and passed between stages as ReqRef handles. */
@@ -53,6 +78,13 @@ struct PipelineRequest
     RequestTrace *trace = nullptr;
     /** Free-list link while parked in the pool. */
     PipelineRequest *poolNext = nullptr;
+    /** Verdict the XDP program returned (Pass for non-XDP stacks). */
+    XdpVerdict xdpVerdict = XdpVerdict::Pass;
+    /** Served in-NIC: egress must skip the kernel-path latency. */
+    bool nicServed = false;
+    /** Currently inside a stage (accepted, not yet exited) — the
+     *  drop-after-exit guard. */
+    bool inStage = false;
 };
 
 /**
@@ -104,6 +136,9 @@ class RequestPool
     {
         req->plans.clear();  // destroys plans, keeps capacity
         req->trace = nullptr;
+        req->xdpVerdict = XdpVerdict::Pass;
+        req->nicServed = false;
+        req->inStage = false;
         req->poolNext = _free;
         _free = req;
     }
@@ -190,7 +225,15 @@ struct StageStats
 {
     std::uint64_t accepted = 0;   ///< requests entering the stage
     std::uint64_t forwarded = 0;  ///< requests leaving downstream
-    std::uint64_t dropped = 0;    ///< epoch-filtered stale requests
+    /** Intentional datapath drops: XDP verdicts, ACL filters, wire
+     *  tail-drops — requests the model *chose* to kill. Kept apart
+     *  from the epoch-stale bucket so flow-conservation checks
+     *  (accepted == forwarded + dropped + droppedStale + inFlight)
+     *  can tell a lossy datapath from a window boundary. */
+    std::uint64_t dropped = 0;
+    /** Epoch-filtered stale requests (leftovers from the previous
+     *  measurement window). */
+    std::uint64_t droppedStale = 0;
     /** Time from stage entry to stage exit, in ticks: queueing plus
      *  service for the asynchronous stages, ~0 for synchronous ones. */
     stats::Histogram residency;
@@ -213,14 +256,14 @@ struct StageStats
     std::uint64_t
     inFlight() const
     {
-        const std::uint64_t left = forwarded + dropped;
+        const std::uint64_t left = forwarded + dropped + droppedStale;
         return accepted > left ? accepted - left : 0;
     }
 
     void
     reset()
     {
-        accepted = forwarded = dropped = 0;
+        accepted = forwarded = dropped = droppedStale = 0;
         residency.reset();
         batchOccupancy.reset();
         batchStall.reset();
@@ -234,7 +277,10 @@ struct StageSnapshot
     std::string name;
     std::uint64_t accepted = 0;
     std::uint64_t forwarded = 0;
+    /** Intentional drops (XDP verdicts, tail-drops). */
     std::uint64_t dropped = 0;
+    /** Epoch-filtered stale requests. */
+    std::uint64_t droppedStale = 0;
     std::uint64_t inFlight = 0;
     double meanResidencyUs = 0.0;
     double p99ResidencyUs = 0.0;
@@ -281,6 +327,11 @@ struct PipelineContext
     /** The assembled chain (owned by the Testbed; always at least
      *  one stage). */
     const std::vector<ChainStageRuntime> *chain = nullptr;
+    /** Per-packet XDP verdict decision; empty means every packet
+     *  passes. Only consulted when the stack is StackKind::Xdp, so
+     *  installing one under any other stack is structurally inert
+     *  (bitwise-identical runs; asserted in tests/test_xdp.cc). */
+    XdpVerdictHook xdpVerdict;
 };
 
 /**
@@ -356,6 +407,7 @@ class Stage
         ++_stats.accepted;
         _ctx.liveRequests += _stats.inFlight() - before;
         req->stageEntered = _ctx.sim.now();
+        req->inStage = true;
         process(std::move(req));
     }
 
@@ -402,14 +454,42 @@ class Stage
         to.accept(std::move(req));
     }
 
-    /** Discard a stale request (its timeline with it); the handle
-     *  recycles the record on return. */
+    /** Discard an epoch-stale leftover from a previous measurement
+     *  window (its timeline with it); the handle recycles the record
+     *  on return. */
     void
-    drop(ReqRef req)
+    dropStale(ReqRef req)
     {
+        drop_(std::move(req), /*stale=*/true);
+    }
+
+    /** Discard a request the datapath *chose* to kill (an XDP
+     *  verdict, an ACL filter, a wire tail-drop). Counted in the
+     *  intentional-drop bucket so conservation checks can tell a
+     *  lossy datapath from a window boundary. */
+    void
+    dropIntent(ReqRef req)
+    {
+        drop_(std::move(req), /*stale=*/false);
+    }
+
+    PipelineContext &_ctx;
+
+  private:
+    void
+    drop_(ReqRef req, bool stale)
+    {
+        if (!req->inStage) {
+            sim::fatal("stage %s: dropping a request that already "
+                       "left the stage", _name.c_str());
+        }
+        req->inStage = false;
         if (req->stageEntered >= _ctx.epochStart) {
             const std::uint64_t before = _stats.inFlight();
-            ++_stats.dropped;
+            if (stale)
+                ++_stats.droppedStale;
+            else
+                ++_stats.dropped;
             _ctx.liveRequests -= before - _stats.inFlight();
         }
         if (req->trace) {
@@ -418,14 +498,12 @@ class Stage
         }
     }
 
-    PipelineContext &_ctx;
-
-  private:
     void
     exit_(PipelineRequest &req)
     {
         if (req.trace)
             req.trace->exitStage(_ctx.sim.now());
+        req.inStage = false;
         // A request that entered this stage before the current
         // window's epoch was counted into the *previous* window's
         // (since reset) stats. Counting its exit here would leave
@@ -468,13 +546,21 @@ class IngressStage : public Stage
  * Stack: charge the networking-stack rx/tx work to the plan's CPU
  * work. Data-plane-offloaded packets with no CPU work (eSwitch
  * forwarding) bypass the CPU and accelerator stages entirely.
+ *
+ * Under StackKind::Xdp every packet first runs the eBPF program on
+ * the NIC-side cores; the installed verdict hook then decides drop
+ * (dies here, before the kernel crossing), in-NIC serve (reply built
+ * on the NIC; exits through the egress bypass, never touching the
+ * host stack or the app), or pass-through (the normal rx/tx charging
+ * below, stacked on the already-paid program cost).
  */
 class StackStage : public Stage
 {
   public:
     explicit StackStage(PipelineContext &ctx) : Stage(ctx, "stack") {}
 
-    /** Egress target for the data-plane-offload fast path. */
+    /** Egress target for the data-plane-offload and in-NIC-serve
+     *  fast paths. */
     void setBypass(Stage *egress) { _bypass = egress; }
 
   protected:
@@ -482,6 +568,14 @@ class StackStage : public Stage
 
   private:
     Stage *_bypass = nullptr;
+
+    /** XDP tier: run the program (and, on a hit, the reply build) on
+     *  the NIC-side cores, then act on the verdict. */
+    void processXdp(ReqRef req);
+    /** Verdict continuation, after the NIC-side work completes. */
+    void finishXdp(ReqRef req);
+    /** The shared rx/tx charging path (kernel stacks + XDP_PASS). */
+    void chargeStack(ReqRef req);
 };
 
 /**

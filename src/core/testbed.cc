@@ -10,6 +10,7 @@
 
 #include "hw/specs.hh"
 #include "sim/logging.hh"
+#include "stack/xdp_stack.hh"
 
 namespace snic::core {
 
@@ -25,8 +26,14 @@ protoFor(stack::StackKind kind)
         return net::Proto::Dpdk;
       case stack::StackKind::Rdma:
         return net::Proto::Rdma;
+      case stack::StackKind::Xdp:
+        // AF_XDP frames carry UDP datagrams: the tier changes where
+        // the packet is processed, not its wire format.
+        return net::Proto::Udp;
     }
-    return net::Proto::Udp;
+    // Unreachable with -Werror=switch; loud (not a silent UDP
+    // fallback) if a cast ever smuggles in a bad enumerator.
+    sim::panic("protoFor: bad stack kind");
 }
 
 Testbed::Testbed(const TestbedConfig &config)
@@ -184,6 +191,14 @@ Testbed::assemble()
             _accelStageName = st.name + ".engine";
         }
     }
+    // The XDP program runs on the NIC-side cores for every packet,
+    // whatever the serving platform — include them in the window
+    // drain set so straddling program completions are swallowed.
+    if (spec.stack == stack::StackKind::Xdp) {
+        hw::ExecutionPlatform *nic = &_server->snicCpu();
+        if (std::find(_cpus.begin(), _cpus.end(), nic) == _cpus.end())
+            _cpus.push_back(nic);
+    }
 
     _power = std::make_unique<power::ServerPowerModel>(*_server);
     _stack = stack::makeStack(spec.stack, spec.rdmaOneSided);
@@ -204,7 +219,8 @@ Testbed::assemble()
                               servingCpu(), _config.platform,
                               /*epochStart=*/0,
                               /*tracer=*/nullptr,
-                              /*liveRequests=*/0, &_chain};
+                              /*liveRequests=*/0, &_chain,
+                              _config.xdpVerdict};
     // The conversion to the privately-inherited EgressSink must
     // happen here, inside the class's own scope.
     EgressSink &sink_self = *this;
@@ -234,8 +250,14 @@ Testbed::assemble()
             _sim->now() - pkt.createdAt +
             sim::nsToTicks(pkt.extraNs);
         if (_recording) {
-            _latency.record(rtt);
-            ++_completed;
+            if (_config.goodFilter && !_config.goodFilter(pkt)) {
+                // A hostile-flood completion: served, but not part
+                // of the legitimate-traffic SLO.
+                ++_floodCompleted;
+            } else {
+                _latency.record(rtt);
+                ++_completed;
+            }
         }
         if (_closedLoopActive) {
             --_inFlight;
@@ -304,7 +326,8 @@ Testbed::installRackChain(std::vector<ChainStageRuntime> chain,
                               servingCpu(), _config.platform,
                               /*epochStart=*/0,
                               /*tracer=*/nullptr,
-                              /*liveRequests=*/0, &_chain};
+                              /*liveRequests=*/0, &_chain,
+                              _config.xdpVerdict};
     EgressSink &sink_self = *this;
     _pipeline = std::make_unique<Pipeline>(ctx, egress_down, sink_self);
     if (_tracer)
@@ -340,6 +363,7 @@ Testbed::beginWindow()
     _recording = false;
     _latency.reset();
     _completed = 0;
+    _floodCompleted = 0;
     _generatedInWindow = 0;
     _bytesServed = 0.0;
     _goodputBytes = 0.0;
@@ -360,12 +384,17 @@ Testbed::onServed(const net::Packet &pkt,
 {
     if (!_recording)
         return;
-    _bytesServed += pkt.sizeBytes;
-    _goodputBytes += std::max<double>(pkt.sizeBytes,
-                                      plan.responseBytes);
+    // Flood traffic still burns wire bytes (the energy model's
+    // per-byte NIC cost is real), but contributes nothing to the
+    // legitimate-traffic goodput the SLO is judged on.
     _wireBytes += static_cast<double>(pkt.sizeBytes) +
                   plan.responseBytes;
     ++_generatedInWindow;
+    if (_config.goodFilter && !_config.goodFilter(pkt))
+        return;
+    _bytesServed += pkt.sizeBytes;
+    _goodputBytes += std::max<double>(pkt.sizeBytes,
+                                      plan.responseBytes);
     if (_servedSeries)
         _servedSeries->add(_sim->now(), pkt.sizeBytes);
 }
@@ -406,6 +435,7 @@ Testbed::collect(sim::Tick warmup, sim::Tick window,
     m.offeredGbps = offered_gbps;
     m.latency = _latency;
     m.completed = _completed;
+    m.floodCompleted = _floodCompleted;
     m.generated = _generatedInWindow;
     const double secs = sim::ticksToSec(window);
     m.achievedGbps = _bytesServed * 8.0 / secs / 1e9;
@@ -598,6 +628,17 @@ Testbed::estimateCapacityRps(int samples)
             alg::WorkCounters cpu_work = plan.cpuWork;
             if (network && k == 0)
                 cpu_work += _stack->rxWork(bytes);
+            if (network && k == 0 &&
+                spec.stack == stack::StackKind::Xdp) {
+                // Every XDP packet runs the program on the NIC-side
+                // cores before (or instead of) the kernel path; that
+                // demand is part of capacity even when the serving
+                // CPU is the host.
+                const auto &xdp =
+                    static_cast<const stack::XdpStack &>(*_stack);
+                charge(srv.snicCpu(),
+                       srv.snicCpu().serviceNs(xdp.programWork()));
+            }
             if (network && k == _chain.size() - 1 &&
                 plan.responseBytes > 0) {
                 cpu_work += _stack->txWork(plan.responseBytes);

@@ -81,6 +81,24 @@ struct TestbedConfig
      * no ring model).
      */
     unsigned accelRingDepth = 0;
+    /**
+     * Per-packet XDP verdict decision (an ACL table, a front cache).
+     * Consulted only when the configured stack is StackKind::Xdp;
+     * installing one under any other stack is structurally inert.
+     * Any randomness must be the hook's own — it must not touch the
+     * simulation's RNG stream.
+     */
+    XdpVerdictHook xdpVerdict;
+    /**
+     * Goodput filter for mixed legitimate/hostile traffic: when set,
+     * completions for which the predicate returns false are excluded
+     * from the latency histogram, completed count and goodput bytes,
+     * and counted into Measurement::floodCompleted instead. The
+     * predicate sees the *request* packet at egress and the
+     * *response* packet at down-link delivery, so scenarios must tag
+     * hostility in a field both carry (the size class in xdp_acl).
+     */
+    std::function<bool(const net::Packet &)> goodFilter;
 };
 
 /** One measurement window's outcome. */
@@ -96,6 +114,9 @@ struct Measurement
     double achievedRps = 0.0;    ///< requests per second
     std::uint64_t completed = 0;
     std::uint64_t generated = 0;
+    /** Completions excluded by TestbedConfig::goodFilter (the served
+     *  share of a hostile flood); 0 when no filter is installed. */
+    std::uint64_t floodCompleted = 0;
     stats::Histogram latency;    ///< end-to-end, in ticks
     power::EnergyReading energy;
     /** Served bytes per bin during replaySchedule (Fig. 7's measured
@@ -244,6 +265,7 @@ class Testbed : private EgressSink
     bool _recording = false;
     stats::Histogram _latency;
     std::uint64_t _completed = 0;
+    std::uint64_t _floodCompleted = 0;
     std::uint64_t _generatedInWindow = 0;
     double _bytesServed = 0.0;   ///< request bytes
     double _goodputBytes = 0.0;  ///< max(request, response) bytes

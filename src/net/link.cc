@@ -51,19 +51,26 @@ Link::send(const Packet &pkt)
         [this, copy] {
             _delivered.inc();
             _bytes.add(copy.sizeBytes);
+            // Sink deliveries are FIFO: the first post-reset arrivals
+            // drain the sink-path phantom budget before any fresh
+            // packet can be counted delivered.
+            if (_phantomSinkLeft > 0)
+                --_phantomSinkLeft;
+            else
+                ++_freshDelivered;
             _sink(copy);
         },
         name().c_str());
     return true;
 }
 
-sim::Tick
+TransferTicket
 Link::sendThrough(const Packet &pkt)
 {
     const sim::Tick t = now();
     if (backlog() > _dropHorizon) {
         _dropped.inc();
-        return 0;
+        return TransferTicket{};
     }
 
     const double ser_sec =
@@ -72,7 +79,28 @@ Link::sendThrough(const Packet &pkt)
     const sim::Tick start = std::max(_nextFree, t);
     _nextFree = start + ser;
     _sent.inc();
-    return _nextFree + _latency;
+    ++_throughOutstanding;
+    return TransferTicket{_nextFree + _latency, _resetGen};
+}
+
+void
+Link::completeTransfer(const TransferTicket &ticket,
+                       std::uint32_t bytes)
+{
+    _delivered.inc();
+    _bytes.add(bytes);
+    if (_throughOutstanding > 0)
+        --_throughOutstanding;
+    if (ticket.resetGen != _resetGen) {
+        // Booked before a reset: this delivery was owed to the
+        // previous window. Matching by generation (not FIFO) is what
+        // keeps a straddling spanning-chain hop from absorbing a
+        // fresh sink delivery into the phantom budget.
+        if (_phantomThroughLeft > 0)
+            --_phantomThroughLeft;
+    } else {
+        ++_freshDelivered;
+    }
 }
 
 } // namespace snic::net

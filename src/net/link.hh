@@ -7,6 +7,8 @@
 #ifndef SNIC_NET_LINK_HH
 #define SNIC_NET_LINK_HH
 
+#include <algorithm>
+
 #include "sim/inline_fn.hh"
 
 #include "net/packet.hh"
@@ -20,6 +22,23 @@ namespace snic::net {
  *  runs once per delivered packet, and every sink in the tree is a
  *  small single-owner lambda (a `this` plus at most a few words). */
 using PacketSink = sim::InlineFn<void(const Packet &), 32>;
+
+/**
+ * Booking handle returned by Link::sendThrough(). Besides the
+ * delivery tick it records the reset generation the transfer was
+ * booked under, so a completion that straddles a window reset() is
+ * recognised as phantom (pre-window) instead of consuming a fresh
+ * delivery — the rebase assumption documented on inFlight() is FIFO
+ * per *delivery path*, and pass-through completions do not interleave
+ * FIFO with sink deliveries. Falsy when the packet was tail-dropped.
+ */
+struct TransferTicket
+{
+    sim::Tick deliverAt = 0;
+    std::uint64_t resetGen = 0;
+
+    explicit operator bool() const { return deliverAt != 0; }
+};
 
 /**
  * A unidirectional link.
@@ -61,19 +80,18 @@ class Link : public sim::Component
      * that member's dispatched traffic) while keeping ownership of
      * the in-flight request.
      *
-     * @return the delivery tick, or 0 when tail-dropped.
+     * @return the booking ticket (falsy when tail-dropped).
      */
-    sim::Tick sendThrough(const Packet &pkt);
+    TransferTicket sendThrough(const Packet &pkt);
 
     /** Delivery half of sendThrough(): the caller invokes this at the
-     *  returned tick so delivered()/inFlight()/bytesDelivered() see
-     *  pass-through transfers exactly like sink-delivered packets. */
-    void
-    completeTransfer(std::uint32_t bytes)
-    {
-        _delivered.inc();
-        _bytes.add(bytes);
-    }
+     *  ticket's delivery tick so delivered()/inFlight()/
+     *  bytesDelivered() see pass-through transfers exactly like
+     *  sink-delivered packets. A ticket booked before an intervening
+     *  reset() drains the pass-through phantom budget instead of
+     *  counting as a fresh delivery. */
+    void completeTransfer(const TransferTicket &ticket,
+                          std::uint32_t bytes);
 
     double gbps() const { return _gbps; }
     std::uint64_t delivered() const { return _delivered.value(); }
@@ -83,17 +101,16 @@ class Link : public sim::Component
      *  policy must account for. Counts traffic since the last
      *  reset() only: deliveries already scheduled when a window
      *  boundary resets the link are stale (epoch-dropped on
-     *  arrival), and delivery is FIFO, so the first post-reset
-     *  deliveries drain that phantom backlog before fresh packets. */
+     *  arrival) and drain a phantom budget instead of counting as
+     *  fresh. Sink deliveries are FIFO so their budget drains first-
+     *  come; pass-through completions are matched by their ticket's
+     *  reset generation, since a spanning-chain hop's continuation
+     *  can land arbitrarily interleaved with sink traffic. */
     std::uint64_t
     inFlight() const
     {
         const std::uint64_t sent = _sent.value() - _sentAtReset;
-        const std::uint64_t del =
-            _delivered.value() - _deliveredAtReset;
-        const std::uint64_t fresh_del =
-            del > _phantomAtReset ? del - _phantomAtReset : 0;
-        return sent > fresh_del ? sent - fresh_del : 0;
+        return sent > _freshDelivered ? sent - _freshDelivered : 0;
     }
     std::uint64_t bytesDelivered() const
     {
@@ -105,14 +122,22 @@ class Link : public sim::Component
 
     /** Clear serialization backlog (between measurement windows)
      *  and rebase the inFlight() view: packets still propagating
-     *  belong to the previous window. */
+     *  belong to the previous window. Splits the phantom budget
+     *  between the sink path and outstanding sendThrough() bookings
+     *  so a straddling pass-through completion can never absorb a
+     *  fresh sink delivery (or vice versa). */
     void
     reset()
     {
         _nextFree = 0;
         _sentAtReset = _sent.value();
-        _deliveredAtReset = _delivered.value();
-        _phantomAtReset = _sentAtReset - _deliveredAtReset;
+        const std::uint64_t outstanding =
+            _sentAtReset - _delivered.value();
+        _phantomThroughLeft =
+            std::min<std::uint64_t>(_throughOutstanding, outstanding);
+        _phantomSinkLeft = outstanding - _phantomThroughLeft;
+        _freshDelivered = 0;
+        ++_resetGen;
     }
 
   private:
@@ -124,8 +149,16 @@ class Link : public sim::Component
     stats::Counter _sent;       ///< accepted (not tail-dropped)
     /** inFlight() baselines captured by reset(). */
     std::uint64_t _sentAtReset = 0;
-    std::uint64_t _deliveredAtReset = 0;
-    std::uint64_t _phantomAtReset = 0;
+    /** Bumped by reset(); stamps sendThrough() tickets. */
+    std::uint64_t _resetGen = 0;
+    /** sendThrough() bookings not yet completed, any generation. */
+    std::uint64_t _throughOutstanding = 0;
+    /** Pre-reset deliveries still owed on each path; draining one
+     *  does not count toward _freshDelivered. */
+    std::uint64_t _phantomSinkLeft = 0;
+    std::uint64_t _phantomThroughLeft = 0;
+    /** Post-reset deliveries of post-reset packets. */
+    std::uint64_t _freshDelivered = 0;
     stats::Counter _delivered;
     stats::Counter _dropped;
     stats::Accumulator _bytes;

@@ -48,6 +48,16 @@ mix64(std::uint64_t x)
 
 } // anonymous namespace
 
+std::uint64_t
+hotKeyCollapse(std::uint64_t raw_hash, std::uint64_t key_count,
+               double hot_fraction, sim::Random &rng)
+{
+    std::uint64_t key = raw_hash % key_count;
+    if (hot_fraction > 0.0 && rng.chance(hot_fraction))
+        key = 0;
+    return key;
+}
+
 TorSwitch::TorSwitch(const TorConfig &config)
     : _config(config),
       _rng(config.seed * 0x9e3779b97f4a7c15ULL + 0x7045ULL),
@@ -142,11 +152,9 @@ TorSwitch::pickFiltered(const Packet &pkt)
         break;
       }
       case DispatchPolicy::FlowHash: {
-        std::uint64_t flow = pkt.flowHash % _config.flowCount;
-        if (_config.hotFlowFraction > 0.0 &&
-            _rng.chance(_config.hotFlowFraction)) {
-            flow = 0;
-        }
+        const std::uint64_t flow = hotKeyCollapse(
+            pkt.flowHash, _config.flowCount, _config.hotFlowFraction,
+            _rng);
         target = _liveList[static_cast<unsigned>(mix64(flow) % n)];
         break;
       }
@@ -225,11 +233,9 @@ TorSwitch::pick(const Packet &pkt)
         // the flow to a member. The hot-flow coin comes from the
         // switch's private RNG so the traffic stream itself is
         // unchanged across policies.
-        std::uint64_t flow = pkt.flowHash % _config.flowCount;
-        if (_config.hotFlowFraction > 0.0 &&
-            _rng.chance(_config.hotFlowFraction)) {
-            flow = 0;
-        }
+        const std::uint64_t flow = hotKeyCollapse(
+            pkt.flowHash, _config.flowCount, _config.hotFlowFraction,
+            _rng);
         target = static_cast<unsigned>(mix64(flow) % m);
         break;
       }

@@ -55,6 +55,20 @@ enum class DispatchPolicy
 /** Display name ("pass_through", "round_robin", ...). */
 const char *dispatchPolicyName(DispatchPolicy p);
 
+/**
+ * The FlowHash hot-key collapse, exposed as a reusable popularity
+ * generator: fold @p raw_hash onto @p key_count sticky keys, then
+ * re-point a @p hot_fraction of draws at key 0 using a coin from
+ * @p rng. This is exactly the skew machinery the FlowHash dispatch
+ * policy applies to flows; the NICACHE benches reuse it to turn a
+ * uniform packet stream into a skewed key-popularity stream, so the
+ * front cache's hit ratio *emerges* from the same knob that skews
+ * rack dispatch.
+ */
+std::uint64_t hotKeyCollapse(std::uint64_t raw_hash,
+                             std::uint64_t key_count,
+                             double hot_fraction, sim::Random &rng);
+
 /** ToR configuration. */
 struct TorConfig
 {

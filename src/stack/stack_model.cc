@@ -10,6 +10,7 @@
 #include "stack/rdma_stack.hh"
 #include "stack/tcp_stack.hh"
 #include "stack/udp_stack.hh"
+#include "stack/xdp_stack.hh"
 
 namespace snic::stack {
 
@@ -25,6 +26,8 @@ stackName(StackKind kind)
         return "dpdk";
       case StackKind::Rdma:
         return "rdma";
+      case StackKind::Xdp:
+        return "xdp";
     }
     sim::panic("stackName: bad kind");
 }
@@ -43,6 +46,8 @@ makeStack(StackKind kind, bool rdma_one_sided)
         return std::make_unique<RdmaStack>(rdma_one_sided
                                                ? RdmaOp::OneSided
                                                : RdmaOp::TwoSided);
+      case StackKind::Xdp:
+        return std::make_unique<XdpStack>();
     }
     sim::panic("makeStack: bad kind");
 }

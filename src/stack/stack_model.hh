@@ -21,13 +21,15 @@
 
 namespace snic::stack {
 
-/** The four stacks of the study (Table 3). */
+/** The four stacks of the study (Table 3), plus the XDP tier the
+ *  paper left unmeasured (ROADMAP: between kernel UDP and DPDK). */
 enum class StackKind
 {
     Udp,
     Tcp,
     Dpdk,
     Rdma,
+    Xdp,
 };
 
 /**

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * XdpStack implementation. Anchors: a small XDP program with one map
+ * lookup sustains ~20-25 Mpps/core on x86 (~40-50 ns/packet); the
+ * same counters price ~3x higher on the A72 complex, which is where
+ * the program actually runs in the SmartNIC deployment. The
+ * pass-through path delegates to the kernel-UDP model — XDP_PASS
+ * packets pay both.
+ */
+
+#include "stack/xdp_stack.hh"
+
+namespace snic::stack {
+
+alg::WorkCounters
+XdpStack::rxWork(std::uint32_t bytes) const
+{
+    return _kernelPath.rxWork(bytes);
+}
+
+alg::WorkCounters
+XdpStack::txWork(std::uint32_t bytes) const
+{
+    return _kernelPath.txWork(bytes);
+}
+
+sim::Tick
+XdpStack::fixedLatency(hw::Platform p) const
+{
+    return _kernelPath.fixedLatency(p);
+}
+
+alg::WorkCounters
+XdpStack::programWork() const
+{
+    alg::WorkCounters w;
+    w.branchyOps = 30;     // program execution, verifier-shaped code
+    w.randomTouches = 1;   // the BPF map lookup
+    w.arithOps = 20;       // header parse, key hash
+    return w;
+}
+
+alg::WorkCounters
+XdpStack::nicServeWork(std::uint32_t value_bytes) const
+{
+    alg::WorkCounters w;
+    w.branchyOps = 40;           // header rewrite + checksum fixup
+    w.streamBytes = value_bytes; // map value -> reply frame copy
+    return w;
+}
+
+sim::Tick
+XdpStack::nicServeLatency(hw::Platform) const
+{
+    // NIC-local turnaround: no kernel crossing, no IRQ coalescing.
+    return sim::usToTicks(2.0);
+}
+
+} // namespace snic::stack

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * XDP/AF_XDP stack cost model — the tier between kernel UDP and DPDK.
+ *
+ * Every received packet first runs a fixed-cost eBPF program with one
+ * BPF-map lookup on the NIC-side cores (the SmartNIC datapath, like a
+ * BlueField XDP offload). The program's verdict decides the rest of
+ * the path:
+ *
+ *  - XDP_DROP:  the packet dies before the kernel crossing — no
+ *               softirq, no socket work, no app work.
+ *  - in-NIC serve (NICACHE): the reply is built on the NIC from the
+ *               BPF map (header rewrite + value copy) and transmitted
+ *               directly; rx/tx never reach the host stack.
+ *  - XDP_PASS:  the packet continues into the kernel and pays the
+ *               full UDP rx/tx cost *on top of* the program cost —
+ *               exactly how a real XDP_PASS stacks.
+ *
+ * The pipeline's Stack stage owns the verdict plumbing (see
+ * core::XdpVerdictHook); this class only prices the pieces.
+ */
+
+#ifndef SNIC_STACK_XDP_STACK_HH
+#define SNIC_STACK_XDP_STACK_HH
+
+#include "stack/stack_model.hh"
+#include "stack/udp_stack.hh"
+
+namespace snic::stack {
+
+class XdpStack : public StackModel
+{
+  public:
+    const char *name() const override { return "xdp"; }
+
+    /** Pass-through rx: the kernel-UDP path an XDP_PASS packet still
+     *  pays (the program cost is priced separately, NIC-side). */
+    alg::WorkCounters rxWork(std::uint32_t bytes) const override;
+
+    /** Pass-through tx: replies to passed packets leave through the
+     *  kernel UDP path. */
+    alg::WorkCounters txWork(std::uint32_t bytes) const override;
+
+    /** Pass-through path latency (kernel wakeup dominates, as UDP). */
+    sim::Tick fixedLatency(hw::Platform p) const override;
+
+    /** Fixed per-packet eBPF program execution + one BPF-map lookup.
+     *  Charged to the NIC-side cores for *every* packet, whatever the
+     *  verdict. */
+    alg::WorkCounters programWork() const;
+
+    /** Extra NIC-side work to serve a hit in place: header rewrite,
+     *  checksum fixup, and the @p value_bytes copy from the map into
+     *  the reply frame. */
+    alg::WorkCounters nicServeWork(std::uint32_t value_bytes) const;
+
+    /** Turnaround latency of an in-NIC serve: no kernel crossing, no
+     *  IRQ coalescing — microseconds, not the UDP wakeup path. */
+    sim::Tick nicServeLatency(hw::Platform p) const;
+
+  private:
+    UdpStack _kernelPath;
+};
+
+} // namespace snic::stack
+
+#endif // SNIC_STACK_XDP_STACK_HH

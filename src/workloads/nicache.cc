@@ -1,0 +1,99 @@
+/**
+ * @file
+ * XDP-tier workload implementations.
+ */
+
+#include "workloads/nicache.hh"
+
+namespace snic::workloads {
+
+namespace {
+
+Spec
+nicacheSpec()
+{
+    Spec s;
+    s.id = "nicache_get";
+    s.family = "nicache";
+    s.configLabel = "get64";
+    s.stack = stack::StackKind::Xdp;
+    // A GET request is a small fixed-size key probe.
+    s.sizes = net::SizeDist::fixed(64);
+    s.supportsAccel = false;
+    return s;
+}
+
+Spec
+echoSpec(std::uint32_t bytes)
+{
+    Spec s;
+    s.id = "xdp_echo_" + std::to_string(bytes);
+    s.family = "xdp_echo";
+    s.configLabel = std::to_string(bytes) + "B";
+    s.stack = stack::StackKind::Xdp;
+    s.sizes = net::SizeDist::fixed(bytes);
+    s.supportsAccel = false;
+    return s;
+}
+
+} // anonymous namespace
+
+NicacheGet::NicacheGet() : Workload(nicacheSpec()) {}
+
+void
+NicacheGet::setup(sim::Random &rng)
+{
+    _store = std::make_unique<alg::kv::KvStore>(records * 2);
+    alg::WorkCounters load_work;
+    _store->load(records, valueBytes, rng, load_work);
+}
+
+RequestPlan
+NicacheGet::plan(std::uint32_t request_bytes, hw::Platform platform,
+                 sim::Random &rng)
+{
+    (void)request_bytes;
+    (void)platform;
+    RequestPlan p;
+    // The host path executes a real GET. The key drawn here only
+    // prices the lookup; which keys are *hot* is decided on the NIC
+    // side by the verdict hook, so misses that fall through see a
+    // representative (uniform) probe cost.
+    alg::kv::Op op;
+    op.type = alg::kv::OpType::Get;
+    op.key = alg::kv::KvStore::keyFor(
+        rng.uniformInt(0, records - 1));
+    _store->execute(op, p.cpuWork);
+    p.cpuWork.messages = 1;
+    p.responseBytes = responseBytes;
+    return p;
+}
+
+XdpEcho::XdpEcho(std::uint32_t packet_bytes)
+    : Workload(echoSpec(packet_bytes)), _packetBytes(packet_bytes)
+{
+}
+
+void
+XdpEcho::setup(sim::Random &rng)
+{
+    (void)rng;  // stateless
+}
+
+RequestPlan
+XdpEcho::plan(std::uint32_t request_bytes, hw::Platform platform,
+              sim::Random &rng)
+{
+    (void)platform;
+    (void)rng;
+    RequestPlan p;
+    // Echo: touch the payload once and reply in kind (micro_udp's
+    // app body — only the stack tier differs).
+    p.cpuWork.streamBytes = request_bytes;
+    p.cpuWork.arithOps = 20;
+    p.cpuWork.messages = 1;
+    p.responseBytes = request_bytes;
+    return p;
+}
+
+} // namespace snic::workloads

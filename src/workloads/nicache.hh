@@ -1,0 +1,63 @@
+/**
+ * @file
+ * XDP-tier workloads (ROADMAP: XDP/AF_XDP stack tier).
+ *
+ * NicacheGet is a single-key GET service over the XDP stack: the
+ * host path runs a real KvStore lookup, while a bench-installed
+ * verdict hook (TestbedConfig::xdpVerdict) may serve hot keys from
+ * an in-NIC front cache without the packet ever crossing the kernel.
+ *
+ * XdpEcho is the MicroUdp echo re-based onto the XDP stack: with no
+ * verdict hook installed it measures the pass-through tier (program
+ * cost stacked on the kernel UDP path); with a drop hook it is the
+ * ACL/DDoS early-drop scenario's legitimate traffic.
+ */
+
+#ifndef SNIC_WORKLOADS_NICACHE_HH
+#define SNIC_WORKLOADS_NICACHE_HH
+
+#include <memory>
+
+#include "alg/kv/kv_store.hh"
+#include "workloads/workload.hh"
+
+namespace snic::workloads {
+
+class NicacheGet : public Workload
+{
+  public:
+    NicacheGet();
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+    /** Keyspace shared with the NIC front cache: benches size the
+     *  cache as a fraction of this. */
+    static constexpr std::size_t records = 16384;
+    static constexpr std::size_t valueBytes = 64;
+    /** Wire response: 8-byte header + the value. */
+    static constexpr std::uint32_t responseBytes =
+        8 + static_cast<std::uint32_t>(valueBytes);
+
+  private:
+    std::unique_ptr<alg::kv::KvStore> _store;
+};
+
+class XdpEcho : public Workload
+{
+  public:
+    /** @param packet_bytes 64 or 1024 (mirrors micro_udp). */
+    explicit XdpEcho(std::uint32_t packet_bytes);
+
+    void setup(sim::Random &rng) override;
+    RequestPlan plan(std::uint32_t request_bytes, hw::Platform platform,
+                     sim::Random &rng) override;
+
+  private:
+    std::uint32_t _packetBytes;
+};
+
+} // namespace snic::workloads
+
+#endif // SNIC_WORKLOADS_NICACHE_HH

@@ -15,6 +15,7 @@
 #include "workloads/micro_rdma.hh"
 #include "workloads/micro_udp.hh"
 #include "workloads/nat.hh"
+#include "workloads/nicache.hh"
 #include "workloads/ovs.hh"
 #include "workloads/redis.hh"
 #include "workloads/rem.hh"
@@ -110,6 +111,15 @@ makeWorkload(const std::string &id)
         return std::make_unique<Ovs>(0.10);
     if (id == "ovs_100")
         return std::make_unique<Ovs>(1.00);
+
+    // XDP tier (not part of the Fig. 4 lineup; driven by the
+    // xdp_acl / nicache benches and tests).
+    if (id == "nicache_get")
+        return std::make_unique<NicacheGet>();
+    if (id == "xdp_echo_64")
+        return std::make_unique<XdpEcho>(64);
+    if (id == "xdp_echo_1024")
+        return std::make_unique<XdpEcho>(1024);
 
     // RDMA benchmarks.
     if (id == "mica_b4")

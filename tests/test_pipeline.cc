@@ -133,6 +133,7 @@ TEST(Pipeline, ClosedLoopJobsTraverseThePipeline)
     const auto &egress = stageNamed(m, "egress");
     EXPECT_GT(egress.accepted, 100u);
     EXPECT_EQ(stageNamed(m, "ingress").dropped, 0u);
+    EXPECT_EQ(stageNamed(m, "ingress").droppedStale, 0u);
 }
 
 TEST(Pipeline, StageLookupByName)

@@ -118,21 +118,68 @@ TEST(RackChain, SendThroughPaysSerializationAndQueueing)
     pkt.sizeBytes = 1024;
     // 1024 B at 100 Gbps = 81.92 ns serialization = 81920 ticks;
     // +1 us propagation = 1081920 ticks to delivery.
-    const sim::Tick first = wire.sendThrough(pkt);
-    EXPECT_EQ(first, 81920u + 1000000u);
+    const net::TransferTicket first = wire.sendThrough(pkt);
+    ASSERT_TRUE(static_cast<bool>(first));
+    EXPECT_EQ(first.deliverAt, 81920u + 1000000u);
     // Back-to-back: the second transfer queues behind the first's
     // serialization.
-    const sim::Tick second = wire.sendThrough(pkt);
-    EXPECT_EQ(second, 2u * 81920u + 1000000u);
+    const net::TransferTicket second = wire.sendThrough(pkt);
+    ASSERT_TRUE(static_cast<bool>(second));
+    EXPECT_EQ(second.deliverAt, 2u * 81920u + 1000000u);
 
     // Both booked, neither delivered yet.
     EXPECT_EQ(wire.inFlight(), 2u);
     EXPECT_EQ(wire.delivered(), 0u);
-    wire.completeTransfer(pkt.sizeBytes);
-    wire.completeTransfer(pkt.sizeBytes);
+    wire.completeTransfer(first, pkt.sizeBytes);
+    wire.completeTransfer(second, pkt.sizeBytes);
     EXPECT_EQ(wire.inFlight(), 0u);
     EXPECT_EQ(wire.delivered(), 2u);
     EXPECT_EQ(wire.bytesDelivered(), 2048u);
+}
+
+TEST(RackChain, TransferStraddlingResetCannotAbsorbFreshDelivery)
+{
+    // Regression: a sendThrough() booked before a window reset()
+    // whose completion lands *after* fresh sink traffic has been
+    // delivered. The old FIFO-phantom accounting let the straddler's
+    // completion (or the fresh deliveries themselves) drain the
+    // wrong budget, leaving inFlight() permanently off by one.
+    sim::Simulation sim(1);
+    net::Link wire(sim, "wire", 100.0, sim::usToTicks(1.0));
+    wire.connect([](const net::Packet &) {});
+
+    net::Packet pkt;
+    pkt.sizeBytes = 1024;
+
+    // Book a pass-through hop, then reset the window before its
+    // continuation runs: the booking becomes phantom.
+    const net::TransferTicket straddler = wire.sendThrough(pkt);
+    ASSERT_TRUE(static_cast<bool>(straddler));
+    wire.reset();
+    EXPECT_EQ(wire.inFlight(), 0u);
+
+    // Two fresh sink packets sent and delivered post-reset.
+    ASSERT_TRUE(wire.send(pkt));
+    ASSERT_TRUE(wire.send(pkt));
+    EXPECT_EQ(wire.inFlight(), 2u);
+    sim.runUntil(sim::usToTicks(10.0));
+    // Both fresh deliveries must count as fresh — none may be eaten
+    // by the straddler's phantom budget.
+    EXPECT_EQ(wire.inFlight(), 0u);
+
+    // The straddler's completion arrives last, generation-matched:
+    // it drains the pass-through phantom budget and must not push
+    // inFlight() negative (clamped) or double-count a delivery.
+    wire.completeTransfer(straddler, pkt.sizeBytes);
+    EXPECT_EQ(wire.inFlight(), 0u);
+
+    // A fresh booking after all that still rounds to exactly zero
+    // once completed — the budgets are fully drained, not skewed.
+    const net::TransferTicket fresh = wire.sendThrough(pkt);
+    ASSERT_TRUE(static_cast<bool>(fresh));
+    EXPECT_EQ(wire.inFlight(), 1u);
+    wire.completeTransfer(fresh, pkt.sizeBytes);
+    EXPECT_EQ(wire.inFlight(), 0u);
 }
 
 // --- Cross-member transfers on the assembled rack ---

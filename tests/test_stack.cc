@@ -12,6 +12,7 @@
 #include "stack/stack_model.hh"
 #include "stack/tcp_stack.hh"
 #include "stack/udp_stack.hh"
+#include "stack/xdp_stack.hh"
 
 using namespace snic;
 using namespace snic::stack;
@@ -31,7 +32,7 @@ rxNsOn(const StackModel &stack, const hw::CostModel &cpu,
 TEST(Stacks, FactoryProducesAllKinds)
 {
     for (StackKind k : {StackKind::Udp, StackKind::Tcp, StackKind::Dpdk,
-                        StackKind::Rdma}) {
+                        StackKind::Rdma, StackKind::Xdp}) {
         auto s = makeStack(k);
         ASSERT_NE(s, nullptr);
         EXPECT_STREQ(s->name(), stackName(k));
@@ -108,6 +109,40 @@ TEST(Stacks, OnlyDpdkBusyPolls)
     EXPECT_FALSE(UdpStack().busyPolling());
     EXPECT_FALSE(TcpStack().busyPolling());
     EXPECT_FALSE(RdmaStack().busyPolling());
+}
+
+TEST(Stacks, XdpPassThroughStacksProgramOnKernelPath)
+{
+    // The XDP tier's kernel path IS the UDP path: rx/tx work and
+    // fixed latency are bitwise the UdpStack's, with the program
+    // cost priced separately (NIC-side) so the Pass verdict charges
+    // it once, not twice.
+    XdpStack xdp;
+    UdpStack udp;
+    for (std::uint32_t bytes : {64u, 1024u}) {
+        EXPECT_EQ(xdp.rxWork(bytes).kernelOps, udp.rxWork(bytes).kernelOps);
+        EXPECT_EQ(xdp.rxWork(bytes).streamBytes,
+                  udp.rxWork(bytes).streamBytes);
+        EXPECT_EQ(xdp.txWork(bytes).kernelOps, udp.txWork(bytes).kernelOps);
+    }
+    EXPECT_EQ(xdp.fixedLatency(hw::Platform::HostCpu),
+              udp.fixedLatency(hw::Platform::HostCpu));
+    EXPECT_FALSE(xdp.busyPolling());
+
+    // The program itself is cheap relative to one kernel crossing —
+    // that gap is the whole point of the early-drop tier.
+    const auto snic = hw::snicCpuCostModel();
+    const double program_ns = snic.serviceNs(xdp.programWork());
+    const double kernel_ns =
+        hw::hostCostModel().serviceNs(udp.rxWork(64));
+    EXPECT_GT(program_ns, 0.0);
+    EXPECT_LT(program_ns, kernel_ns / 2.0);
+
+    // Serving a cached value from the NIC scales with the value size
+    // and never touches a kernel op.
+    const auto serve = xdp.nicServeWork(64);
+    EXPECT_EQ(serve.kernelOps, 0u);
+    EXPECT_GT(xdp.nicServeWork(1024).streamBytes, serve.streamBytes);
 }
 
 TEST(Stacks, TcpConnectionWorkIsExpensiveAndAmortizable)
